@@ -1,0 +1,334 @@
+package rsr
+
+// One benchmark per paper table/figure. Each drives the same experiment code
+// as `cmd/rsr` at a reduced scale so the full suite stays benchable; run
+// `go run ./cmd/rsr all` (scale 1.0) for the reference reproduction recorded
+// in EXPERIMENTS.md. Custom metrics report the accuracy side: avgRE% is the
+// mean relative IPC error of the methods under test.
+
+import (
+	"testing"
+
+	"rsr/internal/core"
+	"rsr/internal/experiments"
+	"rsr/internal/funcsim"
+	"rsr/internal/livepoints"
+	"rsr/internal/mem"
+	"rsr/internal/sampling"
+	"rsr/internal/trace"
+	"rsr/internal/warmup"
+	"rsr/internal/workload"
+)
+
+// reconstruct runs one reverse cache-reconstruction pass.
+func reconstruct(h *mem.Hierarchy, log []trace.MemRecord, percent int) core.CacheReconStats {
+	return core.ReconstructCaches(h, log, percent)
+}
+
+// benchCfg returns a reduced-scale experiment configuration: small enough to
+// iterate, large enough that skip regions carry meaningful warm-up state.
+func benchCfg(workloads ...string) experiments.Config {
+	cfg := experiments.DefaultConfig()
+	cfg.Scale = 0.25 // 5M instructions
+	cfg.Workloads = workloads
+	return cfg
+}
+
+func reportAvgRE(b *testing.B, avgs []experiments.MethodAverage) {
+	b.Helper()
+	var re float64
+	for _, a := range avgs {
+		re += a.MeanRelErr
+	}
+	b.ReportMetric(100*re/float64(len(avgs)), "avgRE%")
+}
+
+// BenchmarkTable1TrueIPC regenerates Table 1: full detailed simulation of
+// each workload.
+func BenchmarkTable1TrueIPC(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		lab := experiments.NewLab(benchCfg("twolf", "parser", "gcc"))
+		rows, err := lab.Table1()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 3 {
+			b.Fatal("short table")
+		}
+	}
+}
+
+// BenchmarkFigure5CacheWarmup regenerates the cache-only warm-up comparison
+// (R$ percentages vs S$).
+func BenchmarkFigure5CacheWarmup(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		lab := experiments.NewLab(benchCfg("gcc", "twolf"))
+		f, err := lab.Figure5()
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportAvgRE(b, f.Averages)
+	}
+}
+
+// BenchmarkFigure6BpredWarmup regenerates the predictor-only warm-up
+// comparison (RBP vs SBP).
+func BenchmarkFigure6BpredWarmup(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		lab := experiments.NewLab(benchCfg("parser", "twolf"))
+		f, err := lab.Figure6()
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportAvgRE(b, f.Averages)
+	}
+}
+
+// BenchmarkFigure7Combined regenerates the combined cache+predictor
+// comparison (R$BP, FP, None, S$BP).
+func BenchmarkFigure7Combined(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		lab := experiments.NewLab(benchCfg("twolf"))
+		f, err := lab.Figure7()
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportAvgRE(b, f.Averages)
+	}
+}
+
+// BenchmarkFigure8PerBenchmark regenerates the per-benchmark Reverse vs
+// SMARTS detail.
+func BenchmarkFigure8PerBenchmark(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		lab := experiments.NewLab(benchCfg("gcc", "parser"))
+		f, err := lab.Figure8()
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportAvgRE(b, f.Averages)
+	}
+}
+
+// BenchmarkFigure9SimPoint regenerates the SimPoint comparison.
+func BenchmarkFigure9SimPoint(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		lab := experiments.NewLab(benchCfg("twolf"))
+		f, err := lab.Figure9()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(f.Rows) == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}
+
+// BenchmarkAppendixMatrix runs the full 16-method Table 2 matrix on one
+// workload (the appendix tables are this matrix over all workloads).
+func BenchmarkAppendixMatrix(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		lab := experiments.NewLab(benchCfg("twolf"))
+		cells, err := lab.Appendix()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(cells) != 16 {
+			b.Fatal("short matrix")
+		}
+	}
+}
+
+// --- Microbenchmarks of the substrates ---
+
+// BenchmarkDetailedSimulation measures the cycle-level timing model in
+// instructions per second.
+func BenchmarkDetailedSimulation(b *testing.B) {
+	w, _ := workload.ByName("twolf")
+	p := w.Build()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sampling.RunFull(p, sampling.DefaultMachine(), 500_000); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(500_000*b.N)/b.Elapsed().Seconds(), "instr/s")
+}
+
+// BenchmarkFunctionalSimulation measures the architectural interpreter.
+func BenchmarkFunctionalSimulation(b *testing.B) {
+	w, _ := workload.ByName("twolf")
+	p := w.Build()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fs := funcsim.New(p)
+		if _, err := fs.Skip(1_000_000); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(1_000_000*b.N)/b.Elapsed().Seconds(), "instr/s")
+}
+
+// BenchmarkReverseCacheReconstruction measures the §3.1 reverse pass against
+// functionally applying the same log (the SMARTS-style cost), isolating the
+// speedup mechanism the paper describes.
+func BenchmarkReverseCacheReconstruction(b *testing.B) {
+	log := make([]trace.MemRecord, 200_000)
+	lcg := uint64(12345)
+	for i := range log {
+		lcg = lcg*6364136223846793005 + 1442695040888963407
+		log[i] = trace.MemRecord{Addr: (lcg >> 20) % (8 << 20), IsStore: i%3 == 0}
+	}
+	b.Run("reverse20", func(b *testing.B) {
+		h := mem.NewHierarchy(mem.DefaultHierarchyConfig())
+		for i := 0; i < b.N; i++ {
+			// ReconstructCaches itself takes the newest 20%.
+			_ = reconstruct(h, log, 20)
+		}
+	})
+	b.Run("reverse100", func(b *testing.B) {
+		h := mem.NewHierarchy(mem.DefaultHierarchyConfig())
+		for i := 0; i < b.N; i++ {
+			_ = reconstruct(h, log, 100)
+		}
+	})
+	b.Run("functionalFull", func(b *testing.B) {
+		h := mem.NewHierarchy(mem.DefaultHierarchyConfig())
+		for i := 0; i < b.N; i++ {
+			for j := range log {
+				h.WarmData(log[j].Addr, log[j].IsStore)
+			}
+		}
+	})
+}
+
+// BenchmarkLivePointsReplay compares re-measuring all clusters from captured
+// live-points against a fresh sampled run — the speedup of reference [18].
+func BenchmarkLivePointsReplay(b *testing.B) {
+	w, _ := workload.ByName("gcc")
+	p := w.Build()
+	m := sampling.DefaultMachine()
+	reg := sampling.Regimen{ClusterSize: 2000, NumClusters: 20}
+	set, err := livepoints.Capture(p, m, reg, 2_000_000, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("replay", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := set.Replay(m.CPU); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("freshSampledRun", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			spec := warmup.Spec{Kind: warmup.KindSMARTS, Cache: true, BPred: true}
+			if _, err := sampling.RunSampled(p, m, reg, 2_000_000, 1, spec); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkWarmupMethodsEndToEnd compares total sampled-run cost per warm-up
+// method on one workload — the wall-clock form of the paper's speedup claim.
+func BenchmarkWarmupMethodsEndToEnd(b *testing.B) {
+	for _, spec := range []warmup.Spec{
+		{Kind: warmup.KindNone},
+		{Kind: warmup.KindSMARTS, Cache: true, BPred: true},
+		{Kind: warmup.KindReverse, Percent: 20, Cache: true, BPred: true},
+		{Kind: warmup.KindReverse, Percent: 100, Cache: true, BPred: true},
+	} {
+		spec := spec
+		b.Run(spec.Label(), func(b *testing.B) {
+			w, _ := workload.ByName("gcc")
+			p := w.Build()
+			reg := sampling.Regimen{ClusterSize: 2000, NumClusters: 20}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := sampling.RunSampled(p, sampling.DefaultMachine(), reg, 2_000_000, 1, spec); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- Ablation benchmarks for the design choices DESIGN.md calls out ---
+
+// BenchmarkAblationReuse compares the profiling-based MRRL/BLRL methods
+// against RSR and SMARTS (cost includes their profiling pass).
+func BenchmarkAblationReuse(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		lab := experiments.NewLab(benchCfg("twolf"))
+		cells, err := lab.AblationReuse(90)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(cells) != 4 {
+			b.Fatal("unexpected cell count")
+		}
+	}
+}
+
+// BenchmarkAblationInference measures the Figure 3 counter-inference rule
+// on/off.
+func BenchmarkAblationInference(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		lab := experiments.NewLab(benchCfg("parser"))
+		if _, err := lab.AblationInference(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationDetailedWarm measures hot-start detailed warming against
+// functional warming.
+func BenchmarkAblationDetailedWarm(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		lab := experiments.NewLab(benchCfg("twolf"))
+		if _, err := lab.AblationDetailedWarm(8000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationBusContention measures the bus arbitration model's
+// contribution to timing.
+func BenchmarkAblationBusContention(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		lab := experiments.NewLab(benchCfg("ammp"))
+		rows, err := lab.AblationBusContention()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*rows[0].Inflation, "inflation%")
+	}
+}
+
+// BenchmarkAblationLSQForwarding measures the LSQ model's net effect: the
+// default model pays conservative memory disambiguation (loads wait behind
+// unresolved store addresses) and earns store-to-load forwarding; the
+// ablated model does neither. On stack-heavy code the disambiguation cost
+// can outweigh the forwarding win — which is the point of measuring it.
+func BenchmarkAblationLSQForwarding(b *testing.B) {
+	w, _ := workload.ByName("perl") // heavy stack save/restore traffic
+	p := w.Build()
+	for _, ablate := range []bool{false, true} {
+		name := "forwarding"
+		if ablate {
+			name = "ablated"
+		}
+		b.Run(name, func(b *testing.B) {
+			m := sampling.DefaultMachine()
+			m.CPU.NoLSQForwarding = ablate
+			for i := 0; i < b.N; i++ {
+				r, err := sampling.RunFull(p, m, 1_000_000)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(r.Result.IPC(), "IPC")
+			}
+		})
+	}
+}

@@ -1,0 +1,48 @@
+package rsr
+
+import (
+	"rsr/internal/asm"
+	"rsr/internal/isa"
+	"rsr/internal/prog"
+)
+
+// ParseAssembly assembles the textual instruction syntax (see internal/asm's
+// package documentation for the grammar) into a runnable Program.
+func ParseAssembly(name, src string) (*Program, error) { return asm.Parse(name, src) }
+
+// ProgramBuilder assembles custom workloads: emit instructions, bind labels,
+// and Build a Program runnable by RunFull and RunSampled. See
+// examples/customworkload for a complete program.
+type ProgramBuilder = prog.Builder
+
+// NewProgramBuilder returns a builder for a custom program.
+func NewProgramBuilder(name string) *ProgramBuilder { return prog.NewBuilder(name) }
+
+// Op is an instruction opcode for ProgramBuilder.Op3/Branch.
+type Op = isa.Op
+
+// Instruction opcodes re-exported for custom workloads.
+const (
+	OpAdd  = isa.OpAdd
+	OpSub  = isa.OpSub
+	OpAnd  = isa.OpAnd
+	OpOr   = isa.OpOr
+	OpXor  = isa.OpXor
+	OpShl  = isa.OpShl
+	OpShr  = isa.OpShr
+	OpSlt  = isa.OpSlt
+	OpMul  = isa.OpMul
+	OpDiv  = isa.OpDiv
+	OpRem  = isa.OpRem
+	OpFAdd = isa.OpFAdd
+	OpFMul = isa.OpFMul
+	OpFDiv = isa.OpFDiv
+	OpBeq  = isa.OpBeq
+	OpBne  = isa.OpBne
+	OpBlt  = isa.OpBlt
+	OpBge  = isa.OpBge
+)
+
+// DataBase is the first byte address of the conventional data segment used
+// by generated programs.
+const DataBase = prog.DataBase

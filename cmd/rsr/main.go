@@ -1,0 +1,299 @@
+// Command rsr regenerates the paper's tables and figures and runs ad-hoc
+// simulations.
+//
+// Usage:
+//
+//	rsr [flags] <command>
+//
+// Commands:
+//
+//	list       list workloads and warm-up methods
+//	table1     true IPC and sampling regimen per workload
+//	table2     the warm-up method matrix
+//	fig5       cache-only warm-up comparison
+//	fig6       branch-predictor-only warm-up comparison
+//	fig7       combined warm-up comparison
+//	fig8       per-benchmark Reverse vs SMARTS
+//	fig9       SimPoint comparison
+//	appendix   confidence tests, relative error, and time for all methods
+//	ablate     extensions: MRRL/BLRL, inference on/off, detailed warming,
+//	           bus contention, prefetcher
+//	sweep      warm-up percentage sweep on one workload (use -workload)
+//	report     self-contained HTML report with charts (use -out)
+//	all        every table and figure, in order
+//	run        one sampled run (use -workload and -method)
+//
+// Flags:
+//
+//	-scale f       scale workload length (1.0 = 20M instructions)
+//	-seed n        cluster placement seed
+//	-workloads s   comma-separated workload subset
+//	-workload s    workload for `run`
+//	-method s      method label for `run` (e.g. "R$BP (20%)", "S$BP", "None")
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"rsr/internal/experiments"
+	"rsr/internal/report"
+	"rsr/internal/warmup"
+	"rsr/internal/workload"
+)
+
+func main() {
+	scale := flag.Float64("scale", 1.0, "workload length scale (1.0 = 20M instructions)")
+	seed := flag.Int64("seed", 2007, "cluster placement seed")
+	workloadsFlag := flag.String("workloads", "", "comma-separated workload subset")
+	par := flag.Int("par", 0, "max concurrent simulations (0 = GOMAXPROCS; use 1 for clean per-run wall times)")
+	format := flag.String("format", "text", "output format: text, csv, or json")
+	out := flag.String("out", "rsr-report.html", "output path for `report`")
+	workloadFlag := flag.String("workload", "twolf", "workload for `run`")
+	methodFlag := flag.String("method", "R$BP (20%)", "warm-up method label for `run`")
+	flag.Parse()
+
+	cfg := experiments.DefaultConfig()
+	cfg.Scale = *scale
+	cfg.Seed = *seed
+	cfg.Parallelism = *par
+	if *workloadsFlag != "" {
+		cfg.Workloads = strings.Split(*workloadsFlag, ",")
+	}
+
+	cmd := flag.Arg(0)
+	if cmd == "" {
+		cmd = "all"
+	}
+	if err := dispatch(cmd, cfg, *workloadFlag, *methodFlag, *format, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "rsr:", err)
+		os.Exit(1)
+	}
+}
+
+func dispatch(cmd string, cfg experiments.Config, wl, method, format, out string) error {
+	lab := experiments.NewLab(cfg)
+	switch cmd {
+	case "report":
+		return writeReport(lab, cfg, out)
+	case "list":
+		fmt.Println("workloads:")
+		for _, w := range workload.All() {
+			fmt.Printf("  %-8s %s\n", w.Name, w.Description)
+		}
+		fmt.Println("\nwarm-up methods:")
+		for _, s := range warmup.Matrix() {
+			fmt.Printf("  %s\n", s.Label())
+		}
+		return nil
+	case "table1":
+		rows, err := lab.Table1()
+		if err != nil {
+			return err
+		}
+		switch format {
+		case "csv":
+			return experiments.WriteTable1CSV(os.Stdout, rows)
+		case "json":
+			return experiments.WriteJSON(os.Stdout, rows)
+		default:
+			fmt.Print(experiments.RenderTable1(rows))
+		}
+		return nil
+	case "table2":
+		fmt.Println("Table 2: warm-up method experiments")
+		for _, s := range warmup.Matrix() {
+			fmt.Printf("  %-12s kind=%v cache=%v bpred=%v percent=%d\n",
+				s.Label(), s.Kind, s.Cache, s.BPred, s.Percent)
+		}
+		return nil
+	case "fig5", "fig6", "fig7", "fig8":
+		f, err := figure(lab, cmd)
+		if err != nil {
+			return err
+		}
+		switch format {
+		case "csv":
+			return experiments.WriteCellsCSV(os.Stdout, f.Cells)
+		case "json":
+			return experiments.WriteJSON(os.Stdout, f)
+		default:
+			fmt.Print(f.Render())
+		}
+		return nil
+	case "fig9":
+		f, err := lab.Figure9()
+		if err != nil {
+			return err
+		}
+		switch format {
+		case "csv":
+			return experiments.WriteFigure9CSV(os.Stdout, f)
+		case "json":
+			return experiments.WriteJSON(os.Stdout, f)
+		default:
+			fmt.Print(experiments.RenderFigure9(f))
+		}
+		return nil
+	case "appendix":
+		cells, err := lab.Appendix()
+		if err != nil {
+			return err
+		}
+		switch format {
+		case "csv":
+			return experiments.WriteCellsCSV(os.Stdout, cells)
+		case "json":
+			return experiments.WriteJSON(os.Stdout, cells)
+		default:
+			fmt.Print(experiments.RenderAppendix(cells))
+		}
+		return nil
+	case "all":
+		rows, err := lab.Table1()
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.RenderTable1(rows))
+		fmt.Println()
+		for _, id := range []string{"fig5", "fig6", "fig7", "fig8"} {
+			f, err := figure(lab, id)
+			if err != nil {
+				return err
+			}
+			fmt.Print(f.Render())
+			fmt.Println()
+		}
+		f9, err := lab.Figure9()
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.RenderFigure9(f9))
+		fmt.Println()
+		cells, err := lab.Appendix()
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.RenderAppendix(cells))
+		return nil
+	case "ablate":
+		cells, err := lab.AblationReuse(90)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.RenderAblationReuse(cells))
+		fmt.Println()
+		inf, err := lab.AblationInference()
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.RenderCells("Ablation: counter inference (Figure 3 rule) on/off", inf))
+		fmt.Println()
+		dw, err := lab.AblationDetailedWarm(8000)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.RenderCells("Ablation: detailed (hot-start) warming vs functional warming", dw))
+		fmt.Println()
+		bus, err := lab.AblationBusContention()
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.RenderBusAblation(bus))
+		fmt.Println()
+		pf, err := lab.AblationPrefetch()
+		if err != nil {
+			return err
+		}
+		fmt.Println("Ablation: next-line prefetcher (extension; off in the paper's machine)")
+		fmt.Printf("%-10s %12s %12s %9s\n", "workload", "baseline", "prefetch", "speedup")
+		for _, r := range pf {
+			fmt.Printf("%-10s %12.4f %12.4f %8.2fx\n", r.Workload, r.IPCBaseline, r.IPCPrefetch, r.Speedup)
+		}
+		return nil
+	case "sweep":
+		rev, fp, err := lab.Sweep(wl, nil)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("Warm-up percentage sweep on %s\n", wl)
+		fmt.Printf("%8s %12s %12s %14s %14s\n", "percent", "reverse RE", "fixed RE", "reverse work", "fixed work")
+		for i := range rev {
+			fmt.Printf("%7d%% %11.2f%% %11.2f%% %14d %14d\n",
+				rev[i].Percent, 100*rev[i].Cell.RelErr, 100*fp[i].Cell.RelErr,
+				rev[i].Cell.Work.ReconScanned+rev[i].Cell.Work.ReconApplied,
+				fp[i].Cell.Work.WarmOps)
+		}
+		return nil
+	case "run":
+		spec, err := warmup.SpecByLabel(method)
+		if err != nil {
+			return fmt.Errorf("%w (see `rsr list`)", err)
+		}
+		cell, err := lab.Run(wl, spec)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("workload   %s\nmethod     %s\ntrue IPC   %.4f\nestimate   %.4f\nrel error  %.4f\nconfident  %v\ntime       %v\nwork       %+v\n",
+			cell.Workload, cell.Method, cell.TrueIPC, cell.Estimate, cell.RelErr,
+			cell.Confident, cell.Elapsed, cell.Work)
+		return nil
+	default:
+		return fmt.Errorf("unknown command %q (try: list, table1, table2, fig5..fig9, appendix, all, run)", cmd)
+	}
+}
+
+// writeReport renders the full HTML report (Table 1, Figures 5-9).
+func writeReport(lab *experiments.Lab, cfg experiments.Config, path string) error {
+	rows, err := lab.Table1()
+	if err != nil {
+		return err
+	}
+	var figs []*experiments.FigureResult
+	for _, id := range []string{"fig5", "fig6", "fig7", "fig8"} {
+		f, err := figure(lab, id)
+		if err != nil {
+			return err
+		}
+		figs = append(figs, f)
+	}
+	f9, err := lab.Figure9()
+	if err != nil {
+		return err
+	}
+	file, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer file.Close()
+	err = report.Write(file, &report.Data{
+		Title: "Reverse State Reconstruction — reproduction report",
+		Subtitle: fmt.Sprintf("scale %.2f (%d instructions per workload), seed %d",
+			cfg.Scale, cfg.Total(), cfg.Seed),
+		Generated: time.Now(),
+		Table1:    rows,
+		Figures:   figs,
+		SimPoint:  f9,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	return nil
+}
+
+func figure(lab *experiments.Lab, id string) (*experiments.FigureResult, error) {
+	switch id {
+	case "fig5":
+		return lab.Figure5()
+	case "fig6":
+		return lab.Figure6()
+	case "fig7":
+		return lab.Figure7()
+	default:
+		return lab.Figure8()
+	}
+}

@@ -1,0 +1,107 @@
+// Customworkload shows how to assemble your own benchmark with the program
+// builder and measure it under different warm-up methods: a binary-search
+// kernel over a 1 MiB sorted table — branchy (each probe's direction is
+// data-dependent) and cache-unfriendly (probes stride across the table).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rsr"
+)
+
+// Registers (by convention; 0 is hardwired zero, 32+ are floating point).
+const (
+	rT1, rT2   = 1, 2
+	rLo, rHi   = 3, 4
+	rMid       = 5
+	rVal, rKey = 6, 7
+	rLCG       = 8
+	rA, rC     = 9, 10
+	rBase      = 11
+)
+
+func buildBinarySearch() (*rsr.Program, error) {
+	const words = 131072 // 1 MiB sorted table
+	b := rsr.NewProgramBuilder("binsearch")
+
+	// Table setup: table[i] = i*3 (sorted), written by a setup loop.
+	b.Li(rBase, int64(rsr.DataBase))
+	b.Li(rT1, 0)       // index (bytes)
+	b.Li(rT2, words*8) // limit
+	b.Li(rVal, 0)      // value
+	b.Label("fill")
+	b.Op3(rsr.OpAdd, rMid, rBase, rT1)
+	b.St(rMid, rVal, 0)
+	b.Addi(rVal, rVal, 3)
+	b.Addi(rT1, rT1, 8)
+	b.Branch(rsr.OpBlt, rT1, rT2, "fill")
+
+	// LCG for pseudo-random keys.
+	b.Li(rA, 6364136223846793005)
+	b.Li(rC, 1442695040888963407)
+	b.Li(rLCG, 0xB5)
+
+	b.Label("search")
+	// key = (lcg >> 16) % (3*words), approximately uniform over the values.
+	b.Op3(rsr.OpMul, rLCG, rLCG, rA)
+	b.Op3(rsr.OpAdd, rLCG, rLCG, rC)
+	b.Shri(rKey, rLCG, 16)
+	b.Andi(rKey, rKey, words*4-1)
+	b.Li(rLo, 0)
+	b.Li(rHi, words)
+	b.Label("loop")
+	// mid = (lo + hi) / 2
+	b.Op3(rsr.OpAdd, rMid, rLo, rHi)
+	b.Shri(rMid, rMid, 1)
+	// val = table[mid]
+	b.Shli(rT1, rMid, 3)
+	b.Op3(rsr.OpAdd, rT1, rT1, rBase)
+	b.Ld(rVal, rT1, 0)
+	// if val < key: lo = mid+1 else hi = mid
+	b.Branch(rsr.OpBge, rVal, rKey, "upper")
+	b.Addi(rLo, rMid, 1)
+	b.Jmp("next")
+	b.Label("upper")
+	b.Op3(rsr.OpOr, rHi, rMid, 0)
+	b.Label("next")
+	b.Branch(rsr.OpBlt, rLo, rHi, "loop")
+	b.Jmp("search")
+	b.Halt()
+	return b.Build()
+}
+
+func main() {
+	p, err := buildBinarySearch()
+	if err != nil {
+		log.Fatal(err)
+	}
+	machine := rsr.DefaultMachine()
+	const total = 5_000_000
+
+	full, err := rsr.RunFull(p, machine, total)
+	if err != nil {
+		log.Fatal(err)
+	}
+	trueIPC := full.Result.IPC()
+	fmt.Printf("binary search: true IPC %.4f, %.1f%% branches mispredicted in full run\n\n",
+		trueIPC, 100*float64(full.Result.Mispredicts)/float64(full.Result.Branches))
+
+	reg := rsr.Regimen{ClusterSize: 2000, NumClusters: 40}
+	for _, spec := range []rsr.WarmupSpec{
+		rsr.NoWarmup(), rsr.SMARTSWarmup(), rsr.ReverseWarmup(20), rsr.ReverseWarmup(100),
+	} {
+		res, err := rsr.RunSampled(p, machine, reg, total, 1, spec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		est := res.IPCEstimate()
+		re := est/trueIPC - 1
+		if re < 0 {
+			re = -re
+		}
+		fmt.Printf("%-12s estimate %.4f  RE %5.2f%%  time %v\n",
+			res.Method, est, 100*re, res.Elapsed.Round(1e6))
+	}
+}

@@ -1,0 +1,70 @@
+// Designspace explores out-of-order core configurations with live-points
+// (the paper's reference [18]): one capture pass stores warmed architectural
+// and microarchitectural state at every cluster start; each candidate core
+// then replays only the clusters, skipping every skip region. Replaying a
+// configuration costs a fraction of a fresh sampled run — the more
+// configurations, the bigger the win.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"rsr"
+)
+
+func main() {
+	w, err := rsr.WorkloadByName("gcc")
+	if err != nil {
+		log.Fatal(err)
+	}
+	machine := rsr.DefaultMachine()
+	const total = 5_000_000
+	reg := rsr.Regimen{ClusterSize: 2000, NumClusters: 40}
+
+	points, err := rsr.CaptureLivePoints(w.Build(), machine, reg, total, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("captured %d live-points in %v\n\n", len(points.Points),
+		points.CaptureElapsed.Round(time.Millisecond))
+
+	configs := []struct {
+		label string
+		mod   func(c *rsr.CoreConfig)
+	}{
+		{"baseline (4-issue, ROB 64)", func(c *rsr.CoreConfig) {}},
+		{"2-issue", func(c *rsr.CoreConfig) { c.IssueWidth = 2; c.RetireWidth = 2 }},
+		{"1-issue", func(c *rsr.CoreConfig) { c.IssueWidth = 1; c.RetireWidth = 1 }},
+		{"ROB 32 / IQ 16", func(c *rsr.CoreConfig) { c.ROBSize = 32; c.IQSize = 16 }},
+		{"ROB 128 / IQ 64", func(c *rsr.CoreConfig) { c.ROBSize = 128; c.IQSize = 64 }},
+		{"branch penalty 15", func(c *rsr.CoreConfig) { c.BranchPenalty = 15 }},
+		{"2 checkpoints", func(c *rsr.CoreConfig) { c.MaxBranches = 2 }},
+	}
+
+	fmt.Printf("%-28s %8s %12s\n", "configuration", "IPC", "replay time")
+	var replayTotal time.Duration
+	for _, cfg := range configs {
+		cpu := machine.CPU
+		cfg.mod(&cpu)
+		r, err := points.Replay(cpu)
+		if err != nil {
+			log.Fatal(err)
+		}
+		replayTotal += r.Elapsed
+		fmt.Printf("%-28s %8.4f %12s\n", cfg.label, r.IPCEstimate(), r.Elapsed.Round(time.Millisecond))
+	}
+
+	// Cost comparison: the same sweep with fresh sampled runs re-executes
+	// the whole workload functionally once per configuration.
+	start := time.Now()
+	if _, err := rsr.RunSampled(w.Build(), machine, reg, total, 1, rsr.SMARTSWarmup()); err != nil {
+		log.Fatal(err)
+	}
+	oneSampled := time.Since(start)
+	fmt.Printf("\ncapture (%v) + %d replays (%v)  vs  %d fresh sampled runs (≈%v)\n",
+		points.CaptureElapsed.Round(time.Millisecond), len(configs),
+		replayTotal.Round(time.Millisecond), len(configs),
+		(oneSampled * time.Duration(len(configs))).Round(time.Millisecond))
+}

@@ -1,0 +1,44 @@
+// Quickstart: estimate a workload's IPC by cluster sampling with Reverse
+// State Reconstruction warm-up, and compare it against the true IPC from a
+// full detailed simulation.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rsr"
+)
+
+func main() {
+	w, err := rsr.WorkloadByName("twolf")
+	if err != nil {
+		log.Fatal(err)
+	}
+	machine := rsr.DefaultMachine()
+	const total = 5_000_000
+
+	// Ground truth: simulate every instruction cycle-accurately.
+	full, err := rsr.RunFull(w.Build(), machine, total)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("true IPC      %.4f  (%d instructions in %v)\n",
+		full.Result.IPC(), full.Result.Instructions, full.Elapsed.Round(1e6))
+
+	// Sampled: 50 clusters of 2000 instructions, warming state between
+	// clusters by scanning the skip-region log in reverse (20% suffix).
+	sampled, err := rsr.RunSampled(w.Build(), machine,
+		rsr.Regimen{ClusterSize: 2000, NumClusters: 50}, total, 1, rsr.ReverseWarmup(20))
+	if err != nil {
+		log.Fatal(err)
+	}
+	ci := sampled.CI()
+	fmt.Printf("sampled IPC   %.4f  (95%% CI on CPI: %.4f ± %.4f) in %v\n",
+		sampled.IPCEstimate(), ci.Mean, ci.Err, sampled.Elapsed.Round(1e6))
+	fmt.Printf("hot fraction  %.2f%% of instructions simulated cycle-accurately\n",
+		100*float64(sampled.HotInstructions)/float64(total))
+	fmt.Printf("confidence    interval covers true IPC: %v\n",
+		sampled.ConfidenceContains(full.Result.IPC()))
+	fmt.Printf("warm-up work  %+v\n", sampled.Work)
+}

@@ -1,0 +1,56 @@
+// Sensitivity sweeps a parameterized workload's data working-set size and
+// measures how much cluster-sampled estimates depend on warm-up at each
+// point: the cold-start problem grows with the state the workload keeps in
+// the caches, which is exactly why the paper's warm-up methods exist.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rsr"
+)
+
+func main() {
+	machine := rsr.DefaultMachine()
+	const total = 4_000_000
+	reg := rsr.Regimen{ClusterSize: 2000, NumClusters: 30}
+
+	fmt.Printf("%-14s %10s %12s %12s %12s\n",
+		"working set", "true IPC", "None RE", "R$BP20 RE", "SMARTS RE")
+	for _, words := range []int64{1 << 10, 1 << 13, 1 << 16, 1 << 19} {
+		p, err := rsr.CustomWorkload(rsr.CustomWorkloadConfig{
+			Name:      fmt.Sprintf("ws%d", words),
+			DataWords: words,
+			// Mostly-biased branches keep the predictor out of the story;
+			// the sweep isolates the cache axis.
+			BranchBias: 7,
+			Seed:       9,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		full, err := rsr.RunFull(p, machine, total)
+		if err != nil {
+			log.Fatal(err)
+		}
+		trueIPC := full.Result.IPC()
+
+		re := func(spec rsr.WarmupSpec) float64 {
+			res, err := rsr.RunSampled(p, machine, reg, total, 1, spec)
+			if err != nil {
+				log.Fatal(err)
+			}
+			v := res.IPCEstimate()/trueIPC - 1
+			if v < 0 {
+				v = -v
+			}
+			return v
+		}
+		fmt.Printf("%10d KiB %10.4f %11.2f%% %11.2f%% %11.2f%%\n",
+			words*8/1024, trueIPC,
+			100*re(rsr.NoWarmup()),
+			100*re(rsr.ReverseWarmup(20)),
+			100*re(rsr.SMARTSWarmup()))
+	}
+}

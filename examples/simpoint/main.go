@@ -1,0 +1,69 @@
+// Simpoint demonstrates the SimPoint baseline (the paper's Figure 9
+// comparison): basic-block-vector profiling, k-means phase clustering, and
+// weighted-IPC estimation from 30 simulation points — with and without
+// SMARTS warm-up while fast-forwarding between points — against cluster
+// sampling with Reverse State Reconstruction.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"rsr"
+)
+
+func main() {
+	name := flag.String("workload", "vortex", "workload name")
+	total := flag.Uint64("n", 10_000_000, "dynamic instructions")
+	flag.Parse()
+
+	w, err := rsr.WorkloadByName(*name)
+	if err != nil {
+		log.Fatal(err)
+	}
+	machine := rsr.DefaultMachine()
+	full, err := rsr.RunFull(w.Build(), machine, *total)
+	if err != nil {
+		log.Fatal(err)
+	}
+	trueIPC := full.Result.IPC()
+	fmt.Printf("%s: true IPC %.4f\n\n", *name, trueIPC)
+	fmt.Printf("%-22s %9s %8s %12s %10s\n", "technique", "estimate", "RE", "sim time", "hot instr")
+
+	show := func(label string, est float64, simTime time.Duration, hot uint64) {
+		re := est/trueIPC - 1
+		if re < 0 {
+			re = -re
+		}
+		fmt.Printf("%-22s %9.4f %7.2f%% %12s %10d\n",
+			label, est, 100*re, simTime.Round(time.Millisecond), hot)
+	}
+
+	for _, cfg := range []struct {
+		label    string
+		interval uint64
+		warm     rsr.WarmupSpec
+	}{
+		{"SimPoint 50K", 50_000, rsr.NoWarmup()},
+		{"SimPoint 50K-SMARTS", 50_000, rsr.SMARTSWarmup()},
+		{"SimPoint 500K", 500_000, rsr.NoWarmup()},
+		{"SimPoint 500K-SMARTS", 500_000, rsr.SMARTSWarmup()},
+	} {
+		res, err := rsr.RunSimPoint(w.Build(), machine, *total, rsr.SimPointConfig{
+			IntervalSize: cfg.interval, MaxPoints: 30, Seed: 7, Warmup: cfg.warm,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		show(cfg.label, res.IPC, res.SimElapsed, res.HotInstructions)
+	}
+
+	sampled, err := rsr.RunSampled(w.Build(), machine,
+		rsr.Regimen{ClusterSize: 2000, NumClusters: 50}, *total, 1, rsr.ReverseWarmup(20))
+	if err != nil {
+		log.Fatal(err)
+	}
+	show("Sampling R$BP (20%)", sampled.IPCEstimate(), sampled.Elapsed, sampled.HotInstructions)
+}

@@ -1,0 +1,67 @@
+// Warmupcompare reproduces the paper's central comparison on one workload:
+// every warm-up method's accuracy (relative error against the true IPC) and
+// cost (wall clock plus deterministic work counters), including the speedup
+// of Reverse State Reconstruction over SMARTS.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"rsr"
+)
+
+func main() {
+	name := flag.String("workload", "gcc", "workload name")
+	total := flag.Uint64("n", 10_000_000, "dynamic instructions")
+	flag.Parse()
+
+	w, err := rsr.WorkloadByName(*name)
+	if err != nil {
+		log.Fatal(err)
+	}
+	machine := rsr.DefaultMachine()
+
+	full, err := rsr.RunFull(w.Build(), machine, *total)
+	if err != nil {
+		log.Fatal(err)
+	}
+	trueIPC := full.Result.IPC()
+	fmt.Printf("%s: true IPC %.4f (full run %v)\n\n", *name, trueIPC, full.Elapsed.Round(time.Millisecond))
+	fmt.Printf("%-12s %9s %8s %10s %9s %12s %12s\n",
+		"method", "estimate", "RE", "time", "vs S$BP", "warm ops", "recon ops")
+
+	reg := rsr.Regimen{ClusterSize: 2000, NumClusters: 50}
+	var smartsTime time.Duration
+	for _, spec := range []rsr.WarmupSpec{
+		rsr.NoWarmup(),
+		rsr.SMARTSWarmup(),
+		rsr.FixedPeriodWarmup(20),
+		rsr.ReverseWarmup(20),
+		rsr.ReverseWarmup(40),
+		rsr.ReverseWarmup(80),
+		rsr.ReverseWarmup(100),
+	} {
+		res, err := rsr.RunSampled(w.Build(), machine, reg, *total, 1, spec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if spec == rsr.SMARTSWarmup() {
+			smartsTime = res.Elapsed
+		}
+		est := res.IPCEstimate()
+		re := est/trueIPC - 1
+		if re < 0 {
+			re = -re
+		}
+		speedup := "-"
+		if smartsTime > 0 && res.Elapsed > 0 {
+			speedup = fmt.Sprintf("%.2fx", float64(smartsTime)/float64(res.Elapsed))
+		}
+		fmt.Printf("%-12s %9.4f %7.2f%% %10s %9s %12d %12d\n",
+			res.Method, est, 100*re, res.Elapsed.Round(time.Millisecond), speedup,
+			res.Work.WarmOps, res.Work.ReconScanned+res.Work.ReconApplied)
+	}
+}

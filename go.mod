@@ -1,0 +1,3 @@
+module rsr
+
+go 1.22

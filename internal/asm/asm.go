@@ -1,0 +1,320 @@
+// Package asm assembles the textual instruction syntax produced by
+// isa.Inst.String back into runnable programs, with labels and data
+// directives, so custom workloads can be written as .s files and fed to the
+// tools (rsrtrace -file) without writing Go.
+//
+// Syntax, one statement per line ('#' starts a comment):
+//
+//	loop:                    ; label (also allowed inline: "loop: addi r1, r1, -1")
+//	  li   r1, 1000          ; rd = imm            (alias of lui)
+//	  addi r1, r1, -1        ; also andi/shli/shri
+//	  add  r3, r1, r2        ; also sub/and/or/xor/shl/shr/slt/mul/div/rem
+//	  fadd f3, f1, f2        ; also fmul/fdiv
+//	  ld   r4, 16(r5)
+//	  st   r6, 8(r5)         ; store r6 to 8(r5)
+//	  beq  r1, r2, loop      ; also bne/blt/bge; target is a label
+//	  jmp  loop
+//	  call r31, fn
+//	  jr   r1
+//	  ret  r31
+//	  nop
+//	  halt
+//	.word 0x10000000 42      ; install a 64-bit data value before execution
+//	.wordlabel 0x10000008 fn ; install the byte PC of a label
+package asm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"rsr/internal/isa"
+	"rsr/internal/prog"
+)
+
+// Parse assembles src into a program named name.
+func Parse(name, src string) (*prog.Program, error) {
+	b := prog.NewBuilder(name)
+	for lineNo, raw := range strings.Split(src, "\n") {
+		line := raw
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		// Inline or standalone labels.
+		for {
+			i := strings.IndexByte(line, ':')
+			if i < 0 {
+				break
+			}
+			label := strings.TrimSpace(line[:i])
+			if !validLabel(label) {
+				return nil, fmt.Errorf("asm:%d: invalid label %q", lineNo+1, label)
+			}
+			b.Label(label)
+			line = strings.TrimSpace(line[i+1:])
+		}
+		if line == "" {
+			continue
+		}
+		if err := parseStmt(b, line); err != nil {
+			return nil, fmt.Errorf("asm:%d: %w", lineNo+1, err)
+		}
+	}
+	return b.Build()
+}
+
+// MustParse is Parse for static sources in tests and tools.
+func MustParse(name, src string) *prog.Program {
+	p, err := Parse(name, src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func validLabel(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+var threeRegOps = map[string]isa.Op{
+	"add": isa.OpAdd, "sub": isa.OpSub, "and": isa.OpAnd, "or": isa.OpOr,
+	"xor": isa.OpXor, "shl": isa.OpShl, "shr": isa.OpShr, "slt": isa.OpSlt,
+	"mul": isa.OpMul, "div": isa.OpDiv, "rem": isa.OpRem,
+	"fadd": isa.OpFAdd, "fmul": isa.OpFMul, "fdiv": isa.OpFDiv,
+}
+
+var immOps = map[string]isa.Op{
+	"addi": isa.OpAddi, "andi": isa.OpAndi, "shli": isa.OpShli, "shri": isa.OpShri,
+}
+
+var branchOps = map[string]isa.Op{
+	"beq": isa.OpBeq, "bne": isa.OpBne, "blt": isa.OpBlt, "bge": isa.OpBge,
+}
+
+func parseStmt(b *prog.Builder, line string) error {
+	mnemonic, rest, _ := strings.Cut(line, " ")
+	mnemonic = strings.ToLower(mnemonic)
+	args := splitArgs(rest)
+
+	switch {
+	case mnemonic == "nop":
+		return expectArgs(args, 0, func() { b.Nop() })
+	case mnemonic == "halt":
+		return expectArgs(args, 0, func() { b.Halt() })
+	case mnemonic == ".word":
+		if len(args) != 2 {
+			return fmt.Errorf(".word needs addr and value")
+		}
+		addr, err1 := parseUint(args[0])
+		val, err2 := parseUint(args[1])
+		if err1 != nil || err2 != nil {
+			return fmt.Errorf(".word: bad operands %v", args)
+		}
+		b.Word(addr, val)
+		return nil
+	case mnemonic == ".wordlabel":
+		if len(args) != 2 {
+			return fmt.Errorf(".wordlabel needs addr and label")
+		}
+		addr, err := parseUint(args[0])
+		if err != nil || !validLabel(args[1]) {
+			return fmt.Errorf(".wordlabel: bad operands %v", args)
+		}
+		b.WordLabel(addr, args[1])
+		return nil
+	case mnemonic == "li" || mnemonic == "lui":
+		if len(args) != 2 {
+			return fmt.Errorf("%s needs rd, imm", mnemonic)
+		}
+		rd, err := parseReg(args[0])
+		if err != nil {
+			return err
+		}
+		imm, err := parseInt(args[1])
+		if err != nil {
+			return err
+		}
+		b.Li(rd, imm)
+		return nil
+	case mnemonic == "ld" || mnemonic == "st":
+		if len(args) != 2 {
+			return fmt.Errorf("%s needs reg, off(base)", mnemonic)
+		}
+		r1, err := parseReg(args[0])
+		if err != nil {
+			return err
+		}
+		off, base, err := parseMem(args[1])
+		if err != nil {
+			return err
+		}
+		if mnemonic == "ld" {
+			b.Ld(r1, base, off)
+		} else {
+			b.St(base, r1, off)
+		}
+		return nil
+	case mnemonic == "jmp":
+		if len(args) != 1 || !validLabel(args[0]) {
+			return fmt.Errorf("jmp needs a label")
+		}
+		b.Jmp(args[0])
+		return nil
+	case mnemonic == "call":
+		if len(args) != 2 || !validLabel(args[1]) {
+			return fmt.Errorf("call needs rd, label")
+		}
+		rd, err := parseReg(args[0])
+		if err != nil {
+			return err
+		}
+		b.Call(rd, args[1])
+		return nil
+	case mnemonic == "jr" || mnemonic == "ret":
+		if len(args) != 1 {
+			return fmt.Errorf("%s needs a register", mnemonic)
+		}
+		r, err := parseReg(args[0])
+		if err != nil {
+			return err
+		}
+		if mnemonic == "jr" {
+			b.Jr(r)
+		} else {
+			b.Ret(r)
+		}
+		return nil
+	}
+
+	if op, ok := threeRegOps[mnemonic]; ok {
+		if len(args) != 3 {
+			return fmt.Errorf("%s needs rd, rs1, rs2", mnemonic)
+		}
+		rd, e1 := parseReg(args[0])
+		rs1, e2 := parseReg(args[1])
+		rs2, e3 := parseReg(args[2])
+		if e1 != nil || e2 != nil || e3 != nil {
+			return fmt.Errorf("%s: bad register operands %v", mnemonic, args)
+		}
+		b.Op3(op, rd, rs1, rs2)
+		return nil
+	}
+	if op, ok := immOps[mnemonic]; ok {
+		if len(args) != 3 {
+			return fmt.Errorf("%s needs rd, rs1, imm", mnemonic)
+		}
+		rd, e1 := parseReg(args[0])
+		rs1, e2 := parseReg(args[1])
+		imm, e3 := parseInt(args[2])
+		if e1 != nil || e2 != nil || e3 != nil {
+			return fmt.Errorf("%s: bad operands %v", mnemonic, args)
+		}
+		b.Emit(isa.Inst{Op: op, Rd: rd, Rs1: rs1, Imm: imm})
+		return nil
+	}
+	if op, ok := branchOps[mnemonic]; ok {
+		if len(args) != 3 || !validLabel(args[2]) {
+			return fmt.Errorf("%s needs rs1, rs2, label", mnemonic)
+		}
+		rs1, e1 := parseReg(args[0])
+		rs2, e2 := parseReg(args[1])
+		if e1 != nil || e2 != nil {
+			return fmt.Errorf("%s: bad register operands %v", mnemonic, args)
+		}
+		b.Branch(op, rs1, rs2, args[2])
+		return nil
+	}
+	return fmt.Errorf("unknown mnemonic %q", mnemonic)
+}
+
+func expectArgs(args []string, n int, emit func()) error {
+	if len(args) != n {
+		return fmt.Errorf("expected %d operands, got %d", n, len(args))
+	}
+	emit()
+	return nil
+}
+
+func splitArgs(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part != "" {
+			out = append(out, part)
+		}
+	}
+	// ".word 0x10 42" has space-separated operands.
+	if len(out) == 1 && strings.Contains(out[0], " ") {
+		fields := strings.Fields(out[0])
+		out = fields
+	}
+	return out
+}
+
+func parseReg(s string) (uint8, error) {
+	s = strings.ToLower(strings.TrimSpace(s))
+	if len(s) < 2 {
+		return 0, fmt.Errorf("bad register %q", s)
+	}
+	base := uint8(0)
+	switch s[0] {
+	case 'r':
+	case 'f':
+		base = isa.FPBase
+	default:
+		return 0, fmt.Errorf("bad register %q", s)
+	}
+	n, err := strconv.Atoi(s[1:])
+	if err != nil || n < 0 || n > 31 {
+		return 0, fmt.Errorf("bad register %q", s)
+	}
+	return base + uint8(n), nil
+}
+
+func parseInt(s string) (int64, error) {
+	return strconv.ParseInt(strings.TrimSpace(s), 0, 64)
+}
+
+func parseUint(s string) (uint64, error) {
+	return strconv.ParseUint(strings.TrimSpace(s), 0, 64)
+}
+
+// parseMem parses "off(base)" with an optional offset.
+func parseMem(s string) (int64, uint8, error) {
+	s = strings.TrimSpace(s)
+	open := strings.IndexByte(s, '(')
+	if open < 0 || !strings.HasSuffix(s, ")") {
+		return 0, 0, fmt.Errorf("bad memory operand %q", s)
+	}
+	off := int64(0)
+	if open > 0 {
+		v, err := parseInt(s[:open])
+		if err != nil {
+			return 0, 0, fmt.Errorf("bad memory offset %q", s[:open])
+		}
+		off = v
+	}
+	base, err := parseReg(s[open+1 : len(s)-1])
+	if err != nil {
+		return 0, 0, err
+	}
+	return off, base, nil
+}

@@ -1,0 +1,68 @@
+package bpred
+
+// BTBConfig sizes the branch target buffer.
+type BTBConfig struct {
+	// Entries is the number of direct-mapped slots; must be a power of two.
+	Entries int
+}
+
+// DefaultBTBConfig returns the paper's 4K-entry BTB.
+func DefaultBTBConfig() BTBConfig { return BTBConfig{Entries: 4 << 10} }
+
+// BTB is a tagged direct-mapped branch target buffer holding the taken
+// target of control transfers. The paper reconstructs it like a
+// direct-mapped cache, so the entry layout (valid, tag, target) is exposed.
+type BTB struct {
+	entries []btbEntry
+	mask    uint64
+	updates uint64
+}
+
+type btbEntry struct {
+	tag    uint64
+	target uint64
+	valid  bool
+}
+
+// NewBTB builds the buffer; it panics if Entries is not a power of two.
+func NewBTB(cfg BTBConfig) *BTB {
+	if cfg.Entries <= 0 || cfg.Entries&(cfg.Entries-1) != 0 {
+		panic("bpred: BTB entries must be a power of two")
+	}
+	return &BTB{entries: make([]btbEntry, cfg.Entries), mask: uint64(cfg.Entries - 1)}
+}
+
+// Index returns the slot used by pc.
+func (b *BTB) Index(pc uint64) int { return int((pc >> 2) & b.mask) }
+
+func (b *BTB) tagOf(pc uint64) uint64 { return (pc >> 2) / uint64(len(b.entries)) }
+
+// Lookup returns the predicted target for pc and whether the entry hit.
+func (b *BTB) Lookup(pc uint64) (uint64, bool) {
+	e := &b.entries[b.Index(pc)]
+	if e.valid && e.tag == b.tagOf(pc) {
+		return e.target, true
+	}
+	return 0, false
+}
+
+// Update installs or refreshes the taken target for pc.
+func (b *BTB) Update(pc, target uint64) {
+	e := &b.entries[b.Index(pc)]
+	e.tag = b.tagOf(pc)
+	e.target = target
+	e.valid = true
+	b.updates++
+}
+
+// Entries reports the slot count.
+func (b *BTB) Entries() int { return len(b.entries) }
+
+// EntryValid reports whether slot idx holds a mapping (reconstruction).
+func (b *BTB) EntryValid(idx int) bool { return b.entries[idx].valid }
+
+// Updates reports state mutations applied.
+func (b *BTB) Updates() uint64 { return b.updates }
+
+// ResetUpdates zeroes the work counter.
+func (b *BTB) ResetUpdates() { b.updates = 0 }

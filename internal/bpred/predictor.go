@@ -1,0 +1,105 @@
+package bpred
+
+import (
+	"rsr/internal/isa"
+	"rsr/internal/trace"
+)
+
+// Prediction is the front end's view of one control transfer.
+type Prediction struct {
+	// Taken is the predicted direction (always true for unconditional
+	// transfers).
+	Taken bool
+	// Target is the predicted destination, valid only when TargetKnown.
+	Target      uint64
+	TargetKnown bool
+}
+
+// Predictor is what the timing model probes at fetch and trains at retire.
+// The concrete Unit below implements it directly; internal/core wraps a Unit
+// to add on-demand reverse reconstruction.
+type Predictor interface {
+	Predict(pc uint64, class isa.Class) Prediction
+	Update(r trace.BranchRecord)
+}
+
+// Config assembles the full prediction unit.
+type Config struct {
+	Gshare GshareConfig
+	BTB    BTBConfig
+	RAS    RASConfig
+}
+
+// DefaultConfig returns the paper's predictor: 64K-entry Gshare, 4K-entry
+// BTB, 8-entry RAS.
+func DefaultConfig() Config {
+	return Config{Gshare: DefaultGshareConfig(), BTB: DefaultBTBConfig(), RAS: DefaultRASConfig()}
+}
+
+// Unit combines the direction predictor, BTB, and RAS.
+type Unit struct {
+	Dir *Gshare
+	BTB *BTB
+	RAS *RAS
+}
+
+// NewUnit builds a prediction unit from cfg.
+func NewUnit(cfg Config) *Unit {
+	return &Unit{Dir: NewGshare(cfg.Gshare), BTB: NewBTB(cfg.BTB), RAS: NewRAS(cfg.RAS)}
+}
+
+// Predict probes the unit for the control transfer at pc.
+func (u *Unit) Predict(pc uint64, class isa.Class) Prediction {
+	switch class {
+	case isa.ClassBranch:
+		p := Prediction{Taken: u.Dir.Predict(pc)}
+		if p.Taken {
+			p.Target, p.TargetKnown = u.BTB.Lookup(pc)
+		}
+		return p
+	case isa.ClassReturn:
+		p := Prediction{Taken: true}
+		p.Target, p.TargetKnown = u.RAS.Peek()
+		return p
+	case isa.ClassJump, isa.ClassCall, isa.ClassJumpIndirect:
+		p := Prediction{Taken: true}
+		p.Target, p.TargetKnown = u.BTB.Lookup(pc)
+		return p
+	default:
+		return Prediction{}
+	}
+}
+
+// Update trains the unit with a retired control transfer. This is also the
+// full-functional (SMARTS) warm-up path: applying Update for every skipped
+// branch reproduces detailed-simulation predictor state exactly.
+func (u *Unit) Update(r trace.BranchRecord) {
+	switch r.Class {
+	case isa.ClassBranch:
+		u.Dir.Update(r.PC, r.Taken)
+		if r.Taken {
+			u.BTB.Update(r.PC, r.NextPC)
+		}
+	case isa.ClassJump, isa.ClassJumpIndirect:
+		u.BTB.Update(r.PC, r.NextPC)
+	case isa.ClassCall:
+		u.BTB.Update(r.PC, r.NextPC)
+		u.RAS.Push(r.PC + isa.InstBytes)
+	case isa.ClassReturn:
+		u.RAS.Pop()
+	}
+}
+
+// Updates sums the state mutations applied across all three structures.
+func (u *Unit) Updates() uint64 {
+	return u.Dir.Updates() + u.BTB.Updates() + u.RAS.Updates()
+}
+
+// ResetUpdates zeroes all work counters.
+func (u *Unit) ResetUpdates() {
+	u.Dir.ResetUpdates()
+	u.BTB.ResetUpdates()
+	u.RAS.ResetUpdates()
+}
+
+var _ Predictor = (*Unit)(nil)

@@ -1,0 +1,181 @@
+package core
+
+import (
+	"testing"
+
+	"rsr/internal/bpred"
+)
+
+// applyForward runs outcomes (oldest first) over an initial counter.
+func applyForward(init uint8, outcomes []bool) uint8 {
+	s := init
+	for _, t := range outcomes {
+		s = bpred.CounterStep(s, t)
+	}
+	return s
+}
+
+// mapFor builds the StateMap for a reverse history (newest outcome first).
+func mapFor(reverse []bool) StateMap {
+	m := IdentityMap
+	for _, t := range reverse {
+		m = ExtendMap(m, t)
+	}
+	return m
+}
+
+func TestIdentityMap(t *testing.T) {
+	for s := uint8(0); s < 4; s++ {
+		if IdentityMap.Get(s) != s {
+			t.Fatalf("identity maps %d to %d", s, IdentityMap.Get(s))
+		}
+	}
+	if IdentityMap.Image() != 0xF {
+		t.Fatal("identity image must contain all four states")
+	}
+	if Resolve(IdentityMap).Known {
+		t.Fatal("no history must leave the entry stale")
+	}
+}
+
+func TestExtendMatchesBruteForce(t *testing.T) {
+	// For every reverse history up to length 10, the StateMap must equal
+	// forward application of the corresponding outcome sequence from each
+	// initial state.
+	for length := 1; length <= 10; length++ {
+		for bits := 0; bits < 1<<uint(length); bits++ {
+			reverse := make([]bool, length)
+			for i := range reverse {
+				reverse[i] = bits>>uint(i)&1 == 1
+			}
+			m := mapFor(reverse)
+			// Forward order = reverse of `reverse`.
+			forward := make([]bool, length)
+			for i := range reverse {
+				forward[length-1-i] = reverse[i]
+			}
+			for init := uint8(0); init < 4; init++ {
+				if got, want := m.Get(init), applyForward(init, forward); got != want {
+					t.Fatalf("history %v init %d: map says %d, brute force %d",
+						reverse, init, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestFigure3Cases encodes the paper's Figure 3 examples.
+func TestFigure3Cases(t *testing.T) {
+	T, N := true, false
+	cases := []struct {
+		name    string
+		reverse []bool // newest first
+		exact   bool
+		value   uint8
+		known   bool
+	}{
+		// Case 1: three consecutive taken -> counter must be 3.
+		{"TTT", []bool{T, T, T}, true, 3, true},
+		// Case 2: three consecutive not-taken -> counter must be 0.
+		{"NNN", []bool{N, N, N}, true, 0, true},
+		// Case 3: the saturating pattern anywhere in history still pins the
+		// state: NNN followed (older) by anything is still exact... the
+		// newest three dominate. T,T,T with older noise:
+		{"TTT then noise", []bool{T, T, T, N, T, N}, true, 3, true},
+		// A single taken outcome: possible {1,2,3} -> middle state 2.
+		{"T", []bool{T}, false, 2, true},
+		// A single not-taken outcome: possible {0,1,2} -> middle state 1.
+		{"N", []bool{N}, false, 1, true},
+		// Biased pair TT: possible {2,3} -> weakly taken.
+		{"TT", []bool{T, T}, false, 2, true},
+		// Biased pair NN: possible {0,1} -> weakly not taken.
+		{"NN", []bool{N, N}, false, 1, true},
+	}
+	for _, c := range cases {
+		m := mapFor(c.reverse)
+		res := Resolve(m)
+		if res.Known != c.known || res.Exact != c.exact || (res.Known && res.Value != c.value) {
+			t.Errorf("%s: got %+v, want exact=%v value=%d", c.name, res, c.exact, c.value)
+		}
+	}
+}
+
+func TestResolveExactIsSound(t *testing.T) {
+	// Whenever Resolve claims Exact, forward application from EVERY initial
+	// state must land on that value.
+	for m := 0; m < 256; m++ {
+		res := Resolve(StateMap(m))
+		if !res.Exact {
+			continue
+		}
+		for s := uint8(0); s < 4; s++ {
+			if StateMap(m).Get(s) != res.Value {
+				t.Fatalf("map %#x claimed exact %d but state %d maps to %d",
+					m, res.Value, s, StateMap(m).Get(s))
+			}
+		}
+	}
+}
+
+func TestResolveInferredIsInImage(t *testing.T) {
+	// Inferred values must always be one of the possible states.
+	for length := 1; length <= 8; length++ {
+		for bits := 0; bits < 1<<uint(length); bits++ {
+			reverse := make([]bool, length)
+			for i := range reverse {
+				reverse[i] = bits>>uint(i)&1 == 1
+			}
+			m := mapFor(reverse)
+			res := Resolve(m)
+			if !res.Known {
+				t.Fatalf("history %v: any nonempty history must be Known", reverse)
+			}
+			if m.Image()&(1<<res.Value) == 0 {
+				// The midpoint rule for mixed pairs may choose a state not
+				// in the image only for {0,3}; verify it never happens for
+				// reachable maps.
+				t.Fatalf("history %v: inferred %d outside image %04b",
+					reverse, res.Value, m.Image())
+			}
+		}
+	}
+}
+
+func TestImageShrinksMonotonically(t *testing.T) {
+	// Adding older history can never widen the possible-state set.
+	count := func(mask uint8) int {
+		n := 0
+		for s := 0; s < 4; s++ {
+			if mask&(1<<s) != 0 {
+				n++
+			}
+		}
+		return n
+	}
+	for m := 0; m < 256; m++ {
+		for _, taken := range []bool{false, true} {
+			before := count(StateMap(m).Image())
+			after := count(ExtendMap(StateMap(m), taken).Image())
+			if after > before {
+				t.Fatalf("map %#x widened from %d to %d states", m, before, after)
+			}
+		}
+	}
+}
+
+func TestAlternatingNeverResolves(t *testing.T) {
+	// T,N,T,N,... keeps three possible states forever — the case the paper
+	// handles with the middle-state rule.
+	m := IdentityMap
+	taken := true
+	for i := 0; i < 32; i++ {
+		m = ExtendMap(m, taken)
+		taken = !taken
+	}
+	if Resolve(m).Exact {
+		t.Fatal("alternating history must not resolve exactly")
+	}
+	if !Resolve(m).Known {
+		t.Fatal("alternating history must still be inferable")
+	}
+}

@@ -1,0 +1,149 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"rsr/internal/warmup"
+)
+
+func TestAblationReuse(t *testing.T) {
+	lab := smallLab("twolf")
+	cells, err := lab.AblationReuse(90)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// MRRL, BLRL, R$BP(20%), S$BP per workload.
+	if len(cells) != 4 {
+		t.Fatalf("cells = %d", len(cells))
+	}
+	var sawMRRL, sawBLRL bool
+	for _, c := range cells {
+		switch {
+		case strings.HasPrefix(c.Method, "MRRL"):
+			sawMRRL = true
+			if c.ProfileElapsed == 0 {
+				t.Error("MRRL must report profiling cost")
+			}
+		case strings.HasPrefix(c.Method, "BLRL"):
+			sawBLRL = true
+			if c.ProfileElapsed == 0 {
+				t.Error("BLRL must report profiling cost")
+			}
+		default:
+			if c.ProfileElapsed != 0 {
+				t.Errorf("%s should not report profiling cost", c.Method)
+			}
+		}
+		if c.Estimate <= 0 {
+			t.Errorf("%s estimate %f", c.Method, c.Estimate)
+		}
+	}
+	if !sawMRRL || !sawBLRL {
+		t.Fatal("missing profiled methods")
+	}
+	out := RenderAblationReuse(cells)
+	if !strings.Contains(out, "MRRL") || !strings.Contains(out, "profile") {
+		t.Error("render incomplete")
+	}
+}
+
+func TestAblationReuseAccuracy(t *testing.T) {
+	// On a warm-up-sensitive workload, profiled warming at the 90th
+	// percentile should beat no warm-up decisively.
+	lab := smallLab("twolf")
+	cells, err := lab.AblationReuse(90)
+	if err != nil {
+		t.Fatal(err)
+	}
+	none, err := lab.Run("twolf", warmup.Spec{Kind: warmup.KindNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range cells {
+		if strings.HasPrefix(c.Method, "MRRL") || strings.HasPrefix(c.Method, "BLRL") {
+			if c.RelErr >= none.RelErr {
+				t.Errorf("%s RE %.4f not better than no-warm-up %.4f", c.Method, c.RelErr, none.RelErr)
+			}
+		}
+	}
+}
+
+func TestAblationInference(t *testing.T) {
+	lab := smallLab("parser")
+	cells, err := lab.AblationInference()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 3 {
+		t.Fatalf("cells = %d", len(cells))
+	}
+	labels := map[string]bool{}
+	for _, c := range cells {
+		labels[c.Method] = true
+	}
+	if !labels["RBP"] || !labels["RBP no-infer"] || !labels["SBP"] {
+		t.Fatalf("labels = %v", labels)
+	}
+}
+
+func TestAblationDetailedWarm(t *testing.T) {
+	lab := smallLab("twolf")
+	cells, err := lab.AblationDetailedWarm(4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 3 {
+		t.Fatalf("cells = %d", len(cells))
+	}
+	byMethod := map[string]Cell{}
+	for _, c := range cells {
+		byMethod[c.Method] = c
+	}
+	dw, ok := byMethod["DW (4000)"]
+	if !ok {
+		t.Fatalf("missing DW cell: %v", byMethod)
+	}
+	none := byMethod["None"]
+	if dw.RelErr >= none.RelErr {
+		t.Errorf("detailed warming RE %.4f not better than none %.4f", dw.RelErr, none.RelErr)
+	}
+}
+
+func TestAblationBusContention(t *testing.T) {
+	lab := smallLab("ammp")
+	rows, err := lab.AblationBusContention()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	r := rows[0]
+	if r.IPCUncontended < r.IPCContended {
+		t.Fatalf("removing contention should not slow the machine: %.4f vs %.4f",
+			r.IPCUncontended, r.IPCContended)
+	}
+	if r.Inflation <= 0 {
+		t.Fatalf("memory-bound ammp should speed up without contention (inflation %.4f)", r.Inflation)
+	}
+	out := RenderBusAblation(rows)
+	if !strings.Contains(out, "ammp") {
+		t.Error("render incomplete")
+	}
+}
+
+func TestAblationPrefetch(t *testing.T) {
+	lab := smallLab("ammp")
+	rows, err := lab.AblationPrefetch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Streaming ammp must benefit from a sequential prefetcher.
+	if rows[0].Speedup <= 1.0 {
+		t.Fatalf("ammp prefetch speedup = %.3f, want > 1", rows[0].Speedup)
+	}
+}

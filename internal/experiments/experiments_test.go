@@ -1,0 +1,190 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"rsr/internal/warmup"
+)
+
+// smallLab returns a lab scaled for test runtime. Percent-limited warm-up
+// needs long skip regions for full fidelity, so shape assertions here are
+// loose; the bench harness runs at scale 1.0.
+func smallLab(workloads ...string) *Lab {
+	cfg := DefaultConfig()
+	cfg.Scale = 0.1 // 2M instructions
+	cfg.Workloads = workloads
+	return NewLab(cfg)
+}
+
+func TestRegimenForKnownAndDefault(t *testing.T) {
+	if RegimenFor("mcf").ClusterSize != 8000 {
+		t.Error("mcf regimen wrong")
+	}
+	def := RegimenFor("unknown")
+	if def.ClusterSize == 0 || def.NumClusters == 0 {
+		t.Error("default regimen must be usable")
+	}
+}
+
+func TestTable1(t *testing.T) {
+	lab := smallLab("twolf", "parser")
+	rows, err := lab.Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.TrueIPC <= 0 || r.TrueIPC > 4 {
+			t.Fatalf("%s true IPC = %f", r.Workload, r.TrueIPC)
+		}
+		if r.Total != 2_000_000 {
+			t.Fatalf("total = %d", r.Total)
+		}
+	}
+	out := RenderTable1(rows)
+	if !strings.Contains(out, "twolf") || !strings.Contains(out, "parser") {
+		t.Error("render missing workloads")
+	}
+}
+
+func TestFullCached(t *testing.T) {
+	lab := smallLab("twolf")
+	a, err := lab.Full("twolf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := lab.Full("twolf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Result != b.Result {
+		t.Fatal("cached baseline differs")
+	}
+}
+
+func TestMatrixShape(t *testing.T) {
+	lab := smallLab("twolf")
+	specs := []warmup.Spec{
+		{Kind: warmup.KindNone},
+		{Kind: warmup.KindSMARTS, Cache: true, BPred: true},
+		{Kind: warmup.KindReverse, Percent: 100, Cache: true, BPred: true},
+	}
+	cells, err := lab.Matrix(specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 3 {
+		t.Fatalf("cells = %d", len(cells))
+	}
+	byMethod := map[string]Cell{}
+	for _, c := range cells {
+		byMethod[c.Method] = c
+	}
+	none, smarts, rsr := byMethod["None"], byMethod["S$BP"], byMethod["R$BP (100%)"]
+	if none.RelErr <= smarts.RelErr {
+		t.Fatalf("no-warm-up RE %.4f should exceed SMARTS %.4f", none.RelErr, smarts.RelErr)
+	}
+	if rsr.RelErr > none.RelErr {
+		t.Fatalf("RSR RE %.4f should not exceed no-warm-up %.4f", rsr.RelErr, none.RelErr)
+	}
+	avgs := AverageByMethod(cells)
+	if len(avgs) != 3 {
+		t.Fatalf("averages = %d", len(avgs))
+	}
+}
+
+func TestFigure6Shape(t *testing.T) {
+	lab := smallLab("parser")
+	f, err := lab.Figure6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Cells) != 2 {
+		t.Fatalf("cells = %d", len(f.Cells))
+	}
+	out := f.Render()
+	if !strings.Contains(out, "RBP") || !strings.Contains(out, "SBP") {
+		t.Error("figure 6 render missing methods")
+	}
+}
+
+func TestFigure9SmallScale(t *testing.T) {
+	lab := smallLab("twolf")
+	f, err := lab.Figure9()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Rows) != 4 {
+		t.Fatalf("rows = %d", len(f.Rows))
+	}
+	for _, r := range f.Rows {
+		if r.Estimate <= 0 {
+			t.Fatalf("%s estimate = %f", r.Config, r.Estimate)
+		}
+	}
+	if len(f.Reference) != 1 {
+		t.Fatal("missing sampled reference")
+	}
+	out := RenderFigure9(f)
+	if !strings.Contains(out, "50K-SMARTS") {
+		t.Error("render missing config")
+	}
+}
+
+func TestDeterministicCells(t *testing.T) {
+	lab := smallLab("twolf")
+	spec := warmup.Spec{Kind: warmup.KindReverse, Percent: 40, Cache: true, BPred: true}
+	a, err := lab.Run("twolf", spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := lab.Run("twolf", spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Estimate != b.Estimate || a.RelErr != b.RelErr || a.Work != b.Work {
+		t.Fatal("cells not deterministic")
+	}
+}
+
+func TestRenderAppendix(t *testing.T) {
+	cells := []Cell{
+		{Workload: "twolf", Method: "None", RelErr: 0.23, Confident: false},
+		{Workload: "twolf", Method: "S$BP", RelErr: 0.009, Confident: true},
+	}
+	out := RenderAppendix(cells)
+	for _, want := range []string{"yes", "no", "0.2300", "0.0090"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("appendix render missing %q", want)
+		}
+	}
+}
+
+func TestSweep(t *testing.T) {
+	lab := smallLab("twolf")
+	rev, fp, err := lab.Sweep("twolf", []int{20, 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rev) != 2 || len(fp) != 2 {
+		t.Fatalf("points = %d/%d", len(rev), len(fp))
+	}
+	if rev[0].Percent != 20 || rev[1].Percent != 100 {
+		t.Fatal("percent order wrong")
+	}
+	// Work must grow with the percentage for both families.
+	if rev[1].Cell.Work.ReconScanned <= rev[0].Cell.Work.ReconScanned {
+		t.Fatal("reverse work should grow with percentage")
+	}
+	if fp[1].Cell.Work.WarmOps <= fp[0].Cell.Work.WarmOps {
+		t.Fatal("fixed-period work should grow with percentage")
+	}
+	// Accuracy must not degrade from 20% to 100% (more state can only help
+	// at this workload's scale).
+	if rev[1].Cell.RelErr > rev[0].Cell.RelErr+0.01 {
+		t.Fatalf("reverse RE degraded: %v -> %v", rev[0].Cell.RelErr, rev[1].Cell.RelErr)
+	}
+}

@@ -1,0 +1,89 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func sampleCells() []Cell {
+	return []Cell{
+		{Workload: "twolf", Method: "None", TrueIPC: 1.1, Estimate: 0.8, RelErr: 0.27,
+			Confident: false, Elapsed: 3 * time.Second, HotInstructions: 100000},
+		{Workload: "twolf", Method: "S$BP", TrueIPC: 1.1, Estimate: 1.09, RelErr: 0.009,
+			Confident: true, Elapsed: 4 * time.Second, HotInstructions: 100000},
+	}
+}
+
+func TestWriteCellsCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteCellsCSV(&buf, sampleCells()); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("records = %d", len(recs))
+	}
+	if recs[0][0] != "workload" || recs[1][1] != "None" || recs[2][1] != "S$BP" {
+		t.Fatalf("csv content wrong: %v", recs)
+	}
+	if recs[1][5] != "false" || recs[2][5] != "true" {
+		t.Fatal("confident column wrong")
+	}
+}
+
+func TestWriteJSONRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, sampleCells()); err != nil {
+		t.Fatal(err)
+	}
+	var back []Cell
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 2 || back[0].Method != "None" || back[1].Estimate != 1.09 {
+		t.Fatalf("round trip lost data: %+v", back)
+	}
+}
+
+func TestWriteTable1CSV(t *testing.T) {
+	rows := []Table1Row{{Workload: "mcf", TrueIPC: 0.06, Total: 20000000, NumClusters: 30, ClusterSize: 8000}}
+	var buf bytes.Buffer
+	if err := WriteTable1CSV(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "mcf") || !strings.Contains(out, "8000") {
+		t.Fatalf("csv = %q", out)
+	}
+}
+
+func TestWriteFigure9CSV(t *testing.T) {
+	f := &Figure9Result{
+		Rows: []SimPointRow{
+			{Config: "50K", Workload: "gcc", TrueIPC: 0.67, Estimate: 0.64, RelErr: 0.04,
+				SimElapsed: time.Second, HotInsts: 1500000, Points: 30},
+		},
+		Reference: []Cell{{Workload: "gcc", TrueIPC: 0.67, Estimate: 0.66, RelErr: 0.015}},
+	}
+	var buf bytes.Buffer
+	if err := WriteFigure9CSV(&buf, f); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 { // header + row + reference
+		t.Fatalf("records = %d", len(recs))
+	}
+	if recs[2][0] != "R$BP (20%)" {
+		t.Fatalf("reference row = %v", recs[2])
+	}
+}

@@ -1,0 +1,60 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+
+	"rsr/internal/warmup"
+)
+
+// Golden regression values: the stack is fully deterministic, so these
+// estimates must reproduce exactly (modulo last-ulp float noise) run over
+// run. A deliberate model change that shifts them should update this table
+// and re-run the reference reproduction in EXPERIMENTS.md.
+var golden = []struct {
+	workload string
+	method   warmup.Spec
+	trueIPC  float64
+	estimate float64
+	// work is the deterministic warm-up cost signature.
+	warmOps, logged, scanned, applied uint64
+}{
+	{"twolf", warmup.Spec{Kind: warmup.KindNone}, 1.0959540664, 0.7912581796, 0, 0, 0, 0},
+	{"twolf", warmup.Spec{Kind: warmup.KindSMARTS, Cache: true, BPred: true}, 1.0959540664, 1.1005579829, 433362, 0, 0, 0},
+	{"twolf", warmup.Spec{Kind: warmup.KindReverse, Percent: 100, Cache: true, BPred: true}, 1.0959540664, 1.0963710120, 0, 433362, 432279, 98990},
+	{"twolf", warmup.Spec{Kind: warmup.KindReverse, Percent: 20, Cache: true, BPred: true}, 1.0959540664, 1.0448993240, 0, 433362, 86420, 36956},
+	{"parser", warmup.Spec{Kind: warmup.KindNone}, 0.7104871455, 0.6650926141, 0, 0, 0, 0},
+	{"parser", warmup.Spec{Kind: warmup.KindSMARTS, Cache: true, BPred: true}, 0.7104871455, 0.7038684611, 381903, 0, 0, 0},
+	{"parser", warmup.Spec{Kind: warmup.KindReverse, Percent: 100, Cache: true, BPred: true}, 0.7104871455, 0.7030914933, 0, 381903, 381903, 196387},
+	{"parser", warmup.Spec{Kind: warmup.KindReverse, Percent: 20, Cache: true, BPred: true}, 0.7104871455, 0.6934331877, 0, 381903, 76349, 45728},
+}
+
+func TestGoldenRegression(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Scale = 0.05
+	cfg.Workloads = []string{"twolf", "parser"}
+	lab := NewLab(cfg)
+
+	for _, g := range golden {
+		full, err := lab.Full(g.workload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := full.Result.IPC(); math.Abs(got-g.trueIPC) > 1e-9 {
+			t.Fatalf("%s: true IPC drifted: %.10f, golden %.10f", g.workload, got, g.trueIPC)
+		}
+		c, err := lab.Run(g.workload, g.method)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(c.Estimate-g.estimate) > 1e-9 {
+			t.Errorf("%s/%s: estimate drifted: %.10f, golden %.10f",
+				g.workload, c.Method, c.Estimate, g.estimate)
+		}
+		if c.Work.WarmOps != g.warmOps || c.Work.LoggedRecords != g.logged ||
+			c.Work.ReconScanned != g.scanned || c.Work.ReconApplied != g.applied {
+			t.Errorf("%s/%s: work signature drifted: %+v, golden {%d %d %d %d}",
+				g.workload, c.Method, c.Work, g.warmOps, g.logged, g.scanned, g.applied)
+		}
+	}
+}

@@ -1,0 +1,244 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§5): the true-IPC/regimen table, the warm-up method matrix,
+// the cache-only, predictor-only, and combined warm-up comparisons, the
+// per-benchmark Reverse-vs-SMARTS detail, the SimPoint comparison, and the
+// appendix (confidence tests, relative error, and time per workload and
+// method). Absolute wall-clock values are machine-dependent; relative
+// orderings and the deterministic work counters carry the paper's story.
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"rsr/internal/sampling"
+	"rsr/internal/warmup"
+	"rsr/internal/workload"
+)
+
+// Config scales and seeds a reproduction run.
+type Config struct {
+	// Scale multiplies the default 20M-instruction workload length. 1.0
+	// reproduces the repository's reference results; smaller values trade
+	// fidelity for speed (percent-limited warm-up needs long skip regions).
+	Scale float64
+	// Seed fixes cluster placement; the same seed is used for every method
+	// so sampling bias is constant across methods, as in the paper.
+	Seed int64
+	// Workloads optionally restricts the benchmark list.
+	Workloads []string
+	// Parallelism bounds concurrent simulations (0 = GOMAXPROCS).
+	Parallelism int
+}
+
+// DefaultConfig returns the reference configuration.
+func DefaultConfig() Config { return Config{Scale: 1.0, Seed: 2007} }
+
+func (c Config) workloadNames() []string {
+	if len(c.Workloads) > 0 {
+		return c.Workloads
+	}
+	return workload.Names()
+}
+
+func (c Config) parallelism() int {
+	if c.Parallelism > 0 {
+		return c.Parallelism
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// baseTotal is the reference dynamic length per workload (the stand-in for
+// the paper's first six billion instructions).
+const baseTotal = 20_000_000
+
+// Total returns the scaled dynamic instruction count.
+func (c Config) Total() uint64 {
+	if c.Scale <= 0 {
+		return baseTotal
+	}
+	return uint64(float64(baseTotal) * c.Scale)
+}
+
+// regimens is the per-workload sampling design (the paper's Table 1 also
+// fixes a regimen per workload). Cluster sizes are matched to each
+// workload's phase period so cluster means are low-variance; cluster counts
+// keep the confidence intervals tight while the sample stays a small
+// fraction of the run.
+var regimens = map[string]sampling.Regimen{
+	"ammp":   {ClusterSize: 2000, NumClusters: 50},
+	"art":    {ClusterSize: 4000, NumClusters: 50},
+	"gcc":    {ClusterSize: 2000, NumClusters: 50},
+	"mcf":    {ClusterSize: 8000, NumClusters: 30},
+	"parser": {ClusterSize: 2000, NumClusters: 50},
+	"perl":   {ClusterSize: 2000, NumClusters: 50},
+	"twolf":  {ClusterSize: 2000, NumClusters: 50},
+	"vortex": {ClusterSize: 2000, NumClusters: 50},
+	"vpr":    {ClusterSize: 12000, NumClusters: 50},
+}
+
+// RegimenFor returns the sampling regimen used for a workload.
+func RegimenFor(name string) sampling.Regimen {
+	if r, ok := regimens[name]; ok {
+		return r
+	}
+	return sampling.Regimen{ClusterSize: 2000, NumClusters: 50}
+}
+
+// Lab runs simulations with a shared cache of true-IPC baselines.
+type Lab struct {
+	cfg     Config
+	machine sampling.MachineConfig
+
+	mu   sync.Mutex
+	full map[string]sampling.FullResult
+}
+
+// NewLab builds a Lab over the paper's machine.
+func NewLab(cfg Config) *Lab {
+	return &Lab{cfg: cfg, machine: sampling.DefaultMachine(), full: make(map[string]sampling.FullResult)}
+}
+
+// Config returns the lab's configuration.
+func (l *Lab) Config() Config { return l.cfg }
+
+// Full returns (computing and caching on first use) the full detailed
+// simulation of a workload: the true IPC baseline.
+func (l *Lab) Full(name string) (sampling.FullResult, error) {
+	l.mu.Lock()
+	if r, ok := l.full[name]; ok {
+		l.mu.Unlock()
+		return r, nil
+	}
+	l.mu.Unlock()
+
+	w, err := workload.ByName(name)
+	if err != nil {
+		return sampling.FullResult{}, err
+	}
+	r, err := sampling.RunFull(w.Build(), l.machine, l.cfg.Total())
+	if err != nil {
+		return sampling.FullResult{}, fmt.Errorf("experiments: true IPC of %s: %w", name, err)
+	}
+	l.mu.Lock()
+	l.full[name] = r
+	l.mu.Unlock()
+	return r, nil
+}
+
+// Cell is one (workload, warm-up method) measurement.
+type Cell struct {
+	Workload  string
+	Method    string
+	TrueIPC   float64
+	Estimate  float64
+	RelErr    float64
+	Confident bool
+	Elapsed   time.Duration
+	Work      warmup.Work
+	// HotInstructions and FuncInstructions describe the run composition.
+	HotInstructions  uint64
+	FuncInstructions uint64
+}
+
+// Run executes one sampled simulation and scores it against the true IPC.
+func (l *Lab) Run(name string, spec warmup.Spec) (Cell, error) {
+	full, err := l.Full(name)
+	if err != nil {
+		return Cell{}, err
+	}
+	w, err := workload.ByName(name)
+	if err != nil {
+		return Cell{}, err
+	}
+	res, err := sampling.RunSampled(w.Build(), l.machine, RegimenFor(name), l.cfg.Total(), l.cfg.Seed, spec)
+	if err != nil {
+		return Cell{}, fmt.Errorf("experiments: %s/%s: %w", name, spec.Label(), err)
+	}
+	return cellOf(name, full.Result.IPC(), res), nil
+}
+
+// Matrix runs every (workload, spec) pair concurrently and returns the cells
+// ordered workload-major, spec-minor.
+func (l *Lab) Matrix(specs []warmup.Spec) ([]Cell, error) {
+	names := l.cfg.workloadNames()
+	cells := make([]Cell, len(names)*len(specs))
+	errs := make([]error, len(cells))
+	sem := make(chan struct{}, l.cfg.parallelism())
+	var wg sync.WaitGroup
+
+	// Compute baselines first (also parallel) so Run never duplicates them.
+	for _, name := range names {
+		wg.Add(1)
+		go func(name string) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			_, _ = l.Full(name)
+		}(name)
+	}
+	wg.Wait()
+
+	for wi, name := range names {
+		for si, spec := range specs {
+			wg.Add(1)
+			go func(idx int, name string, spec warmup.Spec) {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				cells[idx], errs[idx] = l.Run(name, spec)
+			}(wi*len(specs)+si, name, spec)
+		}
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return cells, nil
+}
+
+// AverageByMethod reduces cells to per-method means of relative error and
+// wall-clock time, preserving the spec order given.
+type MethodAverage struct {
+	Method     string
+	MeanRelErr float64
+	MeanTime   time.Duration
+	// MeanWarmOps and MeanReconOps summarize deterministic work.
+	MeanWarmOps  float64
+	MeanReconOps float64
+}
+
+// AverageByMethod aggregates a matrix by method label.
+func AverageByMethod(cells []Cell) []MethodAverage {
+	order := []string{}
+	acc := map[string]*MethodAverage{}
+	n := map[string]int{}
+	for _, c := range cells {
+		a, ok := acc[c.Method]
+		if !ok {
+			a = &MethodAverage{Method: c.Method}
+			acc[c.Method] = a
+			order = append(order, c.Method)
+		}
+		a.MeanRelErr += c.RelErr
+		a.MeanTime += c.Elapsed
+		a.MeanWarmOps += float64(c.Work.WarmOps)
+		a.MeanReconOps += float64(c.Work.ReconScanned + c.Work.ReconApplied)
+		n[c.Method]++
+	}
+	out := make([]MethodAverage, 0, len(order))
+	for _, m := range order {
+		a := acc[m]
+		k := float64(n[m])
+		a.MeanRelErr /= k
+		a.MeanTime = time.Duration(float64(a.MeanTime) / k)
+		a.MeanWarmOps /= k
+		a.MeanReconOps /= k
+		out = append(out, *a)
+	}
+	return out
+}

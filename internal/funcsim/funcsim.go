@@ -1,0 +1,253 @@
+// Package funcsim implements the architecturally-correct functional simulator
+// at the bottom of the stack. It is the analogue of SimpleScalar's functional
+// engine in the paper: it retains valid architectural state while the timing
+// model is off (cold and warm phases) and produces the committed dynamic
+// instruction stream the timing model replays during hot phases.
+package funcsim
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"rsr/internal/isa"
+	"rsr/internal/prog"
+	"rsr/internal/trace"
+)
+
+// ErrHalted is returned by Step after the program executes a halt.
+var ErrHalted = errors.New("funcsim: program halted")
+
+// Sim executes a Program one instruction at a time.
+type Sim struct {
+	prog   *prog.Program
+	mem    *Memory
+	regs   [isa.NumRegs]uint64
+	pc     uint64
+	seq    uint64
+	halted bool
+}
+
+// New returns a simulator positioned at the program entry with the data
+// segment installed.
+func New(p *prog.Program) *Sim {
+	s := &Sim{prog: p, mem: NewMemory(), pc: p.Entry}
+	for _, d := range p.Data {
+		s.mem.Write(d.Addr, d.Value)
+	}
+	return s
+}
+
+// PC reports the address of the next instruction to execute.
+func (s *Sim) PC() uint64 { return s.pc }
+
+// Seq reports how many instructions have committed.
+func (s *Sim) Seq() uint64 { return s.seq }
+
+// Halted reports whether the program has executed a halt.
+func (s *Sim) Halted() bool { return s.halted }
+
+// Reg returns the architectural value of register r.
+func (s *Sim) Reg(r uint8) uint64 { return s.regs[r] }
+
+// SetReg sets register r (writes to the zero register are discarded).
+func (s *Sim) SetReg(r uint8, v uint64) {
+	if r != isa.ZeroReg {
+		s.regs[r] = v
+	}
+}
+
+// Mem exposes the memory image (used by tests and by workload setup).
+func (s *Sim) Mem() *Memory { return s.mem }
+
+// Step executes one instruction and returns its dynamic record.
+func (s *Sim) Step() (trace.DynInst, error) {
+	if s.halted {
+		return trace.DynInst{}, ErrHalted
+	}
+	idx, ok := s.prog.IndexOf(s.pc)
+	if !ok {
+		return trace.DynInst{}, fmt.Errorf("funcsim: pc %#x escaped code segment", s.pc)
+	}
+	in := s.prog.Insts[idx]
+	d := trace.DynInst{
+		Seq: s.seq, PC: s.pc,
+		Op: in.Op, Rd: in.Rd, Rs1: in.Rs1, Rs2: in.Rs2,
+	}
+	next := s.pc + isa.InstBytes
+	rs1 := s.regs[in.Rs1]
+	rs2 := s.regs[in.Rs2]
+
+	switch in.Op {
+	case isa.OpNop:
+	case isa.OpAdd:
+		s.SetReg(in.Rd, rs1+rs2)
+	case isa.OpSub:
+		s.SetReg(in.Rd, rs1-rs2)
+	case isa.OpAddi:
+		s.SetReg(in.Rd, rs1+uint64(in.Imm))
+	case isa.OpLui:
+		s.SetReg(in.Rd, uint64(in.Imm))
+	case isa.OpAnd:
+		s.SetReg(in.Rd, rs1&rs2)
+	case isa.OpOr:
+		s.SetReg(in.Rd, rs1|rs2)
+	case isa.OpXor:
+		s.SetReg(in.Rd, rs1^rs2)
+	case isa.OpShl:
+		s.SetReg(in.Rd, rs1<<(rs2&63))
+	case isa.OpShr:
+		s.SetReg(in.Rd, rs1>>(rs2&63))
+	case isa.OpAndi:
+		s.SetReg(in.Rd, rs1&uint64(in.Imm))
+	case isa.OpShli:
+		s.SetReg(in.Rd, rs1<<(uint64(in.Imm)&63))
+	case isa.OpShri:
+		s.SetReg(in.Rd, rs1>>(uint64(in.Imm)&63))
+	case isa.OpSlt:
+		if int64(rs1) < int64(rs2) {
+			s.SetReg(in.Rd, 1)
+		} else {
+			s.SetReg(in.Rd, 0)
+		}
+	case isa.OpMul:
+		s.SetReg(in.Rd, rs1*rs2)
+	case isa.OpDiv:
+		if rs2 == 0 {
+			s.SetReg(in.Rd, 0)
+		} else {
+			s.SetReg(in.Rd, uint64(int64(rs1)/int64(rs2)))
+		}
+	case isa.OpRem:
+		if rs2 == 0 {
+			s.SetReg(in.Rd, 0)
+		} else {
+			s.SetReg(in.Rd, uint64(int64(rs1)%int64(rs2)))
+		}
+	case isa.OpFAdd:
+		s.SetReg(in.Rd, math.Float64bits(math.Float64frombits(rs1)+math.Float64frombits(rs2)))
+	case isa.OpFMul:
+		s.SetReg(in.Rd, math.Float64bits(math.Float64frombits(rs1)*math.Float64frombits(rs2)))
+	case isa.OpFDiv:
+		den := math.Float64frombits(rs2)
+		if den == 0 {
+			s.SetReg(in.Rd, 0)
+		} else {
+			s.SetReg(in.Rd, math.Float64bits(math.Float64frombits(rs1)/den))
+		}
+	case isa.OpLd:
+		addr := rs1 + uint64(in.Imm)
+		d.EffAddr = addr
+		s.SetReg(in.Rd, s.mem.Read(addr))
+	case isa.OpSt:
+		addr := rs1 + uint64(in.Imm)
+		d.EffAddr = addr
+		s.mem.Write(addr, rs2)
+	case isa.OpBeq:
+		if rs1 == rs2 {
+			next = s.pc + uint64(in.Imm)
+			d.Taken = true
+		}
+	case isa.OpBne:
+		if rs1 != rs2 {
+			next = s.pc + uint64(in.Imm)
+			d.Taken = true
+		}
+	case isa.OpBlt:
+		if int64(rs1) < int64(rs2) {
+			next = s.pc + uint64(in.Imm)
+			d.Taken = true
+		}
+	case isa.OpBge:
+		if int64(rs1) >= int64(rs2) {
+			next = s.pc + uint64(in.Imm)
+			d.Taken = true
+		}
+	case isa.OpJmp:
+		next = s.pc + uint64(in.Imm)
+		d.Taken = true
+	case isa.OpJr:
+		next = rs1
+		d.Taken = true
+	case isa.OpCall:
+		s.SetReg(in.Rd, s.pc+isa.InstBytes)
+		next = s.pc + uint64(in.Imm)
+		d.Taken = true
+	case isa.OpRet:
+		next = rs1
+		d.Taken = true
+	case isa.OpHalt:
+		s.halted = true
+		d.Taken = false
+	default:
+		return trace.DynInst{}, fmt.Errorf("funcsim: unknown opcode %d at pc %#x", in.Op, s.pc)
+	}
+
+	d.NextPC = next
+	s.pc = next
+	s.seq++
+	return d, nil
+}
+
+// Delta is an architectural checkpoint: full register state plus every
+// memory page written since the previous CaptureDelta. Applying a sequence
+// of deltas in capture order reconstructs the architectural state at each
+// capture point (the live-points technique of Wenisch et al.).
+type Delta struct {
+	Regs   [isa.NumRegs]uint64
+	PC     uint64
+	Seq    uint64
+	Halted bool
+	Pages  []PageData
+}
+
+// CaptureDelta snapshots registers and the pages dirtied since the last
+// capture, clearing the dirty flags.
+func (s *Sim) CaptureDelta() *Delta {
+	return &Delta{
+		Regs:   s.regs,
+		PC:     s.pc,
+		Seq:    s.seq,
+		Halted: s.halted,
+		Pages:  s.mem.DirtyPages(),
+	}
+}
+
+// ApplyDelta installs a checkpoint's registers and pages. Deltas must be
+// applied in capture order onto a simulator built from the same program.
+func (s *Sim) ApplyDelta(d *Delta) {
+	s.regs = d.Regs
+	s.pc = d.PC
+	s.seq = d.Seq
+	s.halted = d.Halted
+	s.mem.InstallPages(d.Pages)
+}
+
+// Run executes up to n instructions, invoking fn for each committed dynamic
+// instruction, and reports how many actually executed (fewer only when the
+// program halts). The record passed to fn is reused between calls; observers
+// that retain it must copy it.
+func (s *Sim) Run(n uint64, fn func(*trace.DynInst)) (uint64, error) {
+	// One reusable record: taking its address inside the loop would make
+	// every iteration's record escape to the heap.
+	var d trace.DynInst
+	var err error
+	var i uint64
+	for i = 0; i < n; i++ {
+		d, err = s.Step()
+		if err != nil {
+			if errors.Is(err, ErrHalted) {
+				return i, nil
+			}
+			return i, err
+		}
+		if fn != nil {
+			fn(&d)
+		}
+	}
+	return i, nil
+}
+
+// Skip executes n instructions discarding records; it is the fastest path for
+// pure cold simulation.
+func (s *Sim) Skip(n uint64) (uint64, error) { return s.Run(n, nil) }

@@ -1,0 +1,226 @@
+// Package isa defines the instruction set executed by the simulation stack.
+//
+// The ISA is a small load/store RISC machine: 32 integer registers and 32
+// floating-point registers addressed through a single 64-entry register
+// namespace (integer registers 0-31, floating-point registers 32-63), fixed
+// 4-byte instruction encoding for PC arithmetic, and explicit branch, call,
+// and return operations so the branch predictor substrate (direction tables,
+// BTB, return address stack) sees the same event categories SimpleScalar
+// exposed to the original paper.
+package isa
+
+import "fmt"
+
+// InstBytes is the architectural size of one instruction. PCs advance by
+// InstBytes; instruction-cache behaviour (16 instructions per 64-byte line)
+// follows from it.
+const InstBytes = 4
+
+// NumRegs is the size of the combined register namespace: integer registers
+// occupy [0,32) and floating-point registers [32,64). Register 0 is
+// hardwired to zero.
+const NumRegs = 64
+
+// FPBase is the index of the first floating-point register.
+const FPBase = 32
+
+// ZeroReg always reads as zero; writes to it are discarded.
+const ZeroReg = 0
+
+// Op enumerates instruction opcodes.
+type Op uint8
+
+// Opcodes. Grouped by class: ALU, multiply/divide, floating point, memory,
+// control transfer.
+const (
+	OpNop  Op = iota
+	OpAdd     // rd = rs1 + rs2
+	OpSub     // rd = rs1 - rs2
+	OpAddi    // rd = rs1 + imm
+	OpLui     // rd = imm
+	OpAnd     // rd = rs1 & rs2
+	OpOr      // rd = rs1 | rs2
+	OpXor     // rd = rs1 ^ rs2
+	OpShl     // rd = rs1 << (rs2 & 63)
+	OpShr     // rd = uint64(rs1) >> (rs2 & 63)
+	OpAndi    // rd = rs1 & imm
+	OpShli    // rd = rs1 << (imm & 63)
+	OpShri    // rd = uint64(rs1) >> (imm & 63)
+	OpSlt     // rd = rs1 < rs2 ? 1 : 0
+	OpMul     // rd = rs1 * rs2
+	OpDiv     // rd = rs1 / rs2 (0 if rs2 == 0)
+	OpRem     // rd = rs1 % rs2 (0 if rs2 == 0)
+	OpFAdd    // fp add (bit-pattern float64 arithmetic)
+	OpFMul    // fp multiply
+	OpFDiv    // fp divide
+	OpLd      // rd = mem64[rs1 + imm]
+	OpSt      // mem64[rs1 + imm] = rs2
+	OpBeq     // if rs1 == rs2 goto PC + imm
+	OpBne     // if rs1 != rs2 goto PC + imm
+	OpBlt     // if rs1 <  rs2 goto PC + imm
+	OpBge     // if rs1 >= rs2 goto PC + imm
+	OpJmp     // goto PC + imm (unconditional direct)
+	OpJr      // goto rs1 (unconditional indirect)
+	OpCall    // rd = PC + InstBytes; goto PC + imm
+	OpRet     // goto rs1 (return; rs1 conventionally the link register)
+	OpHalt    // stop execution
+	numOps
+)
+
+// NumOps reports the number of defined opcodes (useful for table sizing and
+// property tests).
+const NumOps = int(numOps)
+
+// Class partitions opcodes by the pipeline resources they exercise.
+type Class uint8
+
+// Instruction classes.
+const (
+	ClassNop Class = iota
+	ClassIntALU
+	ClassIntMul
+	ClassIntDiv
+	ClassFPALU
+	ClassFPMul
+	ClassFPDiv
+	ClassLoad
+	ClassStore
+	ClassBranch // conditional direct branch
+	ClassJump   // unconditional direct jump
+	ClassCall   // direct call (pushes return address)
+	ClassReturn // indirect return (pops return address)
+	ClassJumpIndirect
+	ClassHalt
+)
+
+var opClasses = [numOps]Class{
+	OpNop:  ClassNop,
+	OpAdd:  ClassIntALU,
+	OpSub:  ClassIntALU,
+	OpAddi: ClassIntALU,
+	OpLui:  ClassIntALU,
+	OpAnd:  ClassIntALU,
+	OpOr:   ClassIntALU,
+	OpXor:  ClassIntALU,
+	OpShl:  ClassIntALU,
+	OpShr:  ClassIntALU,
+	OpAndi: ClassIntALU,
+	OpShli: ClassIntALU,
+	OpShri: ClassIntALU,
+	OpSlt:  ClassIntALU,
+	OpMul:  ClassIntMul,
+	OpDiv:  ClassIntDiv,
+	OpRem:  ClassIntDiv,
+	OpFAdd: ClassFPALU,
+	OpFMul: ClassFPMul,
+	OpFDiv: ClassFPDiv,
+	OpLd:   ClassLoad,
+	OpSt:   ClassStore,
+	OpBeq:  ClassBranch,
+	OpBne:  ClassBranch,
+	OpBlt:  ClassBranch,
+	OpBge:  ClassBranch,
+	OpJmp:  ClassJump,
+	OpJr:   ClassJumpIndirect,
+	OpCall: ClassCall,
+	OpRet:  ClassReturn,
+	OpHalt: ClassHalt,
+}
+
+// ClassOf reports the pipeline class of op.
+func (op Op) Class() Class {
+	if int(op) >= NumOps {
+		return ClassNop
+	}
+	return opClasses[op]
+}
+
+// IsControl reports whether instructions of class c redirect the PC.
+func (c Class) IsControl() bool {
+	switch c {
+	case ClassBranch, ClassJump, ClassCall, ClassReturn, ClassJumpIndirect:
+		return true
+	}
+	return false
+}
+
+// IsControl reports whether op redirects the PC (conditionally or not).
+func (op Op) IsControl() bool { return op.Class().IsControl() }
+
+// IsConditional reports whether op is a conditional branch.
+func (op Op) IsConditional() bool { return op.Class() == ClassBranch }
+
+// IsMem reports whether op accesses data memory.
+func (op Op) IsMem() bool {
+	c := op.Class()
+	return c == ClassLoad || c == ClassStore
+}
+
+var opNames = [numOps]string{
+	OpNop: "nop", OpAdd: "add", OpSub: "sub", OpAddi: "addi", OpLui: "lui",
+	OpAnd: "and", OpOr: "or", OpXor: "xor", OpShl: "shl", OpShr: "shr",
+	OpAndi: "andi", OpShli: "shli", OpShri: "shri",
+	OpSlt: "slt", OpMul: "mul", OpDiv: "div", OpRem: "rem",
+	OpFAdd: "fadd", OpFMul: "fmul", OpFDiv: "fdiv",
+	OpLd: "ld", OpSt: "st",
+	OpBeq: "beq", OpBne: "bne", OpBlt: "blt", OpBge: "bge",
+	OpJmp: "jmp", OpJr: "jr", OpCall: "call", OpRet: "ret", OpHalt: "halt",
+}
+
+// String returns the mnemonic for op.
+func (op Op) String() string {
+	if int(op) >= NumOps {
+		return fmt.Sprintf("op(%d)", uint8(op))
+	}
+	return opNames[op]
+}
+
+// Inst is one static instruction. Rd/Rs1/Rs2 index the combined register
+// namespace. Imm is a sign-extended immediate; for control transfers it is a
+// byte offset relative to the instruction's own PC.
+type Inst struct {
+	Op  Op
+	Rd  uint8
+	Rs1 uint8
+	Rs2 uint8
+	Imm int64
+}
+
+// String renders the instruction in assembly-like form.
+func (in Inst) String() string {
+	r := regName
+	switch in.Op {
+	case OpNop, OpHalt:
+		return in.Op.String()
+	case OpAddi, OpAndi, OpShli, OpShri:
+		return fmt.Sprintf("%s %s, %s, %d", in.Op, r(in.Rd), r(in.Rs1), in.Imm)
+	case OpLui:
+		return fmt.Sprintf("li %s, %d", r(in.Rd), in.Imm)
+	case OpLd:
+		return fmt.Sprintf("%s %s, %d(%s)", in.Op, r(in.Rd), in.Imm, r(in.Rs1))
+	case OpSt:
+		return fmt.Sprintf("%s %s, %d(%s)", in.Op, r(in.Rs2), in.Imm, r(in.Rs1))
+	case OpBeq, OpBne, OpBlt, OpBge:
+		return fmt.Sprintf("%s %s, %s, %+d", in.Op, r(in.Rs1), r(in.Rs2), in.Imm)
+	case OpJmp:
+		return fmt.Sprintf("%s %+d", in.Op, in.Imm)
+	case OpJr:
+		return fmt.Sprintf("%s %s", in.Op, r(in.Rs1))
+	case OpCall:
+		return fmt.Sprintf("%s %s, %+d", in.Op, r(in.Rd), in.Imm)
+	case OpRet:
+		return fmt.Sprintf("%s %s", in.Op, r(in.Rs1))
+	default:
+		return fmt.Sprintf("%s %s, %s, %s", in.Op, r(in.Rd), r(in.Rs1), r(in.Rs2))
+	}
+}
+
+func regName(r uint8) string {
+	if r >= FPBase {
+		return fmt.Sprintf("f%d", r-FPBase)
+	}
+	return fmt.Sprintf("r%d", r)
+}
+
+// RegName returns the assembly name of register r ("r7", "f3").
+func RegName(r uint8) string { return regName(r) }

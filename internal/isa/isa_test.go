@@ -1,0 +1,117 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestOpClassesTotal(t *testing.T) {
+	// Every defined opcode must have an explicit class and name.
+	for op := Op(0); int(op) < NumOps; op++ {
+		if op != OpNop && op.Class() == ClassNop {
+			t.Errorf("op %d (%s) has no class", op, op)
+		}
+		if op.String() == "" || strings.HasPrefix(op.String(), "op(") {
+			t.Errorf("op %d has no mnemonic", op)
+		}
+	}
+}
+
+func TestControlClassification(t *testing.T) {
+	control := []Op{OpBeq, OpBne, OpBlt, OpBge, OpJmp, OpJr, OpCall, OpRet}
+	for _, op := range control {
+		if !op.IsControl() {
+			t.Errorf("%s should be control", op)
+		}
+	}
+	for _, op := range []Op{OpAdd, OpLd, OpSt, OpNop, OpHalt, OpFMul} {
+		if op.IsControl() {
+			t.Errorf("%s should not be control", op)
+		}
+	}
+}
+
+func TestConditionalClassification(t *testing.T) {
+	for _, op := range []Op{OpBeq, OpBne, OpBlt, OpBge} {
+		if !op.IsConditional() {
+			t.Errorf("%s should be conditional", op)
+		}
+	}
+	for _, op := range []Op{OpJmp, OpJr, OpCall, OpRet, OpAdd} {
+		if op.IsConditional() {
+			t.Errorf("%s should not be conditional", op)
+		}
+	}
+}
+
+func TestMemClassification(t *testing.T) {
+	if !OpLd.IsMem() || !OpSt.IsMem() {
+		t.Fatal("ld/st must be memory ops")
+	}
+	if OpAdd.IsMem() || OpBeq.IsMem() {
+		t.Fatal("add/beq must not be memory ops")
+	}
+}
+
+func TestInstString(t *testing.T) {
+	cases := []struct {
+		in   Inst
+		want string
+	}{
+		{Inst{Op: OpAdd, Rd: 1, Rs1: 2, Rs2: 3}, "add r1, r2, r3"},
+		{Inst{Op: OpAddi, Rd: 1, Rs1: 2, Imm: -5}, "addi r1, r2, -5"},
+		{Inst{Op: OpLd, Rd: 4, Rs1: 5, Imm: 16}, "ld r4, 16(r5)"},
+		{Inst{Op: OpSt, Rs1: 5, Rs2: 6, Imm: 8}, "st r6, 8(r5)"},
+		{Inst{Op: OpBeq, Rs1: 1, Rs2: 2, Imm: 32}, "beq r1, r2, +32"},
+		{Inst{Op: OpJmp, Imm: -64}, "jmp -64"},
+		{Inst{Op: OpCall, Rd: 31, Imm: 128}, "call r31, +128"},
+		{Inst{Op: OpRet, Rs1: 31}, "ret r31"},
+		{Inst{Op: OpFAdd, Rd: FPBase + 1, Rs1: FPBase + 2, Rs2: FPBase + 3}, "fadd f1, f2, f3"},
+		{Inst{Op: OpNop}, "nop"},
+		{Inst{Op: OpHalt}, "halt"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestRegName(t *testing.T) {
+	if RegName(0) != "r0" || RegName(31) != "r31" {
+		t.Error("integer register names wrong")
+	}
+	if RegName(FPBase) != "f0" || RegName(63) != "f31" {
+		t.Error("fp register names wrong")
+	}
+}
+
+func TestOpClassPropertyExhaustive(t *testing.T) {
+	// Property: control, memory, and arithmetic classifications are mutually
+	// exclusive for every opcode.
+	f := func(raw uint8) bool {
+		op := Op(raw % uint8(NumOps))
+		n := 0
+		if op.IsControl() {
+			n++
+		}
+		if op.IsMem() {
+			n++
+		}
+		return n <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUnknownOp(t *testing.T) {
+	bad := Op(200)
+	if bad.Class() != ClassNop {
+		t.Error("unknown op should classify as nop")
+	}
+	if !strings.HasPrefix(bad.String(), "op(") {
+		t.Error("unknown op should render numerically")
+	}
+}

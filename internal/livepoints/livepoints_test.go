@@ -1,0 +1,121 @@
+package livepoints
+
+import (
+	"testing"
+
+	"rsr/internal/sampling"
+	"rsr/internal/warmup"
+	"rsr/internal/workload"
+)
+
+func capture(t *testing.T, name string, total uint64, reg sampling.Regimen) *Set {
+	t.Helper()
+	w, err := workload.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, err := Capture(w.Build(), sampling.DefaultMachine(), reg, total, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return set
+}
+
+func TestCaptureShape(t *testing.T) {
+	reg := sampling.Regimen{ClusterSize: 1000, NumClusters: 10}
+	set := capture(t, "twolf", 400_000, reg)
+	if len(set.Points) != 10 {
+		t.Fatalf("points = %d", len(set.Points))
+	}
+	for i := 1; i < len(set.Points); i++ {
+		if set.Points[i].Start <= set.Points[i-1].Start {
+			t.Fatal("points out of order")
+		}
+	}
+	if set.Points[0].Arch == nil || len(set.Points[0].Arch.Pages) == 0 {
+		t.Fatal("first delta must carry the initial memory image")
+	}
+	if set.CaptureElapsed == 0 {
+		t.Fatal("capture cost not recorded")
+	}
+}
+
+// TestReplayMatchesSampledSMARTS is the core equivalence: replaying
+// live-points under the capture machine must reproduce a SMARTS-warmed
+// sampled run cluster for cluster.
+func TestReplayMatchesSampledSMARTS(t *testing.T) {
+	total := uint64(400_000)
+	reg := sampling.Regimen{ClusterSize: 1000, NumClusters: 10}
+	m := sampling.DefaultMachine()
+
+	set := capture(t, "twolf", total, reg)
+	replay, err := set.Replay(m.CPU)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	w, _ := workload.ByName("twolf")
+	ref, err := sampling.RunSampled(w.Build(), m, reg, total, 42,
+		warmup.Spec{Kind: warmup.KindSMARTS, Cache: true, BPred: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(replay.Clusters) != len(ref.Clusters) {
+		t.Fatalf("cluster counts differ: %d vs %d", len(replay.Clusters), len(ref.Clusters))
+	}
+	for i := range ref.Clusters {
+		if replay.Clusters[i].Result != ref.Clusters[i].Result {
+			t.Fatalf("cluster %d differs:\nreplay %+v\nsampled %+v",
+				i, replay.Clusters[i].Result, ref.Clusters[i].Result)
+		}
+	}
+	if e1, e2 := replay.IPCEstimate(), ref.IPCEstimate(); e1 != e2 {
+		t.Fatalf("estimates differ: %f vs %f", e1, e2)
+	}
+}
+
+func TestReplayAcrossCoreConfigs(t *testing.T) {
+	total := uint64(300_000)
+	reg := sampling.Regimen{ClusterSize: 1000, NumClusters: 8}
+	set := capture(t, "parser", total, reg)
+
+	wide := sampling.DefaultMachine().CPU
+	narrow := wide
+	narrow.IssueWidth = 1
+	narrow.RetireWidth = 1
+
+	rWide, err := set.Replay(wide)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rNarrow, err := set.Replay(narrow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rNarrow.IPCEstimate() >= rWide.IPCEstimate() {
+		t.Fatalf("single-issue replay (%.3f) should be slower than 4-wide (%.3f)",
+			rNarrow.IPCEstimate(), rWide.IPCEstimate())
+	}
+	if rNarrow.IPCEstimate() > 1.01 {
+		t.Fatalf("single-issue IPC %.3f exceeds 1", rNarrow.IPCEstimate())
+	}
+}
+
+func TestReplayRepeatable(t *testing.T) {
+	set := capture(t, "gcc", 300_000, sampling.Regimen{ClusterSize: 1000, NumClusters: 5})
+	cpu := sampling.DefaultMachine().CPU
+	a, err := set.Replay(cpu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := set.Replay(cpu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Clusters {
+		if a.Clusters[i].Result != b.Clusters[i].Result {
+			t.Fatal("replay must be repeatable (deltas consumed non-destructively)")
+		}
+	}
+}

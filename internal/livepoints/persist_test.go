@@ -1,0 +1,66 @@
+package livepoints
+
+import (
+	"bytes"
+	"testing"
+
+	"rsr/internal/sampling"
+	"rsr/internal/workload"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	total := uint64(300_000)
+	reg := sampling.Regimen{ClusterSize: 1000, NumClusters: 6}
+	set := capture(t, "twolf", total, reg)
+
+	var buf bytes.Buffer
+	if err := set.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("serialized %d points into %d bytes", len(set.Points), buf.Len())
+
+	w, _ := workload.ByName("twolf")
+	loaded, err := Load(&buf, w.Build())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded.Points) != len(set.Points) {
+		t.Fatalf("points = %d, want %d", len(loaded.Points), len(set.Points))
+	}
+
+	// Replays from the loaded set must be bit-identical to replays from the
+	// original.
+	cpu := sampling.DefaultMachine().CPU
+	a, err := set.Replay(cpu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := loaded.Replay(cpu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Clusters {
+		if a.Clusters[i].Result != b.Clusters[i].Result {
+			t.Fatalf("cluster %d differs after round trip", i)
+		}
+	}
+}
+
+func TestLoadRejectsWrongProgram(t *testing.T) {
+	set := capture(t, "twolf", 200_000, sampling.Regimen{ClusterSize: 1000, NumClusters: 4})
+	var buf bytes.Buffer
+	if err := set.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	w, _ := workload.ByName("gcc")
+	if _, err := Load(&buf, w.Build()); err == nil {
+		t.Fatal("loading against the wrong program must fail")
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	w, _ := workload.ByName("twolf")
+	if _, err := Load(bytes.NewReader([]byte("not a gob stream")), w.Build()); err == nil {
+		t.Fatal("garbage must fail to load")
+	}
+}

@@ -1,0 +1,356 @@
+package mem
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func small(policy WritePolicy, assoc int) *Cache {
+	return NewCache(CacheConfig{
+		Name: "t", SizeBytes: 4 * assoc * 64, Assoc: assoc, LineBytes: 64, Policy: policy,
+	}) // 4 sets
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := CacheConfig{Name: "c", SizeBytes: 1024, Assoc: 4, LineBytes: 64}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []CacheConfig{
+		{Name: "z", SizeBytes: 0, Assoc: 1, LineBytes: 64},
+		{Name: "n", SizeBytes: 1000, Assoc: 4, LineBytes: 64},       // not divisible
+		{Name: "p", SizeBytes: 3 * 64 * 4, Assoc: 4, LineBytes: 64}, // 3 sets
+		{Name: "l", SizeBytes: 1024, Assoc: 4, LineBytes: 48},       // line not pow2
+	}
+	for _, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("config %+v should be invalid", c)
+		}
+	}
+}
+
+func TestNewCachePanicsOnInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewCache(CacheConfig{Name: "bad", SizeBytes: 1000, Assoc: 3, LineBytes: 64})
+}
+
+func TestBasicHitMiss(t *testing.T) {
+	c := small(WBWA, 2)
+	if got := c.Access(0x1000, false); got.Hit {
+		t.Fatal("cold access should miss")
+	}
+	if got := c.Access(0x1000, false); !got.Hit {
+		t.Fatal("second access should hit")
+	}
+	if got := c.Access(0x1008, false); !got.Hit {
+		t.Fatal("same line should hit")
+	}
+	s := c.Stats()
+	if s.Accesses != 3 || s.Hits != 2 || s.Misses != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestLRUReplacement(t *testing.T) {
+	c := small(WBWA, 2)                                       // 2-way, 4 sets, line 64: set stride 256
+	a, b, d := uint64(0x0000), uint64(0x0400), uint64(0x0800) // same set 0
+	c.Access(a, false)
+	c.Access(b, false)
+	c.Access(a, false)        // a is MRU
+	res := c.Access(d, false) // must evict b
+	if !res.Allocated {
+		t.Fatal("expected allocation")
+	}
+	if !c.Probe(a) || c.Probe(b) || !c.Probe(d) {
+		t.Fatal("LRU victim selection wrong")
+	}
+}
+
+func TestWTNAStoreMissDoesNotAllocate(t *testing.T) {
+	c := small(WTNA, 2)
+	res := c.Access(0x1000, true)
+	if res.Hit || res.Allocated {
+		t.Fatal("WTNA store miss must not allocate")
+	}
+	if c.Probe(0x1000) {
+		t.Fatal("line should not be present")
+	}
+	// Store hit updates recency but never dirties a WTNA line.
+	c.Access(0x2000, false)
+	c.Access(0x2000, true)
+	v := c.SetView(c.SetOf(0x2000))
+	for _, lv := range v {
+		if lv.Valid && lv.Dirty {
+			t.Fatal("WTNA lines must stay clean")
+		}
+	}
+}
+
+func TestWBWAStoreAllocatesAndWritesBack(t *testing.T) {
+	c := small(WBWA, 1) // direct mapped, 4 sets
+	res := c.Access(0x0000, true)
+	if !res.Allocated {
+		t.Fatal("WBWA store miss must allocate")
+	}
+	// Evict the dirty line with a conflicting address (set stride = 4*64).
+	res = c.Access(0x0400, false)
+	if !res.EvictedDirty {
+		t.Fatal("dirty line eviction must report a write-back")
+	}
+	if res.EvictedAddr>>6 != 0 {
+		t.Fatalf("evicted addr = %#x, want line 0", res.EvictedAddr)
+	}
+	if c.Stats().Writebacks != 1 {
+		t.Fatalf("writebacks = %d", c.Stats().Writebacks)
+	}
+}
+
+func TestProbeDoesNotMutate(t *testing.T) {
+	c := small(WBWA, 2)
+	c.Access(0x0000, false)
+	c.Access(0x0400, false)
+	before := Fingerprint(c)
+	c.Probe(0x0000)
+	c.Probe(0x0800)
+	if Fingerprint(c) != before {
+		t.Fatal("Probe mutated state")
+	}
+}
+
+func TestFlush(t *testing.T) {
+	c := small(WBWA, 2)
+	c.Access(0x0000, false)
+	c.Flush()
+	if c.Probe(0x0000) {
+		t.Fatal("flush did not invalidate")
+	}
+}
+
+func TestSetViewRanks(t *testing.T) {
+	c := small(WBWA, 4)
+	addrs := []uint64{0x0000, 0x0400, 0x0800, 0x0C00} // same set
+	for _, a := range addrs {
+		c.Access(a, false)
+	}
+	v := c.SetView(0)
+	// Last accessed (0x0C00 -> line 48, tag 48/4 = 12) must be rank 0.
+	for _, lv := range v {
+		if lv.Valid && lv.LRURank == 0 && lv.Tag != 12 {
+			t.Fatalf("MRU tag = %d, want 12", lv.Tag)
+		}
+	}
+	ranks := map[int]bool{}
+	for _, lv := range v {
+		if lv.Valid {
+			if ranks[lv.LRURank] {
+				t.Fatal("duplicate rank")
+			}
+			ranks[lv.LRURank] = true
+		}
+	}
+	if len(ranks) != 4 {
+		t.Fatalf("ranks = %v", ranks)
+	}
+}
+
+// TestFigure2 reproduces the paper's Figure 2 worked example: a 4-way set
+// holding stale blocks A,B,C,D (A most recently used) receives the forward
+// reference stream E, A, F, C. Normal simulation and reverse reconstruction
+// must produce the same final set: C, F, A, E in MRU->LRU order.
+func TestFigure2(t *testing.T) {
+	// Tags A..F mapped to addresses in set 0 of a 4-set cache.
+	addr := func(tag uint64) uint64 { return tag * 4 * 64 } // tag*numSets*line
+	A, B, C2, D, E, F := addr(10), addr(11), addr(12), addr(13), addr(14), addr(15)
+
+	// Forward: fill stale contents D,C,B,A (A last = MRU), then E, A, F, C.
+	fwd := small(WBWA, 4)
+	for _, a := range []uint64{D, C2, B, A, E, A, F, C2} {
+		fwd.Access(a, false)
+	}
+
+	// Reverse: fill the same stale contents, then reconstruct from the
+	// logged stream scanned in reverse: C, F, A, E.
+	rev := small(WBWA, 4)
+	for _, a := range []uint64{D, C2, B, A} {
+		rev.Access(a, false)
+	}
+	rev.BeginReconstruction()
+	for _, a := range []uint64{C2, F, A, E} {
+		rev.ReconstructRef(a, false)
+	}
+
+	if Fingerprint(fwd) != Fingerprint(rev) {
+		t.Fatalf("figure 2 mismatch:\nforward %v\nreverse %v", fwd.SetView(0), rev.SetView(0))
+	}
+	// Explicit order check: MRU->LRU = C, F, A, E. With addr(tag) =
+	// tag*numSets*line, tagOf(addr(tag)) == tag.
+	wantTags := []uint64{12, 15, 10, 14}
+	v := rev.SetView(0)
+	for rank, want := range wantTags {
+		found := false
+		for _, lv := range v {
+			if lv.Valid && lv.LRURank == rank && lv.Tag == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("rank %d: want tag %d, view %v", rank, want, v)
+		}
+	}
+}
+
+func TestReconRedundantIgnored(t *testing.T) {
+	c := small(WBWA, 2)
+	c.BeginReconstruction()
+	if !c.ReconstructRef(0x0000, false) {
+		t.Fatal("first ref should apply")
+	}
+	if c.ReconstructRef(0x0000, false) {
+		t.Fatal("redundant ref should be ignored")
+	}
+	st := c.ReconStats()
+	if st.Refs != 2 || st.Applied != 1 {
+		t.Fatalf("recon stats = %+v", st)
+	}
+}
+
+func TestReconFullSetIgnored(t *testing.T) {
+	c := small(WBWA, 2)
+	c.BeginReconstruction()
+	c.ReconstructRef(0x0000, false)
+	c.ReconstructRef(0x0400, false)
+	if !c.SetReconstructed(0) {
+		t.Fatal("set should be fully reconstructed")
+	}
+	if c.ReconstructRef(0x0800, false) {
+		t.Fatal("refs to a fully reconstructed set must be ignored")
+	}
+	if !c.Probe(0x0000) || !c.Probe(0x0400) || c.Probe(0x0800) {
+		t.Fatal("contents wrong after full reconstruction")
+	}
+}
+
+func TestReconWTNAAllocatesWrites(t *testing.T) {
+	// Paper: "For caches with WTNA policies, the block is allocated even if
+	// the access is a write."
+	c := small(WTNA, 2)
+	c.BeginReconstruction()
+	if !c.ReconstructRef(0x1000, true) {
+		t.Fatal("WTNA reconstruction must allocate logged writes")
+	}
+	if !c.Probe(0x1000) {
+		t.Fatal("line missing")
+	}
+}
+
+func TestReconDirtyOnWBWAWrite(t *testing.T) {
+	c := small(WBWA, 2)
+	c.BeginReconstruction()
+	c.ReconstructRef(0x0000, true)
+	c.ReconstructRef(0x0400, false)
+	v := c.SetView(0)
+	for _, lv := range v {
+		if lv.Valid && lv.Tag == 0 && !lv.Dirty {
+			t.Fatal("reconstructed written block should be dirty in WBWA")
+		}
+		if lv.Valid && lv.Tag == 1 && lv.Dirty {
+			t.Fatal("reconstructed read block should be clean")
+		}
+	}
+}
+
+func TestReconPreservesStaleOrderBelowReconstructed(t *testing.T) {
+	c := small(WBWA, 4)
+	// Stale fill: w,x,y,z with z MRU.
+	addr := func(tag uint64) uint64 { return tag * 4 * 64 }
+	for _, a := range []uint64{addr(1), addr(2), addr(3), addr(4)} {
+		c.Access(a, false)
+	}
+	c.BeginReconstruction()
+	c.ReconstructRef(addr(9), false) // one new block -> rank 0
+	v := c.SetView(0)
+	// Reconstructed block rank 0; stale blocks must follow prior order:
+	// 4 (was MRU) rank 1, then 3, 2... and tag 1 evicted (LRU stale victim).
+	rankOf := map[uint64]int{}
+	for _, lv := range v {
+		if lv.Valid {
+			rankOf[lv.Tag] = lv.LRURank
+		}
+	}
+	tagOf := func(tag uint64) uint64 { return addr(tag) >> 6 / 4 }
+	if rankOf[tagOf(9)] != 0 {
+		t.Fatalf("reconstructed block rank = %d", rankOf[tagOf(9)])
+	}
+	if rankOf[tagOf(4)] != 1 || rankOf[tagOf(3)] != 2 || rankOf[tagOf(2)] != 3 {
+		t.Fatalf("stale order not preserved: %v", rankOf)
+	}
+	if _, present := rankOf[tagOf(1)]; present {
+		t.Fatal("LRU stale block should have been displaced")
+	}
+}
+
+// TestReconEquivalenceProperty: for full reference streams (100% warm-up),
+// reverse reconstruction yields the same tags and LRU order as forward
+// functional simulation, for random streams over a shared pre-populated
+// cache. This is the formal heart of §3.1.
+func TestReconEquivalenceProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		assoc := 1 << rng.Intn(4) // 1,2,4,8
+		fwd := small(WBWA, assoc)
+		rev := small(WBWA, assoc)
+		// Shared stale prefix.
+		prefix := make([]uint64, rng.Intn(30))
+		for i := range prefix {
+			prefix[i] = uint64(rng.Intn(40)) * 64
+		}
+		for _, a := range prefix {
+			fwd.Access(a, false)
+			rev.Access(a, false)
+		}
+		// Skip-region stream.
+		stream := make([]uint64, 1+rng.Intn(100))
+		writes := make([]bool, len(stream))
+		for i := range stream {
+			stream[i] = uint64(rng.Intn(40)) * 64
+			writes[i] = rng.Intn(3) == 0
+		}
+		for i, a := range stream {
+			fwd.Access(a, writes[i])
+		}
+		rev.BeginReconstruction()
+		for i := len(stream) - 1; i >= 0; i-- {
+			rev.ReconstructRef(stream[i], writes[i])
+		}
+		if Fingerprint(fwd) != Fingerprint(rev) {
+			t.Fatalf("trial %d (assoc %d): reconstruction diverged\nstream %v\nwrites %v",
+				trial, assoc, stream, writes)
+		}
+	}
+}
+
+func TestReconFewerUpdatesThanFunctional(t *testing.T) {
+	// The speedup claim: reconstructing from the reverse log applies far
+	// fewer updates than functionally simulating every reference.
+	fwd := small(WBWA, 4)
+	rev := small(WBWA, 4)
+	rng := rand.New(rand.NewSource(1))
+	stream := make([]uint64, 10000)
+	for i := range stream {
+		stream[i] = uint64(rng.Intn(64)) * 64
+	}
+	for _, a := range stream {
+		fwd.Access(a, false)
+	}
+	rev.BeginReconstruction()
+	for i := len(stream) - 1; i >= 0; i-- {
+		rev.ReconstructRef(stream[i], false)
+	}
+	if fu, ru := fwd.Stats().Updates, rev.Stats().Updates; ru*10 > fu {
+		t.Fatalf("reconstruction updates %d not ≪ functional updates %d", ru, fu)
+	}
+}

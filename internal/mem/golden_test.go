@@ -1,0 +1,132 @@
+package mem
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// refCache is a deliberately naive golden model: each set is an MRU-first
+// list of tags. It implements the same WTNA/WBWA policies with obvious code,
+// so divergence points at the optimized implementation.
+type refCache struct {
+	sets   [][]refLine
+	assoc  int
+	line   int
+	policy WritePolicy
+}
+
+type refLine struct {
+	tag   uint64
+	dirty bool
+}
+
+func newRefCache(cfg CacheConfig) *refCache {
+	sets := cfg.SizeBytes / (cfg.Assoc * cfg.LineBytes)
+	return &refCache{
+		sets:   make([][]refLine, sets),
+		assoc:  cfg.Assoc,
+		line:   cfg.LineBytes,
+		policy: cfg.Policy,
+	}
+}
+
+func (r *refCache) setAndTag(addr uint64) (int, uint64) {
+	block := addr / uint64(r.line)
+	return int(block % uint64(len(r.sets))), block / uint64(len(r.sets))
+}
+
+// access applies one reference and reports whether it hit.
+func (r *refCache) access(addr uint64, isWrite bool) bool {
+	si, tag := r.setAndTag(addr)
+	set := r.sets[si]
+	for i := range set {
+		if set[i].tag == tag {
+			// Move to MRU position.
+			l := set[i]
+			if isWrite && r.policy == WBWA {
+				l.dirty = true
+			}
+			set = append(set[:i], set[i+1:]...)
+			r.sets[si] = append([]refLine{l}, set...)
+			return true
+		}
+	}
+	if isWrite && r.policy == WTNA {
+		return false // no-write-allocate
+	}
+	l := refLine{tag: tag, dirty: isWrite && r.policy == WBWA}
+	set = append([]refLine{l}, set...)
+	if len(set) > r.assoc {
+		set = set[:r.assoc]
+	}
+	r.sets[si] = set
+	return false
+}
+
+func TestCacheMatchesGoldenModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for _, policy := range []WritePolicy{WTNA, WBWA} {
+		for trial := 0; trial < 30; trial++ {
+			cfg := CacheConfig{
+				Name:      "g",
+				Assoc:     1 << rng.Intn(4),
+				LineBytes: 64,
+				Policy:    policy,
+			}
+			sets := 1 << (2 + rng.Intn(4))
+			cfg.SizeBytes = sets * cfg.Assoc * cfg.LineBytes
+			c := NewCache(cfg)
+			ref := newRefCache(cfg)
+
+			span := uint64(sets*cfg.Assoc*4) * 64
+			for i := 0; i < 5000; i++ {
+				addr := uint64(rng.Int63n(int64(span)))
+				isWrite := rng.Intn(3) == 0
+				got := c.Access(addr, isWrite).Hit
+				want := ref.access(addr, isWrite)
+				if got != want {
+					t.Fatalf("policy %v trial %d ref %d: addr %#x write=%v: hit=%v, golden=%v",
+						policy, trial, i, addr, isWrite, got, want)
+				}
+			}
+			// Final contents must agree: every golden-resident line probes
+			// as present with matching dirty state, and counts match.
+			total := 0
+			for si, set := range ref.sets {
+				view := c.SetView(si)
+				valid := 0
+				for _, lv := range view {
+					if lv.Valid {
+						valid++
+					}
+				}
+				if valid != len(set) {
+					t.Fatalf("set %d: %d valid lines, golden has %d", si, valid, len(set))
+				}
+				total += len(set)
+				for rank, l := range set {
+					found := false
+					for _, lv := range view {
+						if lv.Valid && lv.Tag == l.tag {
+							found = true
+							if lv.LRURank != rank {
+								t.Fatalf("set %d tag %d: rank %d, golden rank %d",
+									si, l.tag, lv.LRURank, rank)
+							}
+							if lv.Dirty != l.dirty {
+								t.Fatalf("set %d tag %d: dirty %v, golden %v",
+									si, l.tag, lv.Dirty, l.dirty)
+							}
+						}
+					}
+					if !found {
+						t.Fatalf("set %d: golden tag %d missing", si, l.tag)
+					}
+				}
+			}
+			if total == 0 {
+				t.Fatal("degenerate trial: golden model empty")
+			}
+		}
+	}
+}

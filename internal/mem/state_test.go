@@ -1,0 +1,112 @@
+package mem
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func populatedCache(seed int64) *Cache {
+	c := NewCache(CacheConfig{Name: "s", SizeBytes: 8 * 4 * 64, Assoc: 4, LineBytes: 64, Policy: WBWA})
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < 500; i++ {
+		c.Access(uint64(rng.Intn(64))*64, rng.Intn(3) == 0)
+	}
+	return c
+}
+
+func TestCacheStateRoundTrip(t *testing.T) {
+	c := populatedCache(1)
+	st := c.State()
+
+	// Mutate, then restore: fingerprint must return to the captured state.
+	before := Fingerprint(c)
+	for i := 0; i < 100; i++ {
+		c.Access(uint64(i)*64, true)
+	}
+	if Fingerprint(c) == before {
+		t.Fatal("mutation did not change state")
+	}
+	c.SetState(st)
+	if Fingerprint(c) != before {
+		t.Fatal("SetState did not restore the captured state")
+	}
+}
+
+func TestCacheStateIsACopy(t *testing.T) {
+	c := populatedCache(2)
+	st := c.State()
+	before := Fingerprint(c)
+	// Mutating the cache must not corrupt the captured state.
+	for i := 0; i < 100; i++ {
+		c.Access(uint64(1000+i)*64, false)
+	}
+	c.SetState(st)
+	if Fingerprint(c) != before {
+		t.Fatal("captured state aliased live storage")
+	}
+}
+
+func TestCacheStateMarshalRoundTrip(t *testing.T) {
+	c := populatedCache(3)
+	st := c.State()
+	data, err := st.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back CacheState
+	if err := back.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	c2 := NewCache(c.Config())
+	c2.SetState(back)
+	if Fingerprint(c) != Fingerprint(c2) {
+		t.Fatal("marshal round trip lost state")
+	}
+}
+
+func TestCacheStateUnmarshalErrors(t *testing.T) {
+	var s CacheState
+	if err := s.UnmarshalBinary([]byte{1, 2, 3}); err == nil {
+		t.Error("truncated data must fail")
+	}
+	good, _ := populatedCache(4).State().MarshalBinary()
+	if err := s.UnmarshalBinary(good[:len(good)-5]); err == nil {
+		t.Error("length mismatch must fail")
+	}
+}
+
+func TestSetStatePanicsOnGeometryMismatch(t *testing.T) {
+	small := NewCache(CacheConfig{Name: "a", SizeBytes: 4 * 64, Assoc: 1, LineBytes: 64})
+	big := NewCache(CacheConfig{Name: "b", SizeBytes: 8 * 64, Assoc: 1, LineBytes: 64})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	big.SetState(small.State())
+}
+
+func TestHierarchyStateRoundTrip(t *testing.T) {
+	h := NewHierarchy(DefaultHierarchyConfig())
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 2000; i++ {
+		switch rng.Intn(3) {
+		case 0:
+			h.WarmInst(uint64(rng.Intn(4096)) * 64)
+		case 1:
+			h.WarmData(uint64(rng.Intn(4096))*64, false)
+		default:
+			h.WarmData(uint64(rng.Intn(4096))*64, true)
+		}
+	}
+	st := h.State()
+	f1i, f1d, f2 := Fingerprint(h.L1I), Fingerprint(h.L1D), Fingerprint(h.L2)
+	for i := 0; i < 500; i++ {
+		h.WarmData(uint64(9000+i)*64, true)
+		h.WarmInst(uint64(9000+i) * 64)
+	}
+	h.SetState(st)
+	if Fingerprint(h.L1I) != f1i || Fingerprint(h.L1D) != f1d || Fingerprint(h.L2) != f2 {
+		t.Fatal("hierarchy SetState did not restore all levels")
+	}
+}

@@ -1,0 +1,420 @@
+package ooo
+
+import (
+	"rsr/internal/bpred"
+	"rsr/internal/isa"
+	"rsr/internal/mem"
+	"rsr/internal/trace"
+)
+
+// Result summarizes one timed region.
+type Result struct {
+	Instructions uint64
+	Cycles       uint64
+	Branches     uint64
+	Mispredicts  uint64
+	// Forwards counts loads satisfied by store-to-load forwarding in the
+	// LSQ instead of a cache access.
+	Forwards uint64
+}
+
+// IPC returns retired instructions per cycle.
+func (r Result) IPC() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.Instructions) / float64(r.Cycles)
+}
+
+type entry struct {
+	d          trace.DynInst
+	class      isa.Class
+	fetchReady uint64 // cycle the instruction left fetch
+	doneCycle  uint64
+	dep1, dep2 uint64 // producing seq + 1; 0 = none
+	// waitStore is the seq+1 of the un-issued older store currently blocking
+	// this load's disambiguation (0 = none); it lets blocked loads recheck
+	// in O(1) instead of rescanning the window every cycle.
+	waitStore uint64
+	issued    bool
+	done      bool
+	mispred   bool
+	inLSQ     bool
+}
+
+// Sim is the timing model. It persists microarchitectural state only through
+// the hierarchy and predictor it is given; the pipeline itself is drained
+// between clusters (the paper's architectural checkpoint copy).
+type Sim struct {
+	cfg  Config
+	hier *mem.Hierarchy
+	pred bpred.Predictor
+
+	cycle uint64
+
+	// Reorder buffer as a ring; rob[0]'s seq is headSeq.
+	rob     []entry
+	head    int
+	count   int
+	headSeq uint64
+
+	// Issue queue: ring positions of dispatched, un-issued entries.
+	iq []int
+
+	// Fetch queue: fetched, not yet in ROB.
+	fq      []entry
+	fqHead  int
+	fqCount int
+
+	lastWriter [isa.NumRegs]uint64 // seq+1 of the newest producer
+	lsqCount   int
+
+	unresolved     int      // in-flight unresolved branches
+	resolves       []uint64 // ring of pending resolution cycles (nondecreasing)
+	resHead        int
+	resCount       int
+	fetchResumeAt  uint64
+	blockedOnSeq   uint64 // seq+1 of the mispredicted branch blocking fetch
+	lastFetchLine  uint64
+	haveFetchLine  bool
+	retiredSeqPlus uint64 // seq+1 of the last retired instruction
+
+	res Result
+}
+
+// New builds a timing model over the given memory hierarchy and predictor.
+func New(cfg Config, hier *mem.Hierarchy, pred bpred.Predictor) *Sim {
+	return &Sim{
+		cfg:      cfg,
+		hier:     hier,
+		pred:     pred,
+		rob:      make([]entry, cfg.ROBSize),
+		iq:       make([]int, 0, cfg.IQSize),
+		fq:       make([]entry, cfg.FetchQueueSize),
+		resolves: make([]uint64, cfg.ROBSize+cfg.FetchQueueSize),
+	}
+}
+
+// Simulate retires up to n instructions pulled from next and returns the
+// region's timing. next returns false when the stream ends early. The
+// pipeline starts and ends empty; cycle counting spans first fetch to last
+// retire.
+func (s *Sim) Simulate(n uint64, next func() (trace.DynInst, bool)) Result {
+	s.reset()
+	var pulled uint64
+	streamDone := false
+
+	for {
+		s.retire()
+		s.issue()
+		s.dispatch()
+		if !streamDone && pulled < n {
+			pulled += s.fetch(n-pulled, next, &streamDone)
+		}
+		if s.count == 0 && s.fqCount == 0 && (streamDone || pulled >= n) {
+			break
+		}
+		s.cycle++
+	}
+	s.res.Cycles = s.cycle
+	return s.res
+}
+
+func (s *Sim) reset() {
+	s.cycle = 0
+	s.hier.Drain() // region time restarts; prior in-flight traffic is gone
+	s.head, s.count, s.headSeq = 0, 0, 0
+	s.iq = s.iq[:0]
+	s.fqHead, s.fqCount = 0, 0
+	for i := range s.lastWriter {
+		s.lastWriter[i] = 0
+	}
+	s.lsqCount = 0
+	s.unresolved = 0
+	s.resHead, s.resCount = 0, 0
+	s.fetchResumeAt = 0
+	s.blockedOnSeq = 0
+	s.haveFetchLine = false
+	s.retiredSeqPlus = 0
+	s.res = Result{}
+}
+
+// fetch pulls up to FetchWidth instructions this cycle, honouring the
+// instruction cache, taken-branch fetch breaks, misprediction stalls, and
+// the checkpoint limit. It returns how many instructions it consumed.
+func (s *Sim) fetch(budget uint64, next func() (trace.DynInst, bool), streamDone *bool) uint64 {
+	// Release checkpoints for branches that have resolved by now.
+	for s.resCount > 0 && s.resolves[s.resHead] <= s.cycle {
+		s.resHead = (s.resHead + 1) % len(s.resolves)
+		s.resCount--
+		s.unresolved--
+	}
+	if s.blockedOnSeq != 0 || s.cycle < s.fetchResumeAt {
+		return 0
+	}
+	var fetched uint64
+	for int(fetched) < s.cfg.FetchWidth && fetched < budget {
+		if s.fqCount == len(s.fq) {
+			break // fetch queue full
+		}
+		if s.unresolved >= s.cfg.MaxBranches {
+			break // out of checkpoints: cannot fetch past another branch
+		}
+		d, ok := next()
+		if !ok {
+			*streamDone = true
+			break
+		}
+		e := entry{d: d, class: d.Op.Class(), fetchReady: s.cycle}
+
+		// Instruction cache: access once per line crossed.
+		lineSz := uint64(s.hier.Config().L1I.LineBytes)
+		line := d.PC / lineSz
+		if !s.haveFetchLine || line != s.lastFetchLine {
+			done := s.hier.AccessInst(s.cycle, d.PC)
+			s.lastFetchLine = line
+			s.haveFetchLine = true
+			if done > s.cycle+s.hier.Config().L1HitCycles {
+				// Miss: this instruction arrives late; fetch stalls.
+				e.fetchReady = done
+				s.fetchResumeAt = done
+			}
+		}
+
+		takenBreak := false
+		if e.class.IsControl() {
+			s.res.Branches++
+			p := s.pred.Predict(d.PC, e.class)
+			mispred := p.Taken != d.Taken ||
+				(d.Taken && (!p.TargetKnown || p.Target != d.NextPC))
+			e.mispred = mispred
+			s.unresolved++
+			if mispred {
+				s.res.Mispredicts++
+				s.blockedOnSeq = d.Seq + 1
+			}
+			if p.Taken || d.Taken {
+				takenBreak = true
+			}
+		}
+
+		s.fqPush(e)
+		fetched++
+		if e.mispred {
+			break // fetch cannot proceed past an unresolved mispredict
+		}
+		if takenBreak {
+			break // taken branch ends the fetch group
+		}
+		if s.unresolved >= s.cfg.MaxBranches {
+			break // checkpoint limit
+		}
+		if s.fetchResumeAt > s.cycle {
+			break // icache miss in progress
+		}
+	}
+	return fetched
+}
+
+func (s *Sim) fqPush(e entry) {
+	s.fq[(s.fqHead+s.fqCount)%len(s.fq)] = e
+	s.fqCount++
+}
+
+// dispatch moves decoded instructions into the ROB/IQ/LSQ in order.
+func (s *Sim) dispatch() {
+	for n := 0; n < s.cfg.DispatchWidth && s.fqCount > 0; n++ {
+		e := &s.fq[s.fqHead]
+		if e.fetchReady+s.cfg.FrontEndDelay > s.cycle {
+			break
+		}
+		if s.count == len(s.rob) || len(s.iq) == s.cfg.IQSize {
+			break
+		}
+		isMem := e.class == isa.ClassLoad || e.class == isa.ClassStore
+		if isMem && s.lsqCount == s.cfg.LSQSize {
+			break
+		}
+
+		ent := *e
+		ent.dep1 = s.depFor(ent.d.Rs1)
+		ent.dep2 = s.depFor(ent.d.Rs2)
+		if writesRd(ent.class) && ent.d.Rd != isa.ZeroReg {
+			s.lastWriter[ent.d.Rd] = ent.d.Seq + 1
+		}
+		ent.inLSQ = isMem
+		if isMem {
+			s.lsqCount++
+		}
+
+		if s.count == 0 {
+			s.headSeq = ent.d.Seq
+			s.head = 0
+		}
+		pos := (s.head + s.count) % len(s.rob)
+		s.rob[pos] = ent
+		s.count++
+		s.iq = append(s.iq, pos)
+
+		s.fqHead = (s.fqHead + 1) % len(s.fq)
+		s.fqCount--
+	}
+}
+
+// depFor returns the dependence token (seq+1) for a source register.
+func (s *Sim) depFor(r uint8) uint64 {
+	if r == isa.ZeroReg {
+		return 0
+	}
+	return s.lastWriter[r]
+}
+
+// ready reports whether dependence token dep is satisfied at the current
+// cycle.
+func (s *Sim) ready(dep uint64) bool {
+	if dep == 0 || dep <= s.retiredSeqPlus {
+		return true
+	}
+	seq := dep - 1
+	if seq < s.headSeq {
+		return true // retired
+	}
+	off := seq - s.headSeq
+	if off >= uint64(s.count) {
+		return false // producer not dispatched yet
+	}
+	p := &s.rob[(s.head+int(off))%len(s.rob)]
+	return p.done && p.doneCycle <= s.cycle
+}
+
+// issue selects up to IssueWidth ready instructions and computes their
+// completion times. The eight universal FUs are fully pipelined, so the
+// issue width is the binding constraint.
+func (s *Sim) issue() {
+	issued := 0
+	limit := s.cfg.IssueWidth
+	if s.cfg.NumFUs < limit {
+		limit = s.cfg.NumFUs
+	}
+	for i := 0; i < len(s.iq) && issued < limit; {
+		pos := s.iq[i]
+		e := &s.rob[pos]
+		// O(1) disambiguation recheck first: a load blocked on a known store
+		// skips the dependence checks entirely.
+		if e.waitStore != 0 && !s.storeIssued(e.waitStore) {
+			i++
+			continue
+		}
+		if !s.ready(e.dep1) || !s.ready(e.dep2) {
+			i++
+			continue
+		}
+		switch e.class {
+		case isa.ClassLoad:
+			if !s.cfg.NoLSQForwarding {
+				e.waitStore = 0
+				forward, avail, blocked := s.lsqScan(e)
+				if blocked {
+					// Conservative memory disambiguation: an older store's
+					// address is still unknown.
+					i++
+					continue
+				}
+				if forward {
+					done := s.cycle + 1
+					if avail > done {
+						done = avail
+					}
+					e.doneCycle = done
+					s.res.Forwards++
+					break
+				}
+			}
+			e.doneCycle = s.hier.AccessLoad(s.cycle+1, e.d.EffAddr)
+		case isa.ClassStore:
+			e.doneCycle = s.hier.AccessStore(s.cycle+1, e.d.EffAddr)
+		default:
+			e.doneCycle = s.cycle + Latency(e.class)
+		}
+		e.issued = true
+		e.done = true
+		if e.class.IsControl() {
+			s.resolves[(s.resHead+s.resCount)%len(s.resolves)] = e.doneCycle
+			s.resCount++
+			if e.mispred && s.blockedOnSeq == e.d.Seq+1 {
+				resume := e.doneCycle + s.cfg.BranchPenalty
+				if resume > s.fetchResumeAt {
+					s.fetchResumeAt = resume
+				}
+				s.blockedOnSeq = 0
+				s.haveFetchLine = false // redirect refetches the line
+			}
+		}
+		// Swap-remove from the issue queue.
+		s.iq[i] = s.iq[len(s.iq)-1]
+		s.iq = s.iq[:len(s.iq)-1]
+		issued++
+	}
+}
+
+// lsqScan walks the load's older in-window entries youngest-first,
+// implementing conservative disambiguation and store-to-load forwarding: the
+// first older store encountered blocks the load if its address is still
+// unknown (un-issued); an issued store to the same word forwards its value;
+// older stores beyond a forwarding match are superseded by it.
+func (s *Sim) lsqScan(e *entry) (forward bool, availCycle uint64, blocked bool) {
+	word := e.d.EffAddr &^ 7
+	off := int(e.d.Seq - s.headSeq)
+	for k := off - 1; k >= 0; k-- {
+		p := &s.rob[(s.head+k)%len(s.rob)]
+		if p.class != isa.ClassStore {
+			continue
+		}
+		if !p.issued {
+			e.waitStore = p.d.Seq + 1
+			return false, 0, true
+		}
+		if p.d.EffAddr&^7 == word {
+			return true, p.doneCycle, false
+		}
+	}
+	return false, 0, false
+}
+
+// storeIssued reports whether the store with dependence token tok (seq+1)
+// has issued (retired stores count as issued).
+func (s *Sim) storeIssued(tok uint64) bool {
+	seq := tok - 1
+	if seq < s.headSeq {
+		return true
+	}
+	off := seq - s.headSeq
+	if off >= uint64(s.count) {
+		return true // defensive: not in the window anymore
+	}
+	return s.rob[(s.head+int(off))%len(s.rob)].issued
+}
+
+// retire commits up to RetireWidth completed instructions in order, training
+// the branch predictor at retirement as the paper specifies.
+func (s *Sim) retire() {
+	for n := 0; n < s.cfg.RetireWidth && s.count > 0; n++ {
+		e := &s.rob[s.head]
+		if !e.issued || !e.done || e.doneCycle > s.cycle {
+			break
+		}
+		if e.class.IsControl() {
+			s.pred.Update(trace.BranchRecord{
+				PC: e.d.PC, NextPC: e.d.NextPC, Taken: e.d.Taken, Class: e.class,
+			})
+		}
+		if e.inLSQ {
+			s.lsqCount--
+		}
+		s.retiredSeqPlus = e.d.Seq + 1
+		s.res.Instructions++
+		s.head = (s.head + 1) % len(s.rob)
+		s.count--
+		s.headSeq = e.d.Seq + 1
+	}
+}

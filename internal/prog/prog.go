@@ -1,0 +1,231 @@
+// Package prog provides the static program container consumed by the
+// functional simulator and a small builder ("assembler") used by the
+// synthetic workload generators: forward label references, loops, call
+// targets, and a data segment are resolved at Build time.
+package prog
+
+import (
+	"fmt"
+
+	"rsr/internal/isa"
+)
+
+// CodeBase is the byte address at which the instruction stream begins. A
+// non-zero base keeps instruction and data addresses disjoint so the L1I and
+// L1D streams never alias in the shared L2.
+const CodeBase uint64 = 0x0040_0000
+
+// DataBase is the byte address at which generated data segments begin.
+const DataBase uint64 = 0x1000_0000
+
+// Program is an immutable instruction stream plus initial data image.
+type Program struct {
+	Name  string
+	Insts []isa.Inst
+	// Data lists 64-bit words to install in memory before execution.
+	Data []DataInit
+	// Entry is the byte address of the first instruction executed.
+	Entry uint64
+}
+
+// DataInit installs a 64-bit little-endian value at a byte address.
+type DataInit struct {
+	Addr  uint64
+	Value uint64
+}
+
+// PCOf returns the byte PC of instruction index i.
+func PCOf(i int) uint64 { return CodeBase + uint64(i)*isa.InstBytes }
+
+// IndexOf returns the instruction index of byte PC pc and whether pc lies in
+// the code segment.
+func (p *Program) IndexOf(pc uint64) (int, bool) {
+	if pc < CodeBase || (pc-CodeBase)%isa.InstBytes != 0 {
+		return 0, false
+	}
+	i := int((pc - CodeBase) / isa.InstBytes)
+	if i >= len(p.Insts) {
+		return 0, false
+	}
+	return i, true
+}
+
+// Fetch returns the instruction at byte PC pc.
+func (p *Program) Fetch(pc uint64) (isa.Inst, error) {
+	i, ok := p.IndexOf(pc)
+	if !ok {
+		return isa.Inst{}, fmt.Errorf("prog: pc %#x outside code segment of %q", pc, p.Name)
+	}
+	return p.Insts[i], nil
+}
+
+// Len reports the static instruction count.
+func (p *Program) Len() int { return len(p.Insts) }
+
+// Builder assembles a Program. Methods append instructions; control-transfer
+// targets are labels resolved in Build. The zero value is not usable; call
+// NewBuilder.
+type Builder struct {
+	name       string
+	insts      []isa.Inst
+	data       []DataInit
+	labels     map[string]int // label -> instruction index
+	fixups     []fixup        // unresolved control transfers
+	dataFixups []dataFixup    // data words holding label PCs
+	errs       []error
+}
+
+type fixup struct {
+	instIndex int
+	label     string
+}
+
+type dataFixup struct {
+	addr  uint64
+	label string
+}
+
+// NewBuilder returns a Builder for a program with the given name.
+func NewBuilder(name string) *Builder {
+	return &Builder{name: name, labels: make(map[string]int)}
+}
+
+// Label binds name to the address of the next emitted instruction.
+func (b *Builder) Label(name string) {
+	if _, dup := b.labels[name]; dup {
+		b.errs = append(b.errs, fmt.Errorf("prog: duplicate label %q", name))
+		return
+	}
+	b.labels[name] = len(b.insts)
+}
+
+// Emit appends a raw instruction.
+func (b *Builder) Emit(in isa.Inst) { b.insts = append(b.insts, in) }
+
+// Nop appends a no-op.
+func (b *Builder) Nop() { b.Emit(isa.Inst{Op: isa.OpNop}) }
+
+// Op3 appends a three-register instruction.
+func (b *Builder) Op3(op isa.Op, rd, rs1, rs2 uint8) {
+	b.Emit(isa.Inst{Op: op, Rd: rd, Rs1: rs1, Rs2: rs2})
+}
+
+// Addi appends rd = rs1 + imm.
+func (b *Builder) Addi(rd, rs1 uint8, imm int64) {
+	b.Emit(isa.Inst{Op: isa.OpAddi, Rd: rd, Rs1: rs1, Imm: imm})
+}
+
+// Li loads an immediate into rd.
+func (b *Builder) Li(rd uint8, imm int64) {
+	b.Emit(isa.Inst{Op: isa.OpLui, Rd: rd, Imm: imm})
+}
+
+// Andi appends rd = rs1 & imm.
+func (b *Builder) Andi(rd, rs1 uint8, imm int64) {
+	b.Emit(isa.Inst{Op: isa.OpAndi, Rd: rd, Rs1: rs1, Imm: imm})
+}
+
+// Shli appends rd = rs1 << imm.
+func (b *Builder) Shli(rd, rs1 uint8, imm int64) {
+	b.Emit(isa.Inst{Op: isa.OpShli, Rd: rd, Rs1: rs1, Imm: imm})
+}
+
+// Shri appends rd = rs1 >> imm.
+func (b *Builder) Shri(rd, rs1 uint8, imm int64) {
+	b.Emit(isa.Inst{Op: isa.OpShri, Rd: rd, Rs1: rs1, Imm: imm})
+}
+
+// Ld appends rd = mem[rs1+imm].
+func (b *Builder) Ld(rd, rs1 uint8, imm int64) {
+	b.Emit(isa.Inst{Op: isa.OpLd, Rd: rd, Rs1: rs1, Imm: imm})
+}
+
+// St appends mem[rs1+imm] = rs2.
+func (b *Builder) St(rs1, rs2 uint8, imm int64) {
+	b.Emit(isa.Inst{Op: isa.OpSt, Rs1: rs1, Rs2: rs2, Imm: imm})
+}
+
+// Branch appends a conditional branch to label.
+func (b *Builder) Branch(op isa.Op, rs1, rs2 uint8, label string) {
+	if !op.IsConditional() {
+		b.errs = append(b.errs, fmt.Errorf("prog: Branch with non-conditional op %s", op))
+	}
+	b.fixups = append(b.fixups, fixup{len(b.insts), label})
+	b.Emit(isa.Inst{Op: op, Rs1: rs1, Rs2: rs2})
+}
+
+// Jmp appends an unconditional direct jump to label.
+func (b *Builder) Jmp(label string) {
+	b.fixups = append(b.fixups, fixup{len(b.insts), label})
+	b.Emit(isa.Inst{Op: isa.OpJmp})
+}
+
+// Call appends a direct call to label, writing the return address to rd.
+func (b *Builder) Call(rd uint8, label string) {
+	b.fixups = append(b.fixups, fixup{len(b.insts), label})
+	b.Emit(isa.Inst{Op: isa.OpCall, Rd: rd})
+}
+
+// Ret appends a return through register rs1.
+func (b *Builder) Ret(rs1 uint8) { b.Emit(isa.Inst{Op: isa.OpRet, Rs1: rs1}) }
+
+// Jr appends an indirect jump through rs1.
+func (b *Builder) Jr(rs1 uint8) { b.Emit(isa.Inst{Op: isa.OpJr, Rs1: rs1}) }
+
+// Halt appends a halt.
+func (b *Builder) Halt() { b.Emit(isa.Inst{Op: isa.OpHalt}) }
+
+// Word installs a 64-bit data value at addr before execution.
+func (b *Builder) Word(addr, value uint64) {
+	b.data = append(b.data, DataInit{Addr: addr, Value: value})
+}
+
+// WordLabel installs the byte PC of label at addr before execution, enabling
+// in-memory jump and call tables consumed through indirect jumps.
+func (b *Builder) WordLabel(addr uint64, label string) {
+	b.dataFixups = append(b.dataFixups, dataFixup{addr: addr, label: label})
+}
+
+// Here reports the index of the next emitted instruction.
+func (b *Builder) Here() int { return len(b.insts) }
+
+// Build resolves labels and returns the finished Program.
+func (b *Builder) Build() (*Program, error) {
+	if len(b.errs) > 0 {
+		return nil, b.errs[0]
+	}
+	for _, f := range b.fixups {
+		target, ok := b.labels[f.label]
+		if !ok {
+			return nil, fmt.Errorf("prog: undefined label %q in %q", f.label, b.name)
+		}
+		// Imm is a byte offset relative to the branch's own PC.
+		b.insts[f.instIndex].Imm = int64(target-f.instIndex) * isa.InstBytes
+	}
+	for _, f := range b.dataFixups {
+		target, ok := b.labels[f.label]
+		if !ok {
+			return nil, fmt.Errorf("prog: undefined label %q in data of %q", f.label, b.name)
+		}
+		b.data = append(b.data, DataInit{Addr: f.addr, Value: PCOf(target)})
+	}
+	if len(b.insts) == 0 {
+		return nil, fmt.Errorf("prog: empty program %q", b.name)
+	}
+	return &Program{
+		Name:  b.name,
+		Insts: b.insts,
+		Data:  b.data,
+		Entry: CodeBase,
+	}, nil
+}
+
+// MustBuild is Build but panics on error; for generators whose inputs are
+// static and tested.
+func (b *Builder) MustBuild() *Program {
+	p, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return p
+}

@@ -1,0 +1,211 @@
+package prog
+
+import (
+	"strings"
+	"testing"
+
+	"rsr/internal/isa"
+)
+
+func TestBuilderLabelsResolve(t *testing.T) {
+	b := NewBuilder("t")
+	b.Li(1, 10)
+	b.Label("loop")
+	b.Addi(1, 1, -1)
+	b.Branch(isa.OpBne, 1, 0, "loop")
+	b.Halt()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Len() != 4 {
+		t.Fatalf("len = %d, want 4", p.Len())
+	}
+	br := p.Insts[2]
+	if br.Imm != -int64(isa.InstBytes) {
+		t.Errorf("branch imm = %d, want %d", br.Imm, -isa.InstBytes)
+	}
+}
+
+func TestBuilderForwardReference(t *testing.T) {
+	b := NewBuilder("t")
+	b.Jmp("end") // forward
+	b.Nop()
+	b.Nop()
+	b.Label("end")
+	b.Halt()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Insts[0].Imm != 3*isa.InstBytes {
+		t.Errorf("jmp imm = %d, want %d", p.Insts[0].Imm, 3*isa.InstBytes)
+	}
+}
+
+func TestBuilderUndefinedLabel(t *testing.T) {
+	b := NewBuilder("t")
+	b.Jmp("nowhere")
+	if _, err := b.Build(); err == nil || !strings.Contains(err.Error(), "undefined label") {
+		t.Fatalf("want undefined-label error, got %v", err)
+	}
+}
+
+func TestBuilderDuplicateLabel(t *testing.T) {
+	b := NewBuilder("t")
+	b.Label("a")
+	b.Nop()
+	b.Label("a")
+	b.Halt()
+	if _, err := b.Build(); err == nil || !strings.Contains(err.Error(), "duplicate label") {
+		t.Fatalf("want duplicate-label error, got %v", err)
+	}
+}
+
+func TestBuilderEmptyProgram(t *testing.T) {
+	if _, err := NewBuilder("t").Build(); err == nil {
+		t.Fatal("want error for empty program")
+	}
+}
+
+func TestBranchRequiresConditionalOp(t *testing.T) {
+	b := NewBuilder("t")
+	b.Branch(isa.OpAdd, 1, 2, "x")
+	b.Label("x")
+	b.Halt()
+	if _, err := b.Build(); err == nil {
+		t.Fatal("want error for non-conditional Branch op")
+	}
+}
+
+func TestPCRoundTrip(t *testing.T) {
+	b := NewBuilder("t")
+	for i := 0; i < 10; i++ {
+		b.Nop()
+	}
+	b.Halt()
+	p := b.MustBuild()
+	for i := 0; i < p.Len(); i++ {
+		pc := PCOf(i)
+		j, ok := p.IndexOf(pc)
+		if !ok || j != i {
+			t.Fatalf("IndexOf(PCOf(%d)) = %d, %v", i, j, ok)
+		}
+	}
+	if _, ok := p.IndexOf(PCOf(p.Len())); ok {
+		t.Error("IndexOf past end should fail")
+	}
+	if _, ok := p.IndexOf(CodeBase + 2); ok {
+		t.Error("IndexOf unaligned should fail")
+	}
+	if _, ok := p.IndexOf(0); ok {
+		t.Error("IndexOf below base should fail")
+	}
+}
+
+func TestFetch(t *testing.T) {
+	b := NewBuilder("t")
+	b.Li(3, 42)
+	b.Halt()
+	p := b.MustBuild()
+	in, err := p.Fetch(p.Entry)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.Op != isa.OpLui || in.Imm != 42 {
+		t.Errorf("fetched %v", in)
+	}
+	if _, err := p.Fetch(0xdead); err == nil {
+		t.Error("fetch outside code should fail")
+	}
+}
+
+func TestDataInit(t *testing.T) {
+	b := NewBuilder("t")
+	b.Word(DataBase, 7)
+	b.Word(DataBase+8, 9)
+	b.Halt()
+	p := b.MustBuild()
+	if len(p.Data) != 2 || p.Data[1].Value != 9 {
+		t.Fatalf("data = %v", p.Data)
+	}
+}
+
+func TestCodeAndDataDisjoint(t *testing.T) {
+	if DataBase <= CodeBase {
+		t.Fatal("data segment must sit above code segment")
+	}
+}
+
+func TestBuilderEmitterHelpers(t *testing.T) {
+	b := NewBuilder("helpers")
+	b.Li(1, 7)
+	b.Addi(2, 1, 1)
+	b.Andi(3, 2, 0xFF)
+	b.Shli(4, 3, 2)
+	b.Shri(5, 4, 1)
+	b.Op3(isa.OpAdd, 6, 5, 1)
+	b.Ld(7, 1, 8)
+	b.St(1, 7, 16)
+	b.Call(31, "fn")
+	b.Jr(6)
+	b.Label("fn")
+	b.Ret(31)
+	b.Nop()
+	b.Halt()
+	p := b.MustBuild()
+	wantOps := []isa.Op{
+		isa.OpLui, isa.OpAddi, isa.OpAndi, isa.OpShli, isa.OpShri,
+		isa.OpAdd, isa.OpLd, isa.OpSt, isa.OpCall, isa.OpJr,
+		isa.OpRet, isa.OpNop, isa.OpHalt,
+	}
+	if p.Len() != len(wantOps) {
+		t.Fatalf("len = %d, want %d", p.Len(), len(wantOps))
+	}
+	for i, want := range wantOps {
+		if p.Insts[i].Op != want {
+			t.Fatalf("inst %d op = %v, want %v", i, p.Insts[i].Op, want)
+		}
+	}
+	// The call's byte-offset must land on the fn label.
+	callIdx := 8
+	target := int64(callIdx)*isa.InstBytes + p.Insts[callIdx].Imm
+	if target != 10*isa.InstBytes {
+		t.Fatalf("call target = %d, want %d", target, 10*isa.InstBytes)
+	}
+}
+
+func TestWordLabelResolvesToPC(t *testing.T) {
+	b := NewBuilder("wl")
+	b.WordLabel(DataBase, "entry")
+	b.Label("entry")
+	b.Halt()
+	p := b.MustBuild()
+	found := false
+	for _, d := range p.Data {
+		if d.Addr == DataBase && d.Value == PCOf(0) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("word label not resolved: %v", p.Data)
+	}
+}
+
+func TestWordLabelUndefined(t *testing.T) {
+	b := NewBuilder("wl")
+	b.WordLabel(DataBase, "ghost")
+	b.Halt()
+	if _, err := b.Build(); err == nil {
+		t.Fatal("undefined data label must fail")
+	}
+}
+
+func TestMustBuildPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewBuilder("empty").MustBuild()
+}

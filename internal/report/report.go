@@ -1,0 +1,226 @@
+// Package report renders the experiment results as a single static HTML
+// page: one bar chart per figure for relative error and one for simulation
+// time (methods on the y-axis, single series, value at the bar tip), plus
+// the full per-workload tables. The page is self-contained (inline SVG and
+// CSS, no scripts required; native SVG tooltips carry the hover layer) and
+// supports dark mode via prefers-color-scheme.
+package report
+
+import (
+	"fmt"
+	"html/template"
+	"io"
+	"math"
+	"strings"
+	"time"
+
+	"rsr/internal/experiments"
+)
+
+// Data is everything the report renders.
+type Data struct {
+	Title     string
+	Subtitle  string
+	Generated time.Time
+	Table1    []experiments.Table1Row
+	Figures   []*experiments.FigureResult
+	SimPoint  *experiments.Figure9Result
+}
+
+// Bar is one mark of a bar chart.
+type Bar struct {
+	Label string
+	Value float64
+	// Display is the formatted value shown at the bar tip and in the
+	// tooltip.
+	Display string
+}
+
+// BarChart renders a single-series horizontal bar chart as inline SVG
+// following the mark specs: bars at most 24px thick growing from a shared
+// baseline, 4px rounded data-end (square at the baseline), hairline
+// gridlines, values at the bar tips in text ink (never the series color),
+// and a native tooltip per mark. A single series carries no legend; the
+// title names it.
+func BarChart(title, unit string, bars []Bar) template.HTML {
+	const (
+		labelW = 120
+		chartW = 420
+		tipW   = 78
+		rowH   = 30
+		barH   = 18 // ≤ 24px
+		topPad = 8
+		axisH  = 22
+		fontPx = 12
+	)
+	if len(bars) == 0 {
+		return ""
+	}
+	maxV := 0.0
+	for _, b := range bars {
+		if b.Value > maxV {
+			maxV = b.Value
+		}
+	}
+	if maxV == 0 {
+		maxV = 1
+	}
+	limit := niceCeil(maxV)
+	h := topPad + rowH*len(bars) + axisH
+	w := labelW + chartW + tipW
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, `<svg class="chart" role="img" aria-label=%q viewBox="0 0 %d %d" width="%d" height="%d">`,
+		title+" bar chart", w, h, w, h)
+
+	// Gridlines + ticks at 0, 1/2, 1 of the nice limit: recessive hairlines.
+	for i := 0; i <= 2; i++ {
+		x := labelW + float64(chartW)*float64(i)/2
+		v := limit * float64(i) / 2
+		fmt.Fprintf(&sb, `<line class="grid" x1="%.1f" y1="%d" x2="%.1f" y2="%d"/>`,
+			x, topPad, x, topPad+rowH*len(bars))
+		fmt.Fprintf(&sb, `<text class="tick" x="%.1f" y="%d" text-anchor="middle">%s</text>`,
+			x, topPad+rowH*len(bars)+15, formatTick(v, unit))
+	}
+
+	for i, b := range bars {
+		y := float64(topPad + i*rowH + (rowH-barH)/2)
+		bw := float64(chartW) * b.Value / limit
+		if bw < 1 {
+			bw = 1
+		}
+		fmt.Fprintf(&sb, `<g class="bar"><title>%s: %s</title>`,
+			template.HTMLEscapeString(b.Label), template.HTMLEscapeString(b.Display))
+		// Method label in secondary ink, right-aligned against the baseline.
+		fmt.Fprintf(&sb, `<text class="lbl" x="%d" y="%.1f" text-anchor="end">%s</text>`,
+			labelW-8, y+float64(barH)/2+fontPx/2-2, template.HTMLEscapeString(b.Label))
+		// The mark: square at the baseline, 4px rounded data-end.
+		fmt.Fprintf(&sb, `<path class="mark" d="M%d,%.1f h%.1f q4,0 4,4 v%.1f q0,4 -4,4 h%.1f z"/>`,
+			labelW, y, bw-4, float64(barH)-8, -(bw - 4))
+		// Value at the tip, text ink.
+		fmt.Fprintf(&sb, `<text class="val" x="%.1f" y="%.1f">%s</text>`,
+			float64(labelW)+bw+6, y+float64(barH)/2+fontPx/2-2,
+			template.HTMLEscapeString(b.Display))
+		sb.WriteString(`</g>`)
+	}
+	sb.WriteString(`</svg>`)
+	return template.HTML(sb.String())
+}
+
+// niceCeil rounds v up to 1/2/5 x 10^k.
+func niceCeil(v float64) float64 {
+	if v <= 0 {
+		return 1
+	}
+	exp := math.Floor(math.Log10(v))
+	base := math.Pow(10, exp)
+	for _, m := range []float64{1, 2, 5, 10} {
+		if v <= m*base {
+			return m * base
+		}
+	}
+	return 10 * base
+}
+
+func formatTick(v float64, unit string) string {
+	switch unit {
+	case "%":
+		return fmt.Sprintf("%.3g%%", v)
+	case "s":
+		return fmt.Sprintf("%.3gs", v)
+	default:
+		switch {
+		case v >= 1e6:
+			return fmt.Sprintf("%.3gM", v/1e6)
+		case v >= 1e3:
+			return fmt.Sprintf("%.3gK", v/1e3)
+		default:
+			return fmt.Sprintf("%.3g", v)
+		}
+	}
+}
+
+// figureView is the template model for one figure.
+type figureView struct {
+	Title     string
+	ErrChart  template.HTML
+	TimeChart template.HTML
+	WorkChart template.HTML
+	Grid      gridView
+}
+
+type gridView struct {
+	Workloads []string
+	Rows      []gridRow
+}
+
+type gridRow struct {
+	Method string
+	Cells  []string
+}
+
+func buildFigure(f *experiments.FigureResult) figureView {
+	var errBars, timeBars, workBars []Bar
+	for _, a := range f.Averages {
+		errBars = append(errBars, Bar{
+			Label: a.Method, Value: 100 * a.MeanRelErr,
+			Display: fmt.Sprintf("%.2f%%", 100*a.MeanRelErr),
+		})
+		timeBars = append(timeBars, Bar{
+			Label: a.Method, Value: a.MeanTime.Seconds(),
+			Display: fmt.Sprintf("%.2fs", a.MeanTime.Seconds()),
+		})
+		workBars = append(workBars, Bar{
+			Label: a.Method, Value: a.MeanWarmOps + a.MeanReconOps,
+			Display: formatTick(a.MeanWarmOps+a.MeanReconOps, ""),
+		})
+	}
+	v := figureView{
+		Title:     f.Title,
+		ErrChart:  BarChart(f.Title+" — relative error", "%", errBars),
+		TimeChart: BarChart(f.Title+" — time", "s", timeBars),
+		WorkChart: BarChart(f.Title+" — state operations", "", workBars),
+	}
+
+	// Per-workload table (methods x workloads, relative error).
+	seenW := map[string]bool{}
+	grid := map[string]map[string]string{}
+	var methods []string
+	seenM := map[string]bool{}
+	for _, c := range f.Cells {
+		if !seenW[c.Workload] {
+			seenW[c.Workload] = true
+			v.Grid.Workloads = append(v.Grid.Workloads, c.Workload)
+		}
+		if !seenM[c.Method] {
+			seenM[c.Method] = true
+			methods = append(methods, c.Method)
+			grid[c.Method] = map[string]string{}
+		}
+		grid[c.Method][c.Workload] = fmt.Sprintf("%.4f", c.RelErr)
+	}
+	for _, m := range methods {
+		row := gridRow{Method: m}
+		for _, w := range v.Grid.Workloads {
+			row.Cells = append(row.Cells, grid[m][w])
+		}
+		v.Grid.Rows = append(v.Grid.Rows, row)
+	}
+	return v
+}
+
+// Write renders the report page.
+func Write(w io.Writer, d *Data) error {
+	model := struct {
+		*Data
+		FigureViews []figureView
+		SimRows     []experiments.SimPointRow
+	}{Data: d}
+	for _, f := range d.Figures {
+		model.FigureViews = append(model.FigureViews, buildFigure(f))
+	}
+	if d.SimPoint != nil {
+		model.SimRows = d.SimPoint.Rows
+	}
+	return pageTmpl.Execute(w, model)
+}

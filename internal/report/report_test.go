@@ -1,0 +1,128 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"rsr/internal/experiments"
+)
+
+func sampleData() *Data {
+	return &Data{
+		Title:     "Test report",
+		Subtitle:  "reduced scale",
+		Generated: time.Date(2026, 7, 5, 12, 0, 0, 0, time.UTC),
+		Table1: []experiments.Table1Row{
+			{Workload: "twolf", TrueIPC: 1.109, Total: 1000000, NumClusters: 50, ClusterSize: 2000},
+		},
+		Figures: []*experiments.FigureResult{{
+			Title: "Figure 7: cache and branch prediction warm-up",
+			Cells: []experiments.Cell{
+				{Workload: "twolf", Method: "None", RelErr: 0.31},
+				{Workload: "twolf", Method: "S$BP", RelErr: 0.002},
+			},
+			Averages: []experiments.MethodAverage{
+				{Method: "None", MeanRelErr: 0.31, MeanTime: 1200 * time.Millisecond},
+				{Method: "S$BP", MeanRelErr: 0.002, MeanTime: 1500 * time.Millisecond, MeanWarmOps: 9e6},
+			},
+		}},
+		SimPoint: &experiments.Figure9Result{
+			Rows: []experiments.SimPointRow{
+				{Config: "50K", Workload: "twolf", TrueIPC: 1.1, Estimate: 1.05, RelErr: 0.045,
+					SimElapsed: time.Second, Points: 30},
+			},
+		},
+	}
+}
+
+func TestWriteReport(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, sampleData()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"<!DOCTYPE html>",
+		"Test report",
+		"Figure 7",
+		"<svg",                 // charts rendered
+		"S$BP",                 // method labels
+		"0.31",                 // table value? rendered as 0.3100
+		"prefers-color-scheme", // dark mode
+		"50K",                  // simpoint table
+		"4.50%",                // simpoint RE formatted
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+	// Three charts per figure.
+	if got := strings.Count(out, "<svg"); got != 3 {
+		t.Errorf("svg count = %d, want 3", got)
+	}
+	// Escaping: method labels with $ and % survive; no raw template actions.
+	if strings.Contains(out, "{{") {
+		t.Error("unexecuted template action in output")
+	}
+}
+
+func TestBarChartGeometry(t *testing.T) {
+	svg := string(BarChart("t", "%", []Bar{
+		{Label: "A", Value: 10, Display: "10%"},
+		{Label: "B", Value: 5, Display: "5%"},
+	}))
+	if !strings.Contains(svg, `role="img"`) {
+		t.Error("missing accessibility role")
+	}
+	if strings.Count(svg, "<title>") != 2 {
+		t.Error("every mark needs a tooltip title")
+	}
+	if strings.Count(svg, `class="mark"`) != 2 {
+		t.Error("two marks expected")
+	}
+	if !strings.Contains(svg, `class="grid"`) {
+		t.Error("gridlines missing")
+	}
+}
+
+func TestBarChartEmpty(t *testing.T) {
+	if BarChart("t", "%", nil) != "" {
+		t.Error("empty chart should render nothing")
+	}
+}
+
+func TestBarChartEscapesLabels(t *testing.T) {
+	svg := string(BarChart("t", "", []Bar{{Label: "<evil>", Value: 1, Display: "1"}}))
+	if strings.Contains(svg, "<evil>") {
+		t.Error("label not escaped")
+	}
+	if !strings.Contains(svg, "&lt;evil&gt;") {
+		t.Error("escaped label missing")
+	}
+}
+
+func TestNiceCeil(t *testing.T) {
+	cases := map[float64]float64{0.7: 1, 1: 1, 1.2: 2, 3: 5, 7: 10, 23: 50, 96: 100, 0: 1}
+	for in, want := range cases {
+		if got := niceCeil(in); got != want {
+			t.Errorf("niceCeil(%v) = %v, want %v", in, got, want)
+		}
+	}
+}
+
+func TestFormatTick(t *testing.T) {
+	if formatTick(12.5, "%") != "12.5%" {
+		t.Error("percent tick")
+	}
+	if formatTick(1.5, "s") != "1.5s" {
+		t.Error("seconds tick")
+	}
+	if formatTick(2_500_000, "") != "2.5M" {
+		t.Error("millions tick")
+	}
+	if formatTick(2500, "") != "2.5K" {
+		t.Error("thousands tick")
+	}
+}

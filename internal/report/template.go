@@ -1,0 +1,108 @@
+package report
+
+import "html/template"
+
+// The page stylesheet defines color roles as CSS custom properties so the
+// light/dark values swap in one place; marks wear the series color, text
+// wears text tokens.
+var pageTmpl = template.Must(template.New("report").Funcs(template.FuncMap{
+	"mulf": func(v float64) float64 { return v * 100 },
+}).Parse(`<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<meta name="viewport" content="width=device-width, initial-scale=1">
+<title>{{.Title}}</title>
+<style>
+:root {
+  --surface-1:      #fcfcfb;
+  --surface-2:      #f2f2f0;
+  --text-primary:   #0b0b0b;
+  --text-secondary: #52514e;
+  --text-muted:     #807e79;
+  --grid:           #e4e3e0;
+  --series-1:       #2a78d6;
+}
+@media (prefers-color-scheme: dark) {
+  :root {
+    --surface-1:      #1a1a19;
+    --surface-2:      #242423;
+    --text-primary:   #ffffff;
+    --text-secondary: #c3c2b7;
+    --text-muted:     #8d8c85;
+    --grid:           #343432;
+    --series-1:       #3987e5;
+  }
+}
+body {
+  margin: 0 auto; max-width: 1040px; padding: 24px 20px 60px;
+  background: var(--surface-1); color: var(--text-primary);
+  font: 15px/1.5 system-ui, -apple-system, "Segoe UI", sans-serif;
+}
+h1 { font-size: 24px; margin-bottom: 2px; }
+h2 { font-size: 18px; margin: 36px 0 8px; }
+.sub { color: var(--text-secondary); margin-top: 0; }
+.meta { color: var(--text-muted); font-size: 13px; }
+.charts { display: flex; flex-wrap: wrap; gap: 12px; }
+.chart .mark { fill: var(--series-1); }
+.chart .bar:hover .mark { opacity: .8; }
+.chart .grid { stroke: var(--grid); stroke-width: 1; }
+.chart .lbl { fill: var(--text-secondary); font: 12px system-ui, sans-serif; }
+.chart .val { fill: var(--text-primary); font: 12px system-ui, sans-serif; }
+.chart .tick { fill: var(--text-muted); font: 11px system-ui, sans-serif; }
+table {
+  border-collapse: collapse; margin: 10px 0 4px; font-size: 13px;
+  font-variant-numeric: tabular-nums;
+}
+th, td { padding: 4px 10px; text-align: right; }
+th:first-child, td:first-child { text-align: left; }
+thead th { color: var(--text-secondary); font-weight: 600;
+  border-bottom: 1px solid var(--grid); }
+tbody tr:nth-child(even) { background: var(--surface-2); }
+.note { color: var(--text-muted); font-size: 13px; }
+</style>
+</head>
+<body>
+<h1>{{.Title}}</h1>
+<p class="sub">{{.Subtitle}}</p>
+<p class="meta">generated {{.Generated.Format "2006-01-02 15:04:05 MST"}}</p>
+
+<h2>Table 1 — true IPC and sampling regimen</h2>
+<table>
+<thead><tr><th>workload</th><th>true IPC</th><th>instructions</th><th>clusters</th><th>cluster size</th><th>full run</th></tr></thead>
+<tbody>
+{{range .Table1}}<tr><td>{{.Workload}}</td><td>{{printf "%.4f" .TrueIPC}}</td><td>{{.Total}}</td><td>{{.NumClusters}}</td><td>{{.ClusterSize}}</td><td>{{.FullElapsed}}</td></tr>
+{{end}}</tbody>
+</table>
+
+{{range .FigureViews}}
+<h2>{{.Title}}</h2>
+<div class="charts">
+{{.ErrChart}}
+{{.TimeChart}}
+{{.WorkChart}}
+</div>
+<table>
+<thead><tr><th>relative error</th>{{range .Grid.Workloads}}<th>{{.}}</th>{{end}}</tr></thead>
+<tbody>
+{{range .Grid.Rows}}<tr><td>{{.Method}}</td>{{range .Cells}}<td>{{.}}</td>{{end}}</tr>
+{{end}}</tbody>
+</table>
+{{end}}
+
+{{if .SimRows}}
+<h2>Figure 9 — SimPoint comparison</h2>
+<table>
+<thead><tr><th>config</th><th>workload</th><th>true IPC</th><th>estimate</th><th>RE</th><th>sim time</th><th>points</th></tr></thead>
+<tbody>
+{{range .SimRows}}<tr><td>{{.Config}}</td><td>{{.Workload}}</td><td>{{printf "%.4f" .TrueIPC}}</td><td>{{printf "%.4f" .Estimate}}</td><td>{{printf "%.2f%%" (mulf .RelErr)}}</td><td>{{.SimElapsed}}</td><td>{{.Points}}</td></tr>
+{{end}}</tbody>
+</table>
+{{end}}
+
+<p class="note">Wall-clock values depend on the host and on run parallelism;
+the state-operation chart is the machine-independent cost metric. Tables carry
+every plotted value.</p>
+</body>
+</html>
+`))

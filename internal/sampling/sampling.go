@@ -1,0 +1,284 @@
+// Package sampling orchestrates cluster-sampled simulation (Figure 1 of the
+// paper): hot cycle-accurate simulation of randomly placed clusters, cold
+// functional simulation between them, and a pluggable warm-up method that
+// observes the skipped stream and repairs microarchitectural state before
+// each cluster.
+package sampling
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"rsr/internal/bpred"
+	"rsr/internal/funcsim"
+	"rsr/internal/mem"
+	"rsr/internal/ooo"
+	"rsr/internal/prog"
+	"rsr/internal/stats"
+	"rsr/internal/trace"
+	"rsr/internal/warmup"
+)
+
+// Regimen defines a sampling design: the cluster (sampling-unit) size in
+// instructions and how many clusters make up the sample.
+type Regimen struct {
+	ClusterSize uint64
+	NumClusters int
+}
+
+// Validate checks the regimen against a total workload length.
+func (r Regimen) Validate(total uint64) error {
+	if r.ClusterSize == 0 || r.NumClusters <= 0 {
+		return errors.New("sampling: cluster size and count must be positive")
+	}
+	if uint64(r.NumClusters)*r.ClusterSize > total {
+		return fmt.Errorf("sampling: %d clusters of %d exceed workload length %d",
+			r.NumClusters, r.ClusterSize, total)
+	}
+	if total/uint64(r.NumClusters) < r.ClusterSize {
+		return fmt.Errorf("sampling: strata of %d too small for clusters of %d",
+			total/uint64(r.NumClusters), r.ClusterSize)
+	}
+	return nil
+}
+
+// Positions returns the cluster start positions (dynamic instruction
+// indices), sorted ascending. Placement is stratified-uniform: the workload
+// is divided into NumClusters equal strata and each cluster start is drawn
+// uniformly within its stratum, which matches the paper's uniformly random
+// starting positions while guaranteeing ordering and non-overlap.
+func Positions(total uint64, r Regimen, seed int64) ([]uint64, error) {
+	if err := r.Validate(total); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	stratum := total / uint64(r.NumClusters)
+	starts := make([]uint64, r.NumClusters)
+	for i := range starts {
+		slack := stratum - r.ClusterSize
+		off := uint64(0)
+		if slack > 0 {
+			off = uint64(rng.Int63n(int64(slack + 1)))
+		}
+		starts[i] = uint64(i)*stratum + off
+	}
+	return starts, nil
+}
+
+// MachineConfig bundles the simulated machine.
+type MachineConfig struct {
+	CPU  ooo.Config
+	Hier mem.HierarchyConfig
+	Pred bpred.Config
+}
+
+// DefaultMachine returns the paper's machine (§4).
+func DefaultMachine() MachineConfig {
+	return MachineConfig{
+		CPU:  ooo.DefaultConfig(),
+		Hier: mem.DefaultHierarchyConfig(),
+		Pred: bpred.DefaultConfig(),
+	}
+}
+
+// ClusterStat is the measurement taken from one cluster.
+type ClusterStat struct {
+	Start  uint64 // dynamic instruction index of the cluster start
+	Result ooo.Result
+}
+
+// RunResult summarizes one sampled simulation.
+type RunResult struct {
+	Method   string
+	Clusters []ClusterStat
+	// Elapsed is the wall-clock duration of the whole sampled run.
+	Elapsed time.Duration
+	// Work is the warm-up method's state-operation count.
+	Work warmup.Work
+	// FuncInstructions counts functionally executed (skipped) instructions.
+	FuncInstructions uint64
+	// HotInstructions counts instructions retired by the timing model.
+	HotInstructions uint64
+}
+
+// IPCs returns the per-cluster IPC sample.
+func (r *RunResult) IPCs() []float64 {
+	out := make([]float64, len(r.Clusters))
+	for i, c := range r.Clusters {
+		out[i] = c.Result.IPC()
+	}
+	return out
+}
+
+// CPIs returns the per-cluster cycles-per-instruction sample. With
+// equal-size clusters the mean CPI is the unbiased estimator of the
+// population CPI, so estimates aggregate in CPI space (as SMARTS does) and
+// convert to IPC at the end; an arithmetic mean of cluster IPCs would
+// overweight fast phases on workloads with high phase variance.
+func (r *RunResult) CPIs() []float64 {
+	out := make([]float64, len(r.Clusters))
+	for i, c := range r.Clusters {
+		if c.Result.Instructions > 0 {
+			out[i] = float64(c.Result.Cycles) / float64(c.Result.Instructions)
+		}
+	}
+	return out
+}
+
+// IPCEstimate returns the sampled IPC estimate, 1 / mean cluster CPI.
+func (r *RunResult) IPCEstimate() float64 {
+	m := stats.Mean(r.CPIs())
+	if m == 0 {
+		return 0
+	}
+	return 1 / m
+}
+
+// CI returns the 95% confidence interval of the mean cluster CPI.
+func (r *RunResult) CI() stats.Interval { return stats.CI95(r.CPIs()) }
+
+// ConfidenceContains reports whether the 95% confidence interval covers the
+// true IPC (the paper's confidence test), evaluated in CPI space where the
+// interval is constructed.
+func (r *RunResult) ConfidenceContains(trueIPC float64) bool {
+	if trueIPC == 0 {
+		return false
+	}
+	return r.CI().Contains(1 / trueIPC)
+}
+
+// RunSampled executes the sampled simulation of program p under the given
+// machine, regimen, and warm-up specification. The same seed produces the
+// same cluster positions (and therefore the same sampling bias) for every
+// method, as the paper's methodology requires.
+func RunSampled(p *prog.Program, m MachineConfig, reg Regimen, total uint64, seed int64, spec warmup.Spec) (*RunResult, error) {
+	return RunSampledMethod(p, m, reg, total, seed, func(h *mem.Hierarchy, u *bpred.Unit) warmup.Method {
+		return spec.New(h, u)
+	})
+}
+
+// Options tunes the sampled-run controller beyond the warm-up method.
+type Options struct {
+	// DetailedWarmup runs this many skip-region instructions through the
+	// timing model immediately before each cluster without measuring them:
+	// "hot-start" warming that repairs pipeline-adjacent state (and caches /
+	// predictor, at detailed fidelity) at full detailed cost. It is an
+	// ablation point between functional warming and simply enlarging
+	// clusters.
+	DetailedWarmup uint64
+}
+
+// RunSampledOpts is RunSampled with controller options.
+func RunSampledOpts(p *prog.Program, m MachineConfig, reg Regimen, total uint64, seed int64, spec warmup.Spec, opts Options) (*RunResult, error) {
+	return runSampled(p, m, reg, total, seed, func(h *mem.Hierarchy, u *bpred.Unit) warmup.Method {
+		return spec.New(h, u)
+	}, opts)
+}
+
+// RunSampledMethod is RunSampled for warm-up methods that need more context
+// than a Spec carries (for example the profiling-based MRRL/BLRL methods,
+// whose per-region warm windows are computed ahead of time). The factory
+// receives the run's hierarchy and predictor.
+func RunSampledMethod(p *prog.Program, m MachineConfig, reg Regimen, total uint64, seed int64, mk func(*mem.Hierarchy, *bpred.Unit) warmup.Method) (*RunResult, error) {
+	return runSampled(p, m, reg, total, seed, mk, Options{})
+}
+
+func runSampled(p *prog.Program, m MachineConfig, reg Regimen, total uint64, seed int64, mk func(*mem.Hierarchy, *bpred.Unit) warmup.Method, opts Options) (*RunResult, error) {
+	starts, err := Positions(total, reg, seed)
+	if err != nil {
+		return nil, err
+	}
+	hier := mem.NewHierarchy(m.Hier)
+	unit := bpred.NewUnit(m.Pred)
+	method := mk(hier, unit)
+	sim := ooo.New(m.CPU, hier, method.Predictor())
+	fs := funcsim.New(p)
+
+	res := &RunResult{Method: method.Name()}
+	begin := time.Now()
+	var pullErr error
+	pull := func() (trace.DynInst, bool) {
+		d, err := fs.Step()
+		if err != nil {
+			pullErr = err
+			return trace.DynInst{}, false
+		}
+		return d, true
+	}
+	var pos uint64
+	for _, start := range starts {
+		skip := start - pos
+		dw := opts.DetailedWarmup
+		if dw > skip {
+			dw = skip
+		}
+		cold := skip - dw
+
+		method.BeginSkip(cold)
+		ran, err := fs.Run(cold, method.ObserveSkip)
+		if err != nil {
+			return nil, fmt.Errorf("sampling: cold phase: %w", err)
+		}
+		if ran != cold {
+			return nil, fmt.Errorf("sampling: workload halted after %d skipped instructions", ran)
+		}
+		res.FuncInstructions += ran
+		method.EndSkip()
+		pos += ran
+
+		if dw > 0 {
+			// Unmeasured detailed warm-up immediately before the cluster.
+			w := sim.Simulate(dw, pull)
+			if pullErr != nil {
+				return nil, fmt.Errorf("sampling: detailed warm-up: %w", pullErr)
+			}
+			res.FuncInstructions += w.Instructions
+			pos += w.Instructions
+		}
+
+		r := sim.Simulate(reg.ClusterSize, pull)
+		if pullErr != nil {
+			return nil, fmt.Errorf("sampling: hot phase: %w", pullErr)
+		}
+		res.FuncInstructions += r.Instructions
+		res.HotInstructions += r.Instructions
+		res.Clusters = append(res.Clusters, ClusterStat{Start: start, Result: r})
+		pos += r.Instructions
+	}
+	res.Elapsed = time.Since(begin)
+	res.Work = method.Work()
+	return res, nil
+}
+
+// FullResult is a complete detailed simulation — the paper's "true IPC"
+// baseline.
+type FullResult struct {
+	Result  ooo.Result
+	Elapsed time.Duration
+}
+
+// RunFull simulates the first `total` instructions of p cycle-accurately.
+func RunFull(p *prog.Program, m MachineConfig, total uint64) (FullResult, error) {
+	hier := mem.NewHierarchy(m.Hier)
+	unit := bpred.NewUnit(m.Pred)
+	sim := ooo.New(m.CPU, hier, unit)
+	fs := funcsim.New(p)
+	begin := time.Now()
+	var pullErr error
+	r := sim.Simulate(total, func() (trace.DynInst, bool) {
+		d, err := fs.Step()
+		if err != nil {
+			pullErr = err
+			return trace.DynInst{}, false
+		}
+		return d, true
+	})
+	if pullErr != nil {
+		return FullResult{}, fmt.Errorf("sampling: full run: %w", pullErr)
+	}
+	return FullResult{Result: r, Elapsed: time.Since(begin)}, nil
+}
+
+var _ bpred.Predictor = (*bpred.Unit)(nil)

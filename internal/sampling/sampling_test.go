@@ -1,0 +1,240 @@
+package sampling
+
+import (
+	"testing"
+
+	"rsr/internal/stats"
+	"rsr/internal/warmup"
+	"rsr/internal/workload"
+)
+
+func TestPositionsProperties(t *testing.T) {
+	reg := Regimen{ClusterSize: 1000, NumClusters: 20}
+	total := uint64(1_000_000)
+	starts, err := Positions(total, reg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(starts) != 20 {
+		t.Fatalf("got %d starts", len(starts))
+	}
+	for i, s := range starts {
+		if s+reg.ClusterSize > total {
+			t.Fatalf("cluster %d overruns workload", i)
+		}
+		if i > 0 && starts[i-1]+reg.ClusterSize > s {
+			t.Fatalf("clusters %d and %d overlap", i-1, i)
+		}
+	}
+}
+
+func TestPositionsDeterministicBySeed(t *testing.T) {
+	reg := Regimen{ClusterSize: 500, NumClusters: 10}
+	a, _ := Positions(100000, reg, 7)
+	b, _ := Positions(100000, reg, 7)
+	c, _ := Positions(100000, reg, 8)
+	same := true
+	diff := false
+	for i := range a {
+		if a[i] != b[i] {
+			same = false
+		}
+		if a[i] != c[i] {
+			diff = true
+		}
+	}
+	if !same {
+		t.Fatal("same seed must give same positions")
+	}
+	if !diff {
+		t.Fatal("different seeds should give different positions")
+	}
+}
+
+func TestPositionsValidation(t *testing.T) {
+	cases := []struct {
+		total uint64
+		reg   Regimen
+	}{
+		{1000, Regimen{ClusterSize: 0, NumClusters: 5}},
+		{1000, Regimen{ClusterSize: 100, NumClusters: 0}},
+		{1000, Regimen{ClusterSize: 600, NumClusters: 2}},
+	}
+	for i, c := range cases {
+		if _, err := Positions(c.total, c.reg, 1); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func testRun(t *testing.T, spec warmup.Spec) *RunResult {
+	t.Helper()
+	w, err := workload.ByName("twolf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunSampled(w.Build(), DefaultMachine(),
+		Regimen{ClusterSize: 1000, NumClusters: 10}, 500_000, 42, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestRunSampledBasics(t *testing.T) {
+	res := testRun(t, warmup.Spec{Kind: warmup.KindNone})
+	if len(res.Clusters) != 10 {
+		t.Fatalf("clusters = %d", len(res.Clusters))
+	}
+	if res.HotInstructions != 10*1000 {
+		t.Fatalf("hot instructions = %d", res.HotInstructions)
+	}
+	for i, ipc := range res.IPCs() {
+		if ipc <= 0 || ipc > 4 {
+			t.Fatalf("cluster %d IPC = %f out of range", i, ipc)
+		}
+	}
+}
+
+func TestRunSampledDeterministic(t *testing.T) {
+	a := testRun(t, warmup.Spec{Kind: warmup.KindSMARTS, Cache: true, BPred: true})
+	b := testRun(t, warmup.Spec{Kind: warmup.KindSMARTS, Cache: true, BPred: true})
+	for i := range a.Clusters {
+		if a.Clusters[i].Result != b.Clusters[i].Result {
+			t.Fatalf("cluster %d differs between identical runs", i)
+		}
+	}
+	if a.Work != b.Work {
+		t.Fatal("work counters differ between identical runs")
+	}
+}
+
+func TestWarmupReducesError(t *testing.T) {
+	// End-to-end: SMARTS warm-up must estimate the true IPC better than no
+	// warm-up on a warm-up-sensitive workload, and RSR must land near
+	// SMARTS. This is the paper's central claim in miniature.
+	w, err := workload.ByName("twolf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := uint64(500_000)
+	full, err := RunFull(w.Build(), DefaultMachine(), total)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trueIPC := full.Result.IPC()
+
+	run := func(spec warmup.Spec) float64 {
+		res, err := RunSampled(w.Build(), DefaultMachine(),
+			Regimen{ClusterSize: 1000, NumClusters: 20}, total, 42, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return stats.Mean(res.IPCs())
+	}
+	noneIPC := run(warmup.Spec{Kind: warmup.KindNone})
+	smartsIPC := run(warmup.Spec{Kind: warmup.KindSMARTS, Cache: true, BPred: true})
+	rsrIPC := run(warmup.Spec{Kind: warmup.KindReverse, Percent: 100, Cache: true, BPred: true})
+
+	errNone := stats.RelErr(noneIPC, trueIPC)
+	errSmarts := stats.RelErr(smartsIPC, trueIPC)
+	errRSR := stats.RelErr(rsrIPC, trueIPC)
+	t.Logf("true=%.4f none=%.4f (%.2f%%) smarts=%.4f (%.2f%%) rsr=%.4f (%.2f%%)",
+		trueIPC, noneIPC, 100*errNone, smartsIPC, 100*errSmarts, rsrIPC, 100*errRSR)
+
+	if errSmarts >= errNone {
+		t.Fatalf("SMARTS error %.4f not better than no-warm-up %.4f", errSmarts, errNone)
+	}
+	if errRSR > errNone {
+		t.Fatalf("RSR error %.4f worse than no-warm-up %.4f", errRSR, errNone)
+	}
+	if errRSR > errSmarts+0.05 {
+		t.Fatalf("RSR error %.4f not close to SMARTS %.4f", errRSR, errSmarts)
+	}
+}
+
+func TestReverseLogsLessWorkThanSMARTSWarmOps(t *testing.T) {
+	smarts := testRun(t, warmup.Spec{Kind: warmup.KindSMARTS, Cache: true, BPred: true})
+	rsr := testRun(t, warmup.Spec{Kind: warmup.KindReverse, Percent: 20, Cache: true, BPred: true})
+	if smarts.Work.WarmOps == 0 {
+		t.Fatal("SMARTS should perform warm operations")
+	}
+	if rsr.Work.WarmOps != 0 {
+		t.Fatal("RSR performs no functional warm operations")
+	}
+	if rsr.Work.ReconApplied >= smarts.Work.WarmOps {
+		t.Fatalf("RSR applied %d reconstructions, not less than SMARTS %d warm ops",
+			rsr.Work.ReconApplied, smarts.Work.WarmOps)
+	}
+}
+
+func TestRunFull(t *testing.T) {
+	w, _ := workload.ByName("parser")
+	res, err := RunFull(w.Build(), DefaultMachine(), 200_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Result.Instructions != 200_000 {
+		t.Fatalf("instructions = %d", res.Result.Instructions)
+	}
+	if ipc := res.Result.IPC(); ipc <= 0 || ipc > 4 {
+		t.Fatalf("IPC = %f", ipc)
+	}
+}
+
+func TestRunSampledOptsDetailedWarmup(t *testing.T) {
+	w, err := workload.ByName("twolf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := uint64(500_000)
+	reg := Regimen{ClusterSize: 1000, NumClusters: 20}
+
+	plain, err := RunSampledOpts(w.Build(), DefaultMachine(), reg, total, 42,
+		warmup.Spec{Kind: warmup.KindNone}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dw, err := RunSampledOpts(w.Build(), DefaultMachine(), reg, total, 42,
+		warmup.Spec{Kind: warmup.KindNone}, Options{DetailedWarmup: 5000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same measured cluster count and positions.
+	if len(dw.Clusters) != len(plain.Clusters) {
+		t.Fatal("cluster counts differ")
+	}
+	for i := range dw.Clusters {
+		if dw.Clusters[i].Start != plain.Clusters[i].Start {
+			t.Fatal("cluster starts moved")
+		}
+	}
+	if dw.HotInstructions != plain.HotInstructions {
+		t.Fatal("measured hot instruction counts must match")
+	}
+	// Detailed warming must reduce error against the truth.
+	full, err := RunFull(w.Build(), DefaultMachine(), total)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trueIPC := full.Result.IPC()
+	ePlain := stats.RelErr(plain.IPCEstimate(), trueIPC)
+	eDW := stats.RelErr(dw.IPCEstimate(), trueIPC)
+	if eDW >= ePlain {
+		t.Fatalf("detailed warmup RE %.4f not better than none %.4f", eDW, ePlain)
+	}
+}
+
+func TestRunSampledOptsWarmupCappedBySkip(t *testing.T) {
+	// DetailedWarmup longer than the skip region must not break anything.
+	w, _ := workload.ByName("parser")
+	reg := Regimen{ClusterSize: 1000, NumClusters: 5}
+	res, err := RunSampledOpts(w.Build(), DefaultMachine(), reg, 100_000, 1,
+		warmup.Spec{Kind: warmup.KindNone}, Options{DetailedWarmup: 1 << 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Clusters) != 5 {
+		t.Fatalf("clusters = %d", len(res.Clusters))
+	}
+}

@@ -1,0 +1,104 @@
+package simpoint
+
+import (
+	"fmt"
+	"time"
+
+	"rsr/internal/bpred"
+	"rsr/internal/funcsim"
+	"rsr/internal/mem"
+	"rsr/internal/ooo"
+	"rsr/internal/prog"
+	"rsr/internal/sampling"
+	"rsr/internal/trace"
+	"rsr/internal/warmup"
+)
+
+// Config parameterizes a SimPoint estimation run.
+type Config struct {
+	// IntervalSize is the profiling/simulation granularity in instructions
+	// (the paper evaluates 50K and 10M; scale to the workload length).
+	IntervalSize uint64
+	// MaxPoints is the cluster count k (the paper uses 30).
+	MaxPoints int
+	// Seed drives k-means initialization.
+	Seed int64
+	// Warmup optionally applies a warm-up method while fast-forwarding
+	// between simulation points (the paper's "50K-SMARTS" variants). Leave
+	// zero-valued (KindNone) for plain SimPoint.
+	Warmup warmup.Spec
+}
+
+// Result is a SimPoint IPC estimate with its cost breakdown.
+type Result struct {
+	IPC    float64
+	Points []Point
+	// ProfileElapsed is the offline BBV profiling cost (not counted as
+	// simulation time, matching the paper's comparison).
+	ProfileElapsed time.Duration
+	// SimElapsed is the simulation cost: fast-forward plus hot intervals.
+	SimElapsed time.Duration
+	// HotInstructions is the number of cycle-accurately simulated
+	// instructions.
+	HotInstructions uint64
+}
+
+// Estimate profiles p, picks simulation points, and simulates them to
+// produce a weighted IPC estimate.
+func Estimate(p *prog.Program, m sampling.MachineConfig, total uint64, cfg Config) (*Result, error) {
+	profileStart := time.Now()
+	intervals, err := Profile(p, total, cfg.IntervalSize)
+	if err != nil {
+		return nil, err
+	}
+	points := Pick(intervals, cfg.MaxPoints, cfg.Seed)
+	res := &Result{Points: points, ProfileElapsed: time.Since(profileStart)}
+	if len(points) == 0 {
+		return nil, fmt.Errorf("simpoint: no simulation points selected")
+	}
+
+	hier := mem.NewHierarchy(m.Hier)
+	unit := bpred.NewUnit(m.Pred)
+	method := cfg.Warmup.New(hier, unit)
+	sim := ooo.New(m.CPU, hier, method.Predictor())
+	fs := funcsim.New(p)
+
+	simStart := time.Now()
+	var pos uint64
+	var weighted, wsum float64
+	for _, pt := range points {
+		start := uint64(pt.IntervalIndex) * cfg.IntervalSize
+		skip := start - pos
+		method.BeginSkip(skip)
+		ran, err := fs.Run(skip, method.ObserveSkip)
+		if err != nil {
+			return nil, fmt.Errorf("simpoint: fast-forward: %w", err)
+		}
+		if ran != skip {
+			return nil, fmt.Errorf("simpoint: workload halted while fast-forwarding")
+		}
+		method.EndSkip()
+
+		var pullErr error
+		r := sim.Simulate(cfg.IntervalSize, func() (trace.DynInst, bool) {
+			d, err := fs.Step()
+			if err != nil {
+				pullErr = err
+				return trace.DynInst{}, false
+			}
+			return d, true
+		})
+		if pullErr != nil {
+			return nil, fmt.Errorf("simpoint: hot interval: %w", pullErr)
+		}
+		res.HotInstructions += r.Instructions
+		weighted += pt.Weight * r.IPC()
+		wsum += pt.Weight
+		pos = start + r.Instructions
+	}
+	res.SimElapsed = time.Since(simStart)
+	if wsum > 0 {
+		res.IPC = weighted / wsum
+	}
+	return res, nil
+}

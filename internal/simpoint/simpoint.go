@@ -1,0 +1,219 @@
+// Package simpoint implements the SimPoint baseline the paper compares
+// against (§5, Figure 9): basic-block-vector profiling at a configurable
+// interval size, k-means clustering of the vectors, selection of one
+// representative simulation point per cluster with a weight proportional to
+// cluster population, and a weighted-IPC estimate obtained by simulating only
+// the chosen intervals — optionally with SMARTS-style functional warm-up
+// while fast-forwarding between points.
+package simpoint
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"rsr/internal/funcsim"
+	"rsr/internal/prog"
+	"rsr/internal/trace"
+)
+
+// Interval is one profiling window's basic-block vector: instruction counts
+// attributed to each basic-block leader PC, normalized to sum to one.
+type Interval struct {
+	Index  int
+	Vector map[uint64]float64
+}
+
+// Profile executes the first `total` instructions of p functionally,
+// recording a normalized basic-block vector for every window of
+// intervalSize instructions. A basic block begins at the target (or
+// fall-through) of every control transfer.
+func Profile(p *prog.Program, total, intervalSize uint64) ([]Interval, error) {
+	if intervalSize == 0 || total < intervalSize {
+		return nil, errors.New("simpoint: interval size must be positive and at most the total length")
+	}
+	fs := funcsim.New(p)
+	n := int(total / intervalSize)
+	intervals := make([]Interval, 0, n)
+	counts := make(map[uint64]uint64)
+	leader := p.Entry
+	var inInterval uint64
+
+	flush := func() {
+		v := make(map[uint64]float64, len(counts))
+		for pc, c := range counts {
+			v[pc] = float64(c) / float64(intervalSize)
+		}
+		intervals = append(intervals, Interval{Index: len(intervals), Vector: v})
+		counts = make(map[uint64]uint64)
+	}
+
+	for i := 0; i < n; i++ {
+		ran, err := fs.Run(intervalSize, func(d *trace.DynInst) {
+			counts[leader]++
+			if d.IsBranch() {
+				leader = d.NextPC
+			}
+			inInterval++
+		})
+		if err != nil {
+			return nil, fmt.Errorf("simpoint: profiling: %w", err)
+		}
+		if ran != intervalSize {
+			return nil, fmt.Errorf("simpoint: workload halted during profiling interval %d", i)
+		}
+		flush()
+	}
+	return intervals, nil
+}
+
+// Point is one chosen simulation point.
+type Point struct {
+	IntervalIndex int
+	// Weight is the fraction of profiled intervals its cluster covers.
+	Weight float64
+}
+
+// Pick clusters the interval vectors with seeded k-means (k-means++
+// initialization, Euclidean distance) and returns one representative point
+// per non-empty cluster, sorted by interval index. k is clamped to the
+// number of intervals.
+func Pick(intervals []Interval, k int, seed int64) []Point {
+	if len(intervals) == 0 || k <= 0 {
+		return nil
+	}
+	if k > len(intervals) {
+		k = len(intervals)
+	}
+	rng := rand.New(rand.NewSource(seed))
+
+	// k-means++ initialization.
+	centroids := make([]map[uint64]float64, 0, k)
+	first := intervals[rng.Intn(len(intervals))]
+	centroids = append(centroids, cloneVec(first.Vector))
+	d2 := make([]float64, len(intervals))
+	for len(centroids) < k {
+		var sum float64
+		for i, iv := range intervals {
+			best := math.Inf(1)
+			for _, c := range centroids {
+				if d := dist2(iv.Vector, c); d < best {
+					best = d
+				}
+			}
+			d2[i] = best
+			sum += best
+		}
+		if sum == 0 {
+			// All remaining points coincide with centroids; duplicate one.
+			centroids = append(centroids, cloneVec(intervals[rng.Intn(len(intervals))].Vector))
+			continue
+		}
+		r := rng.Float64() * sum
+		idx := 0
+		for i := range d2 {
+			r -= d2[i]
+			if r <= 0 {
+				idx = i
+				break
+			}
+		}
+		centroids = append(centroids, cloneVec(intervals[idx].Vector))
+	}
+
+	assign := make([]int, len(intervals))
+	for iter := 0; iter < 25; iter++ {
+		changed := false
+		for i, iv := range intervals {
+			best, bestD := 0, math.Inf(1)
+			for ci, c := range centroids {
+				if d := dist2(iv.Vector, c); d < bestD {
+					best, bestD = ci, d
+				}
+			}
+			if assign[i] != best {
+				assign[i] = best
+				changed = true
+			}
+		}
+		if !changed && iter > 0 {
+			break
+		}
+		// Recompute centroids.
+		sums := make([]map[uint64]float64, k)
+		ns := make([]int, k)
+		for i := range sums {
+			sums[i] = make(map[uint64]float64)
+		}
+		for i, iv := range intervals {
+			c := assign[i]
+			ns[c]++
+			for pc, v := range iv.Vector {
+				sums[c][pc] += v
+			}
+		}
+		for ci := range centroids {
+			if ns[ci] == 0 {
+				continue
+			}
+			for pc := range sums[ci] {
+				sums[ci][pc] /= float64(ns[ci])
+			}
+			centroids[ci] = sums[ci]
+		}
+	}
+
+	// Representative per cluster: the member closest to the centroid.
+	repIdx := make([]int, k)
+	repDist := make([]float64, k)
+	counts := make([]int, k)
+	for i := range repIdx {
+		repIdx[i] = -1
+		repDist[i] = math.Inf(1)
+	}
+	for i, iv := range intervals {
+		c := assign[i]
+		counts[c]++
+		if d := dist2(iv.Vector, centroids[c]); d < repDist[c] {
+			repDist[c] = d
+			repIdx[c] = i
+		}
+	}
+	var points []Point
+	for c := 0; c < k; c++ {
+		if repIdx[c] < 0 {
+			continue
+		}
+		points = append(points, Point{
+			IntervalIndex: intervals[repIdx[c]].Index,
+			Weight:        float64(counts[c]) / float64(len(intervals)),
+		})
+	}
+	sort.Slice(points, func(i, j int) bool { return points[i].IntervalIndex < points[j].IntervalIndex })
+	return points
+}
+
+func cloneVec(v map[uint64]float64) map[uint64]float64 {
+	out := make(map[uint64]float64, len(v))
+	for k, x := range v {
+		out[k] = x
+	}
+	return out
+}
+
+// dist2 is squared Euclidean distance between sparse vectors.
+func dist2(a, b map[uint64]float64) float64 {
+	var d float64
+	for k, av := range a {
+		diff := av - b[k]
+		d += diff * diff
+	}
+	for k, bv := range b {
+		if _, ok := a[k]; !ok {
+			d += bv * bv
+		}
+	}
+	return d
+}

@@ -1,0 +1,196 @@
+package simpoint
+
+import (
+	"math"
+	"testing"
+
+	"rsr/internal/sampling"
+	"rsr/internal/stats"
+	"rsr/internal/warmup"
+	"rsr/internal/workload"
+)
+
+func TestProfileBasics(t *testing.T) {
+	w, _ := workload.ByName("parser")
+	ivs, err := Profile(w.Build(), 100_000, 10_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ivs) != 10 {
+		t.Fatalf("intervals = %d", len(ivs))
+	}
+	for _, iv := range ivs {
+		var sum float64
+		for _, v := range iv.Vector {
+			if v < 0 {
+				t.Fatal("negative BBV weight")
+			}
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("interval %d BBV sums to %f", iv.Index, sum)
+		}
+		if len(iv.Vector) < 2 {
+			t.Fatalf("interval %d has only %d basic blocks", iv.Index, len(iv.Vector))
+		}
+	}
+}
+
+func TestProfileValidation(t *testing.T) {
+	w, _ := workload.ByName("parser")
+	if _, err := Profile(w.Build(), 1000, 0); err == nil {
+		t.Fatal("zero interval must error")
+	}
+	if _, err := Profile(w.Build(), 100, 1000); err == nil {
+		t.Fatal("interval larger than total must error")
+	}
+}
+
+func TestProfileDeterministic(t *testing.T) {
+	w, _ := workload.ByName("twolf")
+	a, err := Profile(w.Build(), 50_000, 5_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := Profile(w.Build(), 50_000, 5_000)
+	for i := range a {
+		if len(a[i].Vector) != len(b[i].Vector) {
+			t.Fatal("profiles differ")
+		}
+		for pc, v := range a[i].Vector {
+			if b[i].Vector[pc] != v {
+				t.Fatal("profiles differ")
+			}
+		}
+	}
+}
+
+func TestPickSeparableClusters(t *testing.T) {
+	// Two obviously distinct phases must land in different clusters.
+	mk := func(idx int, pc uint64) Interval {
+		return Interval{Index: idx, Vector: map[uint64]float64{pc: 1}}
+	}
+	var ivs []Interval
+	for i := 0; i < 10; i++ {
+		ivs = append(ivs, mk(i, 0x1000))
+	}
+	for i := 10; i < 30; i++ {
+		ivs = append(ivs, mk(i, 0x2000))
+	}
+	pts := Pick(ivs, 2, 1)
+	if len(pts) != 2 {
+		t.Fatalf("points = %v", pts)
+	}
+	var wsum float64
+	for _, p := range pts {
+		wsum += p.Weight
+	}
+	if math.Abs(wsum-1) > 1e-9 {
+		t.Fatalf("weights sum to %f", wsum)
+	}
+	// The larger phase must carry 2/3 of the weight.
+	var big Point
+	for _, p := range pts {
+		if p.Weight > big.Weight {
+			big = p
+		}
+	}
+	if big.IntervalIndex < 10 || math.Abs(big.Weight-2.0/3.0) > 1e-9 {
+		t.Fatalf("dominant point = %+v", big)
+	}
+}
+
+func TestPickClampsK(t *testing.T) {
+	ivs := []Interval{
+		{Index: 0, Vector: map[uint64]float64{1: 1}},
+		{Index: 1, Vector: map[uint64]float64{2: 1}},
+	}
+	pts := Pick(ivs, 30, 1)
+	if len(pts) > 2 {
+		t.Fatalf("points = %d, want ≤2", len(pts))
+	}
+	if Pick(nil, 5, 1) != nil {
+		t.Fatal("empty input must yield nil")
+	}
+}
+
+func TestPickSortedAndDeterministic(t *testing.T) {
+	w, _ := workload.ByName("gcc")
+	ivs, err := Profile(w.Build(), 200_000, 10_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := Pick(ivs, 5, 9)
+	bpts := Pick(ivs, 5, 9)
+	if len(a) != len(bpts) {
+		t.Fatal("nondeterministic point count")
+	}
+	for i := range a {
+		if a[i] != bpts[i] {
+			t.Fatal("nondeterministic points")
+		}
+		if i > 0 && a[i-1].IntervalIndex >= a[i].IntervalIndex {
+			t.Fatal("points not sorted")
+		}
+	}
+}
+
+func TestEstimateReasonable(t *testing.T) {
+	w, _ := workload.ByName("twolf")
+	m := sampling.DefaultMachine()
+	total := uint64(400_000)
+	full, err := sampling.RunFull(w.Build(), m, total)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Estimate(w.Build(), m, total, Config{
+		IntervalSize: 10_000, MaxPoints: 10, Seed: 3,
+		Warmup: warmup.Spec{Kind: warmup.KindSMARTS, Cache: true, BPred: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.IPC <= 0 || res.IPC > 4 {
+		t.Fatalf("IPC = %f", res.IPC)
+	}
+	re := stats.RelErr(res.IPC, full.Result.IPC())
+	t.Logf("simpoint IPC %.4f vs true %.4f (RE %.2f%%), %d points",
+		res.IPC, full.Result.IPC(), 100*re, len(res.Points))
+	if re > 0.5 {
+		t.Fatalf("relative error %.2f implausibly large", re)
+	}
+	if res.HotInstructions == 0 || res.HotInstructions > total {
+		t.Fatalf("hot instructions = %d", res.HotInstructions)
+	}
+}
+
+func TestEstimateWarmupVariantsDiffer(t *testing.T) {
+	// Plain SimPoint and SimPoint+SMARTS must both run; with small
+	// intervals the warmed variant should not be less accurate by a wide
+	// margin (the paper's Figure 9 story at 50K).
+	w, _ := workload.ByName("twolf")
+	m := sampling.DefaultMachine()
+	total := uint64(300_000)
+	full, err := sampling.RunFull(w.Build(), m, total)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := Estimate(w.Build(), m, total, Config{IntervalSize: 3_000, MaxPoints: 10, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	warmed, err := Estimate(w.Build(), m, total, Config{
+		IntervalSize: 3_000, MaxPoints: 10, Seed: 3,
+		Warmup: warmup.Spec{Kind: warmup.KindSMARTS, Cache: true, BPred: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := full.Result.IPC()
+	rePlain := stats.RelErr(plain.IPC, truth)
+	reWarm := stats.RelErr(warmed.IPC, truth)
+	t.Logf("plain RE %.3f, warmed RE %.3f", rePlain, reWarm)
+	if reWarm > rePlain+0.05 {
+		t.Fatalf("warm-up made small-interval SimPoint much worse: %.3f vs %.3f", reWarm, rePlain)
+	}
+}

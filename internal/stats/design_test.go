@@ -1,0 +1,70 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestCoefficientOfVariation(t *testing.T) {
+	if CoefficientOfVariation([]float64{5, 5, 5}) != 0 {
+		t.Error("constant sample cv should be 0")
+	}
+	if CoefficientOfVariation(nil) != 0 {
+		t.Error("empty cv should be 0")
+	}
+	xs := []float64{1, 3}
+	want := StdDev(xs) / 2
+	if got := CoefficientOfVariation(xs); math.Abs(got-want) > 1e-12 {
+		t.Errorf("cv = %v, want %v", got, want)
+	}
+}
+
+func TestRequiredClustersInverseOfAchievable(t *testing.T) {
+	for _, cv := range []float64{0.05, 0.3, 1.2} {
+		for _, re := range []float64{0.01, 0.05, 0.2} {
+			n := Required95(cv, re)
+			if got := AchievableRelErr(cv, n, Z95); got > re+1e-12 {
+				t.Errorf("cv=%v re=%v: n=%d achieves only %v", cv, re, n, got)
+			}
+			if n > 1 {
+				if got := AchievableRelErr(cv, n-1, Z95); got <= re {
+					t.Errorf("cv=%v re=%v: n=%d not minimal (n-1 achieves %v)", cv, re, n, got)
+				}
+			}
+		}
+	}
+}
+
+func TestRequiredClustersDegenerate(t *testing.T) {
+	if RequiredClusters(0, 0.05, Z95) != 1 {
+		t.Error("zero cv needs one cluster")
+	}
+	if RequiredClusters(0.5, 0, Z95) != 1 {
+		t.Error("invalid target returns minimum")
+	}
+	if AchievableRelErr(0.5, 0, Z95) != math.Inf(1) {
+		t.Error("zero clusters achieve nothing")
+	}
+}
+
+func TestDesignDeliversCoverage(t *testing.T) {
+	// End-to-end: size a design from a pilot, then verify the achieved CI
+	// half-width is near the target on fresh samples.
+	rng := rand.New(rand.NewSource(8))
+	const trueMean, trueSD = 2.0, 0.5
+	pilot := make([]float64, 40)
+	for i := range pilot {
+		pilot[i] = trueMean + trueSD*rng.NormFloat64()
+	}
+	target := 0.05
+	n := Required95(CoefficientOfVariation(pilot), target)
+	sample := make([]float64, n)
+	for i := range sample {
+		sample[i] = trueMean + trueSD*rng.NormFloat64()
+	}
+	iv := CI95(sample)
+	if rel := iv.Err / iv.Mean; rel > target*1.5 {
+		t.Fatalf("designed n=%d achieved %.4f, target %.4f", n, rel, target)
+	}
+}

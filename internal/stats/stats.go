@@ -1,0 +1,78 @@
+// Package stats implements the cluster-sampling statistics of §5: sample
+// mean, cluster standard deviation and standard error, the 95% confidence
+// interval, the confidence test against the true IPC, and relative error.
+package stats
+
+import "math"
+
+// Mean returns the arithmetic mean of xs (0 for an empty slice).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// StdDev returns the sample standard deviation (n-1 denominator), the
+// S_IPC of the paper's cluster-sampling design.
+func StdDev(xs []float64) float64 {
+	n := len(xs)
+	if n < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var ss float64
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(n-1))
+}
+
+// StdError returns the estimated standard error of the sample mean,
+// S_IPC / sqrt(N_cluster).
+func StdError(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	return StdDev(xs) / math.Sqrt(float64(len(xs)))
+}
+
+// Z95 is the two-sided 95% normal quantile used by the paper.
+const Z95 = 1.96
+
+// Interval is a symmetric confidence interval around a sample mean.
+type Interval struct {
+	Mean float64
+	// Err is the half-width (error bound), ±1.96 standard errors for CI95.
+	Err float64
+}
+
+// CI95 returns the 95% confidence interval of the sample mean.
+func CI95(xs []float64) Interval {
+	return Interval{Mean: Mean(xs), Err: Z95 * StdError(xs)}
+}
+
+// Contains reports whether v lies within the interval.
+func (iv Interval) Contains(v float64) bool {
+	return v >= iv.Mean-iv.Err && v <= iv.Mean+iv.Err
+}
+
+// Low returns the interval's lower bound.
+func (iv Interval) Low() float64 { return iv.Mean - iv.Err }
+
+// High returns the interval's upper bound.
+func (iv Interval) High() float64 { return iv.Mean + iv.Err }
+
+// RelErr returns |est - truth| / truth, the paper's RE(IPC). It returns 0
+// when truth is 0.
+func RelErr(est, truth float64) float64 {
+	if truth == 0 {
+		return 0
+	}
+	return math.Abs(est-truth) / truth
+}

@@ -1,0 +1,114 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-12 }
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("empty mean should be 0")
+	}
+	if !almost(Mean([]float64{1, 2, 3, 4}), 2.5) {
+		t.Error("mean wrong")
+	}
+}
+
+func TestStdDev(t *testing.T) {
+	if StdDev([]float64{5}) != 0 {
+		t.Error("single-sample stddev should be 0")
+	}
+	// Known value: {2,4,4,4,5,5,7,9} has sample stddev sqrt(32/7).
+	got := StdDev([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if !almost(got, math.Sqrt(32.0/7.0)) {
+		t.Errorf("stddev = %v", got)
+	}
+	if StdDev([]float64{3, 3, 3, 3}) != 0 {
+		t.Error("constant sample stddev should be 0")
+	}
+}
+
+func TestStdError(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	if !almost(StdError(xs), StdDev(xs)/math.Sqrt(5)) {
+		t.Error("stderror wrong")
+	}
+}
+
+func TestCI95ContainsMean(t *testing.T) {
+	xs := []float64{1, 2, 3}
+	iv := CI95(xs)
+	if !iv.Contains(Mean(xs)) {
+		t.Error("interval must contain its own mean")
+	}
+	if iv.Low() >= iv.High() {
+		t.Error("interval bounds inverted")
+	}
+}
+
+func TestCI95CoverageProperty(t *testing.T) {
+	// With normal data, the 95% CI should contain the true mean roughly 95%
+	// of the time. Use a generous acceptance band.
+	rng := rand.New(rand.NewSource(1))
+	const trials = 2000
+	hits := 0
+	for i := 0; i < trials; i++ {
+		xs := make([]float64, 30)
+		for j := range xs {
+			xs[j] = 10 + rng.NormFloat64()
+		}
+		if CI95(xs).Contains(10) {
+			hits++
+		}
+	}
+	rate := float64(hits) / trials
+	if rate < 0.90 || rate > 0.99 {
+		t.Fatalf("coverage = %.3f, want ≈0.95", rate)
+	}
+}
+
+func TestRelErr(t *testing.T) {
+	if !almost(RelErr(1.1, 1.0), 0.1) {
+		t.Error("relerr wrong")
+	}
+	if !almost(RelErr(0.9, 1.0), 0.1) {
+		t.Error("relerr must be absolute")
+	}
+	if RelErr(5, 0) != 0 {
+		t.Error("relerr with zero truth should be 0")
+	}
+}
+
+func TestIntervalSymmetryProperty(t *testing.T) {
+	f := func(m, e float64) bool {
+		// Constrain to IPC-like magnitudes; astronomically large floats lose
+		// the bit precision the symmetry identity needs.
+		m = math.Mod(math.Abs(m), 16)
+		e = math.Mod(math.Abs(e), 16)
+		iv := Interval{Mean: m, Err: e}
+		return iv.Contains(m) && almost(iv.High()-m, m-iv.Low())
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMoreClustersTightenInterval(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	small := make([]float64, 10)
+	large := make([]float64, 1000)
+	for i := range large {
+		v := 5 + rng.NormFloat64()
+		large[i] = v
+		if i < 10 {
+			small[i] = v
+		}
+	}
+	if CI95(large).Err >= CI95(small).Err {
+		t.Fatal("larger samples must yield tighter intervals")
+	}
+}

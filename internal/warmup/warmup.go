@@ -1,0 +1,412 @@
+// Package warmup implements the paper's warm-up policies (Table 2): no
+// warm-up, fixed-period functional warming, SMARTS full-functional warming
+// (cache-only, predictor-only, or both), and Reverse State Reconstruction
+// (cache-only, predictor-only, or both, at a warm-up percentage). Every
+// method plugs into the sampling controller through the Method interface and
+// reports the work it performed, the machine-independent cost metric used by
+// the experiment harness.
+package warmup
+
+import (
+	"fmt"
+
+	"rsr/internal/bpred"
+	"rsr/internal/core"
+	"rsr/internal/isa"
+	"rsr/internal/mem"
+	"rsr/internal/trace"
+)
+
+// Method is one warm-up policy attached to a sampled run. The controller
+// calls BeginSkip when a skip region starts, ObserveSkip for every skipped
+// dynamic instruction, and EndSkip immediately before the next cluster; the
+// timing model then probes Predictor() during hot execution.
+type Method interface {
+	Name() string
+	BeginSkip(expectedLen uint64)
+	ObserveSkip(d *trace.DynInst)
+	EndSkip()
+	Predictor() bpred.Predictor
+	Work() Work
+}
+
+// Work counts warm-up effort in state operations, the deterministic analogue
+// of the paper's simulation-time comparison.
+type Work struct {
+	// WarmOps counts functional applications to caches or predictor
+	// (SMARTS/fixed-period style work).
+	WarmOps uint64
+	// LoggedRecords counts skip-region log appends (reverse-method capture
+	// cost; much cheaper per record than a functional application).
+	LoggedRecords uint64
+	// ReconScanned counts log records consumed by reverse scans.
+	ReconScanned uint64
+	// ReconApplied counts state mutations made by reconstruction.
+	ReconApplied uint64
+}
+
+// Kind enumerates the warm-up families.
+type Kind uint8
+
+// Warm-up families.
+const (
+	KindNone Kind = iota
+	KindFixed
+	KindSMARTS
+	KindReverse
+)
+
+// Spec names one warm-up configuration from the paper's experiment matrix.
+type Spec struct {
+	Kind    Kind
+	Percent int  // warm-up percentage for Fixed and Reverse
+	Cache   bool // warm the cache hierarchy
+	BPred   bool // warm the branch predictor
+	// NoCounterInference disables the Reverse method's weak-form /
+	// middle-state counter inference, leaving unresolved entries stale
+	// (ablation of §3.2's Figure 3 rule). Only meaningful for KindReverse
+	// with BPred.
+	NoCounterInference bool
+}
+
+// Label renders the paper's abbreviations: None, FP (p%), S$, SBP, S$BP,
+// R$ (p%), RBP, R$BP (p%).
+func (s Spec) Label() string {
+	switch s.Kind {
+	case KindNone:
+		return "None"
+	case KindFixed:
+		return fmt.Sprintf("FP (%d%%)", s.Percent)
+	case KindSMARTS:
+		return "S" + structSuffix(s.Cache, s.BPred)
+	case KindReverse:
+		base := "R" + structSuffix(s.Cache, s.BPred)
+		if s.Cache {
+			base = fmt.Sprintf("%s (%d%%)", base, s.Percent)
+		}
+		if s.NoCounterInference {
+			base += " no-infer"
+		}
+		return base
+	}
+	return "?"
+}
+
+func structSuffix(cache, bp bool) string {
+	switch {
+	case cache && bp:
+		return "$BP"
+	case cache:
+		return "$"
+	case bp:
+		return "BP"
+	}
+	return ""
+}
+
+// New instantiates the method over the run's shared hierarchy and predictor.
+func (s Spec) New(h *mem.Hierarchy, u *bpred.Unit) Method {
+	switch s.Kind {
+	case KindFixed:
+		return &fixedPeriod{funcWarm: funcWarm{h: h, u: u, cache: s.Cache, bp: s.BPred, label: s.Label()}, percent: s.Percent}
+	case KindSMARTS:
+		return &smarts{funcWarm: funcWarm{h: h, u: u, cache: s.Cache, bp: s.BPred, label: s.Label()}}
+	case KindReverse:
+		return newReverse(h, u, s)
+	default:
+		return &none{u: u}
+	}
+}
+
+// Matrix returns the paper's Table 2 experiment matrix in reporting order.
+func Matrix() []Spec {
+	return []Spec{
+		{Kind: KindFixed, Percent: 20, Cache: true, BPred: true},
+		{Kind: KindFixed, Percent: 40, Cache: true, BPred: true},
+		{Kind: KindFixed, Percent: 80, Cache: true, BPred: true},
+		{Kind: KindNone},
+		{Kind: KindSMARTS, Cache: true},
+		{Kind: KindSMARTS, BPred: true},
+		{Kind: KindSMARTS, Cache: true, BPred: true},
+		{Kind: KindReverse, Percent: 20, Cache: true},
+		{Kind: KindReverse, Percent: 40, Cache: true},
+		{Kind: KindReverse, Percent: 80, Cache: true},
+		{Kind: KindReverse, Percent: 100, Cache: true},
+		{Kind: KindReverse, Percent: 100, BPred: true},
+		{Kind: KindReverse, Percent: 20, Cache: true, BPred: true},
+		{Kind: KindReverse, Percent: 40, Cache: true, BPred: true},
+		{Kind: KindReverse, Percent: 80, Cache: true, BPred: true},
+		{Kind: KindReverse, Percent: 100, Cache: true, BPred: true},
+	}
+}
+
+// SpecByLabel resolves a paper abbreviation ("S$BP", "R$BP (20%)", "None",
+// "FP (40%)") back to its Spec.
+func SpecByLabel(label string) (Spec, error) {
+	for _, s := range Matrix() {
+		if s.Label() == label {
+			return s, nil
+		}
+	}
+	return Spec{}, fmt.Errorf("warmup: unknown method label %q", label)
+}
+
+// lineTracker detects instruction-fetch line crossings so per-instruction
+// fetches collapse to one reference per line, identically for functional
+// warming and for logging.
+type lineTracker struct {
+	lineMask uint64
+	last     uint64
+	have     bool
+}
+
+func newLineTracker(lineBytes int) lineTracker {
+	return lineTracker{lineMask: ^uint64(lineBytes - 1)}
+}
+
+// crossed reports whether pc enters a new cache line.
+func (t *lineTracker) crossed(pc uint64) bool {
+	line := pc & t.lineMask
+	if t.have && line == t.last {
+		return false
+	}
+	t.last, t.have = line, true
+	return true
+}
+
+func (t *lineTracker) reset() { t.have = false }
+
+// branchRecordOf converts a committed control transfer to its log record.
+func branchRecordOf(d *trace.DynInst) trace.BranchRecord {
+	return trace.BranchRecord{PC: d.PC, NextPC: d.NextPC, Taken: d.Taken, Class: d.Op.Class()}
+}
+
+// --- None ---
+
+type none struct{ u *bpred.Unit }
+
+func (n *none) Name() string               { return "None" }
+func (n *none) BeginSkip(uint64)           {}
+func (n *none) ObserveSkip(*trace.DynInst) {}
+func (n *none) EndSkip()                   {}
+func (n *none) Predictor() bpred.Predictor { return n.u }
+func (n *none) Work() Work                 { return Work{} }
+
+// --- shared functional-warming machinery (SMARTS and fixed-period) ---
+
+type funcWarm struct {
+	h     *mem.Hierarchy
+	u     *bpred.Unit
+	cache bool
+	bp    bool
+	label string
+	lines lineTracker
+	work  Work
+}
+
+func (f *funcWarm) apply(d *trace.DynInst) {
+	if f.cache {
+		if f.lines.lineMask == 0 {
+			f.lines = newLineTracker(f.h.Config().L1I.LineBytes)
+		}
+		if f.lines.crossed(d.PC) {
+			f.h.WarmInst(d.PC)
+			f.work.WarmOps++
+		}
+		if d.IsMem() {
+			f.h.WarmData(d.EffAddr, d.Op.Class() == isa.ClassStore)
+			f.work.WarmOps++
+		}
+	}
+	if f.bp && d.IsBranch() {
+		f.u.Update(branchRecordOf(d))
+		f.work.WarmOps++
+	}
+}
+
+// --- SMARTS: full functional warming of the whole skip region ---
+
+type smarts struct{ funcWarm }
+
+func (s *smarts) Name() string                 { return s.label }
+func (s *smarts) BeginSkip(uint64)             { s.lines.reset() }
+func (s *smarts) ObserveSkip(d *trace.DynInst) { s.apply(d) }
+func (s *smarts) EndSkip()                     {}
+func (s *smarts) Predictor() bpred.Predictor   { return s.u }
+func (s *smarts) Work() Work                   { return s.work }
+
+// --- Fixed period: functional warming of the trailing percent only ---
+
+type fixedPeriod struct {
+	funcWarm
+	percent   int
+	seen      uint64
+	threshold uint64
+}
+
+func (f *fixedPeriod) Name() string { return f.label }
+
+func (f *fixedPeriod) BeginSkip(expectedLen uint64) {
+	f.lines.reset()
+	f.seen = 0
+	f.threshold = expectedLen - expectedLen*uint64(f.percent)/100
+}
+
+func (f *fixedPeriod) ObserveSkip(d *trace.DynInst) {
+	f.seen++
+	if f.seen > f.threshold {
+		f.apply(d)
+	}
+}
+
+func (f *fixedPeriod) EndSkip()                   {}
+func (f *fixedPeriod) Predictor() bpred.Predictor { return f.u }
+func (f *fixedPeriod) Work() Work                 { return f.work }
+
+// --- Profiled-window warming (MRRL / BLRL) ---
+
+// windowed functionally warms the trailing window of each skip region, with
+// per-region window lengths computed by a reuse-latency profiling pass (the
+// MRRL and BLRL methods of §2). Unlike fixed-period warming the window is
+// not a fixed percentage: it is whatever the profile says covers the chosen
+// percentile of reuse latencies for that specific cluster / pre-cluster
+// pair. The windows pin the cluster locations they were profiled with.
+type windowed struct {
+	funcWarm
+	windows   []uint64
+	region    int
+	seen      uint64
+	threshold uint64
+}
+
+// NewWindowed builds an MRRL/BLRL-style method over precomputed per-region
+// warm windows (in instructions before each cluster).
+func NewWindowed(label string, h *mem.Hierarchy, u *bpred.Unit, windows []uint64) Method {
+	return &windowed{
+		funcWarm: funcWarm{h: h, u: u, cache: true, bp: true, label: label},
+		windows:  windows,
+	}
+}
+
+func (w *windowed) Name() string { return w.label }
+
+func (w *windowed) BeginSkip(expectedLen uint64) {
+	w.lines.reset()
+	w.seen = 0
+	win := uint64(0)
+	if w.region < len(w.windows) {
+		win = w.windows[w.region]
+	}
+	w.region++
+	if win > expectedLen {
+		win = expectedLen
+	}
+	w.threshold = expectedLen - win
+}
+
+func (w *windowed) ObserveSkip(d *trace.DynInst) {
+	w.seen++
+	if w.seen > w.threshold {
+		w.apply(d)
+	}
+}
+
+func (w *windowed) EndSkip()                   {}
+func (w *windowed) Predictor() bpred.Predictor { return w.u }
+func (w *windowed) Work() Work                 { return w.work }
+
+// --- Reverse State Reconstruction ---
+
+type reverse struct {
+	h             *mem.Hierarchy
+	u             *bpred.Unit
+	rp            *core.ReconPredictor
+	spec          Spec
+	label         string
+	log           trace.SkipLog
+	lines         lineTracker
+	work          Work
+	lastPredStats core.PredReconStats
+}
+
+func newReverse(h *mem.Hierarchy, u *bpred.Unit, s Spec) *reverse {
+	r := &reverse{h: h, u: u, spec: s, label: s.Label(),
+		lines: newLineTracker(h.Config().L1I.LineBytes)}
+	if s.BPred {
+		r.rp = core.NewReconPredictor(u)
+		r.rp.SetNoInference(s.NoCounterInference)
+	}
+	return r
+}
+
+func (r *reverse) Name() string { return r.label }
+
+func (r *reverse) BeginSkip(uint64) {
+	// Storage is kept only for the current region (§3): discard the previous
+	// region's log.
+	r.collectPredWork()
+	r.log.Reset()
+	r.lines.reset()
+}
+
+func (r *reverse) ObserveSkip(d *trace.DynInst) {
+	if r.spec.Cache {
+		if r.lines.crossed(d.PC) {
+			r.log.AddMem(trace.MemRecord{PC: d.PC, NextPC: d.NextPC, Addr: d.PC, IsInstr: true})
+			r.work.LoggedRecords++
+		}
+		if d.IsMem() {
+			r.log.AddMem(trace.MemRecord{
+				PC: d.PC, NextPC: d.NextPC, Addr: d.EffAddr,
+				IsStore: d.Op.Class() == isa.ClassStore,
+			})
+			r.work.LoggedRecords++
+		}
+	}
+	if r.spec.BPred && d.IsBranch() {
+		r.log.AddBranch(branchRecordOf(d))
+		r.work.LoggedRecords++
+	}
+}
+
+func (r *reverse) EndSkip() {
+	if r.spec.Cache {
+		st := core.ReconstructCaches(r.h, r.log.Mem, r.spec.Percent)
+		r.work.ReconScanned += st.ScannedRefs
+		r.work.ReconApplied += st.Applied
+	}
+	if r.spec.BPred {
+		r.rp.BeginRegion(r.log.Branches, r.spec.Percent)
+		st := r.rp.Stats()
+		r.lastPredStats = st
+		r.work.ReconApplied += st.BTBInstalled + st.RASInstalled
+	}
+}
+
+// collectPredWork folds the on-demand scanning performed during the previous
+// cluster into the cumulative work counters.
+func (r *reverse) collectPredWork() {
+	if r.rp == nil {
+		return
+	}
+	st := r.rp.Stats()
+	r.work.ReconScanned += st.ScannedRecords
+	r.work.ReconApplied += st.CountersExact + st.CountersInferred
+}
+
+func (r *reverse) Predictor() bpred.Predictor {
+	if r.rp != nil {
+		return r.rp
+	}
+	return r.u
+}
+
+func (r *reverse) Work() Work {
+	w := r.work
+	if r.rp != nil {
+		st := r.rp.Stats()
+		w.ReconScanned += st.ScannedRecords
+		w.ReconApplied += st.CountersExact + st.CountersInferred
+	}
+	return w
+}

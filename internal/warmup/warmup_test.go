@@ -1,0 +1,279 @@
+package warmup
+
+import (
+	"testing"
+
+	"rsr/internal/bpred"
+	"rsr/internal/isa"
+	"rsr/internal/mem"
+	"rsr/internal/trace"
+)
+
+func testEnv() (*mem.Hierarchy, *bpred.Unit) {
+	return mem.NewHierarchy(mem.DefaultHierarchyConfig()), bpred.NewUnit(bpred.DefaultConfig())
+}
+
+func TestLabels(t *testing.T) {
+	cases := []struct {
+		spec Spec
+		want string
+	}{
+		{Spec{Kind: KindNone}, "None"},
+		{Spec{Kind: KindFixed, Percent: 20, Cache: true, BPred: true}, "FP (20%)"},
+		{Spec{Kind: KindSMARTS, Cache: true}, "S$"},
+		{Spec{Kind: KindSMARTS, BPred: true}, "SBP"},
+		{Spec{Kind: KindSMARTS, Cache: true, BPred: true}, "S$BP"},
+		{Spec{Kind: KindReverse, Percent: 40, Cache: true}, "R$ (40%)"},
+		{Spec{Kind: KindReverse, Percent: 100, BPred: true}, "RBP"},
+		{Spec{Kind: KindReverse, Percent: 80, Cache: true, BPred: true}, "R$BP (80%)"},
+	}
+	for _, c := range cases {
+		if got := c.spec.Label(); got != c.want {
+			t.Errorf("Label(%+v) = %q, want %q", c.spec, got, c.want)
+		}
+	}
+}
+
+func TestMatrixMatchesTable2(t *testing.T) {
+	m := Matrix()
+	if len(m) != 16 {
+		t.Fatalf("matrix has %d entries, want 16", len(m))
+	}
+	want := []string{
+		"FP (20%)", "FP (40%)", "FP (80%)", "None",
+		"S$", "SBP", "S$BP",
+		"R$ (20%)", "R$ (40%)", "R$ (80%)", "R$ (100%)",
+		"RBP",
+		"R$BP (20%)", "R$BP (40%)", "R$BP (80%)", "R$BP (100%)",
+	}
+	for i, s := range m {
+		if s.Label() != want[i] {
+			t.Fatalf("matrix[%d] = %q, want %q", i, s.Label(), want[i])
+		}
+	}
+}
+
+func memInst(pc, addr uint64, store bool) *trace.DynInst {
+	op := isa.OpLd
+	if store {
+		op = isa.OpSt
+	}
+	return &trace.DynInst{PC: pc, NextPC: pc + 4, Op: op, EffAddr: addr}
+}
+
+func branchInst(pc uint64, taken bool) *trace.DynInst {
+	d := &trace.DynInst{PC: pc, NextPC: pc + 4, Op: isa.OpBne, Taken: taken}
+	if taken {
+		d.NextPC = pc + 64
+	}
+	return d
+}
+
+func TestNoneIsInert(t *testing.T) {
+	h, u := testEnv()
+	m := Spec{Kind: KindNone}.New(h, u)
+	m.BeginSkip(10)
+	m.ObserveSkip(memInst(0x400000, 0x1000, false))
+	m.ObserveSkip(branchInst(0x400004, true))
+	m.EndSkip()
+	if h.TotalUpdates() != 0 || u.Updates() != 0 {
+		t.Fatal("None must not touch any state")
+	}
+	if m.Work() != (Work{}) {
+		t.Fatal("None must report no work")
+	}
+	if m.Predictor() != bpred.Predictor(u) {
+		t.Fatal("None must expose the raw unit")
+	}
+}
+
+func TestSMARTSWarmsSelectedStructures(t *testing.T) {
+	h, u := testEnv()
+	m := Spec{Kind: KindSMARTS, Cache: true}.New(h, u)
+	m.BeginSkip(2)
+	m.ObserveSkip(memInst(0x400000, 0x1000, false))
+	m.ObserveSkip(branchInst(0x400004, true))
+	m.EndSkip()
+	if h.TotalUpdates() == 0 {
+		t.Fatal("S$ must warm caches")
+	}
+	if u.Updates() != 0 {
+		t.Fatal("S$ must not train the predictor")
+	}
+
+	h2, u2 := testEnv()
+	m2 := Spec{Kind: KindSMARTS, BPred: true}.New(h2, u2)
+	m2.BeginSkip(2)
+	m2.ObserveSkip(memInst(0x400000, 0x1000, false))
+	m2.ObserveSkip(branchInst(0x400004, true))
+	m2.EndSkip()
+	if h2.TotalUpdates() != 0 {
+		t.Fatal("SBP must not warm caches")
+	}
+	if u2.Updates() == 0 {
+		t.Fatal("SBP must train the predictor")
+	}
+}
+
+func TestSMARTSCollapsesFetchesPerLine(t *testing.T) {
+	h, u := testEnv()
+	m := Spec{Kind: KindSMARTS, Cache: true}.New(h, u)
+	m.BeginSkip(16)
+	// 16 sequential instructions within one 64-byte line: one I-warm, and
+	// crossing into the next line adds one more.
+	for pc := uint64(0x400000); pc < 0x400000+17*4; pc += 4 {
+		m.ObserveSkip(&trace.DynInst{PC: pc, NextPC: pc + 4, Op: isa.OpAdd})
+	}
+	if got := m.Work().WarmOps; got != 2 {
+		t.Fatalf("warm ops = %d, want 2 (one per line)", got)
+	}
+}
+
+func TestFixedPeriodWarmsOnlyTail(t *testing.T) {
+	h, u := testEnv()
+	m := Spec{Kind: KindFixed, Percent: 20, BPred: true}.New(h, u)
+	_ = h
+	const n = 1000
+	m.BeginSkip(n)
+	for i := 0; i < n; i++ {
+		m.ObserveSkip(branchInst(0x400000+uint64(i%8)*4, i%2 == 0))
+	}
+	m.EndSkip()
+	// Exactly the last 20% of branches are applied.
+	if got := m.Work().WarmOps; got != n/5 {
+		t.Fatalf("warm ops = %d, want %d", got, n/5)
+	}
+}
+
+func TestReverseCacheOnlyLogsAndReconstructs(t *testing.T) {
+	h, u := testEnv()
+	m := Spec{Kind: KindReverse, Percent: 100, Cache: true}.New(h, u)
+	m.BeginSkip(3)
+	m.ObserveSkip(memInst(0x400000, 0x1000, false))
+	m.ObserveSkip(memInst(0x400004, 0x2000, true))
+	m.ObserveSkip(branchInst(0x400008, true))
+	if h.TotalUpdates() != 0 {
+		t.Fatal("reverse must not touch caches during logging")
+	}
+	m.EndSkip()
+	if h.TotalUpdates() == 0 {
+		t.Fatal("reconstruction must have applied updates")
+	}
+	if !h.L1D.Probe(0x1000) || !h.L1D.Probe(0x2000) {
+		t.Fatal("logged data lines missing after reconstruction")
+	}
+	w := m.Work()
+	// 1 fetch line + 2 data refs logged; the branch is not (cache-only).
+	if w.LoggedRecords != 3 {
+		t.Fatalf("logged = %d, want 3", w.LoggedRecords)
+	}
+	if u.Updates() != 0 {
+		t.Fatal("R$ must leave the predictor stale")
+	}
+}
+
+func TestReverseBPredExposesWrappedPredictor(t *testing.T) {
+	h, u := testEnv()
+	m := Spec{Kind: KindReverse, Percent: 100, BPred: true}.New(h, u)
+	if m.Predictor() == bpred.Predictor(u) {
+		t.Fatal("RBP must expose the reconstruction wrapper")
+	}
+	m.BeginSkip(2)
+	m.ObserveSkip(branchInst(0x400000, true))
+	m.ObserveSkip(branchInst(0x400040, false))
+	m.EndSkip()
+	// Probing must work and reconstruct on demand without panicking.
+	m.Predictor().Predict(0x400000, isa.ClassBranch)
+	if m.Work().LoggedRecords != 2 {
+		t.Fatalf("logged = %d, want 2", m.Work().LoggedRecords)
+	}
+}
+
+func TestReverseLogDiscardedBetweenRegions(t *testing.T) {
+	h, u := testEnv()
+	m := Spec{Kind: KindReverse, Percent: 100, Cache: true}.New(h, u).(*reverse)
+	m.BeginSkip(1)
+	m.ObserveSkip(memInst(0x400000, 0x1000, false))
+	m.EndSkip()
+	m.BeginSkip(1)
+	if m.log.Len() != 0 {
+		t.Fatal("log must be discarded at the next skip region")
+	}
+}
+
+func TestWindowedMethod(t *testing.T) {
+	h, u := testEnv()
+	// Per-region windows: 3 instructions for region 0, none for region 1,
+	// oversize for region 2 (capped at the region length).
+	m := NewWindowed("MRRL (90%)", h, u, []uint64{3, 0, 100})
+	if m.Name() != "MRRL (90%)" {
+		t.Fatalf("name = %q", m.Name())
+	}
+
+	// Region 0: 10 instructions, warm the last 3 branches only.
+	m.BeginSkip(10)
+	for i := 0; i < 10; i++ {
+		m.ObserveSkip(branchInst(0x400000+uint64(i%4)*4, true))
+	}
+	m.EndSkip()
+	// 3 branch updates + 1 instruction-line warm (cache+bpred method).
+	if got := m.Work().WarmOps; got != 4 {
+		t.Fatalf("region 0 warm ops = %d, want 4", got)
+	}
+
+	// Region 1: zero window -> nothing warmed.
+	m.BeginSkip(10)
+	for i := 0; i < 10; i++ {
+		m.ObserveSkip(branchInst(0x400000, true))
+	}
+	m.EndSkip()
+	if got := m.Work().WarmOps; got != 4 {
+		t.Fatalf("region 1 warm ops = %d, want still 4", got)
+	}
+
+	// Region 2: window larger than the region -> the whole region warms.
+	m.BeginSkip(5)
+	for i := 0; i < 5; i++ {
+		m.ObserveSkip(branchInst(0x400000, true))
+	}
+	m.EndSkip()
+	if got := m.Work().WarmOps; got != 4+6 {
+		t.Fatalf("region 2 warm ops = %d, want 10", got)
+	}
+
+	// Beyond the window list: no warming.
+	m.BeginSkip(5)
+	for i := 0; i < 5; i++ {
+		m.ObserveSkip(branchInst(0x400000, true))
+	}
+	m.EndSkip()
+	if got := m.Work().WarmOps; got != 10 {
+		t.Fatalf("region 3 warm ops = %d, want 10", got)
+	}
+}
+
+func TestReverseNoInferLabel(t *testing.T) {
+	s := Spec{Kind: KindReverse, Percent: 100, BPred: true, NoCounterInference: true}
+	if s.Label() != "RBP no-infer" {
+		t.Fatalf("label = %q", s.Label())
+	}
+	s.Cache = true
+	if s.Label() != "R$BP (100%) no-infer" {
+		t.Fatalf("label = %q", s.Label())
+	}
+}
+
+func TestSpecByLabel(t *testing.T) {
+	for _, s := range Matrix() {
+		got, err := SpecByLabel(s.Label())
+		if err != nil {
+			t.Fatalf("%s: %v", s.Label(), err)
+		}
+		if got != s {
+			t.Fatalf("%s: round trip changed spec: %+v vs %+v", s.Label(), got, s)
+		}
+	}
+	if _, err := SpecByLabel("nonsense"); err == nil {
+		t.Fatal("unknown label must error")
+	}
+}

@@ -1,0 +1,139 @@
+package workload
+
+import (
+	"fmt"
+
+	"rsr/internal/isa"
+	"rsr/internal/prog"
+)
+
+// CustomConfig parameterizes a synthetic workload along the axes that govern
+// warm-up sensitivity: data working-set size, branch predictability, call
+// depth, and memory-reference density. Sweeping one knob while holding the
+// others isolates its effect on non-sampling bias (see examples in the
+// experiment harness and the sensitivity study).
+type CustomConfig struct {
+	// Name labels the generated program.
+	Name string
+	// DataWords is the data working-set size in 64-bit words (power of two
+	// required; default 2048 = 16 KiB).
+	DataWords int64
+	// BranchBias is the approximate taken-probability of the data-dependent
+	// branch in eighths: 0..8 (default 4 = 50/50, maximally unpredictable).
+	BranchBias int
+	// CallDepth nests this many call levels through a software stack per
+	// outer iteration (0 disables calls; >8 overflows the paper's RAS).
+	CallDepth int
+	// MemOpsPerIteration is how many load/store pairs each inner iteration
+	// performs (default 1).
+	MemOpsPerIteration int
+	// ALUOpsPerIteration pads each iteration with arithmetic (default 4).
+	ALUOpsPerIteration int
+	// Seed varies the LCG stream.
+	Seed int64
+}
+
+// Validate normalizes defaults and rejects unusable values.
+func (c *CustomConfig) Validate() error {
+	if c.Name == "" {
+		c.Name = "custom"
+	}
+	if c.DataWords == 0 {
+		c.DataWords = 2048
+	}
+	if c.DataWords < 2 || c.DataWords&(c.DataWords-1) != 0 {
+		return fmt.Errorf("workload: DataWords %d must be a power of two ≥ 2", c.DataWords)
+	}
+	if c.BranchBias < 0 || c.BranchBias > 8 {
+		return fmt.Errorf("workload: BranchBias %d out of range 0..8", c.BranchBias)
+	}
+	if c.CallDepth < 0 || c.CallDepth > 30 {
+		return fmt.Errorf("workload: CallDepth %d out of range 0..30", c.CallDepth)
+	}
+	if c.MemOpsPerIteration == 0 {
+		c.MemOpsPerIteration = 1
+	}
+	if c.MemOpsPerIteration < 0 || c.MemOpsPerIteration > 16 {
+		return fmt.Errorf("workload: MemOpsPerIteration %d out of range 1..16", c.MemOpsPerIteration)
+	}
+	if c.ALUOpsPerIteration == 0 {
+		c.ALUOpsPerIteration = 4
+	}
+	if c.ALUOpsPerIteration < 0 || c.ALUOpsPerIteration > 64 {
+		return fmt.Errorf("workload: ALUOpsPerIteration %d out of range 1..64", c.ALUOpsPerIteration)
+	}
+	return nil
+}
+
+// Custom builds a workload from cfg.
+func Custom(cfg CustomConfig) (*prog.Program, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	b := prog.NewBuilder(cfg.Name)
+	emitLCGSetup(b, 0x1000+cfg.Seed)
+	// Seed the data array with varied values so the data-dependent branch
+	// sees entropy from the first iteration (cap the init loop's length for
+	// huge working sets; stores during the run keep adding variety).
+	initWords := cfg.DataWords
+	if initWords > 16384 {
+		initWords = 16384
+	}
+	emitInitArray(b, "cinit", regionA, initWords)
+	b.Li(rBase, int64(regionA))
+	b.Li(rSP, int64(regionS))
+	b.Li(rB6, int64(cfg.BranchBias))
+
+	if cfg.CallDepth > 0 {
+		b.Jmp("main")
+		for d := 0; d < cfg.CallDepth; d++ {
+			b.Label(fmt.Sprintf("cfn%d", d))
+			b.St(rSP, rLink, 0)
+			b.Addi(rSP, rSP, -16)
+			emitBody(b, cfg, d)
+			if d < cfg.CallDepth-1 {
+				b.Call(rLink, fmt.Sprintf("cfn%d", d+1))
+			}
+			b.Addi(rSP, rSP, 16)
+			b.Ld(rLink, rSP, 0)
+			b.Ret(rLink)
+		}
+	}
+
+	b.Label("main")
+	emitLCGStep(b)
+	emitBody(b, cfg, 0)
+	if cfg.CallDepth > 0 {
+		b.Call(rLink, "cfn0")
+	}
+	b.Jmp("main")
+	b.Halt()
+	return b.Build()
+}
+
+// emitBody generates one iteration's work: mem ops at LCG-derived indices, a
+// biased data-dependent branch, and ALU padding.
+func emitBody(b *prog.Builder, cfg CustomConfig, salt int) {
+	mask := cfg.DataWords - 1
+	for k := 0; k < cfg.MemOpsPerIteration; k++ {
+		b.Shri(rT1, rLCG, int64(4+7*k+salt)%40)
+		b.Andi(rT1, rT1, mask)
+		b.Shli(rT1, rT1, 3)
+		b.Op3(isa.OpAdd, rT1, rT1, rBase)
+		b.Ld(rVal, rT1, 0)
+		b.Op3(isa.OpAdd, rAcc, rAcc, rVal)
+		// Mix the LCG into what gets stored so the array keeps its entropy
+		// as the run overwrites it.
+		b.Op3(isa.OpXor, rAcc, rAcc, rLCG)
+		b.St(rT1, rAcc, 0)
+	}
+	// Data-dependent branch taken when (val & 7) < bias.
+	lbl := fmt.Sprintf("cb%d_%d", salt, b.Here())
+	b.Andi(rT2, rVal, 7)
+	b.Branch(isa.OpBlt, rT2, rB6, lbl)
+	b.Op3(isa.OpXor, rAcc, rAcc, rVal)
+	b.Label(lbl)
+	for k := 0; k < cfg.ALUOpsPerIteration; k++ {
+		b.Op3(isa.OpAdd, uint8(14+k%4), rAcc, rVal)
+	}
+}

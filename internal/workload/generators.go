@@ -1,0 +1,392 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"rsr/internal/isa"
+	"rsr/internal/prog"
+)
+
+func fbits(v float64) int64 { return int64(math.Float64bits(v)) }
+
+// Ammp mimics SPEC2000 ammp: floating-point streaming over three 1 MiB
+// arrays (A, B, C = A*s + B) with a divide every 16 elements. The 3 MiB
+// footprint exceeds the 1 MiB L2, so the workload is memory-bound with
+// highly predictable branches — cache warm-up dominates, predictor warm-up
+// barely matters.
+func Ammp() *prog.Program {
+	b := prog.NewBuilder("ammp")
+	emitLCGSetup(b, 0x0A44)
+	b.Li(rBase, int64(regionA))
+	b.Li(rBas2, int64(regionB))
+	b.Li(rBas3, int64(regionC))
+	b.Li(f1, fbits(1.000001))
+	b.Li(fAcc, fbits(0))
+	b.Li(rLim, 131072*8)
+	b.Label("outer")
+	b.Li(rIdx, 0)
+	b.Label("inner")
+	b.Op3(isa.OpAdd, rT1, rBase, rIdx)
+	b.Ld(f3, rT1, 0)
+	b.Op3(isa.OpAdd, rT2, rBas2, rIdx)
+	b.Ld(f4, rT2, 0)
+	b.Op3(isa.OpFMul, f5, f3, f1)
+	b.Op3(isa.OpFAdd, f6, f5, f4)
+	b.Op3(isa.OpFAdd, fAcc, fAcc, f6)
+	b.Op3(isa.OpAdd, rT3, rBas3, rIdx)
+	b.St(rT3, f6, 0)
+	b.Andi(rT4, rIdx, 127)
+	b.Branch(isa.OpBne, rT4, 0, "skipdiv")
+	b.Op3(isa.OpFDiv, f5, f6, f1)
+	b.Label("skipdiv")
+	b.Addi(rIdx, rIdx, 8)
+	b.Branch(isa.OpBlt, rIdx, rLim, "inner")
+	b.Jmp("outer")
+	b.Halt()
+	return b.MustBuild()
+}
+
+// Art mimics SPEC2000 art: floating-point passes over a 64 KiB window that
+// slides by 16 KiB per pass (75% overlap) around an 8 MiB ring. The short
+// reuse distance means the cluster-relevant cache state is established
+// shortly before each cluster — the regime in which trailing-percentage
+// warm-up works — while the long wrap distance keeps long-dead lines from
+// mattering. The ring exceeds the 1 MiB L2, as art's working set did.
+func Art() *prog.Program {
+	const (
+		mask   = 8<<20 - 1
+		window = 64 << 10
+		slide  = 16 << 10
+	)
+	b := prog.NewBuilder("art")
+	b.Li(rBase, int64(regionA))
+	b.Li(f1, fbits(1.0000001))
+	b.Li(fAcc, fbits(0))
+	b.Li(rOff, 0)
+	b.Label("outer")
+	b.Li(rIdx, 0)
+	b.Li(rLim, window)
+	b.Label("inner")
+	b.Op3(isa.OpAdd, rT1, rIdx, rOff)
+	b.Andi(rT1, rT1, mask)
+	b.Op3(isa.OpAdd, rT1, rT1, rBase)
+	b.Ld(f3, rT1, 0)
+	b.Op3(isa.OpFMul, f4, f3, f1)
+	b.Op3(isa.OpFAdd, fAcc, fAcc, f4)
+	b.St(rT1, f4, 0)
+	b.Addi(rIdx, rIdx, 64) // one access per line: streaming within the pass
+	b.Branch(isa.OpBlt, rIdx, rLim, "inner")
+	b.Addi(rOff, rOff, slide)
+	b.Andi(rOff, rOff, mask)
+	b.Jmp("outer")
+	b.Halt()
+	return b.MustBuild()
+}
+
+// Gcc mimics SPEC2000 gcc: a 512-way indirect dispatch (a pass over IR
+// nodes) into distinct basic blocks — roughly 50 KiB of live code pressuring
+// the 64 KiB L1I — each block mixing loads from a 256 KiB array, mixed-bias
+// data-dependent branches, and stores.
+func Gcc() *prog.Program {
+	const (
+		blocks = 512
+		words  = 32768 // 256 KiB data array
+	)
+	rng := rand.New(rand.NewSource(42))
+	b := prog.NewBuilder("gcc")
+	emitLCGSetup(b, 0x6CC)
+	emitInitArray(b, "init", regionA, words)
+	b.Li(rTab, int64(regionT))
+	b.Li(rB6, 6)
+	b.Jmp("main")
+
+	for i := 0; i < blocks; i++ {
+		lbl := fmt.Sprintf("blk%d", i)
+		b.Label(lbl)
+		b.WordLabel(regionT+uint64(i)*8, lbl)
+		// One or two loads at block-specific shifts of the LCG.
+		nloads := 1 + rng.Intn(2)
+		for k := 0; k < nloads; k++ {
+			b.Shri(rT1, rLCG, int64(3+rng.Intn(18)))
+			b.Andi(rT1, rT1, words-1)
+			b.Shli(rT1, rT1, 3)
+			b.Op3(isa.OpAdd, rT1, rT1, rBase)
+			b.Ld(rVal, rT1, 0)
+		}
+		// A mixed-bias data-dependent branch (taken ~75%).
+		tl := fmt.Sprintf("blk%dt", i)
+		b.Andi(rT2, rVal, 7)
+		b.Branch(isa.OpBlt, rT2, rB6, tl)
+		for k := 0; k < 1+rng.Intn(3); k++ {
+			b.Op3(isa.OpXor, rAcc, rAcc, rVal)
+		}
+		b.Label(tl)
+		if rng.Intn(3) == 0 {
+			b.St(rT1, rAcc, 0)
+		}
+		// Filler ALU work to give the block code weight.
+		for k := 0; k < 10+rng.Intn(11); k++ {
+			b.Op3(isa.OpAdd, uint8(14+k%4), rAcc, rVal)
+		}
+		b.Jmp("main")
+	}
+
+	b.Label("main")
+	emitLCGStep(b)
+	b.Shri(rT1, rLCG, 13)
+	b.Andi(rT1, rT1, blocks-1)
+	b.Shli(rT1, rT1, 3)
+	b.Op3(isa.OpAdd, rT2, rT1, rTab)
+	b.Ld(rT3, rT2, 0)
+	b.Jr(rT3)
+	b.Halt()
+	return b.MustBuild()
+}
+
+// Mcf mimics SPEC2000 mcf: dependent loads chasing a full-period permutation
+// ring of 65536 nodes spaced one cache line apart (4 MiB), far beyond the
+// 1 MiB L2. A setup phase builds the ring in simulated memory.
+func Mcf() *prog.Program {
+	const nodes = 65536
+	b := prog.NewBuilder("mcf")
+	emitLCGSetup(b, 0x3C4)
+	b.Li(rBase, int64(regionA))
+	b.Li(rMask, nodes-1)
+	b.Li(rIdx, 0)
+	b.Li(rCnt, nodes)
+	b.Label("setup")
+	b.Op3(isa.OpMul, rT1, rIdx, rA)
+	b.Op3(isa.OpAdd, rT1, rT1, rC)
+	b.Op3(isa.OpAnd, rT1, rT1, rMask)
+	b.Shli(rT2, rIdx, 6)
+	b.Op3(isa.OpAdd, rT2, rT2, rBase)
+	b.Shli(rT3, rT1, 6)
+	b.Op3(isa.OpAdd, rT3, rT3, rBase)
+	b.St(rT2, rT3, 0) // node.next
+	emitLCGStep(b)
+	b.St(rT2, rLCG, 8) // node.value
+	b.Op3(isa.OpOr, rIdx, rT1, 0)
+	b.Addi(rCnt, rCnt, -1)
+	b.Branch(isa.OpBne, rCnt, 0, "setup")
+
+	b.Op3(isa.OpOr, rPtr, rBase, 0)
+	b.Li(rB6, 6)
+	b.Label("main")
+	b.Ld(rPtr, rPtr, 0) // dependent pointer chase
+	b.Ld(rVal, rPtr, 8)
+	b.Op3(isa.OpAdd, rAcc, rAcc, rVal)
+	b.Andi(rT2, rVal, 7)
+	b.Branch(isa.OpBlt, rT2, rB6, "biased")
+	b.Op3(isa.OpXor, rAcc, rAcc, rVal)
+	b.Addi(rAcc, rAcc, 3)
+	b.Label("biased")
+	b.St(rPtr, rAcc, 16)
+	b.Jmp("main")
+	b.Halt()
+	return b.MustBuild()
+}
+
+// Parser mimics SPEC2000 parser: a cascade of 50/50 data-dependent branches
+// driven by a register LCG over a small 8 KiB data footprint — predictor
+// state dominates its non-sampling bias.
+func Parser() *prog.Program {
+	b := prog.NewBuilder("parser")
+	emitLCGSetup(b, 0x9A5)
+	emitInitArray(b, "init", regionA, 1024)
+	b.Label("main")
+	emitLCGStep(b)
+	for i, bit := range []int64{5, 9, 13, 17, 21, 25} {
+		lbl := fmt.Sprintf("p%d", i)
+		b.Andi(rT1, rLCG, 1<<uint(bit))
+		b.Branch(isa.OpBne, rT1, 0, lbl)
+		b.Op3(isa.OpAdd, rAcc, rAcc, rT1)
+		b.Addi(rAcc, rAcc, 1)
+		b.Label(lbl)
+	}
+	b.Shri(rT2, rLCG, 33)
+	b.Andi(rT2, rT2, 1023)
+	b.Shli(rT2, rT2, 3)
+	b.Op3(isa.OpAdd, rT2, rT2, rBase)
+	b.Ld(rVal, rT2, 0)
+	b.Op3(isa.OpAdd, rAcc, rAcc, rVal)
+	b.St(rT2, rAcc, 0)
+	b.Jmp("main")
+	b.Halt()
+	return b.MustBuild()
+}
+
+// Perl mimics SPEC2000 perl: call chains ten levels deep through a software
+// stack with data-dependent extra calls, overflowing the eight-entry RAS,
+// over a 32 KiB data footprint.
+func Perl() *prog.Program {
+	const depth = 10
+	b := prog.NewBuilder("perl")
+	emitLCGSetup(b, 0x9E1)
+	emitInitArray(b, "init", regionA, 4096)
+	b.Li(rSP, int64(regionS))
+	b.Jmp("main")
+
+	for d := 0; d < depth; d++ {
+		b.Label(fmt.Sprintf("fn%d", d))
+		b.St(rSP, rLink, 0)
+		b.Addi(rSP, rSP, -16)
+		emitLCGStep(b)
+		b.Shri(rT1, rLCG, int64(3+d))
+		b.Andi(rT1, rT1, 4095)
+		b.Shli(rT1, rT1, 3)
+		b.Op3(isa.OpAdd, rT1, rT1, rBase)
+		b.Ld(rVal, rT1, 0)
+		b.Op3(isa.OpAdd, rAcc, rAcc, rVal)
+		if d < depth-1 {
+			b.Call(rLink, fmt.Sprintf("fn%d", d+1))
+			skip := fmt.Sprintf("fn%dskip", d)
+			b.Andi(rT2, rVal, 3)
+			b.Branch(isa.OpBne, rT2, 0, skip)
+			b.Call(rLink, fmt.Sprintf("fn%d", d+1))
+			b.Label(skip)
+		} else {
+			b.St(rT1, rAcc, 0)
+		}
+		b.Addi(rSP, rSP, 16)
+		b.Ld(rLink, rSP, 0)
+		b.Ret(rLink)
+	}
+
+	b.Label("main")
+	b.Call(rLink, "fn0")
+	b.Jmp("main")
+	b.Halt()
+	return b.MustBuild()
+}
+
+// Twolf mimics SPEC2000 twolf: a small 16 KiB working set with swap-style
+// data-dependent branches (compare two random elements, conditionally swap),
+// plus a mixed-bias control branch.
+func Twolf() *prog.Program {
+	b := prog.NewBuilder("twolf")
+	emitLCGSetup(b, 0x701F)
+	emitInitArray(b, "init", regionA, 2048)
+	b.Li(rB6, 6)
+	b.Label("main")
+	emitLCGStep(b)
+	b.Shri(rT1, rLCG, 4)
+	b.Andi(rT1, rT1, 2047)
+	b.Shli(rT1, rT1, 3)
+	b.Op3(isa.OpAdd, rT1, rT1, rBase)
+	b.Ld(rVal, rT1, 0)
+	b.Shri(rT2, rLCG, 17)
+	b.Andi(rT2, rT2, 2047)
+	b.Shli(rT2, rT2, 3)
+	b.Op3(isa.OpAdd, rT2, rT2, rBase)
+	b.Ld(rT3, rT2, 0)
+	b.Branch(isa.OpBlt, rVal, rT3, "noswap") // ~50/50 data-dependent
+	b.St(rT1, rT3, 0)
+	b.St(rT2, rVal, 0)
+	b.Label("noswap")
+	b.Andi(rT4, rLCG, 7)
+	b.Branch(isa.OpBlt, rT4, rB6, "skip") // ~75% taken
+	b.Op3(isa.OpXor, rAcc, rAcc, rVal)
+	b.Op3(isa.OpAdd, rAcc, rAcc, rT3)
+	b.Label("skip")
+	b.Op3(isa.OpAdd, rAcc, rAcc, rVal)
+	b.Jmp("main")
+	b.Halt()
+	return b.MustBuild()
+}
+
+// Vortex mimics SPEC2000 vortex: object-oriented dispatch across 64 methods,
+// each touching its own 16 KiB object slice (1 MiB of objects, matching the
+// L2), with biased data-dependent branches.
+func Vortex() *prog.Program {
+	const methods = 64
+	rng := rand.New(rand.NewSource(7))
+	b := prog.NewBuilder("vortex")
+	emitLCGSetup(b, 0x0E0)
+	b.Li(rTab, int64(regionT))
+	b.Li(rB6, 6)
+	b.Jmp("main")
+
+	for i := 0; i < methods; i++ {
+		lbl := fmt.Sprintf("m%d", i)
+		b.Label(lbl)
+		b.WordLabel(regionT+uint64(i)*8, lbl)
+		// This method's object slice: 2048 words starting at a fixed base.
+		b.Li(rBas2, int64(regionA)+int64(i)*16384)
+		for k := 0; k < 3; k++ {
+			b.Shri(rT1, rLCG, int64(9+5*k))
+			b.Andi(rT1, rT1, 2047)
+			b.Shli(rT1, rT1, 3)
+			b.Op3(isa.OpAdd, rT1, rT1, rBas2)
+			b.Ld(rVal, rT1, 0)
+			b.Op3(isa.OpAdd, rAcc, rAcc, rVal)
+		}
+		b.St(rT1, rAcc, 0)
+		tl := fmt.Sprintf("m%dt", i)
+		b.Andi(rT2, rVal, 7)
+		b.Branch(isa.OpBlt, rT2, rB6, tl)
+		for k := 0; k < 1+rng.Intn(3); k++ {
+			b.Op3(isa.OpXor, rAcc, rAcc, rVal)
+		}
+		b.Label(tl)
+		b.Jmp("main")
+	}
+
+	b.Label("main")
+	emitLCGStep(b)
+	b.Shri(rT1, rLCG, 7)
+	b.Andi(rT1, rT1, methods-1)
+	b.Shli(rT1, rT1, 3)
+	b.Op3(isa.OpAdd, rT2, rT1, rTab)
+	b.Ld(rT3, rT2, 0)
+	b.Jr(rT3)
+	b.Halt()
+	return b.MustBuild()
+}
+
+// Vpr mimics SPEC2000 vpr: mixed integer and floating-point work over a
+// 32 KiB window sliding by 8 KiB per pass (75% overlap) around an 8 MiB
+// ring, with an 81%-biased data-dependent branch. Like Art, the short reuse
+// distance puts the cluster-relevant cache state in the recent past while
+// the ring exceeds the L2.
+func Vpr() *prog.Program {
+	const (
+		mask   = 8<<20 - 1
+		window = 32 << 10
+		slide  = 8 << 10
+	)
+	b := prog.NewBuilder("vpr")
+	emitLCGSetup(b, 0x59B)
+	// Initialize a slice of the ring; untouched words read zero, which just
+	// shifts the data-dependent branch bias slightly.
+	emitInitArray(b, "init", regionA, 16384)
+	b.Li(f1, fbits(1.0000002))
+	b.Li(fAcc, fbits(0))
+	b.Li(rOff, 0)
+	b.Li(rB6, 13)
+	b.Label("outer")
+	b.Li(rIdx, 0)
+	b.Li(rLim, window)
+	b.Label("inner")
+	b.Op3(isa.OpAdd, rT1, rIdx, rOff)
+	b.Andi(rT1, rT1, mask)
+	b.Op3(isa.OpAdd, rT1, rT1, rBase)
+	b.Ld(rVal, rT1, 0)
+	b.Ld(f3, rT1, 8)
+	b.Op3(isa.OpFMul, f4, f3, f1)
+	b.Op3(isa.OpFAdd, fAcc, fAcc, f4)
+	b.St(rT1, rVal, 8)
+	b.Andi(rT2, rVal, 15)
+	b.Branch(isa.OpBlt, rT2, rB6, "skip") // ~81% taken
+	b.Op3(isa.OpXor, rAcc, rAcc, rVal)
+	b.Op3(isa.OpAdd, rAcc, rAcc, rT2)
+	b.Label("skip")
+	b.Addi(rIdx, rIdx, 32) // two lines per four iterations
+	b.Branch(isa.OpBlt, rIdx, rLim, "inner")
+	b.Addi(rOff, rOff, slide)
+	b.Andi(rOff, rOff, mask)
+	b.Jmp("outer")
+	b.Halt()
+	return b.MustBuild()
+}

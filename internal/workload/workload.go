@@ -1,0 +1,143 @@
+// Package workload provides nine deterministic synthetic programs that stand
+// in for the paper's SPEC2000 benchmarks (gcc, mcf, parser, perl, vortex,
+// vpr, twolf, ammp, art). Each generator reproduces the dominant
+// microarchitectural behaviour of its namesake — working-set size versus the
+// cache hierarchy, branch entropy, call depth versus the RAS, pointer-chasing
+// dependence chains — because those are the properties non-sampling bias and
+// warm-up effectiveness depend on. Absolute IPC values differ from the
+// paper's (different ISA, different compiler, scaled-down footprints); the
+// warm-up method ordering is what transfers.
+package workload
+
+import (
+	"fmt"
+	"sort"
+
+	"rsr/internal/isa"
+	"rsr/internal/prog"
+)
+
+// Workload names a generator and its behavioural profile.
+type Workload struct {
+	Name        string
+	Description string
+	Build       func() *prog.Program
+}
+
+var registry = []Workload{
+	{"ammp", "FP streaming over 3 MiB of arrays with periodic divides; memory-bound, predictable branches", Ammp},
+	{"art", "FP passes over a 64 KiB window sliding with 75% overlap around an 8 MiB ring; short reuse distance, L2-exceeding footprint", Art},
+	{"gcc", "512-way indirect dispatch over a 48 KiB code footprint with mixed-bias branches and a 256 KiB data array", Gcc},
+	{"mcf", "pointer chasing around a 4 MiB permutation ring; dependent loads that miss the L2", Mcf},
+	{"parser", "data-dependent 50/50 branches off a register LCG with a small (8 KiB) data footprint", Parser},
+	{"perl", "call chains ten deep through a software stack; overflows the 8-entry RAS", Perl},
+	{"twolf", "small (16 KiB) working set with swap-style data-dependent branches", Twolf},
+	{"vortex", "64-method object dispatch, each method touching its own 16 KiB object slice (1 MiB total)", Vortex},
+	{"vpr", "mixed int/FP work over a 32 KiB window sliding with 75% overlap around an 8 MiB ring; 81%-biased data-dependent branches", Vpr},
+}
+
+// All returns the workloads in the paper's reporting order.
+func All() []Workload {
+	out := make([]Workload, len(registry))
+	copy(out, registry)
+	return out
+}
+
+// Names returns the workload names sorted as reported.
+func Names() []string {
+	names := make([]string, len(registry))
+	for i, w := range registry {
+		names[i] = w.Name
+	}
+	return names
+}
+
+// ByName returns the named workload.
+func ByName(name string) (Workload, error) {
+	for _, w := range registry {
+		if w.Name == name {
+			return w, nil
+		}
+	}
+	known := Names()
+	sort.Strings(known)
+	return Workload{}, fmt.Errorf("workload: unknown workload %q (have %v)", name, known)
+}
+
+// Register conventions shared by the generators.
+const (
+	rT1   = 1 // scratch
+	rT2   = 2
+	rT3   = 3
+	rT4   = 4
+	rVal  = 5 // loaded value
+	rLCG  = 6 // linear congruential generator state
+	rPtr  = 7 // chase pointer
+	rIdx  = 8 // induction variable (byte offset)
+	rCnt  = 9 // loop counter / limit
+	rAcc  = 10
+	rLim  = 11
+	rOff  = 12
+	rB6   = 13 // small constants for biased compares
+	rBase = 20
+	rBas2 = 21
+	rBas3 = 22
+	rMask = 23
+	rA    = 24 // LCG multiplier
+	rC    = 25 // LCG increment
+	rTab  = 26 // jump-table base
+	rSP   = 27 // software stack pointer
+	rLink = 31
+
+	f1   = isa.FPBase + 1
+	f2   = isa.FPBase + 2
+	f3   = isa.FPBase + 3
+	f4   = isa.FPBase + 4
+	f5   = isa.FPBase + 5
+	f6   = isa.FPBase + 6
+	fAcc = isa.FPBase + 7
+)
+
+// LCG constants (Knuth's MMIX multiplier); full period modulo powers of two.
+const (
+	lcgA = 6364136223846793005
+	lcgC = 1442695040888963407
+)
+
+// emitLCGSetup loads the LCG constants and seed.
+func emitLCGSetup(b *prog.Builder, seed int64) {
+	b.Li(rA, lcgA)
+	b.Li(rC, lcgC)
+	b.Li(rLCG, seed)
+}
+
+// emitLCGStep advances the register LCG by one step.
+func emitLCGStep(b *prog.Builder) {
+	b.Op3(isa.OpMul, rLCG, rLCG, rA)
+	b.Op3(isa.OpAdd, rLCG, rLCG, rC)
+}
+
+// emitInitArray emits a setup loop that fills words consecutive 64-bit words
+// at base with LCG-derived values, so that later data-dependent branches see
+// varied data. labels must be unique per call site.
+func emitInitArray(b *prog.Builder, label string, base uint64, words int64) {
+	b.Li(rBase, int64(base))
+	b.Li(rIdx, 0)
+	b.Li(rLim, words*8)
+	b.Label(label)
+	emitLCGStep(b)
+	b.Op3(isa.OpAdd, rT1, rBase, rIdx)
+	b.St(rT1, rLCG, 0)
+	b.Addi(rIdx, rIdx, 8)
+	b.Branch(isa.OpBlt, rIdx, rLim, label)
+}
+
+// Data-segment layout: every workload places its regions inside its own
+// 16 MiB window so generators never overlap even if composed.
+const (
+	regionA = prog.DataBase               // primary array
+	regionB = prog.DataBase + 0x0020_0000 // secondary array
+	regionC = prog.DataBase + 0x0040_0000 // tertiary array
+	regionT = prog.DataBase + 0x0060_0000 // jump/call tables
+	regionS = prog.DataBase + 0x0070_0000 // software stack (grows down)
+)

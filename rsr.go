@@ -1,0 +1,168 @@
+// Package rsr is a from-scratch reproduction of "Reverse State
+// Reconstruction for Sampled Microarchitectural Simulation" (Bryan, Rosier,
+// Conte — ISPASS 2007).
+//
+// The package is the public facade over the full simulation stack in
+// internal/: a small RISC ISA and functional simulator, the paper's memory
+// hierarchy (WTNA L1I/L1D, WBWA L2, two shared buses), a 64K-entry Gshare
+// predictor with BTB and return address stack, a cycle-level out-of-order
+// superscalar timing model, cluster-sampled simulation with pluggable
+// warm-up methods — no warm-up, fixed-period, SMARTS full-functional
+// warming, and the paper's contribution, Reverse State Reconstruction — a
+// SimPoint baseline, and an experiment harness that regenerates every table
+// and figure of the paper's evaluation.
+//
+// Quick start:
+//
+//	w, _ := rsr.WorkloadByName("twolf")
+//	full, _ := rsr.RunFull(w.Build(), rsr.DefaultMachine(), 2_000_000)
+//	sampled, _ := rsr.RunSampled(w.Build(), rsr.DefaultMachine(),
+//	    rsr.Regimen{ClusterSize: 2000, NumClusters: 50}, 2_000_000, 1,
+//	    rsr.ReverseWarmup(20))
+//	fmt.Println(full.Result.IPC(), sampled.IPCEstimate())
+package rsr
+
+import (
+	"rsr/internal/experiments"
+	"rsr/internal/livepoints"
+	"rsr/internal/ooo"
+	"rsr/internal/prog"
+	"rsr/internal/sampling"
+	"rsr/internal/simpoint"
+	"rsr/internal/warmup"
+	"rsr/internal/workload"
+)
+
+// Program is an immutable instruction stream plus initial data image,
+// produced by the workload generators (or by prog.Builder for custom
+// workloads via the examples).
+type Program = prog.Program
+
+// Workload names one of the nine SPEC2000-like synthetic benchmarks.
+type Workload = workload.Workload
+
+// Workloads returns all benchmarks in reporting order.
+func Workloads() []Workload { return workload.All() }
+
+// WorkloadNames returns the benchmark names in reporting order.
+func WorkloadNames() []string { return workload.Names() }
+
+// WorkloadByName looks a benchmark up by name.
+func WorkloadByName(name string) (Workload, error) { return workload.ByName(name) }
+
+// CustomWorkloadConfig parameterizes a synthetic workload along the axes
+// that govern warm-up sensitivity: working-set size, branch bias, call
+// depth, and memory density.
+type CustomWorkloadConfig = workload.CustomConfig
+
+// CustomWorkload builds a parameterized synthetic workload (see
+// examples/sensitivity for a working-set sweep).
+func CustomWorkload(cfg CustomWorkloadConfig) (*Program, error) { return workload.Custom(cfg) }
+
+// Machine bundles the simulated processor: core, memory hierarchy, and
+// branch predictor configuration.
+type Machine = sampling.MachineConfig
+
+// DefaultMachine returns the paper's machine (§4): 8-wide fetch/dispatch,
+// 4-wide issue/retire, 64-entry window, 64 KiB L1I + 32 KiB L1D (WTNA),
+// 1 MiB WBWA L2, shared buses, 64K-entry Gshare, 4K-entry BTB, 8-entry RAS.
+func DefaultMachine() Machine { return sampling.DefaultMachine() }
+
+// Regimen is a cluster-sampling design: cluster size and cluster count.
+type Regimen = sampling.Regimen
+
+// WarmupSpec selects a warm-up method for sampled simulation.
+type WarmupSpec = warmup.Spec
+
+// Warm-up constructors for the paper's method families.
+func NoWarmup() WarmupSpec { return WarmupSpec{Kind: warmup.KindNone} }
+
+// SMARTSWarmup returns full-functional warming of both the cache hierarchy
+// and the branch predictor (the paper's S$BP).
+func SMARTSWarmup() WarmupSpec {
+	return WarmupSpec{Kind: warmup.KindSMARTS, Cache: true, BPred: true}
+}
+
+// FixedPeriodWarmup functionally warms the trailing percent of each skip
+// region (FP in the paper).
+func FixedPeriodWarmup(percent int) WarmupSpec {
+	return WarmupSpec{Kind: warmup.KindFixed, Percent: percent, Cache: true, BPred: true}
+}
+
+// ReverseWarmup returns Reverse State Reconstruction of caches and branch
+// predictor at the given warm-up percentage (the paper's R$BP).
+func ReverseWarmup(percent int) WarmupSpec {
+	return WarmupSpec{Kind: warmup.KindReverse, Percent: percent, Cache: true, BPred: true}
+}
+
+// WarmupMatrix returns the paper's full Table 2 method matrix.
+func WarmupMatrix() []WarmupSpec { return warmup.Matrix() }
+
+// SampledResult is the outcome of a cluster-sampled run: per-cluster
+// measurements, the IPC estimate (aggregated in CPI space), the 95%
+// confidence interval, and cost counters.
+type SampledResult = sampling.RunResult
+
+// FullResult is a complete detailed simulation: the true-IPC baseline.
+type FullResult = sampling.FullResult
+
+// RunSampled executes a cluster-sampled simulation of the first `total`
+// instructions of p with the given warm-up method. The same seed yields the
+// same cluster placement for every method, keeping sampling bias constant
+// across method comparisons.
+func RunSampled(p *Program, m Machine, reg Regimen, total uint64, seed int64, spec WarmupSpec) (*SampledResult, error) {
+	return sampling.RunSampled(p, m, reg, total, seed, spec)
+}
+
+// RunFull simulates the first `total` instructions of p cycle-accurately.
+func RunFull(p *Program, m Machine, total uint64) (FullResult, error) {
+	return sampling.RunFull(p, m, total)
+}
+
+// SimPointConfig parameterizes the SimPoint baseline: interval size, point
+// count (the paper uses 30), k-means seed, and an optional warm-up method
+// applied while fast-forwarding between simulation points.
+type SimPointConfig = simpoint.Config
+
+// SimPointResult is a SimPoint IPC estimate with its cost breakdown.
+type SimPointResult = simpoint.Result
+
+// RunSimPoint profiles p's basic-block vectors, clusters them, and simulates
+// the chosen simulation points to produce a weighted IPC estimate.
+func RunSimPoint(p *Program, m Machine, total uint64, cfg SimPointConfig) (*SimPointResult, error) {
+	return simpoint.Estimate(p, m, total, cfg)
+}
+
+// CoreConfig is the out-of-order core's machine parameters (widths, window
+// sizes, branch penalty); it is the part of the Machine that live-point
+// replays may vary.
+type CoreConfig = ooo.Config
+
+// LivePoints is a captured set of per-cluster checkpoints (architectural
+// delta + warmed cache/predictor state) enabling cluster replay without
+// re-executing skip regions — the live-points technique of the paper's
+// reference [18].
+type LivePoints = livepoints.Set
+
+// CaptureLivePoints runs one SMARTS-warmed functional pass, checkpointing at
+// every cluster start. Replays under the capture machine reproduce a
+// SMARTS-warmed sampled run exactly; the core configuration may vary
+// between replays (see examples/designspace).
+func CaptureLivePoints(p *Program, m Machine, reg Regimen, total uint64, seed int64) (*LivePoints, error) {
+	return livepoints.Capture(p, m, reg, total, seed)
+}
+
+// Lab runs the paper's experiments (Table 1, Figures 5-9, the appendix)
+// with a shared cache of true-IPC baselines.
+type Lab = experiments.Lab
+
+// LabConfig scales and seeds an experiment run.
+type LabConfig = experiments.Config
+
+// NewLab builds an experiment lab; use experiments at Scale 1.0 for the
+// reference reproduction or smaller scales for quick looks.
+func NewLab(cfg LabConfig) *Lab { return experiments.NewLab(cfg) }
+
+// DefaultLabConfig returns the reference experiment configuration
+// (20M-instruction workloads, seed 2007).
+func DefaultLabConfig() LabConfig { return experiments.DefaultConfig() }

@@ -1,0 +1,140 @@
+package rsr
+
+import (
+	"testing"
+)
+
+func TestFacadeWorkloads(t *testing.T) {
+	if len(Workloads()) != 9 || len(WorkloadNames()) != 9 {
+		t.Fatal("expected nine workloads")
+	}
+	if _, err := WorkloadByName("gcc"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := WorkloadByName("bogus"); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestFacadeSpecs(t *testing.T) {
+	if NoWarmup().Label() != "None" {
+		t.Error("NoWarmup label")
+	}
+	if SMARTSWarmup().Label() != "S$BP" {
+		t.Error("SMARTS label")
+	}
+	if FixedPeriodWarmup(40).Label() != "FP (40%)" {
+		t.Error("FP label")
+	}
+	if ReverseWarmup(20).Label() != "R$BP (20%)" {
+		t.Error("Reverse label")
+	}
+	if len(WarmupMatrix()) != 16 {
+		t.Error("matrix size")
+	}
+}
+
+func TestFacadeEndToEnd(t *testing.T) {
+	w, err := WorkloadByName("twolf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := DefaultMachine()
+	full, err := RunFull(w.Build(), m, 300_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunSampled(w.Build(), m, Regimen{ClusterSize: 1000, NumClusters: 20},
+		300_000, 1, ReverseWarmup(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.IPCEstimate() <= 0 {
+		t.Fatal("estimate not positive")
+	}
+	trueIPC := full.Result.IPC()
+	if trueIPC <= 0 {
+		t.Fatal("true IPC not positive")
+	}
+	// RSR at 100% on a small-working-set workload should land close.
+	re := res.IPCEstimate()/trueIPC - 1
+	if re < 0 {
+		re = -re
+	}
+	if re > 0.15 {
+		t.Fatalf("relative error %.3f too large", re)
+	}
+}
+
+func TestFacadeLab(t *testing.T) {
+	cfg := DefaultLabConfig()
+	if cfg.Total() != 20_000_000 {
+		t.Fatalf("reference total = %d", cfg.Total())
+	}
+	cfg.Scale = 0.05
+	cfg.Workloads = []string{"parser"}
+	lab := NewLab(cfg)
+	rows, err := lab.Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || rows[0].Workload != "parser" {
+		t.Fatalf("rows = %v", rows)
+	}
+}
+
+func TestFacadeSimPoint(t *testing.T) {
+	w, err := WorkloadByName("twolf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunSimPoint(w.Build(), DefaultMachine(), 200_000, SimPointConfig{
+		IntervalSize: 10_000, MaxPoints: 5, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.IPC <= 0 || len(res.Points) == 0 {
+		t.Fatalf("result = %+v", res)
+	}
+}
+
+func TestFacadeCustomWorkload(t *testing.T) {
+	p, err := CustomWorkload(CustomWorkloadConfig{DataWords: 4096, BranchBias: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := RunFull(p, DefaultMachine(), 100_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Result.IPC() <= 0 {
+		t.Fatal("custom workload produced no work")
+	}
+	if _, err := CustomWorkload(CustomWorkloadConfig{DataWords: 3}); err == nil {
+		t.Fatal("invalid config must error")
+	}
+}
+
+func TestFacadeAssemblyToSampledRun(t *testing.T) {
+	p, err := ParseAssembly("loopy", `
+		li r1, 0
+	spin:
+		addi r1, r1, 1
+		andi r2, r1, 1023
+		ld   r3, 0(r2)
+		bne  r2, r0, spin
+		jmp  spin
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunSampled(p, DefaultMachine(), Regimen{ClusterSize: 500, NumClusters: 5},
+		50_000, 1, SMARTSWarmup())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Clusters) != 5 {
+		t.Fatalf("clusters = %d", len(res.Clusters))
+	}
+}
