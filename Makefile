@@ -1,0 +1,30 @@
+# Developer workflow for the rsr reproduction.
+#
+#   make build    compile everything
+#   make test     tier-1 gate: go build ./... && go test ./...
+#   make verify   vet + race-test the concurrent code paths
+#   make bench    sequential-vs-parallel sweep benchmark at small scale
+#   make all      everything above
+
+GO ?= go
+
+.PHONY: all build test verify bench
+
+all: build test verify
+
+build:
+	$(GO) build ./...
+
+test: build
+	$(GO) test ./...
+
+# verify keeps the concurrent engine and the simulation substrate it
+# schedules race-clean: the engine package owns the worker pool / cache /
+# single-flight machinery, and the sampling package carries the fresh-
+# state-per-call concurrency contract the engine relies on.
+verify:
+	$(GO) vet ./...
+	$(GO) test -race ./internal/engine/... ./internal/sampling/... ./cmd/rsrd/...
+
+bench:
+	$(GO) test -run '^$$' -bench BenchmarkTable2SweepParallelism -benchtime 1x .

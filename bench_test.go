@@ -7,6 +7,8 @@ package rsr
 // mean relative IPC error of the methods under test.
 
 import (
+	"fmt"
+	"runtime"
 	"testing"
 
 	"rsr/internal/core"
@@ -136,6 +138,31 @@ func BenchmarkAppendixMatrix(b *testing.B) {
 		if len(cells) != 16 {
 			b.Fatal("short matrix")
 		}
+	}
+}
+
+// BenchmarkTable2SweepParallelism runs a small Table-2 sweep (the full
+// 16-method matrix on two workloads) sequentially and across the engine's
+// full worker pool — the wall-clock form of the engine's speedup. Each
+// iteration builds a fresh Lab so nothing is served from cache.
+func BenchmarkTable2SweepParallelism(b *testing.B) {
+	pool := 4 * runtime.GOMAXPROCS(0) // oversubscribe so the arm differs even on one core
+	for _, par := range []int{1, pool} {
+		b.Run(fmt.Sprintf("parallel-%d", par), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := benchCfg("twolf", "parser")
+				cfg.Parallelism = par
+				lab := experiments.NewLab(cfg)
+				cells, err := lab.Appendix()
+				lab.Close()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(cells) != 32 {
+					b.Fatal("short matrix")
+				}
+			}
+		})
 	}
 }
 

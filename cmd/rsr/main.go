@@ -28,6 +28,9 @@
 //	-scale f       scale workload length (1.0 = 20M instructions)
 //	-seed n        cluster placement seed
 //	-workloads s   comma-separated workload subset
+//	-parallel n    engine worker-pool size (0 = GOMAXPROCS; 1 for clean per-run wall times)
+//	-cachedir s    content-addressed result cache directory (persists runs across invocations)
+//	-stats         print engine scheduler/cache statistics to stderr when done
 //	-workload s    workload for `run`
 //	-method s      method label for `run` (e.g. "R$BP (20%)", "S$BP", "None")
 package main
@@ -49,7 +52,10 @@ func main() {
 	scale := flag.Float64("scale", 1.0, "workload length scale (1.0 = 20M instructions)")
 	seed := flag.Int64("seed", 2007, "cluster placement seed")
 	workloadsFlag := flag.String("workloads", "", "comma-separated workload subset")
-	par := flag.Int("par", 0, "max concurrent simulations (0 = GOMAXPROCS; use 1 for clean per-run wall times)")
+	parallel := flag.Int("parallel", 0, "engine worker-pool size (0 = GOMAXPROCS; use 1 for clean per-run wall times)")
+	par := flag.Int("par", 0, "deprecated alias for -parallel")
+	cacheDir := flag.String("cachedir", "", "content-addressed result cache directory (empty = memory-only)")
+	stats := flag.Bool("stats", false, "print engine scheduler/cache statistics to stderr when done")
 	format := flag.String("format", "text", "output format: text, csv, or json")
 	out := flag.String("out", "rsr-report.html", "output path for `report`")
 	workloadFlag := flag.String("workload", "twolf", "workload for `run`")
@@ -59,7 +65,11 @@ func main() {
 	cfg := experiments.DefaultConfig()
 	cfg.Scale = *scale
 	cfg.Seed = *seed
-	cfg.Parallelism = *par
+	cfg.Parallelism = *parallel
+	if cfg.Parallelism == 0 {
+		cfg.Parallelism = *par
+	}
+	cfg.CacheDir = *cacheDir
 	if *workloadsFlag != "" {
 		cfg.Workloads = strings.Split(*workloadsFlag, ",")
 	}
@@ -68,14 +78,23 @@ func main() {
 	if cmd == "" {
 		cmd = "all"
 	}
-	if err := dispatch(cmd, cfg, *workloadFlag, *methodFlag, *format, *out); err != nil {
+	if err := dispatch(cmd, cfg, *workloadFlag, *methodFlag, *format, *out, *stats); err != nil {
 		fmt.Fprintln(os.Stderr, "rsr:", err)
 		os.Exit(1)
 	}
 }
 
-func dispatch(cmd string, cfg experiments.Config, wl, method, format, out string) error {
+func dispatch(cmd string, cfg experiments.Config, wl, method, format, out string, stats bool) error {
 	lab := experiments.NewLab(cfg)
+	defer lab.Close()
+	if stats {
+		defer func() {
+			s := lab.Engine().Stats()
+			fmt.Fprintf(os.Stderr,
+				"engine: workers=%d done=%d failed=%d cache hits=%d (disk %d) misses=%d coalesced=%d wall=%v\n",
+				lab.Engine().Workers(), s.Done, s.Failed, s.CacheHits, s.DiskHits, s.CacheMisses, s.Coalesced, s.Wall)
+		}()
+	}
 	switch cmd {
 	case "report":
 		return writeReport(lab, cfg, out)

@@ -1,0 +1,54 @@
+// Command rsrd is a minimal HTTP daemon serving simulation jobs over the
+// concurrent engine: the seed of running the reproduction as a service.
+//
+// Usage:
+//
+//	rsrd [-addr :8745] [-parallel N] [-cachedir DIR] [-timeout D]
+//
+// API:
+//
+//	POST /v1/jobs      submit a job; returns {"id": <job hash>, ...}
+//	GET  /v1/jobs/{id} job status, and the result once finished
+//	GET  /v1/stats     engine scheduler/cache counters
+//	GET  /v1/events    progress event stream (ndjson, until disconnect)
+//
+// A submission names a workload and either a warm-up method label from the
+// paper's matrix or kind "full" for a true-IPC baseline:
+//
+//	{"workload": "twolf", "method": "R$BP (20%)", "total": 2000000, "seed": 1}
+//	{"workload": "gcc", "kind": "full", "total": 2000000}
+//
+// Machine and regimen default to the paper's machine and the workload's
+// Table-1 regimen; total defaults to the reference 20M instructions.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+
+	"rsr/internal/engine"
+)
+
+func main() {
+	addr := flag.String("addr", ":8745", "listen address")
+	parallel := flag.Int("parallel", 0, "engine worker-pool size (0 = GOMAXPROCS)")
+	cacheDir := flag.String("cachedir", "", "content-addressed result cache directory (empty = memory-only)")
+	timeout := flag.Duration("timeout", 0, "default per-job execution timeout (0 = none)")
+	flag.Parse()
+
+	eng := engine.New(engine.Options{
+		Workers:        *parallel,
+		CacheDir:       *cacheDir,
+		DefaultTimeout: *timeout,
+	})
+	defer eng.Close()
+
+	srv := newServer(eng)
+	fmt.Printf("rsrd: listening on %s (workers=%d, cache=%q)\n", *addr, eng.Workers(), *cacheDir)
+	if err := http.ListenAndServe(*addr, srv.routes()); err != nil {
+		fmt.Fprintln(os.Stderr, "rsrd:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,190 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"rsr/internal/engine"
+	"rsr/internal/experiments"
+	"rsr/internal/sampling"
+	"rsr/internal/warmup"
+)
+
+// server maps the engine onto the /v1 HTTP API. Tickets are retained by job
+// ID (the content hash) so clients can poll for results.
+type server struct {
+	eng *engine.Engine
+
+	mu      sync.Mutex
+	tickets map[string]*engine.Ticket
+}
+
+func newServer(eng *engine.Engine) *server {
+	return &server{eng: eng, tickets: make(map[string]*engine.Ticket)}
+}
+
+func (s *server) routes() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/jobs", s.handleJobs)
+	mux.HandleFunc("/v1/jobs/", s.handleJob)
+	mux.HandleFunc("/v1/stats", s.handleStats)
+	mux.HandleFunc("/v1/events", s.handleEvents)
+	return mux
+}
+
+// jobRequest is the POST /v1/jobs body. Unset fields take the reproduction
+// defaults: the paper's machine, the workload's Table-1 regimen, the
+// reference 20M-instruction length, and seed 2007.
+type jobRequest struct {
+	Kind     string            `json:"kind,omitempty"`   // "sampled" (default) or "full"
+	Workload string            `json:"workload"`
+	Method   string            `json:"method,omitempty"` // warm-up label, e.g. "R$BP (20%)"
+	Total    uint64            `json:"total,omitempty"`
+	Seed     *int64            `json:"seed,omitempty"`
+	Regimen  *sampling.Regimen `json:"regimen,omitempty"`
+	// TimeoutMS bounds the job's execution in milliseconds (0 = engine default).
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// toJob resolves the request against the reproduction defaults.
+func (r jobRequest) toJob() (engine.Job, error) {
+	def := experiments.DefaultConfig()
+	j := engine.Job{
+		Kind:     engine.JobSampled,
+		Workload: r.Workload,
+		Machine:  sampling.DefaultMachine(),
+		Total:    def.Total(),
+		Seed:     def.Seed,
+		Timeout:  time.Duration(r.TimeoutMS) * time.Millisecond,
+	}
+	if r.Kind != "" {
+		j.Kind = engine.JobKind(r.Kind)
+	}
+	if r.Total > 0 {
+		j.Total = r.Total
+	}
+	if r.Seed != nil {
+		j.Seed = *r.Seed
+	}
+	if j.Kind == engine.JobSampled {
+		j.Regimen = experiments.RegimenFor(r.Workload)
+		if r.Regimen != nil {
+			j.Regimen = *r.Regimen
+		}
+		spec, err := warmup.SpecByLabel(r.Method)
+		if err != nil {
+			if r.Method != "" {
+				return engine.Job{}, err
+			}
+			spec = warmup.Spec{Kind: warmup.KindReverse, Percent: 20, Cache: true, BPred: true}
+		}
+		j.Warmup = spec
+	}
+	return j, nil
+}
+
+func (s *server) handleJobs(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var req jobRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad job body: %v", err)
+		return
+	}
+	job, err := req.toJob()
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	// The daemon owns the run lifetime, not the request: jobs keep running
+	// after the submitting connection goes away.
+	tk, err := s.eng.Submit(context.Background(), job)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	s.mu.Lock()
+	s.tickets[tk.Hash()] = tk
+	s.mu.Unlock()
+	writeJSON(w, http.StatusAccepted, map[string]any{
+		"id":    tk.Hash(),
+		"label": job.Label(),
+	})
+}
+
+// jobStatus is the GET /v1/jobs/{id} response.
+type jobStatus struct {
+	ID     string         `json:"id"`
+	Status string         `json:"status"` // pending, done, or failed
+	Error  string         `json:"error,omitempty"`
+	Result *engine.Result `json:"result,omitempty"`
+}
+
+func (s *server) handleJob(w http.ResponseWriter, r *http.Request) {
+	id := strings.TrimPrefix(r.URL.Path, "/v1/jobs/")
+	s.mu.Lock()
+	tk, ok := s.tickets[id]
+	s.mu.Unlock()
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown job %q", id)
+		return
+	}
+	st := jobStatus{ID: id, Status: "pending"}
+	if res, err, done := tk.Result(); done {
+		if err != nil {
+			st.Status, st.Error = "failed", err.Error()
+		} else {
+			st.Status, st.Result = "done", res
+		}
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.eng.Stats())
+}
+
+// handleEvents streams engine progress events as newline-delimited JSON
+// until the client disconnects.
+func (s *server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	fl, _ := w.(http.Flusher)
+	events, cancel := s.eng.Subscribe(256)
+	defer cancel()
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	enc := json.NewEncoder(w)
+	for {
+		select {
+		case ev, ok := <-events:
+			if !ok {
+				return
+			}
+			if err := enc.Encode(ev); err != nil {
+				return
+			}
+			if fl != nil {
+				fl.Flush()
+			}
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}

@@ -1,0 +1,130 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"rsr/internal/engine"
+)
+
+func postJob(t *testing.T, ts *httptest.Server, body string) string {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status = %d", resp.StatusCode)
+	}
+	var out struct {
+		ID string `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.ID == "" {
+		t.Fatal("no job id")
+	}
+	return out.ID
+}
+
+func getStatus(t *testing.T, ts *httptest.Server, id string) jobStatus {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st jobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func TestDaemonJobLifecycle(t *testing.T) {
+	eng := engine.New(engine.Options{Workers: 2})
+	defer eng.Close()
+	ts := httptest.NewServer(newServer(eng).routes())
+	defer ts.Close()
+
+	id := postJob(t, ts, `{"workload": "twolf", "method": "None",
+		"total": 400000, "seed": 1,
+		"regimen": {"ClusterSize": 2000, "NumClusters": 10}}`)
+
+	deadline := time.Now().Add(2 * time.Minute)
+	var st jobStatus
+	for {
+		st = getStatus(t, ts, id)
+		if st.Status != "pending" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("job never finished")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if st.Status != "done" {
+		t.Fatalf("status = %s (error %q)", st.Status, st.Error)
+	}
+	if st.Result == nil || st.Result.Sampled == nil || st.Result.Sampled.IPCEstimate() <= 0 {
+		t.Fatalf("bad result: %+v", st.Result)
+	}
+
+	// Resubmitting the identical job reuses the cached result immediately.
+	id2 := postJob(t, ts, `{"workload": "twolf", "method": "None",
+		"total": 400000, "seed": 1,
+		"regimen": {"ClusterSize": 2000, "NumClusters": 10}}`)
+	if id2 != id {
+		t.Fatalf("content address changed: %s vs %s", id2, id)
+	}
+
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var stats engine.Stats
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Done != 1 {
+		t.Fatalf("stats.Done = %d, want 1", stats.Done)
+	}
+}
+
+func TestDaemonRejectsBadJobs(t *testing.T) {
+	eng := engine.New(engine.Options{Workers: 1})
+	defer eng.Close()
+	ts := httptest.NewServer(newServer(eng).routes())
+	defer ts.Close()
+
+	for _, body := range []string{
+		`{"workload": "nope"}`,
+		`{"workload": "twolf", "method": "bogus label"}`,
+		`not json`,
+	} {
+		resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("body %q: status = %d, want 400", body, resp.StatusCode)
+		}
+	}
+
+	resp, err := http.Get(ts.URL + "/v1/jobs/deadbeef")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown job status = %d, want 404", resp.StatusCode)
+	}
+}

@@ -1,0 +1,129 @@
+package engine
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+)
+
+// cache is the two-level content-addressed result store: a map keyed by job
+// hash in front of an optional JSON-file-per-result directory. Disk
+// problems (unreadable directory, corrupt or truncated files) never fail a
+// lookup — they count as misses and the result is recomputed, after which
+// the store is repaired by the rewrite.
+type cache struct {
+	dir string // "" = memory only
+
+	mu  sync.Mutex
+	mem map[string]*Result
+
+	// diskErrs counts disk reads/writes that failed (corruption, I/O).
+	diskErrs atomic.Int64
+}
+
+func newCache(dir string) *cache {
+	return &cache{dir: dir, mem: make(map[string]*Result)}
+}
+
+// path returns the on-disk location of a job's result file.
+func (c *cache) path(hash string) string {
+	return filepath.Join(c.dir, hash+".json")
+}
+
+// get looks a result up by job hash, memory first, then disk. Disk hits are
+// promoted into memory. The second return distinguishes memory (Hot) from
+// disk (Disk) hits for the stats surface.
+func (c *cache) get(hash string) (*Result, hitClass) {
+	c.mu.Lock()
+	r, ok := c.mem[hash]
+	c.mu.Unlock()
+	if ok {
+		return r, hitHot
+	}
+	if c.dir == "" {
+		return nil, hitMiss
+	}
+	b, err := os.ReadFile(c.path(hash))
+	if err != nil {
+		if !os.IsNotExist(err) {
+			c.diskErrs.Add(1)
+		}
+		return nil, hitMiss
+	}
+	var res Result
+	if err := json.Unmarshal(b, &res); err != nil || !res.valid(hash) {
+		// Corrupt or foreign content: fall back to recompute.
+		c.diskErrs.Add(1)
+		return nil, hitMiss
+	}
+	c.mu.Lock()
+	c.mem[hash] = &res
+	c.mu.Unlock()
+	return &res, hitDisk
+}
+
+// valid rejects decoded results that cannot belong to the hash (garbage
+// that happens to parse as JSON).
+func (r *Result) valid(hash string) bool {
+	if r.JobHash != hash {
+		return false
+	}
+	switch r.Kind {
+	case JobSampled:
+		return r.Sampled != nil
+	case JobFull:
+		return r.Full != nil
+	}
+	return false
+}
+
+// put stores a result in memory and, when a directory is configured, on
+// disk via an atomic temp-file rename so readers never observe a torn
+// write.
+func (c *cache) put(hash string, r *Result) {
+	c.mu.Lock()
+	c.mem[hash] = r
+	c.mu.Unlock()
+	if c.dir == "" {
+		return
+	}
+	if err := c.writeFile(hash, r); err != nil {
+		c.diskErrs.Add(1)
+	}
+}
+
+func (c *cache) writeFile(hash string, r *Result) error {
+	if err := os.MkdirAll(c.dir, 0o755); err != nil {
+		return err
+	}
+	b, err := json.Marshal(r)
+	if err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(c.dir, hash+".tmp*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(b); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("engine: cache write: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), c.path(hash))
+}
+
+// hitClass classifies a cache lookup for the stats counters.
+type hitClass uint8
+
+const (
+	hitMiss hitClass = iota
+	hitHot           // in-memory hit
+	hitDisk          // on-disk hit
+)

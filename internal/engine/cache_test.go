@@ -1,0 +1,144 @@
+package engine
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"rsr/internal/warmup"
+)
+
+// TestCacheCorruptionFallsBackToRecompute covers the failure modes of the
+// on-disk store: garbage bytes, valid JSON for the wrong job, a truncated
+// file, and a directory squatting on the file name. All must read as misses
+// and the job must recompute (and, where possible, repair the entry).
+func TestCacheCorruptionFallsBackToRecompute(t *testing.T) {
+	j := sampledJob("twolf", warmup.Spec{Kind: warmup.KindNone})
+
+	corruptions := []struct {
+		name    string
+		corrupt func(t *testing.T, path string)
+	}{
+		{"garbage", func(t *testing.T, path string) {
+			if err := os.WriteFile(path, []byte("!!not json!!"), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"wrongJob", func(t *testing.T, path string) {
+			if err := os.WriteFile(path, []byte(`{"JobHash":"0000","Kind":"sampled"}`), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"truncated", func(t *testing.T, path string) {
+			b, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, b[:len(b)/2], 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"directory", func(t *testing.T, path string) {
+			if err := os.Remove(path); err != nil {
+				t.Fatal(err)
+			}
+			if err := os.Mkdir(path, 0o755); err != nil {
+				t.Fatal(err)
+			}
+		}},
+	}
+
+	for _, tc := range corruptions {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+
+			e1 := New(Options{Workers: 1, CacheDir: dir})
+			want, err := e1.Run(context.Background(), j)
+			if err != nil {
+				t.Fatal(err)
+			}
+			e1.Close()
+
+			path := filepath.Join(dir, j.Hash()+".json")
+			if _, err := os.Stat(path); err != nil {
+				t.Fatalf("cache file missing after run: %v", err)
+			}
+			tc.corrupt(t, path)
+
+			e2 := New(Options{Workers: 1, CacheDir: dir})
+			defer e2.Close()
+			got, err := e2.Run(context.Background(), j)
+			if err != nil {
+				t.Fatalf("corrupt cache must fall back to recompute: %v", err)
+			}
+			if got.Sampled.IPCEstimate() != want.Sampled.IPCEstimate() {
+				t.Error("recomputed result diverged")
+			}
+			s := e2.Stats()
+			if s.CacheHits != 0 || s.CacheMisses != 1 || s.Done != 1 {
+				t.Errorf("corrupt entry was not a miss: %+v", s)
+			}
+			if s.DiskErrors == 0 {
+				t.Errorf("corruption not counted in DiskErrors: %+v", s)
+			}
+		})
+	}
+}
+
+// TestCacheUnwritableDirDegradesToMemory points the cache at an impossible
+// path; jobs must still run, with the failure surfaced in DiskErrors.
+func TestCacheUnwritableDirDegradesToMemory(t *testing.T) {
+	f := filepath.Join(t.TempDir(), "file")
+	if err := os.WriteFile(f, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// A path under a regular file can never be created.
+	e := New(Options{Workers: 1, CacheDir: filepath.Join(f, "sub")})
+	defer e.Close()
+
+	j := sampledJob("twolf", warmup.Spec{Kind: warmup.KindNone})
+	if _, err := e.Run(context.Background(), j); err != nil {
+		t.Fatalf("unwritable cache dir must not fail jobs: %v", err)
+	}
+	// Second submission is served by the in-memory layer.
+	if _, err := e.Run(context.Background(), j); err != nil {
+		t.Fatal(err)
+	}
+	s := e.Stats()
+	if s.Done != 1 || s.CacheHits != 1 || s.DiskErrors == 0 {
+		t.Errorf("stats = %+v, want one run, one memory hit, disk errors counted", s)
+	}
+}
+
+// TestResultRoundTrip pins that a result survives the disk format: a fresh
+// engine over the same directory reproduces the full cluster detail.
+func TestResultRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	j := sampledJob("parser", warmup.Spec{Kind: warmup.KindReverse, Percent: 40, Cache: true, BPred: true})
+
+	e1 := New(Options{Workers: 1, CacheDir: dir})
+	want, err := e1.Run(context.Background(), j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e1.Close()
+
+	e2 := New(Options{Workers: 1, CacheDir: dir})
+	defer e2.Close()
+	got, err := e2.Run(context.Background(), j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Sampled.Method != want.Sampled.Method ||
+		len(got.Sampled.Clusters) != len(want.Sampled.Clusters) ||
+		got.Sampled.Work != want.Sampled.Work ||
+		got.Sampled.HotInstructions != want.Sampled.HotInstructions {
+		t.Errorf("disk round-trip lost detail:\n got %+v\nwant %+v", got.Sampled, want.Sampled)
+	}
+	for i := range want.Sampled.Clusters {
+		if got.Sampled.Clusters[i] != want.Sampled.Clusters[i] {
+			t.Fatalf("cluster %d changed across the round-trip", i)
+		}
+	}
+}

@@ -1,0 +1,293 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// ErrClosed is returned by Submit after Close, and by tickets whose job was
+// still pending when the engine shut down.
+var ErrClosed = errors.New("engine: closed")
+
+// Options configures an Engine.
+type Options struct {
+	// Workers bounds concurrent simulations (0 = runtime.GOMAXPROCS(0)).
+	Workers int
+	// CacheDir enables the on-disk result cache ("" = memory-only).
+	CacheDir string
+	// DefaultTimeout bounds each job's execution unless the job sets its
+	// own Timeout (0 = no limit).
+	DefaultTimeout time.Duration
+}
+
+// Engine is a bounded worker-pool scheduler for simulation jobs with
+// single-flight deduplication and a content-addressed result cache. All
+// methods are safe for concurrent use.
+type Engine struct {
+	opts  Options
+	cache *cache
+	stats counters
+	bcast broadcaster
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	queue    []*task // FIFO of tasks awaiting a worker
+	inflight map[string]*task
+	closed   bool
+
+	wg sync.WaitGroup
+}
+
+// task is the shared execution state behind every Ticket for one job hash.
+type task struct {
+	job  Job
+	hash string
+	ctx  context.Context // the first submitter's context governs the run
+
+	done chan struct{} // closed once res/err are set
+	res  *Result
+	err  error
+}
+
+// Ticket is a handle to a submitted job. Tickets for coalesced duplicate
+// submissions share the underlying result.
+type Ticket struct{ t *task }
+
+// Hash returns the job's content address (also its daemon-facing ID).
+func (tk *Ticket) Hash() string { return tk.t.hash }
+
+// Done is closed when the job has finished (successfully or not).
+func (tk *Ticket) Done() <-chan struct{} { return tk.t.done }
+
+// Result returns the outcome without blocking; it reports false until the
+// job has finished.
+func (tk *Ticket) Result() (*Result, error, bool) {
+	select {
+	case <-tk.t.done:
+		return tk.t.res, tk.t.err, true
+	default:
+		return nil, nil, false
+	}
+}
+
+// Wait blocks until the job finishes or ctx is canceled. Canceling the
+// waiter's ctx abandons only this wait; the run itself is governed by the
+// first submitter's context and the job timeout.
+func (tk *Ticket) Wait(ctx context.Context) (*Result, error) {
+	select {
+	case <-tk.t.done:
+		return tk.t.res, tk.t.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// New starts an engine and its worker pool. Call Close to stop the workers.
+// A cache directory that turns out to be unusable degrades the engine to
+// memory-only caching (counted in Stats.DiskErrors) rather than failing.
+func New(opts Options) *Engine {
+	if opts.Workers <= 0 {
+		opts.Workers = runtime.GOMAXPROCS(0)
+	}
+	e := &Engine{
+		opts:     opts,
+		cache:    newCache(opts.CacheDir),
+		inflight: make(map[string]*task),
+	}
+	e.cond = sync.NewCond(&e.mu)
+	e.wg.Add(opts.Workers)
+	for i := 0; i < opts.Workers; i++ {
+		go e.worker()
+	}
+	return e
+}
+
+// Workers returns the pool size.
+func (e *Engine) Workers() int { return e.opts.Workers }
+
+// Stats returns a snapshot of the progress counters.
+func (e *Engine) Stats() Stats { return e.stats.snapshot(e.cache.diskErrs.Load()) }
+
+// Subscribe returns a stream of progress events and a cancel function.
+// Delivery is best-effort: events are dropped when the subscriber's buffer
+// (buf, default 64) is full, so slow consumers never stall workers.
+func (e *Engine) Subscribe(buf int) (<-chan Event, func()) { return e.bcast.subscribe(buf) }
+
+// Submit validates and enqueues a job, returning immediately. The result
+// of an identical job already in flight is shared (single-flight), and a
+// cached result completes the ticket without queueing. ctx governs the run
+// for the first submitter of a job.
+func (e *Engine) Submit(ctx context.Context, job Job) (*Ticket, error) {
+	if err := job.Validate(); err != nil {
+		return nil, err
+	}
+	hash := job.Hash()
+
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if t, ok := e.inflight[hash]; ok {
+		e.mu.Unlock()
+		e.stats.coalesced.Add(1)
+		return &Ticket{t}, nil
+	}
+	t := &task{job: job, hash: hash, ctx: ctx, done: make(chan struct{})}
+	e.inflight[hash] = t
+	e.queue = append(e.queue, t)
+	e.cond.Signal()
+	e.mu.Unlock()
+
+	e.stats.queued.Add(1)
+	e.bcast.emit(Event{JobHash: hash, Label: job.Label(), State: StateQueued})
+	return &Ticket{t}, nil
+}
+
+// Run submits a job and waits for its result.
+func (e *Engine) Run(ctx context.Context, job Job) (*Result, error) {
+	tk, err := e.Submit(ctx, job)
+	if err != nil {
+		return nil, err
+	}
+	return tk.Wait(ctx)
+}
+
+// Close stops accepting jobs, fails everything still queued with ErrClosed,
+// and waits for running jobs to finish. Jobs already executing run to
+// completion (or their timeout).
+func (e *Engine) Close() {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		e.wg.Wait()
+		return
+	}
+	e.closed = true
+	pending := e.queue
+	e.queue = nil
+	for _, t := range pending {
+		delete(e.inflight, t.hash)
+	}
+	e.cond.Broadcast()
+	e.mu.Unlock()
+
+	for _, t := range pending {
+		e.stats.queued.Add(-1)
+		e.complete(t, nil, ErrClosed, 0, false)
+	}
+	e.wg.Wait()
+}
+
+// pop blocks until a task is available or the engine closes.
+func (e *Engine) pop() *task {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for len(e.queue) == 0 && !e.closed {
+		e.cond.Wait()
+	}
+	if len(e.queue) == 0 {
+		return nil
+	}
+	t := e.queue[0]
+	e.queue = e.queue[1:]
+	return t
+}
+
+func (e *Engine) worker() {
+	defer e.wg.Done()
+	for {
+		t := e.pop()
+		if t == nil {
+			return
+		}
+		e.execute(t)
+	}
+}
+
+// execute runs one task: cache lookup, then the simulation under the
+// submitter's context and the job timeout.
+func (e *Engine) execute(t *task) {
+	e.stats.queued.Add(-1)
+
+	if err := t.ctx.Err(); err != nil {
+		e.finish(t, nil, err, 0, false)
+		return
+	}
+	if r, class := e.cache.get(t.hash); class != hitMiss {
+		e.stats.cacheHits.Add(1)
+		if class == hitDisk {
+			e.stats.diskHits.Add(1)
+		}
+		e.finish(t, r, nil, 0, true)
+		return
+	}
+	e.stats.cacheMiss.Add(1)
+
+	e.stats.running.Add(1)
+	e.bcast.emit(Event{JobHash: t.hash, Label: t.job.Label(), State: StateRunning})
+
+	ctx := t.ctx
+	timeout := t.job.Timeout
+	if timeout == 0 {
+		timeout = e.opts.DefaultTimeout
+	}
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+
+	begin := time.Now()
+	res, err := runJob(t.job, ctx.Done())
+	wall := time.Since(begin)
+	e.stats.running.Add(-1)
+
+	if err != nil {
+		// Prefer the context's verdict (Canceled/DeadlineExceeded) when the
+		// simulation reports a cooperative abort.
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			err = fmt.Errorf("engine: %s: %w", t.job.Label(), ctxErr)
+		}
+		e.finish(t, nil, err, wall, false)
+		return
+	}
+	res.JobHash = t.hash
+	res.Wall = wall
+	e.cache.put(t.hash, res)
+	e.finish(t, res, nil, wall, false)
+}
+
+// finish publishes a task's outcome, retires it from the in-flight table,
+// and wakes every ticket holder.
+func (e *Engine) finish(t *task, res *Result, err error, wall time.Duration, cached bool) {
+	e.mu.Lock()
+	// Close may have already retired queued tasks; only delete our own entry.
+	if cur, ok := e.inflight[t.hash]; ok && cur == t {
+		delete(e.inflight, t.hash)
+	}
+	e.mu.Unlock()
+	e.complete(t, res, err, wall, cached)
+}
+
+// complete publishes the ticket outcome and emits the terminal
+// event; the in-flight table must already be updated.
+func (e *Engine) complete(t *task, res *Result, err error, wall time.Duration, cached bool) {
+	t.res, t.err = res, err
+	close(t.done)
+	switch {
+	case err != nil:
+		e.stats.failed.Add(1)
+		e.bcast.emit(Event{JobHash: t.hash, Label: t.job.Label(), State: StateFailed, Err: err.Error(), Wall: wall})
+	case cached:
+		e.bcast.emit(Event{JobHash: t.hash, Label: t.job.Label(), State: StateCached})
+	default:
+		e.stats.done.Add(1)
+		e.stats.wallNanos.Add(int64(wall))
+		e.bcast.emit(Event{JobHash: t.hash, Label: t.job.Label(), State: StateDone, Wall: wall})
+	}
+}

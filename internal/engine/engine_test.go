@@ -1,0 +1,343 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"rsr/internal/sampling"
+	"rsr/internal/warmup"
+	"rsr/internal/workload"
+)
+
+// testRegimen is small enough that a job takes well under a second but
+// still exercises cold/warm/hot phases.
+var testRegimen = sampling.Regimen{ClusterSize: 2000, NumClusters: 10}
+
+const testTotal = 400_000
+
+func sampledJob(wl string, spec warmup.Spec) Job {
+	return Job{
+		Kind:     JobSampled,
+		Workload: wl,
+		Machine:  sampling.DefaultMachine(),
+		Total:    testTotal,
+		Regimen:  testRegimen,
+		Seed:     1,
+		Warmup:   spec,
+	}
+}
+
+// sweepJobs is a small Table-2-style sweep: two workloads crossed with
+// three warm-up methods.
+func sweepJobs() []Job {
+	specs := []warmup.Spec{
+		{Kind: warmup.KindNone},
+		{Kind: warmup.KindSMARTS, Cache: true, BPred: true},
+		{Kind: warmup.KindReverse, Percent: 20, Cache: true, BPred: true},
+	}
+	var jobs []Job
+	for _, wl := range []string{"twolf", "parser"} {
+		for _, s := range specs {
+			jobs = append(jobs, sampledJob(wl, s))
+		}
+	}
+	return jobs
+}
+
+// stripWall clears the wall-clock fields, the only nondeterministic part of
+// a result.
+func stripWall(r *Result) sampling.RunResult {
+	c := *r.Sampled
+	c.Elapsed = 0
+	return c
+}
+
+// TestParallelMatchesSequential is the determinism acceptance test: the
+// sweep run through the engine at -parallel 4 must be byte-identical to the
+// direct sequential path.
+func TestParallelMatchesSequential(t *testing.T) {
+	jobs := sweepJobs()
+
+	// Sequential reference, bypassing the engine entirely.
+	var want []sampling.RunResult
+	for _, j := range jobs {
+		w, err := workload.ByName(j.Workload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := sampling.RunSampled(w.Build(), j.Machine, j.Regimen, j.Total, j.Seed, j.Warmup)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.Elapsed = 0
+		want = append(want, *r)
+	}
+
+	e := New(Options{Workers: 4})
+	defer e.Close()
+	var tickets []*Ticket
+	for _, j := range jobs {
+		tk, err := e.Submit(context.Background(), j)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tickets = append(tickets, tk)
+	}
+	for i, tk := range tickets {
+		res, err := tk.Wait(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := stripWall(res)
+		if !reflect.DeepEqual(got, want[i]) {
+			t.Errorf("job %s: parallel result diverged from sequential", jobs[i].Label())
+		}
+		if fmt.Sprintf("%.17g", got.IPCEstimate()) != fmt.Sprintf("%.17g", want[i].IPCEstimate()) {
+			t.Errorf("job %s: IPC estimate not byte-identical", jobs[i].Label())
+		}
+	}
+}
+
+// TestWarmDiskCache is the caching acceptance test: a repeated sweep over a
+// warm on-disk cache must report >= 90% hits and finish measurably faster.
+func TestWarmDiskCache(t *testing.T) {
+	dir := t.TempDir()
+	jobs := sweepJobs()
+
+	run := func() (Stats, time.Duration, []float64) {
+		e := New(Options{Workers: 4, CacheDir: dir})
+		defer e.Close()
+		begin := time.Now()
+		var ipcs []float64
+		for _, j := range jobs {
+			res, err := e.Run(context.Background(), j)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ipcs = append(ipcs, res.IPC())
+		}
+		return e.Stats(), time.Since(begin), ipcs
+	}
+
+	stats1, wall1, ipcs1 := run()
+	if stats1.CacheMisses != int64(len(jobs)) || stats1.Done != int64(len(jobs)) {
+		t.Fatalf("cold run stats: %+v", stats1)
+	}
+	stats2, wall2, ipcs2 := run()
+	if hitRate := float64(stats2.CacheHits) / float64(len(jobs)); hitRate < 0.9 {
+		t.Fatalf("warm hit rate = %.2f, want >= 0.90 (stats %+v)", hitRate, stats2)
+	}
+	if stats2.DiskHits != stats2.CacheHits {
+		t.Errorf("warm hits should come from disk in a fresh engine: %+v", stats2)
+	}
+	if wall2 >= wall1 {
+		t.Errorf("warm run not faster: cold %v, warm %v", wall1, wall2)
+	}
+	if !reflect.DeepEqual(ipcs1, ipcs2) {
+		t.Errorf("cached IPC estimates diverged: %v vs %v", ipcs1, ipcs2)
+	}
+}
+
+// TestCancellationMidSweep cancels the submitting context while a sweep of
+// long jobs is in flight; every ticket must fail promptly.
+func TestCancellationMidSweep(t *testing.T) {
+	e := New(Options{Workers: 2})
+	defer e.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+
+	var tickets []*Ticket
+	for _, wl := range []string{"twolf", "parser", "gcc", "vpr"} {
+		j := sampledJob(wl, warmup.Spec{Kind: warmup.KindSMARTS, Cache: true, BPred: true})
+		j.Total = 50_000_000 // far longer than the test is willing to wait
+		j.Regimen = sampling.Regimen{ClusterSize: 2000, NumClusters: 50}
+		tk, err := e.Submit(ctx, j)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tickets = append(tickets, tk)
+	}
+	time.Sleep(50 * time.Millisecond) // let the sweep get underway
+	cancel()
+
+	for _, tk := range tickets {
+		select {
+		case <-tk.Done():
+		case <-time.After(30 * time.Second):
+			t.Fatal("canceled job did not finish")
+		}
+		if _, err, _ := tk.Result(); !errors.Is(err, context.Canceled) {
+			t.Errorf("err = %v, want context.Canceled", err)
+		}
+	}
+	if s := e.Stats(); s.Failed != 4 || s.Done != 0 {
+		t.Errorf("stats after cancel: %+v", s)
+	}
+}
+
+// TestJobTimeout gives a long full-detail job a tiny per-job timeout.
+func TestJobTimeout(t *testing.T) {
+	e := New(Options{Workers: 1})
+	defer e.Close()
+	j := Job{
+		Kind:     JobFull,
+		Workload: "gcc",
+		Machine:  sampling.DefaultMachine(),
+		Total:    500_000_000,
+		Timeout:  30 * time.Millisecond,
+	}
+	begin := time.Now()
+	_, err := e.Run(context.Background(), j)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	if took := time.Since(begin); took > 10*time.Second {
+		t.Fatalf("timeout took %v to take effect", took)
+	}
+}
+
+// TestSingleFlight submits the same job concurrently; exactly one execution
+// must happen, with the other submitters waiting on its result.
+func TestSingleFlight(t *testing.T) {
+	e := New(Options{Workers: 4})
+	defer e.Close()
+	j := sampledJob("twolf", warmup.Spec{Kind: warmup.KindSMARTS, Cache: true, BPred: true})
+
+	const submitters = 8
+	results := make([]*Result, submitters)
+	var wg sync.WaitGroup
+	for i := 0; i < submitters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res, err := e.Run(context.Background(), j)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			results[i] = res
+		}(i)
+	}
+	wg.Wait()
+
+	s := e.Stats()
+	if s.Done != 1 {
+		t.Fatalf("executions = %d, want 1 (stats %+v)", s.Done, s)
+	}
+	if s.Coalesced+s.CacheHits != submitters-1 {
+		t.Errorf("coalesced+hits = %d, want %d (stats %+v)", s.Coalesced+s.CacheHits, submitters-1, s)
+	}
+	for i := 1; i < submitters; i++ {
+		if results[i] == nil || results[i].Sampled.IPCEstimate() != results[0].Sampled.IPCEstimate() {
+			t.Fatalf("submitter %d saw a different result", i)
+		}
+	}
+}
+
+// TestSubmitValidates rejects malformed jobs before they reach the queue.
+func TestSubmitValidates(t *testing.T) {
+	e := New(Options{Workers: 1})
+	defer e.Close()
+	for _, j := range []Job{
+		{},
+		{Kind: JobFull, Workload: "unknown-workload", Total: 1000},
+		{Kind: "weird", Workload: "twolf", Total: 1000},
+		{Kind: JobFull, Workload: "twolf"},
+		{Kind: JobSampled, Workload: "twolf", Total: 1000,
+			Regimen: sampling.Regimen{ClusterSize: 2000, NumClusters: 50}},
+	} {
+		if _, err := e.Submit(context.Background(), j); err == nil {
+			t.Errorf("job %+v: expected validation error", j)
+		}
+	}
+}
+
+// TestCloseFailsPending asserts queued jobs drain with ErrClosed and that
+// Submit refuses work after Close.
+func TestCloseFailsPending(t *testing.T) {
+	e := New(Options{Workers: 1})
+	var tickets []*Ticket
+	for _, wl := range workload.Names() {
+		j := sampledJob(wl, warmup.Spec{Kind: warmup.KindSMARTS, Cache: true, BPred: true})
+		j.Total = 20_000_000
+		j.Regimen = sampling.Regimen{ClusterSize: 2000, NumClusters: 50}
+		// Bound the job Close ends up waiting for.
+		j.Timeout = 50 * time.Millisecond
+		tk, err := e.Submit(context.Background(), j)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tickets = append(tickets, tk)
+	}
+	e.Close()
+	var closed int
+	for _, tk := range tickets {
+		if _, err, done := tk.Result(); done && errors.Is(err, ErrClosed) {
+			closed++
+		}
+	}
+	if closed == 0 {
+		t.Error("no pending job failed with ErrClosed")
+	}
+	if _, err := e.Submit(context.Background(), sampledJob("twolf", warmup.Spec{})); !errors.Is(err, ErrClosed) {
+		t.Errorf("submit after close: err = %v", err)
+	}
+}
+
+// TestJobHashIdentity pins what does and does not enter the content address.
+func TestJobHashIdentity(t *testing.T) {
+	base := sampledJob("twolf", warmup.Spec{Kind: warmup.KindReverse, Percent: 20, Cache: true, BPred: true})
+	same := base
+	same.Timeout = time.Minute // scheduling policy, not identity
+	if base.Hash() != same.Hash() {
+		t.Error("timeout changed the hash")
+	}
+	for name, mutate := range map[string]func(*Job){
+		"workload": func(j *Job) { j.Workload = "gcc" },
+		"kind":     func(j *Job) { j.Kind = JobFull },
+		"total":    func(j *Job) { j.Total++ },
+		"seed":     func(j *Job) { j.Seed++ },
+		"regimen":  func(j *Job) { j.Regimen.NumClusters++ },
+		"warmup":   func(j *Job) { j.Warmup.Percent = 40 },
+		"machine":  func(j *Job) { j.Machine.CPU.ROBSize *= 2 },
+	} {
+		j := base
+		mutate(&j)
+		if j.Hash() == base.Hash() {
+			t.Errorf("mutating %s did not change the hash", name)
+		}
+	}
+}
+
+// TestEvents checks the streaming progress surface sees a job's lifecycle.
+func TestEvents(t *testing.T) {
+	e := New(Options{Workers: 1})
+	defer e.Close()
+	events, cancel := e.Subscribe(64)
+	defer cancel()
+
+	j := sampledJob("twolf", warmup.Spec{Kind: warmup.KindNone})
+	if _, err := e.Run(context.Background(), j); err != nil {
+		t.Fatal(err)
+	}
+	seen := map[JobState]bool{}
+	deadline := time.After(10 * time.Second)
+	for !seen[StateDone] {
+		select {
+		case ev := <-events:
+			if ev.JobHash != j.Hash() {
+				t.Fatalf("event for unknown job %s", ev.JobHash)
+			}
+			seen[ev.State] = true
+		case <-deadline:
+			t.Fatal("terminal event never arrived")
+		}
+	}
+	if !seen[StateQueued] || !seen[StateRunning] {
+		t.Errorf("lifecycle incomplete: %v", seen)
+	}
+}

@@ -1,0 +1,38 @@
+package engine
+
+import (
+	"time"
+
+	"rsr/internal/sampling"
+)
+
+// Result is the outcome of one job: exactly one of Sampled or Full is set,
+// matching the job's kind. Results are immutable once published — callers
+// (and cache readers) must not mutate them, since single-flighted and
+// cached submissions share the same value.
+type Result struct {
+	// JobHash is the content address of the job that produced this result.
+	JobHash string
+	// Kind echoes the job kind.
+	Kind JobKind
+	// Sampled holds the cluster-sampled measurement for JobSampled.
+	Sampled *sampling.RunResult `json:",omitempty"`
+	// Full holds the detailed simulation for JobFull.
+	Full *sampling.FullResult `json:",omitempty"`
+	// Wall is the engine-measured execution wall-clock of the run that
+	// produced the result (zero-cost for cache hits, which reuse the
+	// original run's value).
+	Wall time.Duration
+}
+
+// IPC returns the job's IPC figure: the sampled IPC estimate for sampled
+// jobs, the true IPC for full jobs.
+func (r *Result) IPC() float64 {
+	switch {
+	case r.Sampled != nil:
+		return r.Sampled.IPCEstimate()
+	case r.Full != nil:
+		return r.Full.Result.IPC()
+	}
+	return 0
+}

@@ -1,0 +1,36 @@
+package engine
+
+import (
+	"fmt"
+
+	"rsr/internal/sampling"
+	"rsr/internal/workload"
+)
+
+// runJob executes one validated job. cancel aborts the simulation
+// cooperatively (polled at cluster boundaries for sampled runs, every 64Ki
+// instructions for full runs); an uncanceled run is bit-identical to the
+// direct sampling-package call.
+func runJob(j Job, cancel <-chan struct{}) (*Result, error) {
+	w, err := workload.ByName(j.Workload)
+	if err != nil {
+		return nil, fmt.Errorf("engine: %w", err)
+	}
+	p := w.Build()
+	switch j.Kind {
+	case JobFull:
+		fr, err := sampling.RunFullOpts(p, j.Machine, j.Total, sampling.Options{Cancel: cancel})
+		if err != nil {
+			return nil, fmt.Errorf("engine: %s: %w", j.Label(), err)
+		}
+		return &Result{Kind: JobFull, Full: &fr}, nil
+	case JobSampled:
+		rr, err := sampling.RunSampledOpts(p, j.Machine, j.Regimen, j.Total, j.Seed, j.Warmup,
+			sampling.Options{Cancel: cancel})
+		if err != nil {
+			return nil, fmt.Errorf("engine: %s: %w", j.Label(), err)
+		}
+		return &Result{Kind: JobSampled, Sampled: rr}, nil
+	}
+	return nil, fmt.Errorf("engine: unknown job kind %q", j.Kind)
+}

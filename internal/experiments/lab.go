@@ -8,11 +8,12 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"runtime"
-	"sync"
 	"time"
 
+	"rsr/internal/engine"
 	"rsr/internal/sampling"
 	"rsr/internal/warmup"
 	"rsr/internal/workload"
@@ -31,6 +32,9 @@ type Config struct {
 	Workloads []string
 	// Parallelism bounds concurrent simulations (0 = GOMAXPROCS).
 	Parallelism int
+	// CacheDir enables the engine's on-disk result cache, letting repeated
+	// sweeps skip already-computed runs ("" = memory-only caching).
+	CacheDir string
 }
 
 // DefaultConfig returns the reference configuration.
@@ -87,45 +91,66 @@ func RegimenFor(name string) sampling.Regimen {
 	return sampling.Regimen{ClusterSize: 2000, NumClusters: 50}
 }
 
-// Lab runs simulations with a shared cache of true-IPC baselines.
+// Lab runs simulations with a shared cache of true-IPC baselines. All runs
+// are submitted through an engine.Engine, so identical (workload, method)
+// pairs appearing in several figures execute once, duplicate submissions
+// are single-flighted, and a Config.CacheDir persists results across
+// processes.
 type Lab struct {
 	cfg     Config
 	machine sampling.MachineConfig
-
-	mu   sync.Mutex
-	full map[string]sampling.FullResult
+	eng     *engine.Engine
 }
 
 // NewLab builds a Lab over the paper's machine.
 func NewLab(cfg Config) *Lab {
-	return &Lab{cfg: cfg, machine: sampling.DefaultMachine(), full: make(map[string]sampling.FullResult)}
+	return &Lab{
+		cfg:     cfg,
+		machine: sampling.DefaultMachine(),
+		eng: engine.New(engine.Options{
+			Workers:  cfg.parallelism(),
+			CacheDir: cfg.CacheDir,
+		}),
+	}
 }
 
 // Config returns the lab's configuration.
 func (l *Lab) Config() Config { return l.cfg }
 
+// Engine returns the lab's scheduler, e.g. for stats reporting or event
+// subscriptions.
+func (l *Lab) Engine() *engine.Engine { return l.eng }
+
+// Close stops the lab's worker pool. A Lab remains usable without ever
+// being closed; Close only releases the idle worker goroutines.
+func (l *Lab) Close() { l.eng.Close() }
+
+// fullJob is the engine job computing a workload's true-IPC baseline.
+func (l *Lab) fullJob(name string) engine.Job {
+	return engine.Job{Kind: engine.JobFull, Workload: name, Machine: l.machine, Total: l.cfg.Total()}
+}
+
+// sampledJob is the engine job for one (workload, warm-up method) run.
+func (l *Lab) sampledJob(name string, spec warmup.Spec) engine.Job {
+	return engine.Job{
+		Kind:     engine.JobSampled,
+		Workload: name,
+		Machine:  l.machine,
+		Total:    l.cfg.Total(),
+		Regimen:  RegimenFor(name),
+		Seed:     l.cfg.Seed,
+		Warmup:   spec,
+	}
+}
+
 // Full returns (computing and caching on first use) the full detailed
 // simulation of a workload: the true IPC baseline.
 func (l *Lab) Full(name string) (sampling.FullResult, error) {
-	l.mu.Lock()
-	if r, ok := l.full[name]; ok {
-		l.mu.Unlock()
-		return r, nil
-	}
-	l.mu.Unlock()
-
-	w, err := workload.ByName(name)
-	if err != nil {
-		return sampling.FullResult{}, err
-	}
-	r, err := sampling.RunFull(w.Build(), l.machine, l.cfg.Total())
+	res, err := l.eng.Run(context.Background(), l.fullJob(name))
 	if err != nil {
 		return sampling.FullResult{}, fmt.Errorf("experiments: true IPC of %s: %w", name, err)
 	}
-	l.mu.Lock()
-	l.full[name] = r
-	l.mu.Unlock()
-	return r, nil
+	return *res.Full, nil
 }
 
 // Cell is one (workload, warm-up method) measurement.
@@ -149,54 +174,56 @@ func (l *Lab) Run(name string, spec warmup.Spec) (Cell, error) {
 	if err != nil {
 		return Cell{}, err
 	}
-	w, err := workload.ByName(name)
-	if err != nil {
-		return Cell{}, err
-	}
-	res, err := sampling.RunSampled(w.Build(), l.machine, RegimenFor(name), l.cfg.Total(), l.cfg.Seed, spec)
+	res, err := l.eng.Run(context.Background(), l.sampledJob(name, spec))
 	if err != nil {
 		return Cell{}, fmt.Errorf("experiments: %s/%s: %w", name, spec.Label(), err)
 	}
-	return cellOf(name, full.Result.IPC(), res), nil
+	return cellOf(name, full.Result.IPC(), res.Sampled), nil
 }
 
-// Matrix runs every (workload, spec) pair concurrently and returns the cells
-// ordered workload-major, spec-minor.
+// Matrix runs every (workload, spec) pair through the engine and returns
+// the cells ordered workload-major, spec-minor. Every job is submitted up
+// front and results are reassembled in submission order, so the output is
+// identical to a sequential run at any worker count.
 func (l *Lab) Matrix(specs []warmup.Spec) ([]Cell, error) {
+	ctx := context.Background()
 	names := l.cfg.workloadNames()
-	cells := make([]Cell, len(names)*len(specs))
-	errs := make([]error, len(cells))
-	sem := make(chan struct{}, l.cfg.parallelism())
-	var wg sync.WaitGroup
 
-	// Compute baselines first (also parallel) so Run never duplicates them.
-	for _, name := range names {
-		wg.Add(1)
-		go func(name string) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			_, _ = l.Full(name)
-		}(name)
-	}
-	wg.Wait()
-
-	for wi, name := range names {
-		for si, spec := range specs {
-			wg.Add(1)
-			go func(idx int, name string, spec warmup.Spec) {
-				defer wg.Done()
-				sem <- struct{}{}
-				defer func() { <-sem }()
-				cells[idx], errs[idx] = l.Run(name, spec)
-			}(wi*len(specs)+si, name, spec)
-		}
-	}
-	wg.Wait()
-	for _, err := range errs {
+	fulls := make([]*engine.Ticket, len(names))
+	for i, name := range names {
+		t, err := l.eng.Submit(ctx, l.fullJob(name))
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("experiments: true IPC of %s: %w", name, err)
 		}
+		fulls[i] = t
+	}
+	tickets := make([]*engine.Ticket, 0, len(names)*len(specs))
+	for _, name := range names {
+		for _, spec := range specs {
+			t, err := l.eng.Submit(ctx, l.sampledJob(name, spec))
+			if err != nil {
+				return nil, fmt.Errorf("experiments: %s/%s: %w", name, spec.Label(), err)
+			}
+			tickets = append(tickets, t)
+		}
+	}
+
+	trueIPC := make(map[string]float64, len(names))
+	for i, name := range names {
+		res, err := fulls[i].Wait(ctx)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: true IPC of %s: %w", name, err)
+		}
+		trueIPC[name] = res.Full.Result.IPC()
+	}
+	cells := make([]Cell, len(tickets))
+	for i, t := range tickets {
+		name, spec := names[i/len(specs)], specs[i%len(specs)]
+		res, err := t.Wait(ctx)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s/%s: %w", name, spec.Label(), err)
+		}
+		cells[i] = cellOf(name, trueIPC[name], res.Sampled)
 	}
 	return cells, nil
 }

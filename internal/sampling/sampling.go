@@ -3,6 +3,16 @@
 // functional simulation between them, and a pluggable warm-up method that
 // observes the skipped stream and repairs microarchitectural state before
 // each cluster.
+//
+// # Concurrency contract
+//
+// RunSampled, RunSampledOpts, RunSampledMethod, and RunFull build a fresh
+// Hierarchy, predictor Unit, timing model, and functional simulator for
+// every call and share no mutable state between calls; the input Program is
+// read-only. Any number of runs may therefore execute concurrently (the
+// engine package relies on this), and because every run is deterministic in
+// its inputs, concurrent and sequential execution produce identical results.
+// TestRunSampledFreshStatePerCall asserts this contract.
 package sampling
 
 import (
@@ -159,6 +169,10 @@ func RunSampled(p *prog.Program, m MachineConfig, reg Regimen, total uint64, see
 	})
 }
 
+// ErrCanceled is returned when a run is stopped through Options.Cancel
+// before completing.
+var ErrCanceled = errors.New("sampling: run canceled")
+
 // Options tunes the sampled-run controller beyond the warm-up method.
 type Options struct {
 	// DetailedWarmup runs this many skip-region instructions through the
@@ -168,6 +182,23 @@ type Options struct {
 	// ablation point between functional warming and simply enlarging
 	// clusters.
 	DetailedWarmup uint64
+	// Cancel, when non-nil, aborts the run with ErrCanceled once the channel
+	// is closed. Sampled runs poll it at cluster boundaries and full runs
+	// every 64Ki instructions, so results of uncanceled runs are unaffected.
+	Cancel <-chan struct{}
+}
+
+// canceled reports whether the cancel channel (if any) has been closed.
+func (o Options) canceled() bool {
+	if o.Cancel == nil {
+		return false
+	}
+	select {
+	case <-o.Cancel:
+		return true
+	default:
+		return false
+	}
 }
 
 // RunSampledOpts is RunSampled with controller options.
@@ -209,6 +240,9 @@ func runSampled(p *prog.Program, m MachineConfig, reg Regimen, total uint64, see
 	}
 	var pos uint64
 	for _, start := range starts {
+		if opts.canceled() {
+			return nil, ErrCanceled
+		}
 		skip := start - pos
 		dw := opts.DetailedWarmup
 		if dw > skip {
@@ -261,13 +295,26 @@ type FullResult struct {
 
 // RunFull simulates the first `total` instructions of p cycle-accurately.
 func RunFull(p *prog.Program, m MachineConfig, total uint64) (FullResult, error) {
+	return RunFullOpts(p, m, total, Options{})
+}
+
+// RunFullOpts is RunFull with controller options (only Options.Cancel
+// applies). The cancel poll runs every 64Ki pulled instructions, so an
+// uncanceled run is identical to RunFull.
+func RunFullOpts(p *prog.Program, m MachineConfig, total uint64, opts Options) (FullResult, error) {
 	hier := mem.NewHierarchy(m.Hier)
 	unit := bpred.NewUnit(m.Pred)
 	sim := ooo.New(m.CPU, hier, unit)
 	fs := funcsim.New(p)
 	begin := time.Now()
 	var pullErr error
+	var pulled uint64
 	r := sim.Simulate(total, func() (trace.DynInst, bool) {
+		if opts.Cancel != nil && pulled&0xffff == 0 && opts.canceled() {
+			pullErr = ErrCanceled
+			return trace.DynInst{}, false
+		}
+		pulled++
 		d, err := fs.Step()
 		if err != nil {
 			pullErr = err

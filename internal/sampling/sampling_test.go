@@ -1,6 +1,9 @@
 package sampling
 
 import (
+	"errors"
+	"reflect"
+	"sync"
 	"testing"
 
 	"rsr/internal/stats"
@@ -236,5 +239,112 @@ func TestRunSampledOptsWarmupCappedBySkip(t *testing.T) {
 	}
 	if len(res.Clusters) != 5 {
 		t.Fatalf("clusters = %d", len(res.Clusters))
+	}
+}
+
+// TestRunSampledFreshStatePerCall asserts the package's concurrency
+// contract: every run builds a fresh Hierarchy/Unit/funcsim, so concurrent
+// runs of the same job share no mutable state and reproduce the sequential
+// result exactly. Run under -race (see the Makefile verify target) this
+// also proves the absence of data races between runs.
+func TestRunSampledFreshStatePerCall(t *testing.T) {
+	w, _ := workload.ByName("twolf")
+	p := w.Build()
+	reg := Regimen{ClusterSize: 2000, NumClusters: 10}
+	spec := warmup.Spec{Kind: warmup.KindReverse, Percent: 40, Cache: true, BPred: true}
+	const total = 400_000
+
+	want, err := RunSampled(p, DefaultMachine(), reg, total, 1, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want.Elapsed = 0
+
+	const runs = 4
+	results := make([]*RunResult, runs)
+	errs := make([]error, runs)
+	var wg sync.WaitGroup
+	for i := 0; i < runs; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			// The Program is shared read-only across the goroutines; all
+			// mutable simulation state must be per-call.
+			results[i], errs[i] = RunSampled(p, DefaultMachine(), reg, total, 1, spec)
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < runs; i++ {
+		if errs[i] != nil {
+			t.Fatal(errs[i])
+		}
+		results[i].Elapsed = 0
+		if !reflect.DeepEqual(results[i], want) {
+			t.Fatalf("concurrent run %d diverged from the sequential result", i)
+		}
+	}
+}
+
+// TestRunFullFreshStatePerCall is the same contract for full detailed runs.
+func TestRunFullFreshStatePerCall(t *testing.T) {
+	w, _ := workload.ByName("parser")
+	p := w.Build()
+	want, err := RunFull(p, DefaultMachine(), 200_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const runs = 3
+	results := make([]FullResult, runs)
+	errs := make([]error, runs)
+	var wg sync.WaitGroup
+	for i := 0; i < runs; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = RunFull(p, DefaultMachine(), 200_000)
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < runs; i++ {
+		if errs[i] != nil {
+			t.Fatal(errs[i])
+		}
+		if results[i].Result != want.Result {
+			t.Fatalf("concurrent full run %d diverged: %+v vs %+v", i, results[i].Result, want.Result)
+		}
+	}
+}
+
+// TestRunSampledCancel covers Options.Cancel: a closed channel aborts the
+// run with ErrCanceled at the next cluster boundary, and a never-closed
+// channel leaves the result untouched.
+func TestRunSampledCancel(t *testing.T) {
+	w, _ := workload.ByName("twolf")
+	p := w.Build()
+	reg := Regimen{ClusterSize: 2000, NumClusters: 10}
+	spec := warmup.Spec{Kind: warmup.KindNone}
+
+	closed := make(chan struct{})
+	close(closed)
+	if _, err := RunSampledOpts(p, DefaultMachine(), reg, 400_000, 1, spec,
+		Options{Cancel: closed}); !errors.Is(err, ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+	if _, err := RunFullOpts(p, DefaultMachine(), 200_000, Options{Cancel: closed}); !errors.Is(err, ErrCanceled) {
+		t.Fatalf("full err = %v, want ErrCanceled", err)
+	}
+
+	open := make(chan struct{})
+	got, err := RunSampledOpts(p, DefaultMachine(), reg, 400_000, 1, spec, Options{Cancel: open})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := RunSampled(p, DefaultMachine(), reg, 400_000, 1, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got.Elapsed, want.Elapsed = 0, 0
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("cancelable run with open channel diverged from plain run")
 	}
 }

@@ -108,9 +108,9 @@ func structSuffix(cache, bp bool) string {
 func (s Spec) New(h *mem.Hierarchy, u *bpred.Unit) Method {
 	switch s.Kind {
 	case KindFixed:
-		return &fixedPeriod{funcWarm: funcWarm{h: h, u: u, cache: s.Cache, bp: s.BPred, label: s.Label()}, percent: s.Percent}
+		return &fixedPeriod{funcWarm: newFuncWarm(h, u, s), percent: s.Percent}
 	case KindSMARTS:
-		return &smarts{funcWarm: funcWarm{h: h, u: u, cache: s.Cache, bp: s.BPred, label: s.Label()}}
+		return &smarts{funcWarm: newFuncWarm(h, u, s)}
 	case KindReverse:
 		return newReverse(h, u, s)
 	default:
@@ -204,11 +204,16 @@ type funcWarm struct {
 	work  Work
 }
 
+// newFuncWarm builds the shared functional-warming state with the line
+// tracker initialized up front (as newReverse does), keeping the
+// per-instruction apply path free of construction checks.
+func newFuncWarm(h *mem.Hierarchy, u *bpred.Unit, s Spec) funcWarm {
+	return funcWarm{h: h, u: u, cache: s.Cache, bp: s.BPred, label: s.Label(),
+		lines: newLineTracker(h.Config().L1I.LineBytes)}
+}
+
 func (f *funcWarm) apply(d *trace.DynInst) {
 	if f.cache {
-		if f.lines.lineMask == 0 {
-			f.lines = newLineTracker(f.h.Config().L1I.LineBytes)
-		}
 		if f.lines.crossed(d.PC) {
 			f.h.WarmInst(d.PC)
 			f.work.WarmOps++
@@ -282,10 +287,9 @@ type windowed struct {
 // NewWindowed builds an MRRL/BLRL-style method over precomputed per-region
 // warm windows (in instructions before each cluster).
 func NewWindowed(label string, h *mem.Hierarchy, u *bpred.Unit, windows []uint64) Method {
-	return &windowed{
-		funcWarm: funcWarm{h: h, u: u, cache: true, bp: true, label: label},
-		windows:  windows,
-	}
+	fw := newFuncWarm(h, u, Spec{Cache: true, BPred: true})
+	fw.label = label
+	return &windowed{funcWarm: fw, windows: windows}
 }
 
 func (w *windowed) Name() string { return w.label }

@@ -1,6 +1,7 @@
 package warmup
 
 import (
+	"strings"
 	"testing"
 
 	"rsr/internal/bpred"
@@ -264,16 +265,44 @@ func TestReverseNoInferLabel(t *testing.T) {
 }
 
 func TestSpecByLabel(t *testing.T) {
+	seen := map[string]bool{}
 	for _, s := range Matrix() {
-		got, err := SpecByLabel(s.Label())
+		label := s.Label()
+		if seen[label] {
+			t.Fatalf("label %q not unique in Matrix; SpecByLabel would be ambiguous", label)
+		}
+		seen[label] = true
+		got, err := SpecByLabel(label)
 		if err != nil {
-			t.Fatalf("%s: %v", s.Label(), err)
+			t.Fatalf("%s: %v", label, err)
 		}
 		if got != s {
-			t.Fatalf("%s: round trip changed spec: %+v vs %+v", s.Label(), got, s)
+			t.Fatalf("%s: round trip changed spec: %+v vs %+v", label, got, s)
 		}
 	}
 	if _, err := SpecByLabel("nonsense"); err == nil {
 		t.Fatal("unknown label must error")
+	} else if !strings.Contains(err.Error(), "nonsense") {
+		t.Fatalf("error should name the unknown label: %v", err)
+	}
+}
+
+// TestFuncWarmTrackerInitializedEagerly pins the Spec.New construction
+// contract: functional-warming methods get their line tracker at build
+// time, so the very first observed instruction counts one line fetch
+// without any lazy-initialization sniffing on the hot path.
+func TestFuncWarmTrackerInitializedEagerly(t *testing.T) {
+	for _, spec := range []Spec{
+		{Kind: KindSMARTS, Cache: true},
+		{Kind: KindFixed, Percent: 100, Cache: true},
+	} {
+		h, u := testEnv()
+		m := spec.New(h, u)
+		m.BeginSkip(1)
+		d := trace.DynInst{PC: 0x1000, NextPC: 0x1004}
+		m.ObserveSkip(&d)
+		if w := m.Work(); w.WarmOps != 1 {
+			t.Errorf("%s: first instruction warm ops = %d, want 1 line fetch", spec.Label(), w.WarmOps)
+		}
 	}
 }

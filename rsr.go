@@ -20,9 +20,26 @@
 //	    rsr.Regimen{ClusterSize: 2000, NumClusters: 50}, 2_000_000, 1,
 //	    rsr.ReverseWarmup(20))
 //	fmt.Println(full.Result.IPC(), sampled.IPCEstimate())
+//
+// # Concurrency
+//
+// RunFull and RunSampled build all mutable simulation state (hierarchy,
+// predictor, timing model, functional simulator) fresh per call and treat
+// the Program as read-only, so any number of runs may execute concurrently;
+// each run is deterministic in its inputs, so concurrency never changes
+// results. The Engine builds on this contract to schedule runs across a
+// bounded worker pool with a content-addressed result cache:
+//
+//	eng := rsr.NewEngine(rsr.EngineOptions{CacheDir: "/tmp/rsr-cache"})
+//	defer eng.Close()
+//	res, _ := eng.Run(ctx, rsr.EngineJob{Kind: rsr.JobSampled, Workload: "twolf",
+//	    Machine: rsr.DefaultMachine(), Total: 2_000_000, Seed: 1,
+//	    Regimen: rsr.Regimen{ClusterSize: 2000, NumClusters: 50},
+//	    Warmup: rsr.ReverseWarmup(20)})
 package rsr
 
 import (
+	"rsr/internal/engine"
 	"rsr/internal/experiments"
 	"rsr/internal/livepoints"
 	"rsr/internal/ooo"
@@ -166,3 +183,38 @@ func NewLab(cfg LabConfig) *Lab { return experiments.NewLab(cfg) }
 // DefaultLabConfig returns the reference experiment configuration
 // (20M-instruction workloads, seed 2007).
 func DefaultLabConfig() LabConfig { return experiments.DefaultConfig() }
+
+// Engine is the concurrent simulation engine: a bounded worker pool with
+// single-flight deduplication and a content-addressed result cache (in
+// memory, plus on disk when a cache directory is configured). The Lab and
+// the rsrd daemon run on it; it is also usable directly for custom sweeps.
+type Engine = engine.Engine
+
+// EngineOptions configures worker count, cache directory, and the default
+// per-job timeout.
+type EngineOptions = engine.Options
+
+// EngineJob describes one deterministic simulation run; equal jobs hash to
+// the same content address and are computed at most once.
+type EngineJob = engine.Job
+
+// Job kinds for EngineJob.Kind.
+const (
+	JobSampled = engine.JobSampled
+	JobFull    = engine.JobFull
+)
+
+// EngineResult is a finished job's outcome (sampled or full).
+type EngineResult = engine.Result
+
+// EngineTicket is the handle returned by Engine.Submit.
+type EngineTicket = engine.Ticket
+
+// EngineStats is a snapshot of scheduler and cache counters.
+type EngineStats = engine.Stats
+
+// EngineEvent is one progress notification from Engine.Subscribe.
+type EngineEvent = engine.Event
+
+// NewEngine starts an engine and its worker pool; call Close to stop it.
+func NewEngine(opts EngineOptions) *Engine { return engine.New(opts) }
