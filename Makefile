@@ -1,14 +1,19 @@
 # Developer workflow for the rsr reproduction.
 #
-#   make build    compile everything
-#   make test     tier-1 gate: go build ./... && go test ./...
-#   make verify   vet + race-test the concurrent code paths
-#   make bench    sequential-vs-parallel sweep benchmark at small scale
-#   make all      everything above
+#   make build       compile everything
+#   make test        tier-1 gate: go build ./... && go test ./...
+#   make verify      vet + race-test the concurrent code paths
+#   make bench       machine-readable benchmark snapshot (BENCH_$(LABEL).json)
+#   make bench-sweep sequential-vs-parallel sweep benchmark at small scale
+#   make all         everything above
+#
+# Compare two snapshots with:
+#   go run ./cmd/rsrbench -label after -compare BENCH_baseline.json
 
 GO ?= go
+LABEL ?= dev
 
-.PHONY: all build test verify bench
+.PHONY: all build test verify bench bench-sweep
 
 all: build test verify
 
@@ -27,4 +32,7 @@ verify:
 	$(GO) test -race ./internal/engine/... ./internal/sampling/... ./cmd/rsrd/...
 
 bench:
+	$(GO) run ./cmd/rsrbench -label $(LABEL)
+
+bench-sweep:
 	$(GO) test -run '^$$' -bench BenchmarkTable2SweepParallelism -benchtime 1x .

@@ -33,12 +33,16 @@
 //	-stats         print engine scheduler/cache statistics to stderr when done
 //	-workload s    workload for `run`
 //	-method s      method label for `run` (e.g. "R$BP (20%)", "S$BP", "None")
+//	-cpuprofile f  write a CPU profile to f
+//	-memprofile f  write an allocation profile to f on exit
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -60,7 +64,23 @@ func main() {
 	out := flag.String("out", "rsr-report.html", "output path for `report`")
 	workloadFlag := flag.String("workload", "twolf", "workload for `run`")
 	methodFlag := flag.String("method", "R$BP (20%)", "warm-up method label for `run`")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to `file`")
+	memProfile := flag.String("memprofile", "", "write an allocation profile to `file` on exit")
 	flag.Parse()
+
+	var cpuFile *os.File
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rsr: -cpuprofile:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "rsr: -cpuprofile:", err)
+			os.Exit(1)
+		}
+		cpuFile = f
+	}
 
 	cfg := experiments.DefaultConfig()
 	cfg.Scale = *scale
@@ -78,10 +98,39 @@ func main() {
 	if cmd == "" {
 		cmd = "all"
 	}
-	if err := dispatch(cmd, cfg, *workloadFlag, *methodFlag, *format, *out, *stats); err != nil {
+	err := dispatch(cmd, cfg, *workloadFlag, *methodFlag, *format, *out, *stats)
+
+	// Flush profiles explicitly — the error path below exits via os.Exit,
+	// which would skip deferred flushes.
+	if cpuFile != nil {
+		pprof.StopCPUProfile()
+		cpuFile.Close()
+	}
+	if *memProfile != "" {
+		if perr := writeMemProfile(*memProfile); perr != nil {
+			fmt.Fprintln(os.Stderr, "rsr: -memprofile:", perr)
+			if err == nil {
+				err = perr
+			}
+		}
+	}
+
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "rsr:", err)
 		os.Exit(1)
 	}
+}
+
+// writeMemProfile records the allocation profile after a final GC so the
+// heap numbers reflect live state, matching `go test -memprofile`.
+func writeMemProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	runtime.GC()
+	return pprof.Lookup("allocs").WriteTo(f, 0)
 }
 
 func dispatch(cmd string, cfg experiments.Config, wl, method, format, out string, stats bool) error {

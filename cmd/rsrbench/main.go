@@ -1,0 +1,242 @@
+// Command rsrbench is the machine-readable benchmark harness: it runs the
+// performance-critical substrates through testing.Benchmark and writes a
+// BENCH_<label>.json snapshot, so before/after comparisons across commits are
+// a file diff rather than a scrollback archaeology exercise.
+//
+// Usage:
+//
+//	rsrbench [-label dev] [-out FILE] [-compare BASELINE.json]
+//
+// The metrics:
+//
+//	functional_sim     architectural interpreter throughput (instr/s)
+//	detailed_sim       cycle-level timing model throughput (instr/s)
+//	reverse_recon_20   reverse cache reconstruction, newest 20% (records/s)
+//	reverse_recon_100  reverse cache reconstruction, full log (records/s)
+//	warmup_<arm>       end-to-end sampled run per warm-up method (runs/s)
+//	figure7            one end-to-end figure regeneration (runs/s)
+//
+// With -compare, the deltas against a previous snapshot are printed and the
+// exit status is still zero: regression gating policy belongs to CI, not to
+// the measuring tool.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"rsr/internal/core"
+	"rsr/internal/experiments"
+	"rsr/internal/funcsim"
+	"rsr/internal/mem"
+	"rsr/internal/sampling"
+	"rsr/internal/trace"
+	"rsr/internal/warmup"
+	"rsr/internal/workload"
+)
+
+// Metric is one measured quantity.
+type Metric struct {
+	Name string `json:"name"`
+	// Value is the headline number in Unit (higher is better for all
+	// rsrbench metrics: they are throughputs).
+	Value float64 `json:"value"`
+	Unit  string  `json:"unit"`
+	// NsPerOp and Iterations carry the raw testing.Benchmark result.
+	NsPerOp    float64 `json:"ns_per_op"`
+	Iterations int     `json:"iterations"`
+}
+
+// Snapshot is the BENCH_<label>.json document.
+type Snapshot struct {
+	Label      string   `json:"label"`
+	Timestamp  string   `json:"timestamp"`
+	GoVersion  string   `json:"go_version"`
+	GOOS       string   `json:"goos"`
+	GOARCH     string   `json:"goarch"`
+	GOMAXPROCS int      `json:"gomaxprocs"`
+	Metrics    []Metric `json:"metrics"`
+}
+
+func main() {
+	label := flag.String("label", "dev", "snapshot label (names the output file)")
+	out := flag.String("out", "", "output path (default BENCH_<label>.json)")
+	compare := flag.String("compare", "", "previous snapshot to diff against")
+	flag.Parse()
+	if *out == "" {
+		*out = fmt.Sprintf("BENCH_%s.json", *label)
+	}
+
+	snap := &Snapshot{
+		Label:      *label,
+		Timestamp:  time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+	for _, m := range measure() {
+		snap.Metrics = append(snap.Metrics, m)
+		fmt.Printf("%-22s %14.0f %-10s (%d iter, %.2f ms/op)\n",
+			m.Name, m.Value, m.Unit, m.Iterations, m.NsPerOp/1e6)
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rsrbench:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(snap); err != nil {
+		fmt.Fprintln(os.Stderr, "rsrbench:", err)
+		os.Exit(1)
+	}
+	f.Close()
+	fmt.Printf("wrote %s\n", *out)
+
+	if *compare != "" {
+		if err := printComparison(*compare, snap); err != nil {
+			fmt.Fprintln(os.Stderr, "rsrbench: -compare:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// throughput converts a benchmark of `per` units of work per iteration into
+// a units-per-second Metric.
+func throughput(name, unit string, per float64, r testing.BenchmarkResult) Metric {
+	return Metric{
+		Name:       name,
+		Value:      per * float64(r.N) / r.T.Seconds(),
+		Unit:       unit,
+		NsPerOp:    float64(r.NsPerOp()),
+		Iterations: r.N,
+	}
+}
+
+func measure() []Metric {
+	var out []Metric
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "rsrbench:", err)
+		os.Exit(1)
+	}
+
+	tw, _ := workload.ByName("twolf")
+	twolf := tw.Build()
+	gc, _ := workload.ByName("gcc")
+	gcc := gc.Build()
+
+	// Architectural interpreter: the batched hot loop.
+	const funcInstr = 1_000_000
+	r := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			fs := funcsim.New(twolf)
+			if _, err := fs.Skip(funcInstr); err != nil {
+				fail(err)
+			}
+		}
+	})
+	out = append(out, throughput("functional_sim", "instr/s", funcInstr, r))
+
+	// Cycle-level timing model.
+	const detInstr = 500_000
+	r = testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := sampling.RunFull(twolf, sampling.DefaultMachine(), detInstr); err != nil {
+				fail(err)
+			}
+		}
+	})
+	out = append(out, throughput("detailed_sim", "instr/s", detInstr, r))
+
+	// Reverse cache reconstruction over a synthetic log (same generator as
+	// BenchmarkReverseCacheReconstruction).
+	log := make([]trace.MemRecord, 200_000)
+	lcg := uint64(12345)
+	for i := range log {
+		lcg = lcg*6364136223846793005 + 1442695040888963407
+		log[i] = trace.MemRecord{Addr: (lcg >> 20) % (8 << 20), IsStore: i%3 == 0}
+	}
+	for _, pct := range []int{20, 100} {
+		pct := pct
+		h := mem.NewHierarchy(mem.DefaultHierarchyConfig())
+		r = testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_ = core.ReconstructCaches(h, log, pct)
+			}
+		})
+		out = append(out, throughput(fmt.Sprintf("reverse_recon_%d", pct), "records/s",
+			float64(len(log))*float64(pct)/100, r))
+	}
+
+	// End-to-end sampled runs per warm-up arm: the wall-clock form of the
+	// paper's speedup claim, and the number the batched streaming work moves.
+	reg := sampling.Regimen{ClusterSize: 2000, NumClusters: 20}
+	for _, spec := range []warmup.Spec{
+		{Kind: warmup.KindNone},
+		{Kind: warmup.KindSMARTS, Cache: true, BPred: true},
+		{Kind: warmup.KindReverse, Percent: 20, Cache: true, BPred: true},
+		{Kind: warmup.KindReverse, Percent: 100, Cache: true, BPred: true},
+	} {
+		spec := spec
+		r = testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := sampling.RunSampled(gcc, sampling.DefaultMachine(), reg, 2_000_000, 1, spec); err != nil {
+					fail(err)
+				}
+			}
+		})
+		out = append(out, throughput("warmup_"+spec.Label(), "runs/s", 1, r))
+	}
+
+	// One end-to-end figure at reduced scale: exercises the engine, the
+	// sampled paths, and the reconstruction together.
+	r = testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			cfg := experiments.DefaultConfig()
+			cfg.Scale = 0.1
+			cfg.Workloads = []string{"twolf"}
+			lab := experiments.NewLab(cfg)
+			_, err := lab.Figure7()
+			lab.Close()
+			if err != nil {
+				fail(err)
+			}
+		}
+	})
+	out = append(out, throughput("figure7", "runs/s", 1, r))
+
+	return out
+}
+
+func printComparison(path string, cur *Snapshot) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var base Snapshot
+	if err := json.Unmarshal(data, &base); err != nil {
+		return err
+	}
+	prev := make(map[string]Metric, len(base.Metrics))
+	for _, m := range base.Metrics {
+		prev[m.Name] = m
+	}
+	fmt.Printf("\nvs %s (%s):\n", base.Label, base.Timestamp)
+	for _, m := range cur.Metrics {
+		p, ok := prev[m.Name]
+		if !ok || p.Value == 0 {
+			fmt.Printf("%-22s %14.0f %-10s (no baseline)\n", m.Name, m.Value, m.Unit)
+			continue
+		}
+		fmt.Printf("%-22s %14.0f %-10s %+7.1f%% (%.2fx)\n",
+			m.Name, m.Value, m.Unit, 100*(m.Value/p.Value-1), m.Value/p.Value)
+	}
+	return nil
+}

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"strings"
 	"sync"
 	"time"
@@ -34,6 +35,13 @@ func (s *server) routes() http.Handler {
 	mux.HandleFunc("/v1/jobs/", s.handleJob)
 	mux.HandleFunc("/v1/stats", s.handleStats)
 	mux.HandleFunc("/v1/events", s.handleEvents)
+	// Live profiling of a running daemon (the default-mux registration in
+	// net/http/pprof does not apply to a private mux, so mount explicitly).
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	return mux
 }
 
@@ -41,7 +49,7 @@ func (s *server) routes() http.Handler {
 // defaults: the paper's machine, the workload's Table-1 regimen, the
 // reference 20M-instruction length, and seed 2007.
 type jobRequest struct {
-	Kind     string            `json:"kind,omitempty"`   // "sampled" (default) or "full"
+	Kind     string            `json:"kind,omitempty"` // "sampled" (default) or "full"
 	Workload string            `json:"workload"`
 	Method   string            `json:"method,omitempty"` // warm-up label, e.g. "R$BP (20%)"
 	Total    uint64            `json:"total,omitempty"`

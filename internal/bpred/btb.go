@@ -15,6 +15,7 @@ func DefaultBTBConfig() BTBConfig { return BTBConfig{Entries: 4 << 10} }
 type BTB struct {
 	entries []btbEntry
 	mask    uint64
+	bits    uint // log2(len(entries)); tags are (pc >> 2) >> bits
 	updates uint64
 }
 
@@ -29,18 +30,23 @@ func NewBTB(cfg BTBConfig) *BTB {
 	if cfg.Entries <= 0 || cfg.Entries&(cfg.Entries-1) != 0 {
 		panic("bpred: BTB entries must be a power of two")
 	}
-	return &BTB{entries: make([]btbEntry, cfg.Entries), mask: uint64(cfg.Entries - 1)}
+	bits := uint(0)
+	for 1<<bits != cfg.Entries {
+		bits++
+	}
+	return &BTB{entries: make([]btbEntry, cfg.Entries), mask: uint64(cfg.Entries - 1), bits: bits}
 }
 
 // Index returns the slot used by pc.
 func (b *BTB) Index(pc uint64) int { return int((pc >> 2) & b.mask) }
 
-func (b *BTB) tagOf(pc uint64) uint64 { return (pc >> 2) / uint64(len(b.entries)) }
+func (b *BTB) tagOf(pc uint64) uint64 { return (pc >> 2) >> b.bits }
 
 // Lookup returns the predicted target for pc and whether the entry hit.
 func (b *BTB) Lookup(pc uint64) (uint64, bool) {
-	e := &b.entries[b.Index(pc)]
-	if e.valid && e.tag == b.tagOf(pc) {
+	w := pc >> 2
+	e := &b.entries[w&b.mask]
+	if e.valid && e.tag == w>>b.bits {
 		return e.target, true
 	}
 	return 0, false
@@ -48,8 +54,9 @@ func (b *BTB) Lookup(pc uint64) (uint64, bool) {
 
 // Update installs or refreshes the taken target for pc.
 func (b *BTB) Update(pc, target uint64) {
-	e := &b.entries[b.Index(pc)]
-	e.tag = b.tagOf(pc)
+	w := pc >> 2
+	e := &b.entries[w&b.mask]
+	e.tag = w >> b.bits
 	e.target = target
 	e.valid = true
 	b.updates++

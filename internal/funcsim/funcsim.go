@@ -26,6 +26,9 @@ type Sim struct {
 	pc     uint64
 	seq    uint64
 	halted bool
+	// batch is the reusable record buffer backing Skip; allocated lazily so
+	// sims that only Step or RunBatch into caller-owned buffers pay nothing.
+	batch []trace.DynInst
 }
 
 // New returns a simulator positioned at the program entry with the data
@@ -189,6 +192,46 @@ func (s *Sim) Step() (trace.DynInst, error) {
 	return d, nil
 }
 
+// Stream adapts a Sim to batch consumers such as the timing model: each Fill
+// call executes up to max instructions (bounded by the buffer) and returns
+// the freshly committed records. It satisfies ooo.Source structurally without
+// this package importing the timing model.
+type Stream struct {
+	sim *Sim
+	buf []trace.DynInst
+	err error
+}
+
+// NewStream returns a Stream over sim filling buf (BatchSize records when buf
+// is nil).
+func NewStream(sim *Sim, buf []trace.DynInst) *Stream {
+	if buf == nil {
+		buf = make([]trace.DynInst, BatchSize)
+	}
+	return &Stream{sim: sim, buf: buf}
+}
+
+// Fill executes and returns the next batch, at most max instructions. An
+// empty batch ends the stream (halt or fault); Err distinguishes the two.
+// The returned slice is only valid until the next Fill.
+func (st *Stream) Fill(max uint64) []trace.DynInst {
+	if st.err != nil {
+		return nil
+	}
+	b := st.buf
+	if max < uint64(len(b)) {
+		b = b[:max]
+	}
+	n, err := st.sim.RunBatch(b)
+	if err != nil {
+		st.err = err
+	}
+	return b[:n]
+}
+
+// Err reports the execution fault that ended the stream, if any.
+func (st *Stream) Err() error { return st.err }
+
 // Delta is an architectural checkpoint: full register state plus every
 // memory page written since the previous CaptureDelta. Applying a sequence
 // of deltas in capture order reconstructs the architectural state at each
@@ -227,6 +270,10 @@ func (s *Sim) ApplyDelta(d *Delta) {
 // instruction, and reports how many actually executed (fewer only when the
 // program halts). The record passed to fn is reused between calls; observers
 // that retain it must copy it.
+//
+// Run is the scalar reference path; the batched RunBatch/RunBatches family
+// below produces the identical instruction sequence and is what the sampling
+// controller feeds from.
 func (s *Sim) Run(n uint64, fn func(*trace.DynInst)) (uint64, error) {
 	// One reusable record: taking its address inside the loop would make
 	// every iteration's record escape to the heap.
@@ -248,6 +295,197 @@ func (s *Sim) Run(n uint64, fn func(*trace.DynInst)) (uint64, error) {
 	return i, nil
 }
 
+// BatchSize is the instruction-batch granularity used by Skip, RunBatches,
+// and the sampling controller: large enough to amortize per-batch dispatch,
+// small enough that a batch of records stays cache-resident.
+const BatchSize = 1024
+
+// RunBatch fills buf with the next committed dynamic instructions and
+// reports how many it produced. It returns fewer than len(buf) only when the
+// program halts (the halt instruction is the last record delivered; later
+// calls return 0) or on an execution fault. It is the specialized hot loop
+// behind all batched streaming: program code is indexed directly, the zero
+// register is reset with a single store per instruction, and no per-step
+// error values are constructed.
+func (s *Sim) RunBatch(buf []trace.DynInst) (int, error) {
+	if s.halted || len(buf) == 0 {
+		return 0, nil
+	}
+	code := s.prog.Insts
+	regs := &s.regs
+	m := s.mem
+	pc := s.pc
+	seq := s.seq
+	n := 0
+	for n < len(buf) {
+		off := pc - prog.CodeBase
+		idx := off >> 2 // isa.InstBytes == 4
+		if pc < prog.CodeBase || off&3 != 0 || idx >= uint64(len(code)) {
+			s.pc, s.seq = pc, seq
+			return n, fmt.Errorf("funcsim: pc %#x escaped code segment", pc)
+		}
+		in := &code[idx]
+		d := &buf[n]
+		*d = trace.DynInst{
+			Seq: seq, PC: pc,
+			Op: in.Op, Rd: in.Rd, Rs1: in.Rs1, Rs2: in.Rs2,
+		}
+		next := pc + isa.InstBytes
+		rs1 := regs[in.Rs1]
+		rs2 := regs[in.Rs2]
+
+		switch in.Op {
+		case isa.OpNop:
+		case isa.OpAdd:
+			regs[in.Rd] = rs1 + rs2
+		case isa.OpSub:
+			regs[in.Rd] = rs1 - rs2
+		case isa.OpAddi:
+			regs[in.Rd] = rs1 + uint64(in.Imm)
+		case isa.OpLui:
+			regs[in.Rd] = uint64(in.Imm)
+		case isa.OpAnd:
+			regs[in.Rd] = rs1 & rs2
+		case isa.OpOr:
+			regs[in.Rd] = rs1 | rs2
+		case isa.OpXor:
+			regs[in.Rd] = rs1 ^ rs2
+		case isa.OpShl:
+			regs[in.Rd] = rs1 << (rs2 & 63)
+		case isa.OpShr:
+			regs[in.Rd] = rs1 >> (rs2 & 63)
+		case isa.OpAndi:
+			regs[in.Rd] = rs1 & uint64(in.Imm)
+		case isa.OpShli:
+			regs[in.Rd] = rs1 << (uint64(in.Imm) & 63)
+		case isa.OpShri:
+			regs[in.Rd] = rs1 >> (uint64(in.Imm) & 63)
+		case isa.OpSlt:
+			if int64(rs1) < int64(rs2) {
+				regs[in.Rd] = 1
+			} else {
+				regs[in.Rd] = 0
+			}
+		case isa.OpMul:
+			regs[in.Rd] = rs1 * rs2
+		case isa.OpDiv:
+			if rs2 == 0 {
+				regs[in.Rd] = 0
+			} else {
+				regs[in.Rd] = uint64(int64(rs1) / int64(rs2))
+			}
+		case isa.OpRem:
+			if rs2 == 0 {
+				regs[in.Rd] = 0
+			} else {
+				regs[in.Rd] = uint64(int64(rs1) % int64(rs2))
+			}
+		case isa.OpFAdd:
+			regs[in.Rd] = math.Float64bits(math.Float64frombits(rs1) + math.Float64frombits(rs2))
+		case isa.OpFMul:
+			regs[in.Rd] = math.Float64bits(math.Float64frombits(rs1) * math.Float64frombits(rs2))
+		case isa.OpFDiv:
+			den := math.Float64frombits(rs2)
+			if den == 0 {
+				regs[in.Rd] = 0
+			} else {
+				regs[in.Rd] = math.Float64bits(math.Float64frombits(rs1) / den)
+			}
+		case isa.OpLd:
+			addr := rs1 + uint64(in.Imm)
+			d.EffAddr = addr
+			regs[in.Rd] = m.Read(addr)
+		case isa.OpSt:
+			addr := rs1 + uint64(in.Imm)
+			d.EffAddr = addr
+			m.Write(addr, rs2)
+		case isa.OpBeq:
+			if rs1 == rs2 {
+				next = pc + uint64(in.Imm)
+				d.Taken = true
+			}
+		case isa.OpBne:
+			if rs1 != rs2 {
+				next = pc + uint64(in.Imm)
+				d.Taken = true
+			}
+		case isa.OpBlt:
+			if int64(rs1) < int64(rs2) {
+				next = pc + uint64(in.Imm)
+				d.Taken = true
+			}
+		case isa.OpBge:
+			if int64(rs1) >= int64(rs2) {
+				next = pc + uint64(in.Imm)
+				d.Taken = true
+			}
+		case isa.OpJmp:
+			next = pc + uint64(in.Imm)
+			d.Taken = true
+		case isa.OpJr:
+			next = rs1
+			d.Taken = true
+		case isa.OpCall:
+			regs[in.Rd] = pc + isa.InstBytes
+			next = pc + uint64(in.Imm)
+			d.Taken = true
+		case isa.OpRet:
+			next = rs1
+			d.Taken = true
+		case isa.OpHalt:
+			s.halted = true
+		default:
+			s.pc, s.seq = pc, seq
+			return n, fmt.Errorf("funcsim: unknown opcode %d at pc %#x", in.Op, pc)
+		}
+		// Writes to the zero register are architecturally discarded; a single
+		// unconditional store replaces the per-write branch of SetReg.
+		regs[isa.ZeroReg] = 0
+
+		d.NextPC = next
+		pc = next
+		seq++
+		n++
+		if s.halted {
+			break
+		}
+	}
+	s.pc, s.seq = pc, seq
+	return n, nil
+}
+
+// RunBatches executes up to n instructions through RunBatch, invoking observe
+// (when non-nil) once per filled batch, and reports how many instructions
+// actually executed (fewer only when the program halts). The batch slice
+// passed to observe aliases buf and is only valid until the next batch.
+func (s *Sim) RunBatches(n uint64, buf []trace.DynInst, observe func([]trace.DynInst)) (uint64, error) {
+	var done uint64
+	for done < n {
+		b := buf
+		if rem := n - done; rem < uint64(len(b)) {
+			b = b[:rem]
+		}
+		k, err := s.RunBatch(b)
+		done += uint64(k)
+		if err != nil {
+			return done, err
+		}
+		if observe != nil && k > 0 {
+			observe(b[:k])
+		}
+		if k < len(b) {
+			return done, nil // halted
+		}
+	}
+	return done, nil
+}
+
 // Skip executes n instructions discarding records; it is the fastest path for
-// pure cold simulation.
-func (s *Sim) Skip(n uint64) (uint64, error) { return s.Run(n, nil) }
+// pure cold simulation. It runs through the batched interpreter over an
+// internal buffer allocated on first use.
+func (s *Sim) Skip(n uint64) (uint64, error) {
+	if s.batch == nil {
+		s.batch = make([]trace.DynInst, BatchSize)
+	}
+	return s.RunBatches(n, s.batch, nil)
+}

@@ -1,5 +1,7 @@
 package funcsim
 
+import "sort"
+
 // Memory is a sparse 64-bit-word-granular memory image. Pages are allocated
 // on first touch so workloads can use gigabyte-scale address ranges with only
 // their resident set backed by host memory. Accesses are aligned down to an
@@ -75,7 +77,9 @@ func (m *Memory) Write(addr, value uint64) {
 func (m *Memory) Pages() int { return len(m.pages) }
 
 // DirtyPages copies every page written since the previous call (or since
-// creation) and clears the dirty flags.
+// creation) and clears the dirty flags. Pages are returned sorted by page
+// key: map iteration order is randomized, and checkpoint captures must be
+// deterministic run-to-run (delta files are content-hashed by the engine).
 func (m *Memory) DirtyPages() []PageData {
 	var out []PageData
 	for key, p := range m.pages {
@@ -85,6 +89,7 @@ func (m *Memory) DirtyPages() []PageData {
 		out = append(out, PageData{Key: key, Words: p.words})
 		p.dirty = false
 	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
 	return out
 }
 

@@ -72,11 +72,13 @@ func Capture(p *prog.Program, m sampling.MachineConfig, reg sampling.Regimen, to
 	// at install time), so nothing extra is needed here.
 
 	set := &Set{Program: p, Machine: m, ClusterSize: reg.ClusterSize}
+	buf := make([]trace.DynInst, funcsim.BatchSize)
+	observe := warm.ObserveSkipBatch
 	var pos uint64
 	for _, start := range starts {
 		skip := start - pos
 		warm.BeginSkip(skip)
-		ran, err := fs.Run(skip, warm.ObserveSkip)
+		ran, err := fs.RunBatches(skip, buf, observe)
 		if err != nil {
 			return nil, fmt.Errorf("livepoints: capture skip: %w", err)
 		}
@@ -95,7 +97,7 @@ func Capture(p *prog.Program, m sampling.MachineConfig, reg sampling.Regimen, to
 		// Execute the cluster functionally with warming so subsequent
 		// points see post-cluster state, as a real sampled run would.
 		warm.BeginSkip(reg.ClusterSize)
-		ran, err = fs.Run(reg.ClusterSize, warm.ObserveSkip)
+		ran, err = fs.RunBatches(reg.ClusterSize, buf, observe)
 		if err != nil {
 			return nil, fmt.Errorf("livepoints: capture cluster: %w", err)
 		}
@@ -136,23 +138,16 @@ func (s *Set) Replay(cpu ooo.Config) (*ReplayResult, error) {
 	fs := funcsim.New(s.Program)
 
 	res := &ReplayResult{}
+	st := funcsim.NewStream(fs, nil)
 	for i := range s.Points {
 		pt := &s.Points[i]
 		fs.ApplyDelta(pt.Arch)
 		hier.SetState(pt.Hier)
 		unit.SetState(pt.Pred)
 
-		var pullErr error
-		r := sim.Simulate(s.ClusterSize, func() (trace.DynInst, bool) {
-			d, err := fs.Step()
-			if err != nil {
-				pullErr = err
-				return trace.DynInst{}, false
-			}
-			return d, true
-		})
-		if pullErr != nil {
-			return nil, fmt.Errorf("livepoints: replay cluster %d: %w", i, pullErr)
+		r := sim.SimulateSource(s.ClusterSize, st)
+		if err := st.Err(); err != nil {
+			return nil, fmt.Errorf("livepoints: replay cluster %d: %w", i, err)
 		}
 		res.Clusters = append(res.Clusters, sampling.ClusterStat{Start: pt.Start, Result: r})
 	}

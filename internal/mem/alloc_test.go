@@ -1,0 +1,23 @@
+package mem
+
+import "testing"
+
+// TestAccessZeroAllocs pins the cache access path as allocation-free: it runs
+// once per reference during functional warming and detailed simulation, so a
+// single hidden allocation would dominate the profile.
+func TestAccessZeroAllocs(t *testing.T) {
+	for _, cfg := range []CacheConfig{
+		{Name: "l1", SizeBytes: 32 << 10, Assoc: 4, LineBytes: 64, Policy: WTNA},
+		{Name: "l2", SizeBytes: 256 << 10, Assoc: 8, LineBytes: 64, Policy: WBWA},
+	} {
+		c := NewCache(cfg)
+		lcg := uint64(1)
+		avg := testing.AllocsPerRun(1000, func() {
+			lcg = lcg*6364136223846793005 + 1442695040888963407
+			c.Access((lcg>>24)%(8<<20), lcg&1 == 0)
+		})
+		if avg != 0 {
+			t.Errorf("%s: Access allocates %.2f per call", cfg.Name, avg)
+		}
+	}
+}

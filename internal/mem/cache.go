@@ -82,7 +82,9 @@ type Cache struct {
 	numSets   int
 	assoc     int
 	lineShift uint
+	setBits   uint // log2(numSets); tags are (addr >> lineShift) >> setBits
 	setMask   uint64
+	wbwa      bool   // cfg.Policy == WBWA, hoisted off the access path
 	counter   uint64 // global LRU stamp source
 	stats     Stats
 
@@ -103,13 +105,19 @@ func NewCache(cfg CacheConfig) *Cache {
 	for 1<<shift != cfg.LineBytes {
 		shift++
 	}
+	setBits := uint(0)
+	for 1<<setBits != sets {
+		setBits++
+	}
 	return &Cache{
 		cfg:       cfg,
 		lines:     make([]line, sets*cfg.Assoc),
 		numSets:   sets,
 		assoc:     cfg.Assoc,
 		lineShift: shift,
+		setBits:   setBits,
 		setMask:   uint64(sets - 1),
+		wbwa:      cfg.Policy == WBWA,
 		counter:   1,
 		reconLeft: make([]int32, sets),
 	}
@@ -133,11 +141,11 @@ func (c *Cache) ResetStats() { c.stats = Stats{} }
 // SetOf returns the set index of addr.
 func (c *Cache) SetOf(addr uint64) int { return int((addr >> c.lineShift) & c.setMask) }
 
-func (c *Cache) tagOf(addr uint64) uint64 { return (addr >> c.lineShift) / uint64(c.numSets) }
+func (c *Cache) tagOf(addr uint64) uint64 { return (addr >> c.lineShift) >> c.setBits }
 
 // addrOf returns a representative byte address for (set, tag).
 func (c *Cache) addrOf(setIdx int, tag uint64) uint64 {
-	return (tag*uint64(c.numSets) + uint64(setIdx)) << c.lineShift
+	return (tag<<c.setBits | uint64(setIdx)) << c.lineShift
 }
 
 // set returns the ways of set s.
@@ -185,20 +193,28 @@ type AccessResult struct {
 // by full-functional (SMARTS-style) warm-up.
 func (c *Cache) Access(addr uint64, isWrite bool) AccessResult {
 	c.stats.Accesses++
-	setIdx := c.SetOf(addr)
-	set := c.set(setIdx)
-	tag := c.tagOf(addr)
-	if w := find(set, tag); w >= 0 {
-		c.stats.Hits++
-		c.stats.Updates++
-		set[w].stamp = c.nextStamp()
-		if isWrite && c.cfg.Policy == WBWA {
-			set[w].dirty = true
+	block := addr >> c.lineShift
+	setIdx := int(block & c.setMask)
+	base := setIdx * c.assoc
+	set := c.lines[base : base+c.assoc]
+	tag := block >> c.setBits
+	// Tag match is fused into the access path (rather than calling find) so
+	// the hit case — the overwhelmingly common one — touches the set exactly
+	// once with no extra call frame.
+	for w := range set {
+		if set[w].valid && set[w].tag == tag {
+			c.stats.Hits++
+			c.stats.Updates++
+			c.counter++
+			set[w].stamp = c.counter
+			if isWrite && c.wbwa {
+				set[w].dirty = true
+			}
+			return AccessResult{Hit: true}
 		}
-		return AccessResult{Hit: true}
 	}
 	c.stats.Misses++
-	if isWrite && c.cfg.Policy == WTNA {
+	if isWrite && !c.wbwa {
 		// No-write-allocate: the write bypasses to the next level.
 		return AccessResult{}
 	}
@@ -217,7 +233,7 @@ func (c *Cache) install(setIdx int, set []line, tag uint64, dirty bool) AccessRe
 		}
 	}
 	c.stats.Updates++
-	set[v] = line{tag: tag, stamp: c.nextStamp(), valid: true, dirty: dirty && c.cfg.Policy == WBWA}
+	set[v] = line{tag: tag, stamp: c.nextStamp(), valid: true, dirty: dirty && c.wbwa}
 	return res
 }
 

@@ -79,7 +79,43 @@ type Sim struct {
 	haveFetchLine  bool
 	retiredSeqPlus uint64 // seq+1 of the last retired instruction
 
+	// Batched instruction feed for the current SimulateSource call: fetch
+	// consumes cur record by record and refills it from src one batch at a
+	// time, so the per-instruction cost is an array index instead of an
+	// interface (or closure) dispatch.
+	src    Source
+	cur    []trace.DynInst
+	curIdx int
+
 	res Result
+}
+
+// Source supplies committed dynamic instructions to the timing model in
+// batches. Fill returns the next batch, at most max records (the caller's
+// remaining instruction budget — sources backed by a live functional
+// simulator must not execute past it); an empty batch ends the stream. The
+// returned slice is only valid until the next Fill.
+type Source interface {
+	Fill(max uint64) []trace.DynInst
+}
+
+// funcSource adapts a per-instruction pull closure to Source, preserving the
+// legacy Simulate contract: exactly one pull per instruction, in fetch order.
+type funcSource struct {
+	next func() (trace.DynInst, bool)
+	buf  [1]trace.DynInst
+}
+
+func (f *funcSource) Fill(max uint64) []trace.DynInst {
+	if max == 0 {
+		return nil
+	}
+	d, ok := f.next()
+	if !ok {
+		return nil
+	}
+	f.buf[0] = d
+	return f.buf[:1]
 }
 
 // New builds a timing model over the given memory hierarchy and predictor.
@@ -96,11 +132,21 @@ func New(cfg Config, hier *mem.Hierarchy, pred bpred.Predictor) *Sim {
 }
 
 // Simulate retires up to n instructions pulled from next and returns the
-// region's timing. next returns false when the stream ends early. The
-// pipeline starts and ends empty; cycle counting spans first fetch to last
-// retire.
+// region's timing. next returns false when the stream ends early. It wraps
+// SimulateSource with a one-record source so per-instruction pull semantics
+// (and results) are preserved exactly; batch-capable callers should use
+// SimulateSource directly.
 func (s *Sim) Simulate(n uint64, next func() (trace.DynInst, bool)) Result {
+	return s.SimulateSource(n, &funcSource{next: next})
+}
+
+// SimulateSource retires up to n instructions fed from src and returns the
+// region's timing. The stream ends early when src returns an empty batch.
+// The pipeline starts and ends empty; cycle counting spans first fetch to
+// last retire.
+func (s *Sim) SimulateSource(n uint64, src Source) Result {
 	s.reset()
+	s.src = src
 	var pulled uint64
 	streamDone := false
 
@@ -109,7 +155,7 @@ func (s *Sim) Simulate(n uint64, next func() (trace.DynInst, bool)) Result {
 		s.issue()
 		s.dispatch()
 		if !streamDone && pulled < n {
-			pulled += s.fetch(n-pulled, next, &streamDone)
+			pulled += s.fetch(n-pulled, &streamDone)
 		}
 		if s.count == 0 && s.fqCount == 0 && (streamDone || pulled >= n) {
 			break
@@ -117,6 +163,9 @@ func (s *Sim) Simulate(n uint64, next func() (trace.DynInst, bool)) Result {
 		s.cycle++
 	}
 	s.res.Cycles = s.cycle
+	s.src = nil
+	s.cur = nil
+	s.curIdx = 0
 	return s.res
 }
 
@@ -142,7 +191,7 @@ func (s *Sim) reset() {
 // fetch pulls up to FetchWidth instructions this cycle, honouring the
 // instruction cache, taken-branch fetch breaks, misprediction stalls, and
 // the checkpoint limit. It returns how many instructions it consumed.
-func (s *Sim) fetch(budget uint64, next func() (trace.DynInst, bool), streamDone *bool) uint64 {
+func (s *Sim) fetch(budget uint64, streamDone *bool) uint64 {
 	// Release checkpoints for branches that have resolved by now.
 	for s.resCount > 0 && s.resolves[s.resHead] <= s.cycle {
 		s.resHead = (s.resHead + 1) % len(s.resolves)
@@ -160,11 +209,18 @@ func (s *Sim) fetch(budget uint64, next func() (trace.DynInst, bool), streamDone
 		if s.unresolved >= s.cfg.MaxBranches {
 			break // out of checkpoints: cannot fetch past another branch
 		}
-		d, ok := next()
-		if !ok {
-			*streamDone = true
-			break
+		if s.curIdx == len(s.cur) {
+			// Refill from the source, clamped to the instructions this region
+			// may still consume so live sources never over-execute.
+			s.cur = s.src.Fill(budget - fetched)
+			s.curIdx = 0
+			if len(s.cur) == 0 {
+				*streamDone = true
+				break
+			}
 		}
+		d := s.cur[s.curIdx]
+		s.curIdx++
 		e := entry{d: d, class: d.Op.Class(), fetchReady: s.cycle}
 
 		// Instruction cache: access once per line crossed.

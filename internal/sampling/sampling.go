@@ -183,8 +183,9 @@ type Options struct {
 	// clusters.
 	DetailedWarmup uint64
 	// Cancel, when non-nil, aborts the run with ErrCanceled once the channel
-	// is closed. Sampled runs poll it at cluster boundaries and full runs
-	// every 64Ki instructions, so results of uncanceled runs are unaffected.
+	// is closed. Runs poll it once per instruction batch (and sampled runs
+	// additionally at cluster boundaries), so results of uncanceled runs are
+	// unaffected.
 	Cancel <-chan struct{}
 }
 
@@ -216,6 +217,36 @@ func RunSampledMethod(p *prog.Program, m MachineConfig, reg Regimen, total uint6
 	return runSampled(p, m, reg, total, seed, mk, Options{})
 }
 
+// stream feeds the timing model from the functional simulator in batches
+// (funcsim.BatchSize records per Fill), polling cancellation once per batch.
+// It implements ooo.Source; Fill is clamped by the caller's remaining budget
+// so the functional simulator never executes past a region boundary.
+type stream struct {
+	fs   *funcsim.Sim
+	buf  []trace.DynInst
+	opts *Options
+	err  error
+}
+
+func (st *stream) Fill(max uint64) []trace.DynInst {
+	if st.err != nil {
+		return nil
+	}
+	if st.opts.canceled() {
+		st.err = ErrCanceled
+		return nil
+	}
+	b := st.buf
+	if max < uint64(len(b)) {
+		b = b[:max]
+	}
+	n, err := st.fs.RunBatch(b)
+	if err != nil {
+		st.err = err
+	}
+	return b[:n]
+}
+
 func runSampled(p *prog.Program, m MachineConfig, reg Regimen, total uint64, seed int64, mk func(*mem.Hierarchy, *bpred.Unit) warmup.Method, opts Options) (*RunResult, error) {
 	starts, err := Positions(total, reg, seed)
 	if err != nil {
@@ -229,15 +260,9 @@ func runSampled(p *prog.Program, m MachineConfig, reg Regimen, total uint64, see
 
 	res := &RunResult{Method: method.Name()}
 	begin := time.Now()
-	var pullErr error
-	pull := func() (trace.DynInst, bool) {
-		d, err := fs.Step()
-		if err != nil {
-			pullErr = err
-			return trace.DynInst{}, false
-		}
-		return d, true
-	}
+	buf := make([]trace.DynInst, funcsim.BatchSize)
+	st := &stream{fs: fs, buf: buf, opts: &opts}
+	observe := method.ObserveSkipBatch
 	var pos uint64
 	for _, start := range starts {
 		if opts.canceled() {
@@ -250,10 +275,29 @@ func runSampled(p *prog.Program, m MachineConfig, reg Regimen, total uint64, see
 		}
 		cold := skip - dw
 
+		// Cold phase: batch-execute the skip region, handing each batch to
+		// the warm-up method and polling cancellation between batches.
 		method.BeginSkip(cold)
-		ran, err := fs.Run(cold, method.ObserveSkip)
-		if err != nil {
-			return nil, fmt.Errorf("sampling: cold phase: %w", err)
+		var ran uint64
+		for ran < cold {
+			b := buf
+			if rem := cold - ran; rem < uint64(len(b)) {
+				b = b[:rem]
+			}
+			k, err := fs.RunBatch(b)
+			if err != nil {
+				return nil, fmt.Errorf("sampling: cold phase: %w", err)
+			}
+			if k > 0 {
+				observe(b[:k])
+			}
+			ran += uint64(k)
+			if k < len(b) {
+				break // halted
+			}
+			if opts.canceled() {
+				return nil, ErrCanceled
+			}
 		}
 		if ran != cold {
 			return nil, fmt.Errorf("sampling: workload halted after %d skipped instructions", ran)
@@ -264,17 +308,17 @@ func runSampled(p *prog.Program, m MachineConfig, reg Regimen, total uint64, see
 
 		if dw > 0 {
 			// Unmeasured detailed warm-up immediately before the cluster.
-			w := sim.Simulate(dw, pull)
-			if pullErr != nil {
-				return nil, fmt.Errorf("sampling: detailed warm-up: %w", pullErr)
+			w := sim.SimulateSource(dw, st)
+			if st.err != nil {
+				return nil, fmt.Errorf("sampling: detailed warm-up: %w", st.err)
 			}
 			res.FuncInstructions += w.Instructions
 			pos += w.Instructions
 		}
 
-		r := sim.Simulate(reg.ClusterSize, pull)
-		if pullErr != nil {
-			return nil, fmt.Errorf("sampling: hot phase: %w", pullErr)
+		r := sim.SimulateSource(reg.ClusterSize, st)
+		if st.err != nil {
+			return nil, fmt.Errorf("sampling: hot phase: %w", st.err)
 		}
 		res.FuncInstructions += r.Instructions
 		res.HotInstructions += r.Instructions
@@ -299,31 +343,18 @@ func RunFull(p *prog.Program, m MachineConfig, total uint64) (FullResult, error)
 }
 
 // RunFullOpts is RunFull with controller options (only Options.Cancel
-// applies). The cancel poll runs every 64Ki pulled instructions, so an
-// uncanceled run is identical to RunFull.
+// applies). The cancel poll runs once per instruction batch, so an uncanceled
+// run is identical to RunFull.
 func RunFullOpts(p *prog.Program, m MachineConfig, total uint64, opts Options) (FullResult, error) {
 	hier := mem.NewHierarchy(m.Hier)
 	unit := bpred.NewUnit(m.Pred)
 	sim := ooo.New(m.CPU, hier, unit)
 	fs := funcsim.New(p)
 	begin := time.Now()
-	var pullErr error
-	var pulled uint64
-	r := sim.Simulate(total, func() (trace.DynInst, bool) {
-		if opts.Cancel != nil && pulled&0xffff == 0 && opts.canceled() {
-			pullErr = ErrCanceled
-			return trace.DynInst{}, false
-		}
-		pulled++
-		d, err := fs.Step()
-		if err != nil {
-			pullErr = err
-			return trace.DynInst{}, false
-		}
-		return d, true
-	})
-	if pullErr != nil {
-		return FullResult{}, fmt.Errorf("sampling: full run: %w", pullErr)
+	st := &stream{fs: fs, buf: make([]trace.DynInst, funcsim.BatchSize), opts: &opts}
+	r := sim.SimulateSource(total, st)
+	if st.err != nil {
+		return FullResult{}, fmt.Errorf("sampling: full run: %w", st.err)
 	}
 	return FullResult{Result: r, Elapsed: time.Since(begin)}, nil
 }

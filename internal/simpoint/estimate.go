@@ -64,13 +64,15 @@ func Estimate(p *prog.Program, m sampling.MachineConfig, total uint64, cfg Confi
 	fs := funcsim.New(p)
 
 	simStart := time.Now()
+	buf := make([]trace.DynInst, funcsim.BatchSize)
+	st := funcsim.NewStream(fs, buf)
 	var pos uint64
 	var weighted, wsum float64
 	for _, pt := range points {
 		start := uint64(pt.IntervalIndex) * cfg.IntervalSize
 		skip := start - pos
 		method.BeginSkip(skip)
-		ran, err := fs.Run(skip, method.ObserveSkip)
+		ran, err := fs.RunBatches(skip, buf, method.ObserveSkipBatch)
 		if err != nil {
 			return nil, fmt.Errorf("simpoint: fast-forward: %w", err)
 		}
@@ -79,17 +81,9 @@ func Estimate(p *prog.Program, m sampling.MachineConfig, total uint64, cfg Confi
 		}
 		method.EndSkip()
 
-		var pullErr error
-		r := sim.Simulate(cfg.IntervalSize, func() (trace.DynInst, bool) {
-			d, err := fs.Step()
-			if err != nil {
-				pullErr = err
-				return trace.DynInst{}, false
-			}
-			return d, true
-		})
-		if pullErr != nil {
-			return nil, fmt.Errorf("simpoint: hot interval: %w", pullErr)
+		r := sim.SimulateSource(cfg.IntervalSize, st)
+		if err := st.Err(); err != nil {
+			return nil, fmt.Errorf("simpoint: hot interval: %w", err)
 		}
 		res.HotInstructions += r.Instructions
 		weighted += pt.Weight * r.IPC()

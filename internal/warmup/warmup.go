@@ -18,16 +18,34 @@ import (
 )
 
 // Method is one warm-up policy attached to a sampled run. The controller
-// calls BeginSkip when a skip region starts, ObserveSkip for every skipped
-// dynamic instruction, and EndSkip immediately before the next cluster; the
-// timing model then probes Predictor() during hot execution.
+// calls BeginSkip when a skip region starts, ObserveSkipBatch for every
+// batch of skipped dynamic instructions (ObserveSkip is the scalar
+// equivalent, kept for per-instruction callers and as the reference
+// semantics), and EndSkip immediately before the next cluster; the timing
+// model then probes Predictor() during hot execution.
+//
+// ObserveSkipBatch(ds) must leave the method in exactly the state that
+// calling ObserveSkip for each record of ds in order would; implementations
+// here specialize the batch path (policy checks hoisted out of the loop,
+// line tracking and log appends flattened) and TestBatchScalarEquivalence
+// pins the contract. ObserveSkipScalar adapts implementations that only
+// have a scalar observer.
 type Method interface {
 	Name() string
 	BeginSkip(expectedLen uint64)
 	ObserveSkip(d *trace.DynInst)
+	ObserveSkipBatch(ds []trace.DynInst)
 	EndSkip()
 	Predictor() bpred.Predictor
 	Work() Work
+}
+
+// ObserveSkipScalar feeds each record of ds to observe in order: the shared
+// adapter that turns a per-instruction observer into a batch one.
+func ObserveSkipScalar(ds []trace.DynInst, observe func(*trace.DynInst)) {
+	for i := range ds {
+		observe(&ds[i])
+	}
 }
 
 // Work counts warm-up effort in state operations, the deterministic analogue
@@ -185,12 +203,13 @@ func branchRecordOf(d *trace.DynInst) trace.BranchRecord {
 
 type none struct{ u *bpred.Unit }
 
-func (n *none) Name() string               { return "None" }
-func (n *none) BeginSkip(uint64)           {}
-func (n *none) ObserveSkip(*trace.DynInst) {}
-func (n *none) EndSkip()                   {}
-func (n *none) Predictor() bpred.Predictor { return n.u }
-func (n *none) Work() Work                 { return Work{} }
+func (n *none) Name() string                     { return "None" }
+func (n *none) BeginSkip(uint64)                 {}
+func (n *none) ObserveSkip(*trace.DynInst)       {}
+func (n *none) ObserveSkipBatch([]trace.DynInst) {}
+func (n *none) EndSkip()                         {}
+func (n *none) Predictor() bpred.Predictor       { return n.u }
+func (n *none) Work() Work                       { return Work{} }
 
 // --- shared functional-warming machinery (SMARTS and fixed-period) ---
 
@@ -229,16 +248,69 @@ func (f *funcWarm) apply(d *trace.DynInst) {
 	}
 }
 
+// applyBatch is apply flattened over a batch: the cache/bpred policy checks
+// are hoisted out of the loop and the line tracker runs on locals, written
+// back once per batch. Cache and predictor state are independent structures,
+// so splitting the per-record interleaving into two passes leaves identical
+// final state and work counts.
+func (f *funcWarm) applyBatch(ds []trace.DynInst) {
+	if f.cache {
+		mask, last, have := f.lines.lineMask, f.lines.last, f.lines.have
+		var ops uint64
+		for i := range ds {
+			d := &ds[i]
+			if line := d.PC & mask; !have || line != last {
+				f.h.WarmInst(d.PC)
+				ops++
+				last, have = line, true
+			}
+			if d.Op.IsMem() {
+				f.h.WarmData(d.EffAddr, d.Op.Class() == isa.ClassStore)
+				ops++
+			}
+		}
+		f.lines.last, f.lines.have = last, have
+		f.work.WarmOps += ops
+	}
+	if f.bp {
+		var ops uint64
+		for i := range ds {
+			d := &ds[i]
+			if d.Op.IsControl() {
+				f.u.Update(branchRecordOf(d))
+				ops++
+			}
+		}
+		f.work.WarmOps += ops
+	}
+}
+
+// tail returns the suffix of ds past the warming threshold, advancing *seen:
+// the shared batch form of the "apply once seen exceeds threshold" rule of
+// the fixed-period and profiled-window methods.
+func tail(seen *uint64, threshold uint64, ds []trace.DynInst) []trace.DynInst {
+	s := *seen
+	*seen = s + uint64(len(ds))
+	if s >= threshold {
+		return ds
+	}
+	if skip := threshold - s; skip < uint64(len(ds)) {
+		return ds[skip:]
+	}
+	return nil
+}
+
 // --- SMARTS: full functional warming of the whole skip region ---
 
 type smarts struct{ funcWarm }
 
-func (s *smarts) Name() string                 { return s.label }
-func (s *smarts) BeginSkip(uint64)             { s.lines.reset() }
-func (s *smarts) ObserveSkip(d *trace.DynInst) { s.apply(d) }
-func (s *smarts) EndSkip()                     {}
-func (s *smarts) Predictor() bpred.Predictor   { return s.u }
-func (s *smarts) Work() Work                   { return s.work }
+func (s *smarts) Name() string                        { return s.label }
+func (s *smarts) BeginSkip(uint64)                    { s.lines.reset() }
+func (s *smarts) ObserveSkip(d *trace.DynInst)        { s.apply(d) }
+func (s *smarts) ObserveSkipBatch(ds []trace.DynInst) { s.applyBatch(ds) }
+func (s *smarts) EndSkip()                            {}
+func (s *smarts) Predictor() bpred.Predictor          { return s.u }
+func (s *smarts) Work() Work                          { return s.work }
 
 // --- Fixed period: functional warming of the trailing percent only ---
 
@@ -261,6 +333,12 @@ func (f *fixedPeriod) ObserveSkip(d *trace.DynInst) {
 	f.seen++
 	if f.seen > f.threshold {
 		f.apply(d)
+	}
+}
+
+func (f *fixedPeriod) ObserveSkipBatch(ds []trace.DynInst) {
+	if warm := tail(&f.seen, f.threshold, ds); len(warm) > 0 {
+		f.applyBatch(warm)
 	}
 }
 
@@ -312,6 +390,12 @@ func (w *windowed) ObserveSkip(d *trace.DynInst) {
 	w.seen++
 	if w.seen > w.threshold {
 		w.apply(d)
+	}
+}
+
+func (w *windowed) ObserveSkipBatch(ds []trace.DynInst) {
+	if warm := tail(&w.seen, w.threshold, ds); len(warm) > 0 {
+		w.applyBatch(warm)
 	}
 }
 
@@ -371,6 +455,47 @@ func (r *reverse) ObserveSkip(d *trace.DynInst) {
 		r.log.AddBranch(branchRecordOf(d))
 		r.work.LoggedRecords++
 	}
+}
+
+// ObserveSkipBatch is ObserveSkip flattened over a batch: the spec checks
+// are hoisted out of the loop, the line tracker runs on locals, and records
+// append straight onto the log slices (allocation-free once the region log
+// has reached steady-state capacity).
+func (r *reverse) ObserveSkipBatch(ds []trace.DynInst) {
+	var logged uint64
+	if r.spec.Cache {
+		mask, last, have := r.lines.lineMask, r.lines.last, r.lines.have
+		mem := r.log.Mem
+		for i := range ds {
+			d := &ds[i]
+			if line := d.PC & mask; !have || line != last {
+				mem = append(mem, trace.MemRecord{PC: d.PC, NextPC: d.NextPC, Addr: d.PC, IsInstr: true})
+				logged++
+				last, have = line, true
+			}
+			if d.Op.IsMem() {
+				mem = append(mem, trace.MemRecord{
+					PC: d.PC, NextPC: d.NextPC, Addr: d.EffAddr,
+					IsStore: d.Op.Class() == isa.ClassStore,
+				})
+				logged++
+			}
+		}
+		r.log.Mem = mem
+		r.lines.last, r.lines.have = last, have
+	}
+	if r.spec.BPred {
+		branches := r.log.Branches
+		for i := range ds {
+			d := &ds[i]
+			if d.Op.IsControl() {
+				branches = append(branches, branchRecordOf(d))
+				logged++
+			}
+		}
+		r.log.Branches = branches
+	}
+	r.work.LoggedRecords += logged
 }
 
 func (r *reverse) EndSkip() {
