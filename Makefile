@@ -3,6 +3,7 @@
 #   make build       compile everything
 #   make test        tier-1 gate: go build ./... && go test ./...
 #   make verify      vet + race-test the concurrent code paths
+#   make chaos       race-enabled fault-injection suite (chaos + drain tests)
 #   make bench       machine-readable benchmark snapshot (BENCH_$(LABEL).json)
 #   make bench-sweep sequential-vs-parallel sweep benchmark at small scale
 #   make all         everything above
@@ -13,9 +14,9 @@
 GO ?= go
 LABEL ?= dev
 
-.PHONY: all build test verify bench bench-sweep
+.PHONY: all build test verify chaos bench bench-sweep
 
-all: build test verify
+all: build test verify chaos
 
 build:
 	$(GO) build ./...
@@ -30,6 +31,15 @@ test: build
 verify:
 	$(GO) vet ./...
 	$(GO) test -race ./internal/engine/... ./internal/sampling/... ./cmd/rsrd/...
+
+# chaos drives the deterministic fault injector through the engine's real
+# cache and run paths under the race detector: injected disk errors, torn
+# writes, latency, and worker panics must leave results byte-identical to a
+# fault-free run, and a draining daemon must finish in-flight jobs.
+chaos:
+	$(GO) test -race ./internal/fault/...
+	$(GO) test -race -run 'Chaos|Fault|Drain|Cancel|Quarantin' \
+		./internal/engine/... ./internal/sampling/... ./cmd/rsrd/...
 
 bench:
 	$(GO) run ./cmd/rsrbench -label $(LABEL)

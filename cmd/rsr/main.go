@@ -30,6 +30,7 @@
 //	-workloads s   comma-separated workload subset
 //	-parallel n    engine worker-pool size (0 = GOMAXPROCS; 1 for clean per-run wall times)
 //	-cachedir s    content-addressed result cache directory (persists runs across invocations)
+//	-retries n     extra execution attempts for transiently failed jobs (worker panics)
 //	-stats         print engine scheduler/cache statistics to stderr when done
 //	-workload s    workload for `run`
 //	-method s      method label for `run` (e.g. "R$BP (20%)", "S$BP", "None")
@@ -41,9 +42,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"sync"
+	"syscall"
 	"time"
 
 	"rsr/internal/experiments"
@@ -59,6 +63,7 @@ func main() {
 	parallel := flag.Int("parallel", 0, "engine worker-pool size (0 = GOMAXPROCS; use 1 for clean per-run wall times)")
 	par := flag.Int("par", 0, "deprecated alias for -parallel")
 	cacheDir := flag.String("cachedir", "", "content-addressed result cache directory (empty = memory-only)")
+	retries := flag.Int("retries", 0, "extra execution attempts for transiently failed jobs (worker panics)")
 	stats := flag.Bool("stats", false, "print engine scheduler/cache statistics to stderr when done")
 	format := flag.String("format", "text", "output format: text, csv, or json")
 	out := flag.String("out", "rsr-report.html", "output path for `report`")
@@ -82,6 +87,41 @@ func main() {
 		cpuFile = f
 	}
 
+	// Flushing is explicit (the error path exits via os.Exit, skipping
+	// defers) and idempotent, because it runs from two places: the end of
+	// main and the signal handler below.
+	var flushOnce sync.Once
+	var flushErr error
+	flush := func() {
+		flushOnce.Do(func() {
+			if cpuFile != nil {
+				pprof.StopCPUProfile()
+				cpuFile.Close()
+			}
+			if *memProfile != "" {
+				if perr := writeMemProfile(*memProfile); perr != nil {
+					fmt.Fprintln(os.Stderr, "rsr: -memprofile:", perr)
+					flushErr = perr
+				}
+			}
+		})
+	}
+
+	// An interrupted sweep is exactly when a profile is most wanted: flush
+	// on SIGINT/SIGTERM too, then exit with the conventional 128+signal
+	// status.
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		s := <-sig
+		flush()
+		signal.Stop(sig)
+		if sn, ok := s.(syscall.Signal); ok {
+			os.Exit(128 + int(sn))
+		}
+		os.Exit(1)
+	}()
+
 	cfg := experiments.DefaultConfig()
 	cfg.Scale = *scale
 	cfg.Seed = *seed
@@ -90,6 +130,7 @@ func main() {
 		cfg.Parallelism = *par
 	}
 	cfg.CacheDir = *cacheDir
+	cfg.Retries = *retries
 	if *workloadsFlag != "" {
 		cfg.Workloads = strings.Split(*workloadsFlag, ",")
 	}
@@ -100,19 +141,9 @@ func main() {
 	}
 	err := dispatch(cmd, cfg, *workloadFlag, *methodFlag, *format, *out, *stats)
 
-	// Flush profiles explicitly — the error path below exits via os.Exit,
-	// which would skip deferred flushes.
-	if cpuFile != nil {
-		pprof.StopCPUProfile()
-		cpuFile.Close()
-	}
-	if *memProfile != "" {
-		if perr := writeMemProfile(*memProfile); perr != nil {
-			fmt.Fprintln(os.Stderr, "rsr: -memprofile:", perr)
-			if err == nil {
-				err = perr
-			}
-		}
+	flush()
+	if err == nil {
+		err = flushErr
 	}
 
 	if err != nil {
@@ -140,8 +171,9 @@ func dispatch(cmd string, cfg experiments.Config, wl, method, format, out string
 		defer func() {
 			s := lab.Engine().Stats()
 			fmt.Fprintf(os.Stderr,
-				"engine: workers=%d done=%d failed=%d cache hits=%d (disk %d) misses=%d coalesced=%d wall=%v\n",
-				lab.Engine().Workers(), s.Done, s.Failed, s.CacheHits, s.DiskHits, s.CacheMisses, s.Coalesced, s.Wall)
+				"engine: workers=%d done=%d failed=%d cache hits=%d (disk %d) misses=%d coalesced=%d retries=%d panics=%d quarantined=%d wall=%v\n",
+				lab.Engine().Workers(), s.Done, s.Failed, s.CacheHits, s.DiskHits, s.CacheMisses,
+				s.Coalesced, s.Retries, s.Panics, s.Quarantined, s.Wall)
 		}()
 	}
 	switch cmd {

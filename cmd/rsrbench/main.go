@@ -22,6 +22,7 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -215,13 +216,40 @@ func measure() []Metric {
 	return out
 }
 
-func printComparison(path string, cur *Snapshot) error {
+// loadSnapshot reads and validates a baseline snapshot. A truncated,
+// corrupt, or empty file is an explicit error — never a silent zero-value
+// baseline that would render every comparison as "(no baseline)" or a
+// bogus delta.
+func loadSnapshot(path string) (*Snapshot, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	var base Snapshot
-	if err := json.Unmarshal(data, &base); err != nil {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	if err := dec.Decode(&base); err != nil {
+		return nil, fmt.Errorf("snapshot %s is corrupt or truncated: %w", path, err)
+	}
+	// json.Decode accepts `null` and `{}` without error; both decode to a
+	// zero snapshot that must be rejected, as must trailing garbage after
+	// a valid document.
+	if dec.More() {
+		return nil, fmt.Errorf("snapshot %s has trailing data after the JSON document", path)
+	}
+	if base.Label == "" || len(base.Metrics) == 0 {
+		return nil, fmt.Errorf("snapshot %s is truncated or invalid: no label/metrics (re-run `make bench` to regenerate)", path)
+	}
+	for i, m := range base.Metrics {
+		if m.Name == "" {
+			return nil, fmt.Errorf("snapshot %s is invalid: metric %d has no name", path, i)
+		}
+	}
+	return &base, nil
+}
+
+func printComparison(path string, cur *Snapshot) error {
+	base, err := loadSnapshot(path)
+	if err != nil {
 		return err
 	}
 	prev := make(map[string]Metric, len(base.Metrics))

@@ -1,0 +1,68 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestLoadSnapshotRejectsCorrupt pins that -compare refuses truncated or
+// corrupt baselines with a clear error instead of diffing against a
+// zero-value snapshot.
+func TestLoadSnapshotRejectsCorrupt(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, content string) string {
+		t.Helper()
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+
+	valid := `{"label":"baseline","timestamp":"2026-01-01T00:00:00Z",
+		"metrics":[{"name":"functional_sim","value":1,"unit":"instr/s"}]}`
+
+	for _, tc := range []struct {
+		name, content, wantErr string
+	}{
+		{"garbage", "!!not json!!", "corrupt or truncated"},
+		{"truncatedPrefix", valid[:len(valid)/2], "corrupt or truncated"},
+		{"jsonNull", "null", "truncated or invalid"},
+		{"emptyObject", "{}", "truncated or invalid"},
+		{"noMetrics", `{"label":"x","metrics":[]}`, "truncated or invalid"},
+		{"unnamedMetric", `{"label":"x","metrics":[{"value":1}]}`, "has no name"},
+		{"trailingGarbage", valid + `{"label":"y"}`, "trailing data"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := loadSnapshot(write(tc.name+".json", tc.content))
+			if err == nil {
+				t.Fatal("corrupt snapshot accepted")
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Errorf("err = %v, want mention of %q", err, tc.wantErr)
+			}
+		})
+	}
+
+	snap, err := loadSnapshot(write("valid.json", valid))
+	if err != nil {
+		t.Fatalf("valid snapshot rejected: %v", err)
+	}
+	if snap.Label != "baseline" || len(snap.Metrics) != 1 || snap.Metrics[0].Name != "functional_sim" {
+		t.Errorf("valid snapshot misread: %+v", snap)
+	}
+}
+
+// TestLoadSnapshotAcceptsCommittedBaseline guards the repo's own pinned
+// baseline: it must always parse.
+func TestLoadSnapshotAcceptsCommittedBaseline(t *testing.T) {
+	snap, err := loadSnapshot(filepath.Join("..", "..", "BENCH_baseline.json"))
+	if err != nil {
+		t.Fatalf("committed baseline rejected: %v", err)
+	}
+	if len(snap.Metrics) == 0 {
+		t.Error("committed baseline has no metrics")
+	}
+}

@@ -3,7 +3,8 @@
 //
 // Usage:
 //
-//	rsrd [-addr :8745] [-parallel N] [-cachedir DIR] [-timeout D]
+//	rsrd [-addr :8745] [-parallel N] [-cachedir DIR] [-job-timeout D]
+//	     [-retries N] [-drain-timeout D]
 //
 // API:
 //
@@ -11,6 +12,8 @@
 //	GET  /v1/jobs/{id} job status, and the result once finished
 //	GET  /v1/stats     engine scheduler/cache counters
 //	GET  /v1/events    progress event stream (ndjson, until disconnect)
+//	GET  /healthz      liveness (200 while the process runs)
+//	GET  /readyz       readiness (503 once draining)
 //
 // A submission names a workload and either a warm-up method label from the
 // paper's matrix or kind "full" for a true-IPC baseline:
@@ -20,13 +23,23 @@
 //
 // Machine and regimen default to the paper's machine and the workload's
 // Table-1 regimen; total defaults to the reference 20M instructions.
+//
+// On SIGTERM/SIGINT the daemon drains gracefully: readiness flips, new
+// submissions get 503 + Retry-After, in-flight jobs run to completion
+// (their results checkpointed in the disk cache) up to -drain-timeout, and
+// only then does the process exit. A second signal kills immediately.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"rsr/internal/engine"
 )
@@ -35,20 +48,61 @@ func main() {
 	addr := flag.String("addr", ":8745", "listen address")
 	parallel := flag.Int("parallel", 0, "engine worker-pool size (0 = GOMAXPROCS)")
 	cacheDir := flag.String("cachedir", "", "content-addressed result cache directory (empty = memory-only)")
-	timeout := flag.Duration("timeout", 0, "default per-job execution timeout (0 = none)")
+	jobTimeout := flag.Duration("job-timeout", 0, "per-job execution deadline (0 = none); expiry fails the job with ErrDeadline")
+	timeoutAlias := flag.Duration("timeout", 0, "deprecated alias for -job-timeout")
+	retries := flag.Int("retries", 2, "extra execution attempts for transiently failed jobs (worker panics, injected faults)")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "bound on finishing in-flight jobs after SIGTERM/SIGINT")
 	flag.Parse()
+	if *jobTimeout == 0 {
+		*jobTimeout = *timeoutAlias
+	}
 
 	eng := engine.New(engine.Options{
 		Workers:        *parallel,
 		CacheDir:       *cacheDir,
-		DefaultTimeout: *timeout,
+		DefaultTimeout: *jobTimeout,
+		MaxAttempts:    *retries + 1,
 	})
-	defer eng.Close()
 
 	srv := newServer(eng)
-	fmt.Printf("rsrd: listening on %s (workers=%d, cache=%q)\n", *addr, eng.Workers(), *cacheDir)
-	if err := http.ListenAndServe(*addr, srv.routes()); err != nil {
+	hs := &http.Server{Addr: *addr, Handler: srv.routes()}
+
+	// First signal begins the drain; stop() below restores default handling
+	// so a second signal kills the process immediately.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.ListenAndServe() }()
+	fmt.Printf("rsrd: listening on %s (workers=%d, cache=%q, retries=%d, drain=%v)\n",
+		*addr, eng.Workers(), *cacheDir, *retries, *drainTimeout)
+
+	select {
+	case err := <-serveErr:
+		eng.Close()
 		fmt.Fprintln(os.Stderr, "rsrd:", err)
 		os.Exit(1)
+	case <-ctx.Done():
 	}
+	stop()
+
+	// Graceful drain: refuse new work, let in-flight jobs finish (their
+	// results land in the disk cache, so a restart resumes from checkpoints
+	// instead of recomputing), then stop the listener and the workers.
+	fmt.Fprintf(os.Stderr, "rsrd: signal received, draining (timeout %v)\n", *drainTimeout)
+	srv.beginDrain()
+	dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if eng.Quiesce(dctx) {
+		fmt.Fprintln(os.Stderr, "rsrd: all in-flight jobs finished")
+	} else {
+		s := eng.Stats()
+		fmt.Fprintf(os.Stderr, "rsrd: drain timeout with %d queued / %d running jobs; completed work is checkpointed\n",
+			s.Queued, s.Running)
+	}
+	if err := hs.Shutdown(dctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintln(os.Stderr, "rsrd: shutdown:", err)
+	}
+	eng.Close()
+	fmt.Fprintln(os.Stderr, "rsrd: drained, exiting")
 }

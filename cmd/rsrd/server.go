@@ -8,6 +8,7 @@ import (
 	"net/http/pprof"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"rsr/internal/engine"
@@ -21,6 +22,11 @@ import (
 type server struct {
 	eng *engine.Engine
 
+	// draining flips when shutdown begins: readiness goes 503, submissions
+	// are refused with 503 + Retry-After, but status polls and the event
+	// stream keep working so clients can collect in-flight results.
+	draining atomic.Bool
+
 	mu      sync.Mutex
 	tickets map[string]*engine.Ticket
 }
@@ -29,12 +35,19 @@ func newServer(eng *engine.Engine) *server {
 	return &server{eng: eng, tickets: make(map[string]*engine.Ticket)}
 }
 
+// beginDrain stops accepting new jobs; already-submitted work continues.
+func (s *server) beginDrain() { s.draining.Store(true) }
+
 func (s *server) routes() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/jobs", s.handleJobs)
 	mux.HandleFunc("/v1/jobs/", s.handleJob)
 	mux.HandleFunc("/v1/stats", s.handleStats)
 	mux.HandleFunc("/v1/events", s.handleEvents)
+	// Liveness is unconditional while the process runs; readiness flips
+	// during drain so load balancers stop routing submissions here.
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/readyz", s.handleReadyz)
 	// Live profiling of a running daemon (the default-mux registration in
 	// net/http/pprof does not apply to a private mux, so mount explicitly).
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -96,9 +109,26 @@ func (r jobRequest) toJob() (engine.Job, error) {
 	return j, nil
 }
 
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+}
+
 func (s *server) handleJobs(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		httpError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	if s.draining.Load() {
+		w.Header().Set("Retry-After", "10")
+		httpError(w, http.StatusServiceUnavailable, "draining: not accepting new jobs")
 		return
 	}
 	var req jobRequest

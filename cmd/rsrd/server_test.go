@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
@@ -95,6 +96,71 @@ func TestDaemonJobLifecycle(t *testing.T) {
 	}
 	if stats.Done != 1 {
 		t.Fatalf("stats.Done = %d, want 1", stats.Done)
+	}
+}
+
+// TestDaemonDrainGraceful is the drain acceptance test: once drain begins,
+// readiness flips and submissions are refused with 503 + Retry-After, but
+// the in-flight job completes within the drain budget and its result stays
+// pollable.
+func TestDaemonDrainGraceful(t *testing.T) {
+	eng := engine.New(engine.Options{Workers: 1})
+	defer eng.Close()
+	s := newServer(eng)
+	ts := httptest.NewServer(s.routes())
+	defer ts.Close()
+
+	statusOf := func(path string) int {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if c := statusOf("/healthz"); c != http.StatusOK {
+		t.Fatalf("healthz before drain = %d", c)
+	}
+	if c := statusOf("/readyz"); c != http.StatusOK {
+		t.Fatalf("readyz before drain = %d", c)
+	}
+
+	// A real job is in flight when the drain begins.
+	id := postJob(t, ts, `{"workload": "gcc", "method": "None",
+		"total": 2000000, "seed": 1,
+		"regimen": {"ClusterSize": 2000, "NumClusters": 20}}`)
+	s.beginDrain()
+
+	if c := statusOf("/healthz"); c != http.StatusOK {
+		t.Errorf("healthz during drain = %d, want 200 (liveness is unconditional)", c)
+	}
+	if c := statusOf("/readyz"); c != http.StatusServiceUnavailable {
+		t.Errorf("readyz during drain = %d, want 503", c)
+	}
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json",
+		strings.NewReader(`{"workload": "twolf", "method": "None", "total": 400000,
+			"regimen": {"ClusterSize": 2000, "NumClusters": 10}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("submission during drain = %d, want 503", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
+		t.Error("503 during drain must carry Retry-After")
+	}
+
+	// The in-flight job finishes inside the drain budget...
+	dctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	if !eng.Quiesce(dctx) {
+		t.Fatal("engine did not quiesce within the drain budget")
+	}
+	// ...and its result is still retrievable after the drain.
+	st := getStatus(t, ts, id)
+	if st.Status != "done" || st.Result == nil {
+		t.Fatalf("in-flight job after drain: status=%s err=%q", st.Status, st.Error)
 	}
 }
 

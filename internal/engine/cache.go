@@ -1,37 +1,61 @@
 package engine
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"os"
 	"path/filepath"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"rsr/internal/fault"
 )
 
 // cache is the two-level content-addressed result store: a map keyed by job
 // hash in front of an optional JSON-file-per-result directory. Disk
-// problems (unreadable directory, corrupt or truncated files) never fail a
-// lookup — they count as misses and the result is recomputed, after which
-// the store is repaired by the rewrite.
+// problems (unreadable directory, corrupt, torn, or truncated files) never
+// fail a lookup — they count as misses and the result is recomputed. Bad
+// bytes are detected positively (every entry embeds the SHA-256 of its
+// payload) and quarantined under <dir>/quarantine rather than merely
+// skipped, so the rewrite starts clean and the evidence survives for
+// inspection.
 type cache struct {
 	dir string // "" = memory only
+	inj fault.Injector
 
 	mu  sync.Mutex
 	mem map[string]*Result
 
-	// diskErrs counts disk reads/writes that failed (corruption, I/O).
-	diskErrs atomic.Int64
+	// diskErrs counts disk reads/writes that failed (corruption, I/O);
+	// quarantined counts corrupt entries moved aside.
+	diskErrs    atomic.Int64
+	quarantined atomic.Int64
 }
 
-func newCache(dir string) *cache {
-	return &cache{dir: dir, mem: make(map[string]*Result)}
+func newCache(dir string, inj fault.Injector) *cache {
+	return &cache{dir: dir, inj: inj, mem: make(map[string]*Result)}
 }
 
 // path returns the on-disk location of a job's result file.
 func (c *cache) path(hash string) string {
 	return filepath.Join(c.dir, hash+".json")
 }
+
+// entry is the self-verifying on-disk envelope: the result JSON plus the
+// hex SHA-256 of exactly those bytes. Torn writes and bit rot fail the
+// checksum instead of depending on JSON decode errors to notice.
+type entry struct {
+	Format int             `json:"format"`
+	Sum    string          `json:"sha256"`
+	Result json.RawMessage `json:"result"`
+}
+
+// entryFormat versions the envelope; files in an older layout are treated
+// as corrupt (quarantined and recomputed), never misread.
+const entryFormat = 2
 
 // get looks a result up by job hash, memory first, then disk. Disk hits are
 // promoted into memory. The second return distinguishes memory (Hot) from
@@ -46,23 +70,71 @@ func (c *cache) get(hash string) (*Result, hitClass) {
 	if c.dir == "" {
 		return nil, hitMiss
 	}
-	b, err := os.ReadFile(c.path(hash))
-	if err != nil {
-		if !os.IsNotExist(err) {
-			c.diskErrs.Add(1)
-		}
-		return nil, hitMiss
-	}
-	var res Result
-	if err := json.Unmarshal(b, &res); err != nil || !res.valid(hash) {
-		// Corrupt or foreign content: fall back to recompute.
+	if d := fault.Check(c.inj, fault.CacheRead, hash); d != nil && d.Kind == fault.KindError {
 		c.diskErrs.Add(1)
 		return nil, hitMiss
 	}
+	b, err := os.ReadFile(c.path(hash))
+	if err != nil {
+		if !os.IsNotExist(err) {
+			// Something unreadable squats on the entry path (wrong type,
+			// permissions): move it aside so the rewrite can repair.
+			c.diskErrs.Add(1)
+			c.quarantine(hash)
+		}
+		return nil, hitMiss
+	}
+	res, ok := decodeEntry(b, hash)
+	if !ok {
+		// Positively bad bytes: quarantine the file so the recompute's
+		// rewrite starts clean, then fall back to recompute.
+		c.diskErrs.Add(1)
+		c.quarantine(hash)
+		return nil, hitMiss
+	}
 	c.mu.Lock()
-	c.mem[hash] = &res
+	c.mem[hash] = res
 	c.mu.Unlock()
-	return &res, hitDisk
+	return res, hitDisk
+}
+
+// decodeEntry verifies and unwraps one on-disk envelope.
+func decodeEntry(b []byte, hash string) (*Result, bool) {
+	var e entry
+	if err := json.Unmarshal(b, &e); err != nil || e.Format != entryFormat {
+		return nil, false
+	}
+	sum := sha256.Sum256(e.Result)
+	if hex.EncodeToString(sum[:]) != e.Sum {
+		return nil, false
+	}
+	var res Result
+	if err := json.Unmarshal(e.Result, &res); err != nil || !res.valid(hash) {
+		return nil, false
+	}
+	return &res, true
+}
+
+// quarantine moves a corrupt entry (file or squatting directory) into
+// <dir>/quarantine, uniquified if a previous corpse is already there.
+func (c *cache) quarantine(hash string) {
+	qdir := filepath.Join(c.dir, "quarantine")
+	if err := os.MkdirAll(qdir, 0o755); err != nil {
+		c.diskErrs.Add(1)
+		return
+	}
+	dst := filepath.Join(qdir, hash+".json")
+	for i := 1; ; i++ {
+		if _, err := os.Lstat(dst); os.IsNotExist(err) {
+			break
+		}
+		dst = filepath.Join(qdir, fmt.Sprintf("%s.json.%d", hash, i))
+	}
+	if err := os.Rename(c.path(hash), dst); err != nil {
+		c.diskErrs.Add(1)
+		return
+	}
+	c.quarantined.Add(1)
 }
 
 // valid rejects decoded results that cannot belong to the hash (garbage
@@ -81,8 +153,10 @@ func (r *Result) valid(hash string) bool {
 }
 
 // put stores a result in memory and, when a directory is configured, on
-// disk via an atomic temp-file rename so readers never observe a torn
-// write.
+// disk. The write is atomic (temp file + fsync + rename) so readers never
+// observe a torn entry from a real crash; injected torn writes bypass the
+// temp-file discipline on purpose to prove the read-side checksum catches
+// them.
 func (c *cache) put(hash string, r *Result) {
 	c.mu.Lock()
 	c.mem[hash] = r
@@ -96,12 +170,34 @@ func (c *cache) put(hash string, r *Result) {
 }
 
 func (c *cache) writeFile(hash string, r *Result) error {
+	torn := false
+	if d := fault.Check(c.inj, fault.CacheWrite, hash); d != nil {
+		switch d.Kind {
+		case fault.KindError:
+			return d.Err
+		case fault.KindTorn:
+			torn = true
+		case fault.KindLatency:
+			time.Sleep(d.Latency)
+		}
+	}
 	if err := os.MkdirAll(c.dir, 0o755); err != nil {
 		return err
 	}
-	b, err := json.Marshal(r)
+	payload, err := json.Marshal(r)
 	if err != nil {
 		return err
+	}
+	sum := sha256.Sum256(payload)
+	b, err := json.Marshal(entry{Format: entryFormat, Sum: hex.EncodeToString(sum[:]), Result: payload})
+	if err != nil {
+		return err
+	}
+	if torn {
+		// Simulate a crash mid-write that still became visible: a prefix of
+		// the entry lands at the final path. The checksum makes the next
+		// read quarantine it instead of trusting it.
+		b = b[:len(b)/2]
 	}
 	tmp, err := os.CreateTemp(c.dir, hash+".tmp*")
 	if err != nil {
@@ -111,6 +207,14 @@ func (c *cache) writeFile(hash string, r *Result) error {
 		tmp.Close()
 		os.Remove(tmp.Name())
 		return fmt.Errorf("engine: cache write: %w", err)
+	}
+	// fsync before rename: the entry must be durable before it becomes
+	// visible under its final name, or a crash could leave a valid-looking
+	// path with unflushed bytes.
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("engine: cache sync: %w", err)
 	}
 	if err := tmp.Close(); err != nil {
 		os.Remove(tmp.Name())

@@ -6,6 +6,7 @@ import (
 	"path/filepath"
 	"testing"
 
+	"rsr/internal/fault"
 	"rsr/internal/warmup"
 )
 
@@ -82,7 +83,90 @@ func TestCacheCorruptionFallsBackToRecompute(t *testing.T) {
 			if s.DiskErrors == 0 {
 				t.Errorf("corruption not counted in DiskErrors: %+v", s)
 			}
+			if s.Quarantined == 0 {
+				t.Errorf("corrupt entry was not quarantined: %+v", s)
+			}
+			// The bad bytes survive for inspection and the rewrite repaired
+			// the live entry: a third engine gets a verified disk hit.
+			if ents, err := os.ReadDir(filepath.Join(dir, "quarantine")); err != nil || len(ents) == 0 {
+				t.Errorf("quarantine dir missing or empty (err=%v)", err)
+			}
+			e3 := New(Options{Workers: 1, CacheDir: dir})
+			defer e3.Close()
+			if _, err := e3.Run(context.Background(), j); err != nil {
+				t.Fatal(err)
+			}
+			if s := e3.Stats(); s.DiskHits != 1 {
+				t.Errorf("rewrite did not repair the entry: %+v", s)
+			}
 		})
+	}
+}
+
+// TestCacheTornWriteQuarantined injects a torn write (a prefix of the entry
+// reaching its final path) and checks the read side detects it via the
+// embedded checksum, quarantines the corpse, and recomputes identically.
+func TestCacheTornWriteQuarantined(t *testing.T) {
+	dir := t.TempDir()
+	j := sampledJob("twolf", warmup.Spec{Kind: warmup.KindNone})
+
+	plan := fault.New(7, fault.Rule{Point: fault.CacheWrite, Kind: fault.KindTorn, Prob: 1, Count: 1})
+	e1 := New(Options{Workers: 1, CacheDir: dir, Fault: plan})
+	want, err := e1.Run(context.Background(), j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e1.Close()
+	if plan.FiredAt(fault.CacheWrite) != 1 {
+		t.Fatal("torn-write rule did not fire")
+	}
+
+	e2 := New(Options{Workers: 1, CacheDir: dir})
+	defer e2.Close()
+	got, err := e2.Run(context.Background(), j)
+	if err != nil {
+		t.Fatalf("torn entry must fall back to recompute: %v", err)
+	}
+	if got.Sampled.IPCEstimate() != want.Sampled.IPCEstimate() {
+		t.Error("recomputed result diverged from the original")
+	}
+	s := e2.Stats()
+	if s.CacheHits != 0 || s.Done != 1 || s.Quarantined != 1 || s.DiskErrors == 0 {
+		t.Errorf("stats = %+v, want miss + recompute + one quarantined entry", s)
+	}
+}
+
+// TestCacheInjectedReadErrorRecomputes covers the transient disk-read
+// fault: the lookup degrades to a miss (no quarantine — the bytes may be
+// fine) and the job recomputes.
+func TestCacheInjectedReadErrorRecomputes(t *testing.T) {
+	dir := t.TempDir()
+	j := sampledJob("twolf", warmup.Spec{Kind: warmup.KindNone})
+
+	e1 := New(Options{Workers: 1, CacheDir: dir})
+	if _, err := e1.Run(context.Background(), j); err != nil {
+		t.Fatal(err)
+	}
+	e1.Close()
+
+	plan := fault.New(13, fault.Rule{Point: fault.CacheRead, Kind: fault.KindError, Prob: 1, Count: 1})
+	e2 := New(Options{Workers: 1, CacheDir: dir, Fault: plan})
+	defer e2.Close()
+	if _, err := e2.Run(context.Background(), j); err != nil {
+		t.Fatalf("injected read error must not fail the job: %v", err)
+	}
+	s := e2.Stats()
+	if s.Done != 1 || s.DiskErrors != 1 || s.Quarantined != 0 {
+		t.Errorf("stats = %+v, want recompute with one disk error and no quarantine", s)
+	}
+	// The healthy entry is still there: a fresh engine reads it.
+	e3 := New(Options{Workers: 1, CacheDir: dir})
+	defer e3.Close()
+	if _, err := e3.Run(context.Background(), j); err != nil {
+		t.Fatal(err)
+	}
+	if s := e3.Stats(); s.DiskHits != 1 {
+		t.Errorf("entry lost after transient read error: %+v", s)
 	}
 }
 

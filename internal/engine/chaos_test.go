@@ -1,0 +1,252 @@
+package engine
+
+// The chaos suite (`make chaos`) runs sampled experiments under seeded,
+// deterministic injected faults — disk read errors, torn cache writes,
+// worker panics, artificial latency — and asserts that every survivable
+// fault schedule leaves the results byte-identical to a fault-free run and
+// the process alive. The injection points live in the real cache and run
+// paths (internal/fault wired through Options.Fault), not in mocks.
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"rsr/internal/fault"
+	"rsr/internal/sampling"
+	"rsr/internal/warmup"
+)
+
+// chaosBaseline computes the fault-free reference results for a job list.
+func chaosBaseline(t *testing.T, jobs []Job) []sampling.RunResult {
+	t.Helper()
+	e := New(Options{Workers: 4})
+	defer e.Close()
+	return chaosRun(t, e, jobs)
+}
+
+// chaosRun pushes every job through an engine and returns the wall-stripped
+// (deterministic) result forms in submission order.
+func chaosRun(t *testing.T, e *Engine, jobs []Job) []sampling.RunResult {
+	t.Helper()
+	var tickets []*Ticket
+	for _, j := range jobs {
+		tk, err := e.Submit(context.Background(), j)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tickets = append(tickets, tk)
+	}
+	out := make([]sampling.RunResult, len(tickets))
+	for i, tk := range tickets {
+		res, err := tk.Wait(context.Background())
+		if err != nil {
+			t.Fatalf("job %s failed under a survivable fault schedule: %v", jobs[i].Label(), err)
+		}
+		out[i] = stripWall(res)
+	}
+	return out
+}
+
+// TestChaosFaultScheduleByteIdentical is the headline chaos experiment: a
+// sweep under panics, injected run errors, latency, torn cache writes, and
+// cache write errors must produce byte-identical results to the fault-free
+// baseline — the paper's numbers must survive any survivable schedule.
+func TestChaosFaultScheduleByteIdentical(t *testing.T) {
+	jobs := sweepJobs()
+	want := chaosBaseline(t, jobs)
+
+	dir := t.TempDir()
+	plan := fault.New(2007,
+		fault.Rule{Point: fault.JobRun, Kind: fault.KindPanic, Prob: 1, Count: 2},
+		fault.Rule{Point: fault.JobRun, Kind: fault.KindError, Prob: 0.5, Count: 3},
+		fault.Rule{Point: fault.JobRun, Kind: fault.KindLatency, Prob: 0.5, Latency: 2 * time.Millisecond},
+		fault.Rule{Point: fault.CacheWrite, Kind: fault.KindTorn, Prob: 0.5},
+		fault.Rule{Point: fault.CacheWrite, Kind: fault.KindError, Prob: 0.3},
+	)
+	// The fault budget at JobRun is 2 panics + 3 errors = 5 firings; with
+	// every one of them landing on a single job in the worst case, 8
+	// attempts guarantee the schedule is survivable.
+	e := New(Options{Workers: 4, CacheDir: dir, MaxAttempts: 8,
+		RetryBackoff: time.Millisecond, Fault: plan})
+	got := chaosRun(t, e, jobs)
+	stats := e.Stats()
+	e.Close()
+
+	for i := range want {
+		if !reflect.DeepEqual(got[i], want[i]) {
+			t.Errorf("job %s: result diverged under injected faults", jobs[i].Label())
+		}
+	}
+	if stats.Panics < 2 {
+		t.Errorf("panics = %d, want >= 2 (the panic rule must have fired)", stats.Panics)
+	}
+	if stats.Retries < stats.Panics {
+		t.Errorf("retries = %d < panics = %d: panics were not retried", stats.Retries, stats.Panics)
+	}
+	if stats.Failed != 0 {
+		t.Errorf("failed = %d, want 0 under a survivable schedule", stats.Failed)
+	}
+
+	// Restart over the same (partially torn) cache with no injector: every
+	// entry either verifies or is quarantined and recomputed identically.
+	e2 := New(Options{Workers: 4, CacheDir: dir})
+	got2 := chaosRun(t, e2, jobs)
+	stats2 := e2.Stats()
+	e2.Close()
+	for i := range want {
+		if !reflect.DeepEqual(got2[i], want[i]) {
+			t.Errorf("job %s: result diverged after restart over chaos cache", jobs[i].Label())
+		}
+	}
+	torn := 0
+	for _, f := range plan.Log() {
+		if f.Kind == fault.KindTorn {
+			torn++
+		}
+	}
+	if torn > 0 && stats2.Quarantined == 0 {
+		t.Errorf("%d torn writes injected but restart quarantined nothing: %+v", torn, stats2)
+	}
+}
+
+// TestChaosPanicIsolatedAndTyped pins panic isolation: with no retry
+// budget, a panicking worker fails its own job with a typed *PanicError
+// carrying a stack trace, and the process (and engine) survive to run the
+// next job.
+func TestChaosPanicIsolatedAndTyped(t *testing.T) {
+	plan := fault.New(1, fault.Rule{Point: fault.JobRun, Kind: fault.KindPanic, Prob: 1, Count: 1})
+	e := New(Options{Workers: 2, Fault: plan})
+	defer e.Close()
+
+	j := sampledJob("twolf", warmup.Spec{Kind: warmup.KindNone})
+	_, err := e.Run(context.Background(), j)
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want *PanicError", err)
+	}
+	if !strings.Contains(pe.Stack, "safeRun") {
+		t.Errorf("captured stack does not show the recovery site:\n%s", pe.Stack)
+	}
+	if !Transient(err) {
+		t.Error("a panic must classify as transient")
+	}
+	s := e.Stats()
+	if s.Panics != 1 || s.Failed != 1 {
+		t.Errorf("stats = %+v, want one panic, one failure", s)
+	}
+
+	// The engine is still alive: the same job (panic budget spent) succeeds.
+	res, err := e.Run(context.Background(), j)
+	if err != nil || res.IPC() <= 0 {
+		t.Fatalf("engine did not survive the panic: res=%v err=%v", res, err)
+	}
+}
+
+// TestChaosRetryBackoffRecovers checks the retry ladder end to end: two
+// injected transient failures, then success, with the attempts visible on
+// the event stream.
+func TestChaosRetryBackoffRecovers(t *testing.T) {
+	plan := fault.New(3, fault.Rule{Point: fault.JobRun, Kind: fault.KindError, Prob: 1, Count: 2})
+	e := New(Options{Workers: 1, MaxAttempts: 3, RetryBackoff: time.Millisecond, Fault: plan})
+	defer e.Close()
+	events, cancel := e.Subscribe(128)
+	defer cancel()
+
+	j := sampledJob("twolf", warmup.Spec{Kind: warmup.KindNone})
+	res, err := e.Run(context.Background(), j)
+	if err != nil {
+		t.Fatalf("job did not recover within its attempt budget: %v", err)
+	}
+	if res.IPC() <= 0 {
+		t.Fatal("recovered job has no result")
+	}
+	s := e.Stats()
+	if s.Retries != 2 || s.Done != 1 || s.Failed != 0 || s.Panics != 0 {
+		t.Errorf("stats = %+v, want 2 retries and a clean finish", s)
+	}
+
+	attempts := map[int]bool{}
+	deadline := time.After(5 * time.Second)
+	for done := false; !done; {
+		select {
+		case ev := <-events:
+			if ev.State == StateRetrying {
+				attempts[ev.Attempt] = true
+				if ev.Err == "" {
+					t.Error("retry event lost its error")
+				}
+			}
+			if ev.State == StateDone {
+				done = true
+			}
+		case <-deadline:
+			t.Fatal("terminal event never arrived")
+		}
+	}
+	if !attempts[1] || !attempts[2] {
+		t.Errorf("retry attempts on the event stream = %v, want 1 and 2", attempts)
+	}
+}
+
+// TestChaosAttemptBudgetExhausted checks the other side: when transient
+// failures outlast the budget, the job fails with the classified error and
+// nothing poisons the cache for a later resubmission.
+func TestChaosAttemptBudgetExhausted(t *testing.T) {
+	plan := fault.New(5, fault.Rule{Point: fault.JobRun, Kind: fault.KindError, Prob: 1, Count: 2})
+	dir := t.TempDir()
+	e := New(Options{Workers: 1, CacheDir: dir, MaxAttempts: 2, RetryBackoff: time.Millisecond, Fault: plan})
+	defer e.Close()
+
+	j := sampledJob("twolf", warmup.Spec{Kind: warmup.KindNone})
+	_, err := e.Run(context.Background(), j)
+	if !errors.Is(err, fault.ErrInjected) {
+		t.Fatalf("err = %v, want the injected error after budget exhaustion", err)
+	}
+	s := e.Stats()
+	if s.Retries != 1 || s.Failed != 1 {
+		t.Errorf("stats = %+v, want 1 retry then failure", s)
+	}
+
+	// The failure must not be negatively cached: resubmitting (fault budget
+	// spent) recomputes and succeeds, both in memory and on disk.
+	res, err := e.Run(context.Background(), j)
+	if err != nil || res.IPC() <= 0 {
+		t.Fatalf("resubmit after failure: res=%v err=%v", res, err)
+	}
+	if s := e.Stats(); s.Done != 1 || s.CacheHits != 0 {
+		t.Errorf("resubmit stats = %+v, want a fresh execution, no negative hit", s)
+	}
+}
+
+// TestChaosLatencyDeadline uses injected latency to trip the per-job
+// deadline deterministically: the job must fail with ErrDeadline (distinct
+// from cancellation) and not be retried.
+func TestChaosLatencyDeadline(t *testing.T) {
+	plan := fault.New(9, fault.Rule{Point: fault.JobRun, Kind: fault.KindLatency, Prob: 1, Latency: time.Minute})
+	e := New(Options{Workers: 1, MaxAttempts: 3, RetryBackoff: time.Millisecond, Fault: plan})
+	defer e.Close()
+
+	j := sampledJob("twolf", warmup.Spec{Kind: warmup.KindNone})
+	j.Timeout = 20 * time.Millisecond
+	begin := time.Now()
+	_, err := e.Run(context.Background(), j)
+	if !errors.Is(err, ErrDeadline) {
+		t.Fatalf("err = %v, want ErrDeadline", err)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("deadline error must still match context.DeadlineExceeded for compatibility")
+	}
+	if Transient(err) {
+		t.Error("deadline failures must not classify as transient")
+	}
+	if took := time.Since(begin); took > 10*time.Second {
+		t.Errorf("deadline took %v to fire", took)
+	}
+	if s := e.Stats(); s.Retries != 0 || s.Failed != 1 {
+		t.Errorf("stats = %+v, want no retries and one failure", s)
+	}
+}

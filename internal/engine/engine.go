@@ -4,9 +4,12 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/rand"
 	"runtime"
 	"sync"
 	"time"
+
+	"rsr/internal/fault"
 )
 
 // ErrClosed is returned by Submit after Close, and by tickets whose job was
@@ -20,8 +23,21 @@ type Options struct {
 	// CacheDir enables the on-disk result cache ("" = memory-only).
 	CacheDir string
 	// DefaultTimeout bounds each job's execution unless the job sets its
-	// own Timeout (0 = no limit).
+	// own Timeout (0 = no limit). A job that runs past its deadline fails
+	// with ErrDeadline.
 	DefaultTimeout time.Duration
+	// MaxAttempts bounds execution attempts per job, counting the first
+	// (<= 1 = no retry). Only transient failures are retried (see
+	// Transient); a job can lower its own budget with Job.MaxAttempts.
+	MaxAttempts int
+	// RetryBackoff is the base delay of the exponential-backoff-with-full-
+	// jitter schedule between attempts (0 = 50ms). The wait aborts early
+	// when the submitter's context is canceled or the engine closes.
+	RetryBackoff time.Duration
+	// Fault optionally injects deterministic faults at the engine's
+	// instrumented sites — cache reads/writes and job runs — for chaos
+	// testing (nil = no injection).
+	Fault fault.Injector
 }
 
 // Engine is a bounded worker-pool scheduler for simulation jobs with
@@ -38,6 +54,7 @@ type Engine struct {
 	queue    []*task // FIFO of tasks awaiting a worker
 	inflight map[string]*task
 	closed   bool
+	closedCh chan struct{} // closed by Close; aborts retry backoffs
 
 	wg sync.WaitGroup
 }
@@ -95,8 +112,9 @@ func New(opts Options) *Engine {
 	}
 	e := &Engine{
 		opts:     opts,
-		cache:    newCache(opts.CacheDir),
+		cache:    newCache(opts.CacheDir, opts.Fault),
 		inflight: make(map[string]*task),
+		closedCh: make(chan struct{}),
 	}
 	e.cond = sync.NewCond(&e.mu)
 	e.wg.Add(opts.Workers)
@@ -110,7 +128,9 @@ func New(opts Options) *Engine {
 func (e *Engine) Workers() int { return e.opts.Workers }
 
 // Stats returns a snapshot of the progress counters.
-func (e *Engine) Stats() Stats { return e.stats.snapshot(e.cache.diskErrs.Load()) }
+func (e *Engine) Stats() Stats {
+	return e.stats.snapshot(e.cache.diskErrs.Load(), e.cache.quarantined.Load())
+}
 
 // Subscribe returns a stream of progress events and a cancel function.
 // Delivery is best-effort: events are dropped when the subscriber's buffer
@@ -159,7 +179,8 @@ func (e *Engine) Run(ctx context.Context, job Job) (*Result, error) {
 
 // Close stops accepting jobs, fails everything still queued with ErrClosed,
 // and waits for running jobs to finish. Jobs already executing run to
-// completion (or their timeout).
+// completion (or their timeout); a job waiting out a retry backoff aborts
+// with ErrClosed instead of attempting again.
 func (e *Engine) Close() {
 	e.mu.Lock()
 	if e.closed {
@@ -168,6 +189,7 @@ func (e *Engine) Close() {
 		return
 	}
 	e.closed = true
+	close(e.closedCh)
 	pending := e.queue
 	e.queue = nil
 	for _, t := range pending {
@@ -181,6 +203,28 @@ func (e *Engine) Close() {
 		e.complete(t, nil, ErrClosed, 0, false)
 	}
 	e.wg.Wait()
+}
+
+// Quiesce blocks until the engine has no queued or running jobs, or until
+// ctx is done, reporting whether idleness was reached. It does not stop the
+// engine or refuse new work — it is the wait half of a graceful drain, used
+// by the daemon after it stops accepting submissions.
+func (e *Engine) Quiesce(ctx context.Context) bool {
+	tick := time.NewTicker(10 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		e.mu.Lock()
+		idle := len(e.inflight) == 0 && len(e.queue) == 0
+		e.mu.Unlock()
+		if idle {
+			return true
+		}
+		select {
+		case <-ctx.Done():
+			return false
+		case <-tick.C:
+		}
+	}
 }
 
 // pop blocks until a task is available or the engine closes.
@@ -210,7 +254,9 @@ func (e *Engine) worker() {
 }
 
 // execute runs one task: cache lookup, then the simulation under the
-// submitter's context and the job timeout.
+// submitter's context and the job deadline, retrying transient failures
+// (panics, injected faults) with exponential backoff and full jitter up to
+// the job's attempt budget.
 func (e *Engine) execute(t *task) {
 	e.stats.queued.Add(-1)
 
@@ -228,8 +274,52 @@ func (e *Engine) execute(t *task) {
 	}
 	e.stats.cacheMiss.Add(1)
 
+	budget := t.job.MaxAttempts
+	if budget <= 0 {
+		budget = e.opts.MaxAttempts
+	}
+	if budget <= 0 {
+		budget = 1
+	}
+
+	var (
+		res  *Result
+		err  error
+		wall time.Duration
+	)
+	for attempt := 1; ; attempt++ {
+		res, wall, err = e.attempt(t, attempt)
+		if err == nil || attempt >= budget || !Transient(err) {
+			break
+		}
+		e.stats.retries.Add(1)
+		e.bcast.emit(Event{JobHash: t.hash, Label: t.job.Label(), State: StateRetrying,
+			Err: err.Error(), Wall: wall, Attempt: attempt})
+		if !e.backoff(t.ctx, attempt) {
+			if ctxErr := t.ctx.Err(); ctxErr != nil {
+				err = fmt.Errorf("engine: %s: %w", t.job.Label(), ctxErr)
+			} else {
+				err = ErrClosed
+			}
+			break
+		}
+	}
+	if err != nil {
+		e.finish(t, nil, err, wall, false)
+		return
+	}
+	res.JobHash = t.hash
+	res.Wall = wall
+	e.cache.put(t.hash, res)
+	e.finish(t, res, nil, wall, false)
+}
+
+// attempt runs one execution attempt under the job deadline, with worker
+// panics isolated to typed errors.
+func (e *Engine) attempt(t *task, attempt int) (*Result, time.Duration, error) {
 	e.stats.running.Add(1)
-	e.bcast.emit(Event{JobHash: t.hash, Label: t.job.Label(), State: StateRunning})
+	defer e.stats.running.Add(-1)
+	e.bcast.emit(Event{JobHash: t.hash, Label: t.job.Label(), State: StateRunning, Attempt: attempt})
 
 	ctx := t.ctx
 	timeout := t.job.Timeout
@@ -243,23 +333,51 @@ func (e *Engine) execute(t *task) {
 	}
 
 	begin := time.Now()
-	res, err := runJob(t.job, ctx.Done())
+	res, err := safeRun(t.job, e.opts.Fault, ctx.Done())
 	wall := time.Since(begin)
-	e.stats.running.Add(-1)
-
 	if err != nil {
-		// Prefer the context's verdict (Canceled/DeadlineExceeded) when the
-		// simulation reports a cooperative abort.
-		if ctxErr := ctx.Err(); ctxErr != nil {
-			err = fmt.Errorf("engine: %s: %w", t.job.Label(), ctxErr)
+		var pe *PanicError
+		if errors.As(err, &pe) {
+			e.stats.panics.Add(1)
 		}
-		e.finish(t, nil, err, wall, false)
-		return
+		// Prefer the context's verdict when the simulation reports a
+		// cooperative abort: cancellation from the submitter wins, and a
+		// per-job deadline maps to the distinct ErrDeadline.
+		switch {
+		case t.ctx.Err() != nil:
+			err = fmt.Errorf("engine: %s: %w", t.job.Label(), t.ctx.Err())
+		case ctx.Err() != nil:
+			err = fmt.Errorf("engine: %s: %w after %v (%w)",
+				t.job.Label(), ErrDeadline, wall.Round(time.Millisecond), context.DeadlineExceeded)
+		}
+		return nil, wall, err
 	}
-	res.JobHash = t.hash
-	res.Wall = wall
-	e.cache.put(t.hash, res)
-	e.finish(t, res, nil, wall, false)
+	return res, wall, nil
+}
+
+// backoff sleeps before the next attempt — full jitter over an
+// exponentially growing window (AWS-style: delay = U(0, base*2^(attempt-1)),
+// capped) — and reports false when the submitter's context or engine
+// shutdown interrupts the wait.
+func (e *Engine) backoff(ctx context.Context, attempt int) bool {
+	base := e.opts.RetryBackoff
+	if base <= 0 {
+		base = 50 * time.Millisecond
+	}
+	window := base << uint(attempt-1)
+	if cap := 5 * time.Second; window > cap || window <= 0 {
+		window = cap
+	}
+	timer := time.NewTimer(time.Duration(rand.Int63n(int64(window) + 1)))
+	defer timer.Stop()
+	select {
+	case <-timer.C:
+		return true
+	case <-ctx.Done():
+		return false
+	case <-e.closedCh:
+		return false
+	}
 }
 
 // finish publishes a task's outcome, retires it from the in-flight table,

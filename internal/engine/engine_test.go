@@ -9,6 +9,7 @@ import (
 	"testing"
 	"time"
 
+	"rsr/internal/fault"
 	"rsr/internal/sampling"
 	"rsr/internal/warmup"
 	"rsr/internal/workload"
@@ -195,8 +196,66 @@ func TestJobTimeout(t *testing.T) {
 	if !errors.Is(err, context.DeadlineExceeded) {
 		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
 	}
+	if !errors.Is(err, ErrDeadline) {
+		t.Fatalf("err = %v, want the distinct ErrDeadline", err)
+	}
 	if took := time.Since(begin); took > 10*time.Second {
 		t.Fatalf("timeout took %v to take effect", took)
+	}
+}
+
+// TestSingleFlightLeaderFailure covers dedup under failure: when the leader
+// of a coalesced group fails, every follower must observe that error, and a
+// later resubmission must recompute — failures are never negatively cached.
+func TestSingleFlightLeaderFailure(t *testing.T) {
+	// One injected failure scoped to the leader's job, no retry budget: its
+	// first execution fails terminally and the fault is spent.
+	j := sampledJob("twolf", warmup.Spec{Kind: warmup.KindNone})
+	plan := fault.New(11, fault.Rule{Point: fault.JobRun, Kind: fault.KindError, Prob: 1, Count: 1, Match: j.Hash()})
+	e := New(Options{Workers: 1, CacheDir: t.TempDir(), Fault: plan})
+	defer e.Close()
+	ctx := context.Background()
+
+	// A blocker occupies the single worker so the followers provably
+	// coalesce onto the leader while it is still queued.
+	blocker, err := e.Submit(ctx, sampledJob("parser", warmup.Spec{Kind: warmup.KindNone}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const followers = 4
+	var tickets []*Ticket
+	for i := 0; i < followers+1; i++ {
+		tk, err := e.Submit(ctx, j)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tickets = append(tickets, tk)
+	}
+	for i, tk := range tickets {
+		if _, err := tk.Wait(ctx); !errors.Is(err, fault.ErrInjected) {
+			t.Fatalf("submitter %d: err = %v, want the leader's injected error", i, err)
+		}
+	}
+	if _, err := blocker.Wait(ctx); err != nil {
+		t.Fatal(err)
+	}
+	s := e.Stats()
+	if s.Coalesced != followers || s.Failed != 1 {
+		t.Errorf("stats = %+v, want %d coalesced onto one failure", s, followers)
+	}
+
+	// Resubmit: the fault budget is spent, so a recompute must happen and
+	// succeed. A negatively-cached error would surface here instead.
+	res, err := e.Run(ctx, j)
+	if err != nil {
+		t.Fatalf("resubmit after leader failure must recompute: %v", err)
+	}
+	if res.IPC() <= 0 {
+		t.Fatal("recomputed result is empty")
+	}
+	s = e.Stats()
+	if s.Done != 2 || s.CacheHits != 0 {
+		t.Errorf("resubmit stats = %+v, want a fresh execution (blocker + recompute), no cache hit", s)
 	}
 }
 
@@ -293,8 +352,9 @@ func TestJobHashIdentity(t *testing.T) {
 	base := sampledJob("twolf", warmup.Spec{Kind: warmup.KindReverse, Percent: 20, Cache: true, BPred: true})
 	same := base
 	same.Timeout = time.Minute // scheduling policy, not identity
+	same.MaxAttempts = 5
 	if base.Hash() != same.Hash() {
-		t.Error("timeout changed the hash")
+		t.Error("timeout/attempt budget changed the hash")
 	}
 	for name, mutate := range map[string]func(*Job){
 		"workload": func(j *Job) { j.Workload = "gcc" },

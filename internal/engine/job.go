@@ -52,8 +52,13 @@ type Job struct {
 	Seed    int64
 	Warmup  warmup.Spec
 	// Timeout bounds this job's execution (0 = the engine default). It is
-	// scheduling policy, not identity: it does not enter the hash.
+	// scheduling policy, not identity: it does not enter the hash. A job
+	// that runs past its deadline fails with ErrDeadline.
 	Timeout time.Duration `json:"Timeout,omitempty"`
+	// MaxAttempts bounds execution attempts for this job, counting the
+	// first (0 = the engine default). Like Timeout it is scheduling policy,
+	// not identity.
+	MaxAttempts int `json:"MaxAttempts,omitempty"`
 }
 
 // jobIdentity is the canonical hashed form of a Job. HashVersion must be

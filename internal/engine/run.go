@@ -2,10 +2,42 @@ package engine
 
 import (
 	"fmt"
+	"runtime/debug"
+	"time"
 
+	"rsr/internal/fault"
 	"rsr/internal/sampling"
 	"rsr/internal/workload"
 )
+
+// safeRun executes runJob with worker-panic isolation and fault injection.
+// A panic — from the simulation itself or injected by a chaos plan — is
+// converted to a typed *PanicError carrying the recovery-time stack, so one
+// bad job can never take down the process or its sibling workers.
+func safeRun(j Job, inj fault.Injector, cancel <-chan struct{}) (res *Result, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = &PanicError{Value: v, Stack: string(debug.Stack())}
+		}
+	}()
+	if d := fault.Check(inj, fault.JobRun, j.Hash()); d != nil {
+		switch d.Kind {
+		case fault.KindLatency:
+			timer := time.NewTimer(d.Latency)
+			select {
+			case <-timer.C:
+			case <-cancel:
+				timer.Stop()
+				return nil, fmt.Errorf("engine: %s: %w", j.Label(), sampling.ErrCanceled)
+			}
+		case fault.KindPanic:
+			panic(fmt.Sprintf("fault: injected panic in %s", j.Label()))
+		case fault.KindError:
+			return nil, fmt.Errorf("engine: %s: %w", j.Label(), d.Err)
+		}
+	}
+	return runJob(j, cancel)
+}
 
 // runJob executes one validated job. cancel aborts the simulation
 // cooperatively (polled at cluster boundaries for sampled runs, every 64Ki

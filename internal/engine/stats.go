@@ -27,6 +27,14 @@ type Stats struct {
 	// DiskErrors counts cache files that could not be read or written
 	// (corruption falls back to recompute).
 	DiskErrors int64
+	// Quarantined counts corrupt cache entries moved into the quarantine
+	// directory (a subset of the DiskErrors story: detected, preserved,
+	// recomputed).
+	Quarantined int64
+	// Retries counts execution attempts re-run after a transient failure;
+	// Panics counts worker panics recovered into typed job errors.
+	Retries int64
+	Panics  int64
 	// Wall is the cumulative execution wall-clock across finished jobs.
 	Wall time.Duration
 }
@@ -36,10 +44,11 @@ type counters struct {
 	queued, running, done, failed  atomic.Int64
 	cacheHits, diskHits, cacheMiss atomic.Int64
 	coalesced                      atomic.Int64
+	retries, panics                atomic.Int64
 	wallNanos                      atomic.Int64
 }
 
-func (c *counters) snapshot(diskErrs int64) Stats {
+func (c *counters) snapshot(diskErrs, quarantined int64) Stats {
 	return Stats{
 		Queued:      c.queued.Load(),
 		Running:     c.running.Load(),
@@ -50,6 +59,9 @@ func (c *counters) snapshot(diskErrs int64) Stats {
 		CacheMisses: c.cacheMiss.Load(),
 		Coalesced:   c.coalesced.Load(),
 		DiskErrors:  diskErrs,
+		Quarantined: quarantined,
+		Retries:     c.retries.Load(),
+		Panics:      c.panics.Load(),
 		Wall:        time.Duration(c.wallNanos.Load()),
 	}
 }
@@ -58,13 +70,15 @@ func (c *counters) snapshot(diskErrs int64) Stats {
 type JobState string
 
 // Job lifecycle states, in order of occurrence. A job reaches exactly one
-// of StateCached, StateDone, or StateFailed.
+// of StateCached, StateDone, or StateFailed; StateRetrying and a further
+// StateRunning may repeat in between when transient failures are retried.
 const (
-	StateQueued  JobState = "queued"
-	StateRunning JobState = "running"
-	StateCached  JobState = "cached"
-	StateDone    JobState = "done"
-	StateFailed  JobState = "failed"
+	StateQueued   JobState = "queued"
+	StateRunning  JobState = "running"
+	StateRetrying JobState = "retrying"
+	StateCached   JobState = "cached"
+	StateDone     JobState = "done"
+	StateFailed   JobState = "failed"
 )
 
 // Event is one progress notification on a subscription stream.
@@ -72,10 +86,13 @@ type Event struct {
 	JobHash string
 	Label   string
 	State   JobState
-	// Err is the failure message for StateFailed.
+	// Err is the failure message for StateFailed and StateRetrying.
 	Err string `json:",omitempty"`
 	// Wall is the execution wall-clock, set on StateDone/StateFailed.
 	Wall time.Duration `json:",omitempty"`
+	// Attempt is the 1-based execution attempt, set on StateRunning and
+	// StateRetrying (0 on states where it is meaningless).
+	Attempt int `json:",omitempty"`
 }
 
 // broadcaster fans events out to subscribers. Delivery is best-effort:

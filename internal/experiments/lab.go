@@ -35,6 +35,9 @@ type Config struct {
 	// CacheDir enables the engine's on-disk result cache, letting repeated
 	// sweeps skip already-computed runs ("" = memory-only caching).
 	CacheDir string
+	// Retries adds execution attempts for transiently failed jobs (worker
+	// panics, injected faults): a job runs at most 1+Retries times.
+	Retries int
 }
 
 // DefaultConfig returns the reference configuration.
@@ -108,8 +111,9 @@ func NewLab(cfg Config) *Lab {
 		cfg:     cfg,
 		machine: sampling.DefaultMachine(),
 		eng: engine.New(engine.Options{
-			Workers:  cfg.parallelism(),
-			CacheDir: cfg.CacheDir,
+			Workers:     cfg.parallelism(),
+			CacheDir:    cfg.CacheDir,
+			MaxAttempts: cfg.Retries + 1,
 		}),
 	}
 }

@@ -1,0 +1,159 @@
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// TestDeterministicSchedule pins that two plans with the same seed and rules
+// make identical decisions over the same visit sequence, and that a
+// different seed produces a different schedule.
+func TestDeterministicSchedule(t *testing.T) {
+	rules := []Rule{
+		{Point: JobRun, Kind: KindPanic, Prob: 0.5},
+		{Point: CacheWrite, Kind: KindTorn, Prob: 0.3},
+	}
+	decide := func(p *Plan) []bool {
+		var out []bool
+		for i := 0; i < 200; i++ {
+			key := fmt.Sprintf("job-%d", i%20)
+			out = append(out, p.Decide(JobRun, key) != nil)
+			out = append(out, p.Decide(CacheWrite, key) != nil)
+		}
+		return out
+	}
+	a, b := decide(New(42, rules...)), decide(New(42, rules...))
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at visit %d", i)
+		}
+	}
+	c := decide(New(43, rules...))
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced an identical 400-visit schedule")
+	}
+}
+
+// TestOrderIndependentPerKey pins the property the engine relies on: a key's
+// decisions depend only on its own visit history, not on interleaving with
+// other keys.
+func TestOrderIndependentPerKey(t *testing.T) {
+	rules := []Rule{{Point: JobRun, Kind: KindError, Prob: 0.5}}
+	keys := []string{"a", "b", "c", "d"}
+	const visits = 50
+
+	// Key-major order.
+	p1 := New(7, rules...)
+	got1 := map[string][]bool{}
+	for _, k := range keys {
+		for i := 0; i < visits; i++ {
+			got1[k] = append(got1[k], p1.Decide(JobRun, k) != nil)
+		}
+	}
+	// Round-robin order.
+	p2 := New(7, rules...)
+	got2 := map[string][]bool{}
+	for i := 0; i < visits; i++ {
+		for _, k := range keys {
+			got2[k] = append(got2[k], p2.Decide(JobRun, k) != nil)
+		}
+	}
+	for _, k := range keys {
+		for i := range got1[k] {
+			if got1[k][i] != got2[k][i] {
+				t.Fatalf("key %s visit %d: decision depends on interleaving", k, i)
+			}
+		}
+	}
+}
+
+// TestTriggers covers the non-probability rule knobs: After, Count, Match,
+// and the probability extremes.
+func TestTriggers(t *testing.T) {
+	t.Run("probZeroNeverFires", func(t *testing.T) {
+		p := New(1, Rule{Point: JobRun, Kind: KindError, Prob: 0})
+		for i := 0; i < 100; i++ {
+			if p.Decide(JobRun, "k") != nil {
+				t.Fatal("Prob 0 fired")
+			}
+		}
+	})
+	t.Run("probOneAlwaysFires", func(t *testing.T) {
+		p := New(1, Rule{Point: JobRun, Kind: KindError, Prob: 1})
+		for i := 0; i < 100; i++ {
+			if p.Decide(JobRun, "k") == nil {
+				t.Fatal("Prob 1 skipped a visit")
+			}
+		}
+	})
+	t.Run("afterSkipsFirstVisitsPerKey", func(t *testing.T) {
+		p := New(1, Rule{Point: JobRun, Kind: KindError, Prob: 1, After: 2})
+		for _, key := range []string{"a", "b"} {
+			for i := 0; i < 2; i++ {
+				if p.Decide(JobRun, key) != nil {
+					t.Fatalf("key %s fired during After window", key)
+				}
+			}
+			if p.Decide(JobRun, key) == nil {
+				t.Fatalf("key %s did not fire after the After window", key)
+			}
+		}
+	})
+	t.Run("countBoundsTotalFirings", func(t *testing.T) {
+		p := New(1, Rule{Point: JobRun, Kind: KindPanic, Prob: 1, Count: 3})
+		fired := 0
+		for i := 0; i < 100; i++ {
+			if p.Decide(JobRun, fmt.Sprintf("k%d", i)) != nil {
+				fired++
+			}
+		}
+		if fired != 3 {
+			t.Fatalf("fired %d times, want 3", fired)
+		}
+		if p.Fired() != 3 || p.FiredAt(JobRun) != 3 {
+			t.Errorf("accounting: Fired=%d FiredAt=%d", p.Fired(), p.FiredAt(JobRun))
+		}
+	})
+	t.Run("matchRestrictsKeys", func(t *testing.T) {
+		p := New(1, Rule{Point: JobRun, Kind: KindError, Prob: 1, Match: "gcc"})
+		if p.Decide(JobRun, "twolf-123") != nil {
+			t.Error("rule fired on a non-matching key")
+		}
+		if p.Decide(JobRun, "gcc-456") == nil {
+			t.Error("rule did not fire on a matching key")
+		}
+	})
+}
+
+// TestDecisionPayloads checks that fired decisions carry the right payloads
+// and that injected errors classify via ErrInjected.
+func TestDecisionPayloads(t *testing.T) {
+	p := New(1,
+		Rule{Point: CacheRead, Kind: KindError, Prob: 1},
+		Rule{Point: JobRun, Kind: KindLatency, Prob: 1, Latency: 5 * time.Millisecond},
+	)
+	d := p.Decide(CacheRead, "k")
+	if d == nil || d.Kind != KindError || !errors.Is(d.Err, ErrInjected) {
+		t.Fatalf("error decision = %+v", d)
+	}
+	d = p.Decide(JobRun, "k")
+	if d == nil || d.Kind != KindLatency || d.Latency != 5*time.Millisecond {
+		t.Fatalf("latency decision = %+v", d)
+	}
+	if Check(nil, JobRun, "k") != nil {
+		t.Error("nil injector must proceed normally")
+	}
+	log := p.Log()
+	if len(log) != 2 || log[0].Point != CacheRead || log[1].Point != JobRun {
+		t.Errorf("log = %+v", log)
+	}
+}
