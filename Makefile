@@ -4,6 +4,8 @@
 #   make test        tier-1 gate: go build ./... && go test ./...
 #   make verify      vet + race-test the concurrent code paths
 #   make chaos       race-enabled fault-injection suite (chaos + drain tests)
+#   make obs-smoke   end-to-end observability check: rsrd /metrics scrape +
+#                    rsr -metrics-out/-trace-out artifacts
 #   make bench       machine-readable benchmark snapshot (BENCH_$(LABEL).json)
 #   make bench-sweep sequential-vs-parallel sweep benchmark at small scale
 #   make all         everything above
@@ -14,9 +16,9 @@
 GO ?= go
 LABEL ?= dev
 
-.PHONY: all build test verify chaos bench bench-sweep
+.PHONY: all build test verify chaos obs-smoke bench bench-sweep
 
-all: build test verify chaos
+all: build test verify chaos obs-smoke
 
 build:
 	$(GO) build ./...
@@ -30,7 +32,7 @@ test: build
 # state-per-call concurrency contract the engine relies on.
 verify:
 	$(GO) vet ./...
-	$(GO) test -race ./internal/engine/... ./internal/sampling/... ./cmd/rsrd/...
+	$(GO) test -race ./internal/obs/... ./internal/engine/... ./internal/sampling/... ./cmd/rsrd/...
 
 # chaos drives the deterministic fault injector through the engine's real
 # cache and run paths under the race detector: injected disk errors, torn
@@ -40,6 +42,13 @@ chaos:
 	$(GO) test -race ./internal/fault/...
 	$(GO) test -race -run 'Chaos|Fault|Drain|Cancel|Quarantin' \
 		./internal/engine/... ./internal/sampling/... ./cmd/rsrd/...
+
+# obs-smoke proves the observability layer end to end without any test
+# scaffolding: a real daemon serves /metrics after running a real job, and
+# the CLI emits a metrics snapshot plus a Chrome trace. scripts/obs-smoke.sh
+# fails if any required metric family or phase span is missing.
+obs-smoke: build
+	./scripts/obs-smoke.sh
 
 bench:
 	$(GO) run ./cmd/rsrbench -label $(LABEL)

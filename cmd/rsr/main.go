@@ -36,9 +36,13 @@
 //	-method s      method label for `run` (e.g. "R$BP (20%)", "S$BP", "None")
 //	-cpuprofile f  write a CPU profile to f
 //	-memprofile f  write an allocation profile to f on exit
+//	-metrics-out f write a JSON metrics snapshot to f on exit
+//	-trace-out f   write a Chrome trace (chrome://tracing, ui.perfetto.dev)
+//	               of every run's per-cluster phases to f on exit
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -51,6 +55,7 @@ import (
 	"time"
 
 	"rsr/internal/experiments"
+	"rsr/internal/obs"
 	"rsr/internal/report"
 	"rsr/internal/warmup"
 	"rsr/internal/workload"
@@ -71,6 +76,8 @@ func main() {
 	methodFlag := flag.String("method", "R$BP (20%)", "warm-up method label for `run`")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to `file`")
 	memProfile := flag.String("memprofile", "", "write an allocation profile to `file` on exit")
+	metricsOut := flag.String("metrics-out", "", "write a JSON metrics snapshot (engine, phase, warm-up families) to `file` on exit")
+	traceOut := flag.String("trace-out", "", "write a Chrome trace-event JSON of every run's phases to `file` on exit (open in chrome://tracing or ui.perfetto.dev)")
 	flag.Parse()
 
 	var cpuFile *os.File
@@ -87,6 +94,17 @@ func main() {
 		cpuFile = f
 	}
 
+	// Observability sinks are built up front so the lab's engine and every
+	// run record into them; their files are written by flush below.
+	var reg *obs.Registry
+	var tracer *obs.Tracer
+	if *metricsOut != "" {
+		reg = obs.NewRegistry()
+	}
+	if *traceOut != "" {
+		tracer = obs.NewTracer(0)
+	}
+
 	// Flushing is explicit (the error path exits via os.Exit, skipping
 	// defers) and idempotent, because it runs from two places: the end of
 	// main and the signal handler below.
@@ -101,6 +119,18 @@ func main() {
 			if *memProfile != "" {
 				if perr := writeMemProfile(*memProfile); perr != nil {
 					fmt.Fprintln(os.Stderr, "rsr: -memprofile:", perr)
+					flushErr = perr
+				}
+			}
+			if reg != nil {
+				if perr := writeMetrics(reg, *metricsOut); perr != nil {
+					fmt.Fprintln(os.Stderr, "rsr: -metrics-out:", perr)
+					flushErr = perr
+				}
+			}
+			if tracer != nil {
+				if perr := writeTrace(tracer, *traceOut); perr != nil {
+					fmt.Fprintln(os.Stderr, "rsr: -trace-out:", perr)
 					flushErr = perr
 				}
 			}
@@ -131,6 +161,8 @@ func main() {
 	}
 	cfg.CacheDir = *cacheDir
 	cfg.Retries = *retries
+	cfg.Metrics = reg
+	cfg.Tracer = tracer
 	if *workloadsFlag != "" {
 		cfg.Workloads = strings.Split(*workloadsFlag, ",")
 	}
@@ -162,6 +194,37 @@ func writeMemProfile(path string) error {
 	defer f.Close()
 	runtime.GC()
 	return pprof.Lookup("allocs").WriteTo(f, 0)
+}
+
+// writeMetrics dumps the registry snapshot as indented JSON.
+func writeMetrics(reg *obs.Registry, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	err = enc.Encode(reg.Snapshot())
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// writeTrace dumps the span ring as Chrome trace-event JSON.
+func writeTrace(tr *obs.Tracer, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	err = tr.WriteChromeTrace(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if dropped := tr.Dropped(); dropped > 0 {
+		fmt.Fprintf(os.Stderr, "rsr: -trace-out: ring wrapped, oldest %d spans overwritten\n", dropped)
+	}
+	return err
 }
 
 func dispatch(cmd string, cfg experiments.Config, wl, method, format, out string, stats bool) error {

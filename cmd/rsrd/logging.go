@@ -1,0 +1,82 @@
+package main
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"sync/atomic"
+	"time"
+)
+
+// requestIDs issues daemon-unique request IDs: a random boot prefix plus a
+// counter, so IDs stay grep-able across log shipping without coordination.
+type requestIDs struct {
+	boot string
+	n    atomic.Uint64
+}
+
+func newRequestIDs() *requestIDs {
+	var b [4]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// Fall back to a fixed prefix; IDs remain unique within the process.
+		return &requestIDs{boot: "rsrd0000"}
+	}
+	return &requestIDs{boot: hex.EncodeToString(b[:])}
+}
+
+func (r *requestIDs) next() string {
+	return fmt.Sprintf("%s-%06d", r.boot, r.n.Add(1))
+}
+
+// statusWriter captures the response status for the request log. It forwards
+// Flush so the ndjson event stream keeps flushing through the wrapper.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (sw *statusWriter) WriteHeader(code int) {
+	sw.status = code
+	sw.ResponseWriter.WriteHeader(code)
+}
+
+func (sw *statusWriter) Write(b []byte) (int, error) {
+	if sw.status == 0 {
+		sw.status = http.StatusOK
+	}
+	return sw.ResponseWriter.Write(b)
+}
+
+func (sw *statusWriter) Flush() {
+	if f, ok := sw.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// withRequestLog wraps next so every request gets an ID (a client-supplied
+// X-Request-ID is honoured, otherwise one is issued), the ID is echoed on the
+// response, and exactly one structured line is logged on completion.
+func withRequestLog(log *slog.Logger, ids *requestIDs, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := r.Header.Get("X-Request-ID")
+		if id == "" {
+			id = ids.next()
+		}
+		w.Header().Set("X-Request-ID", id)
+		sw := &statusWriter{ResponseWriter: w}
+		begin := time.Now()
+		next.ServeHTTP(sw, r)
+		if sw.status == 0 {
+			sw.status = http.StatusOK
+		}
+		log.Info("request",
+			"id", id,
+			"method", r.Method,
+			"path", r.URL.Path,
+			"status", sw.status,
+			"duration", time.Since(begin).Round(time.Microsecond),
+			"remote", r.RemoteAddr)
+	})
+}

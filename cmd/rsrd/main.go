@@ -12,8 +12,13 @@
 //	GET  /v1/jobs/{id} job status, and the result once finished
 //	GET  /v1/stats     engine scheduler/cache counters
 //	GET  /v1/events    progress event stream (ndjson, until disconnect)
+//	GET  /metrics      Prometheus text exposition of the metric registry
 //	GET  /healthz      liveness (200 while the process runs)
 //	GET  /readyz       readiness (503 once draining)
+//
+// Every request is logged as one structured log/slog line (method, path,
+// status, duration, request ID); the ID is echoed as X-Request-ID, and a
+// client-supplied X-Request-ID is honoured for cross-service correlation.
 //
 // A submission names a workload and either a warm-up method label from the
 // paper's matrix or kind "full" for a true-IPC baseline:
@@ -34,7 +39,7 @@ import (
 	"context"
 	"errors"
 	"flag"
-	"fmt"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -42,6 +47,7 @@ import (
 	"time"
 
 	"rsr/internal/engine"
+	"rsr/internal/obs"
 )
 
 func main() {
@@ -52,19 +58,30 @@ func main() {
 	timeoutAlias := flag.Duration("timeout", 0, "deprecated alias for -job-timeout")
 	retries := flag.Int("retries", 2, "extra execution attempts for transiently failed jobs (worker panics, injected faults)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "bound on finishing in-flight jobs after SIGTERM/SIGINT")
+	logLevel := flag.String("log-level", "info", "log verbosity: debug, info, warn, or error")
 	flag.Parse()
 	if *jobTimeout == 0 {
 		*jobTimeout = *timeoutAlias
 	}
 
+	var level slog.Level
+	if err := level.UnmarshalText([]byte(*logLevel)); err != nil {
+		slog.Error("bad -log-level", "value", *logLevel, "err", err)
+		os.Exit(2)
+	}
+	log := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
+	slog.SetDefault(log)
+
+	reg := obs.NewRegistry()
 	eng := engine.New(engine.Options{
 		Workers:        *parallel,
 		CacheDir:       *cacheDir,
 		DefaultTimeout: *jobTimeout,
 		MaxAttempts:    *retries + 1,
+		Metrics:        reg,
 	})
 
-	srv := newServer(eng)
+	srv := newServer(eng, reg, log)
 	hs := &http.Server{Addr: *addr, Handler: srv.routes()}
 
 	// First signal begins the drain; stop() below restores default handling
@@ -74,13 +91,13 @@ func main() {
 
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- hs.ListenAndServe() }()
-	fmt.Printf("rsrd: listening on %s (workers=%d, cache=%q, retries=%d, drain=%v)\n",
-		*addr, eng.Workers(), *cacheDir, *retries, *drainTimeout)
+	log.Info("listening", "addr", *addr, "workers", eng.Workers(),
+		"cache", *cacheDir, "retries", *retries, "drain", *drainTimeout)
 
 	select {
 	case err := <-serveErr:
 		eng.Close()
-		fmt.Fprintln(os.Stderr, "rsrd:", err)
+		log.Error("serve failed", "err", err)
 		os.Exit(1)
 	case <-ctx.Done():
 	}
@@ -89,20 +106,20 @@ func main() {
 	// Graceful drain: refuse new work, let in-flight jobs finish (their
 	// results land in the disk cache, so a restart resumes from checkpoints
 	// instead of recomputing), then stop the listener and the workers.
-	fmt.Fprintf(os.Stderr, "rsrd: signal received, draining (timeout %v)\n", *drainTimeout)
+	log.Info("signal received, draining", "timeout", *drainTimeout)
 	srv.beginDrain()
 	dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
 	if eng.Quiesce(dctx) {
-		fmt.Fprintln(os.Stderr, "rsrd: all in-flight jobs finished")
+		log.Info("all in-flight jobs finished")
 	} else {
 		s := eng.Stats()
-		fmt.Fprintf(os.Stderr, "rsrd: drain timeout with %d queued / %d running jobs; completed work is checkpointed\n",
-			s.Queued, s.Running)
+		log.Warn("drain timeout; completed work is checkpointed",
+			"queued", s.Queued, "running", s.Running)
 	}
 	if err := hs.Shutdown(dctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
-		fmt.Fprintln(os.Stderr, "rsrd: shutdown:", err)
+		log.Error("shutdown failed", "err", err)
 	}
 	eng.Close()
-	fmt.Fprintln(os.Stderr, "rsrd: drained, exiting")
+	log.Info("drained, exiting")
 }

@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"net/http/pprof"
 	"strings"
@@ -13,6 +14,7 @@ import (
 
 	"rsr/internal/engine"
 	"rsr/internal/experiments"
+	"rsr/internal/obs"
 	"rsr/internal/sampling"
 	"rsr/internal/warmup"
 )
@@ -21,6 +23,9 @@ import (
 // ID (the content hash) so clients can poll for results.
 type server struct {
 	eng *engine.Engine
+	reg *obs.Registry // scraped by GET /metrics; nil disables the endpoint
+	log *slog.Logger
+	ids *requestIDs
 
 	// draining flips when shutdown begins: readiness goes 503, submissions
 	// are refused with 503 + Retry-After, but status polls and the event
@@ -31,8 +36,12 @@ type server struct {
 	tickets map[string]*engine.Ticket
 }
 
-func newServer(eng *engine.Engine) *server {
-	return &server{eng: eng, tickets: make(map[string]*engine.Ticket)}
+func newServer(eng *engine.Engine, reg *obs.Registry, log *slog.Logger) *server {
+	if log == nil {
+		log = slog.Default()
+	}
+	return &server{eng: eng, reg: reg, log: log, ids: newRequestIDs(),
+		tickets: make(map[string]*engine.Ticket)}
 }
 
 // beginDrain stops accepting new jobs; already-submitted work continues.
@@ -48,6 +57,8 @@ func (s *server) routes() http.Handler {
 	// during drain so load balancers stop routing submissions here.
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/readyz", s.handleReadyz)
+	// Prometheus text exposition of the engine's metric registry.
+	mux.HandleFunc("/metrics", s.handleMetrics)
 	// Live profiling of a running daemon (the default-mux registration in
 	// net/http/pprof does not apply to a private mux, so mount explicitly).
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -55,7 +66,21 @@ func (s *server) routes() http.Handler {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	return mux
+	// Every route shares the request-ID + structured-log wrapper: one line
+	// per request, the ID echoed as X-Request-ID.
+	return withRequestLog(s.log, s.ids, mux)
+}
+
+// handleMetrics serves the registry in Prometheus text exposition format.
+func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if s.reg == nil {
+		httpError(w, http.StatusNotFound, "metrics disabled")
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := s.reg.WritePrometheus(w); err != nil {
+		s.log.Error("metrics write failed", "err", err)
+	}
 }
 
 // jobRequest is the POST /v1/jobs body. Unset fields take the reproduction

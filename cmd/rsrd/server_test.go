@@ -51,7 +51,7 @@ func getStatus(t *testing.T, ts *httptest.Server, id string) jobStatus {
 func TestDaemonJobLifecycle(t *testing.T) {
 	eng := engine.New(engine.Options{Workers: 2})
 	defer eng.Close()
-	ts := httptest.NewServer(newServer(eng).routes())
+	ts := httptest.NewServer(newServer(eng, nil, testLogger()).routes())
 	defer ts.Close()
 
 	id := postJob(t, ts, `{"workload": "twolf", "method": "None",
@@ -106,7 +106,7 @@ func TestDaemonJobLifecycle(t *testing.T) {
 func TestDaemonDrainGraceful(t *testing.T) {
 	eng := engine.New(engine.Options{Workers: 1})
 	defer eng.Close()
-	s := newServer(eng)
+	s := newServer(eng, nil, testLogger())
 	ts := httptest.NewServer(s.routes())
 	defer ts.Close()
 
@@ -167,7 +167,7 @@ func TestDaemonDrainGraceful(t *testing.T) {
 func TestDaemonRejectsBadJobs(t *testing.T) {
 	eng := engine.New(engine.Options{Workers: 1})
 	defer eng.Close()
-	ts := httptest.NewServer(newServer(eng).routes())
+	ts := httptest.NewServer(newServer(eng, nil, testLogger()).routes())
 	defer ts.Close()
 
 	for _, body := range []string{

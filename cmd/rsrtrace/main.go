@@ -8,11 +8,14 @@
 //	rsrtrace -workload mcf -skip 1e6 -n 40 trace   # dynamic window
 //	rsrtrace -workload mcf -n 2e6 stats      # stream statistics
 //	rsrtrace -file prog.s -n 100 trace       # assemble and trace a .s file
+//	rsrtrace -workload mcf -o mcf.txt disasm # write to a file instead of stdout
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 
@@ -24,12 +27,41 @@ import (
 	"rsr/internal/workload"
 )
 
+// out is where every command writes; -o redirects it from stdout to a file.
+var out io.Writer = os.Stdout
+
 func main() {
 	name := flag.String("workload", "twolf", "workload name")
 	file := flag.String("file", "", "assemble this .s file instead of a built-in workload")
 	skip := flag.Float64("skip", 0, "instructions to skip before tracing")
 	n := flag.Float64("n", 30, "instructions to trace / profile")
+	outPath := flag.String("o", "", "write output to `file` instead of stdout")
 	flag.Parse()
+
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rsrtrace: -o:", err)
+			os.Exit(1)
+		}
+		bw := bufio.NewWriter(f)
+		out = bw
+		// The error paths exit via os.Exit, so flush explicitly after the
+		// command instead of deferring.
+		defer func() {
+			if err := bw.Flush(); err == nil {
+				err = f.Close()
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "rsrtrace: -o:", err)
+					os.Exit(1)
+				}
+			} else {
+				f.Close()
+				fmt.Fprintln(os.Stderr, "rsrtrace: -o:", err)
+				os.Exit(1)
+			}
+		}()
+	}
 
 	var p *prog.Program
 	if *file != "" {
@@ -70,9 +102,9 @@ func main() {
 }
 
 func disasm(p *prog.Program) {
-	fmt.Printf("%s: %d static instructions, %d data words\n", p.Name, p.Len(), len(p.Data))
+	fmt.Fprintf(out, "%s: %d static instructions, %d data words\n", p.Name, p.Len(), len(p.Data))
 	for i, in := range p.Insts {
-		fmt.Printf("%#08x  %s\n", prog.PCOf(i), in)
+		fmt.Fprintf(out, "%#08x  %s\n", prog.PCOf(i), in)
 	}
 }
 
@@ -93,7 +125,7 @@ func runTrace(p *prog.Program, skip, n uint64) {
 			extra = "  (not taken)"
 		}
 		in, _ := p.Fetch(d.PC)
-		fmt.Printf("%12d  %#08x  %-28s%s\n", d.Seq, d.PC, in.String(), extra)
+		fmt.Fprintf(out, "%12d  %#08x  %-28s%s\n", d.Seq, d.PC, in.String(), extra)
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "rsrtrace:", err)
@@ -144,14 +176,14 @@ func runStats(p *prog.Program, n uint64) {
 		}
 	}
 	sort.Slice(rows, func(i, j int) bool { return rows[i].count > rows[j].count })
-	fmt.Printf("%s: %d instructions\n", p.Name, total)
+	fmt.Fprintf(out, "%s: %d instructions\n", p.Name, total)
 	for _, r := range rows {
-		fmt.Printf("  %-10s %12d  %5.1f%%\n", r.name, r.count, 100*float64(r.count)/float64(total))
+		fmt.Fprintf(out, "  %-10s %12d  %5.1f%%\n", r.name, r.count, 100*float64(r.count)/float64(total))
 	}
-	fmt.Printf("code footprint  %d static instructions touched (%d bytes)\n",
+	fmt.Fprintf(out, "code footprint  %d static instructions touched (%d bytes)\n",
 		len(pcs), len(pcs)*isa.InstBytes)
-	fmt.Printf("data footprint  %d cache lines touched (%d KiB)\n", len(lines), len(lines)*64/1024)
+	fmt.Fprintf(out, "data footprint  %d cache lines touched (%d KiB)\n", len(lines), len(lines)*64/1024)
 	if cond > 0 {
-		fmt.Printf("branch bias     %.1f%% of conditionals taken\n", 100*float64(taken)/float64(cond))
+		fmt.Fprintf(out, "branch bias     %.1f%% of conditionals taken\n", 100*float64(taken)/float64(cond))
 	}
 }

@@ -95,6 +95,18 @@ func (u *Unit) Updates() uint64 {
 	return u.Dir.Updates() + u.BTB.Updates() + u.RAS.Updates()
 }
 
+// UpdateCounts breaks Updates down by structure. It is the metric-export
+// seam: the prediction and update paths already maintain these counters, so
+// exposing them is a pure read with no cost on the hot path.
+type UpdateCounts struct {
+	Dir, BTB, RAS uint64
+}
+
+// UpdateCounts reports per-structure state mutations.
+func (u *Unit) UpdateCounts() UpdateCounts {
+	return UpdateCounts{Dir: u.Dir.Updates(), BTB: u.BTB.Updates(), RAS: u.RAS.Updates()}
+}
+
 // ResetUpdates zeroes all work counters.
 func (u *Unit) ResetUpdates() {
 	u.Dir.ResetUpdates()

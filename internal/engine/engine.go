@@ -10,7 +10,16 @@ import (
 	"time"
 
 	"rsr/internal/fault"
+	"rsr/internal/obs"
 )
+
+// boolArg renders a boolean as a span annotation value.
+func boolArg(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
 
 // ErrClosed is returned by Submit after Close, and by tickets whose job was
 // still pending when the engine shut down.
@@ -38,6 +47,15 @@ type Options struct {
 	// instrumented sites — cache reads/writes and job runs — for chaos
 	// testing (nil = no injection).
 	Fault fault.Injector
+	// Metrics, when non-nil, exposes the engine through the registry: the
+	// Stats counters re-expressed as metric families (mirrored at scrape
+	// time, so Stats stays the source of truth), a job latency histogram,
+	// and per-phase sampling metrics from inside every run.
+	// Tracer, when non-nil, records engine spans (job-run, cache-load,
+	// retry-wait) plus the per-cluster phase spans of every job, each job on
+	// its own trace track. Both default off and add one branch when off.
+	Metrics *obs.Registry
+	Tracer  *obs.Tracer
 }
 
 // Engine is a bounded worker-pool scheduler for simulation jobs with
@@ -48,6 +66,7 @@ type Engine struct {
 	cache *cache
 	stats counters
 	bcast broadcaster
+	obs   *engineObs // nil unless Options enables metrics or tracing
 
 	mu       sync.Mutex
 	cond     *sync.Cond
@@ -117,6 +136,7 @@ func New(opts Options) *Engine {
 		closedCh: make(chan struct{}),
 	}
 	e.cond = sync.NewCond(&e.mu)
+	e.obs = newEngineObs(opts.Metrics, opts.Tracer, e.Stats)
 	e.wg.Add(opts.Workers)
 	for i := 0; i < opts.Workers; i++ {
 		go e.worker()
@@ -129,7 +149,7 @@ func (e *Engine) Workers() int { return e.opts.Workers }
 
 // Stats returns a snapshot of the progress counters.
 func (e *Engine) Stats() Stats {
-	return e.stats.snapshot(e.cache.diskErrs.Load(), e.cache.quarantined.Load())
+	return e.stats.snapshot(e.cache.diskErrs.Load(), e.cache.quarantined.Load(), e.bcast.droppedCount())
 }
 
 // Subscribe returns a stream of progress events and a cancel function.
@@ -259,12 +279,16 @@ func (e *Engine) worker() {
 // the job's attempt budget.
 func (e *Engine) execute(t *task) {
 	e.stats.queued.Add(-1)
+	tid := e.obs.jobTID()
 
 	if err := t.ctx.Err(); err != nil {
 		e.finish(t, nil, err, 0, false)
 		return
 	}
-	if r, class := e.cache.get(t.hash); class != hitMiss {
+	c0 := time.Now()
+	r, class := e.cache.get(t.hash)
+	e.obs.span("cache-load", tid, c0, obs.SpanArg{Key: "hit", Val: int64(class)})
+	if class != hitMiss {
 		e.stats.cacheHits.Add(1)
 		if class == hitDisk {
 			e.stats.diskHits.Add(1)
@@ -288,14 +312,17 @@ func (e *Engine) execute(t *task) {
 		wall time.Duration
 	)
 	for attempt := 1; ; attempt++ {
-		res, wall, err = e.attempt(t, attempt)
+		res, wall, err = e.attempt(t, attempt, tid)
 		if err == nil || attempt >= budget || !Transient(err) {
 			break
 		}
 		e.stats.retries.Add(1)
 		e.bcast.emit(Event{JobHash: t.hash, Label: t.job.Label(), State: StateRetrying,
 			Err: err.Error(), Wall: wall, Attempt: attempt})
-		if !e.backoff(t.ctx, attempt) {
+		b0 := time.Now()
+		ok := e.backoff(t.ctx, attempt)
+		e.obs.span("retry-wait", tid, b0, obs.SpanArg{Key: "attempt", Val: int64(attempt)})
+		if !ok {
 			if ctxErr := t.ctx.Err(); ctxErr != nil {
 				err = fmt.Errorf("engine: %s: %w", t.job.Label(), ctxErr)
 			} else {
@@ -316,7 +343,7 @@ func (e *Engine) execute(t *task) {
 
 // attempt runs one execution attempt under the job deadline, with worker
 // panics isolated to typed errors.
-func (e *Engine) attempt(t *task, attempt int) (*Result, time.Duration, error) {
+func (e *Engine) attempt(t *task, attempt int, tid int64) (*Result, time.Duration, error) {
 	e.stats.running.Add(1)
 	defer e.stats.running.Add(-1)
 	e.bcast.emit(Event{JobHash: t.hash, Label: t.job.Label(), State: StateRunning, Attempt: attempt})
@@ -333,8 +360,10 @@ func (e *Engine) attempt(t *task, attempt int) (*Result, time.Duration, error) {
 	}
 
 	begin := time.Now()
-	res, err := safeRun(t.job, e.opts.Fault, ctx.Done())
+	res, err := safeRun(t.job, e.opts.Fault, ctx.Done(), e.obs.samplingInstr(), e.obs.tracer())
 	wall := time.Since(begin)
+	e.obs.span("job-run", tid, begin, obs.SpanArg{Key: "attempt", Val: int64(attempt)},
+		obs.SpanArg{Key: "ok", Val: boolArg(err == nil)})
 	if err != nil {
 		var pe *PanicError
 		if errors.As(err, &pe) {
@@ -400,12 +429,14 @@ func (e *Engine) complete(t *task, res *Result, err error, wall time.Duration, c
 	switch {
 	case err != nil:
 		e.stats.failed.Add(1)
+		e.obs.observeJob("failed", wall)
 		e.bcast.emit(Event{JobHash: t.hash, Label: t.job.Label(), State: StateFailed, Err: err.Error(), Wall: wall})
 	case cached:
 		e.bcast.emit(Event{JobHash: t.hash, Label: t.job.Label(), State: StateCached})
 	default:
 		e.stats.done.Add(1)
 		e.stats.wallNanos.Add(int64(wall))
+		e.obs.observeJob("done", wall)
 		e.bcast.emit(Event{JobHash: t.hash, Label: t.job.Label(), State: StateDone, Wall: wall})
 	}
 }

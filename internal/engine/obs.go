@@ -1,0 +1,120 @@
+package engine
+
+import (
+	"time"
+
+	"rsr/internal/obs"
+	"rsr/internal/sampling"
+)
+
+// engineObs bundles the engine's registry instruments and trace sinks. A nil
+// *engineObs — the default when Options carries neither a registry nor a
+// tracer — reduces every hook to one branch.
+//
+// The progress counters in Stats stay the single source of truth: the scrape
+// path re-expresses them through a registry collector (Counter.Set at collect
+// time) instead of double-counting on the worker paths. Only the job latency
+// histogram is fed directly, since a snapshot cannot reconstruct a
+// distribution.
+type engineObs struct {
+	tr *obs.Tracer
+	// instr is handed to every job's sampling.Options so per-cluster phase
+	// metrics and spans flow from inside the runs.
+	instr *sampling.Instruments
+
+	jobDur *obs.HistogramVec // observed in complete(), by terminal state
+}
+
+// newEngineObs registers the engine metric families on r (when non-nil) and
+// wires the collector that mirrors stats into them at scrape time.
+func newEngineObs(r *obs.Registry, tr *obs.Tracer, stats func() Stats) *engineObs {
+	if r == nil && tr == nil {
+		return nil
+	}
+	eo := &engineObs{tr: tr, instr: sampling.NewInstruments(r)}
+	if r == nil {
+		return eo
+	}
+	eo.jobDur = r.HistogramVec("rsr_engine_job_seconds",
+		"Execution wall-clock of finished jobs by terminal state (cache hits excluded).",
+		obs.DurationBuckets, "state")
+
+	queued := r.Gauge("rsr_engine_jobs_queued", "Jobs waiting for a worker right now.")
+	running := r.Gauge("rsr_engine_jobs_running", "Jobs executing right now.")
+	jobs := r.CounterVec("rsr_engine_jobs_total",
+		"Finished job executions by terminal state (cache hits excluded).", "state")
+	cacheRes := r.CounterVec("rsr_engine_cache_total",
+		"Cache consultations by result.", "result")
+	coalesced := r.Counter("rsr_engine_coalesced_total",
+		"Submissions single-flighted onto an identical in-flight job.")
+	retries := r.Counter("rsr_engine_retries_total",
+		"Execution attempts re-run after a transient failure.")
+	panics := r.Counter("rsr_engine_panics_total",
+		"Worker panics recovered into typed job errors.")
+	diskErrs := r.Counter("rsr_engine_disk_errors_total",
+		"Cache files that could not be read or written.")
+	quarantined := r.Counter("rsr_engine_quarantined_total",
+		"Corrupt cache entries moved to the quarantine directory.")
+	dropped := r.Counter("rsr_engine_events_dropped_total",
+		"Progress events dropped because a subscriber's buffer was full.")
+	r.RegisterCollector(func() {
+		s := stats()
+		queued.Set(s.Queued)
+		running.Set(s.Running)
+		jobs.With("done").Set(uint64(s.Done))
+		jobs.With("failed").Set(uint64(s.Failed))
+		cacheRes.With("hit_memory").Set(uint64(s.CacheHits - s.DiskHits))
+		cacheRes.With("hit_disk").Set(uint64(s.DiskHits))
+		cacheRes.With("miss").Set(uint64(s.CacheMisses))
+		coalesced.Set(uint64(s.Coalesced))
+		retries.Set(uint64(s.Retries))
+		panics.Set(uint64(s.Panics))
+		diskErrs.Set(uint64(s.DiskErrors))
+		quarantined.Set(uint64(s.Quarantined))
+		dropped.Set(uint64(s.EventsDropped))
+	})
+	return eo
+}
+
+// jobTID assigns a trace track to one task so its cache probe, attempts, and
+// retry waits line up on a single row of the trace viewer.
+func (eo *engineObs) jobTID() int64 {
+	if eo == nil {
+		return 0
+	}
+	return eo.tr.NextTID()
+}
+
+// span records one completed engine-side span for a task.
+func (eo *engineObs) span(name string, tid int64, t0 time.Time, args ...obs.SpanArg) {
+	if eo == nil || eo.tr == nil {
+		return
+	}
+	eo.tr.Record(name, "engine", tid, t0, time.Since(t0), args...)
+}
+
+// observeJob feeds the latency histogram for one finished execution.
+func (eo *engineObs) observeJob(state string, wall time.Duration) {
+	if eo == nil || eo.jobDur == nil {
+		return
+	}
+	eo.jobDur.With(state).Observe(wall.Seconds())
+}
+
+// samplingInstr returns the instrument bundle jobs should record into (nil
+// when metrics are off).
+func (eo *engineObs) samplingInstr() *sampling.Instruments {
+	if eo == nil {
+		return nil
+	}
+	return eo.instr
+}
+
+// tracer returns the span sink jobs should record into (nil when tracing is
+// off).
+func (eo *engineObs) tracer() *obs.Tracer {
+	if eo == nil {
+		return nil
+	}
+	return eo.tr
+}

@@ -1,0 +1,208 @@
+package engine
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"testing"
+	"time"
+
+	"rsr/internal/fault"
+	"rsr/internal/obs"
+	"rsr/internal/warmup"
+)
+
+// snapValue finds one series by family name and label subset in a registry
+// snapshot.
+func snapValue(t *testing.T, snaps []obs.MetricSnapshot, name string, labels map[string]string) float64 {
+	t.Helper()
+	for _, m := range snaps {
+		if m.Name != name {
+			continue
+		}
+	series:
+		for _, s := range m.Series {
+			for k, v := range labels {
+				if s.Labels[k] != v {
+					continue series
+				}
+			}
+			return s.Value
+		}
+	}
+	t.Fatalf("no series %s%v in snapshot", name, labels)
+	return 0
+}
+
+// TestEngineMetrics runs jobs through an instrumented engine and checks the
+// scrape-time mirror of Stats plus the families fed from inside the runs.
+func TestEngineMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	tr := obs.NewTracer(0)
+	e := New(Options{Workers: 2, Metrics: reg, Tracer: tr})
+	defer e.Close()
+
+	job := sampledJob("twolf", warmup.Spec{Kind: warmup.KindReverse, Percent: 100, Cache: true, BPred: true})
+	if _, err := e.Run(context.Background(), job); err != nil {
+		t.Fatal(err)
+	}
+	// Second submission is a memory cache hit.
+	if _, err := e.Run(context.Background(), job); err != nil {
+		t.Fatal(err)
+	}
+
+	snaps := reg.Snapshot()
+	st := e.Stats()
+	for _, c := range []struct {
+		name   string
+		labels map[string]string
+		want   int64
+	}{
+		{"rsr_engine_jobs_total", map[string]string{"state": "done"}, st.Done},
+		{"rsr_engine_jobs_total", map[string]string{"state": "failed"}, 0},
+		{"rsr_engine_cache_total", map[string]string{"result": "miss"}, 1},
+		{"rsr_engine_cache_total", map[string]string{"result": "hit_memory"}, 1},
+		{"rsr_engine_cache_total", map[string]string{"result": "hit_disk"}, 0},
+		{"rsr_engine_jobs_queued", nil, 0},
+		{"rsr_engine_jobs_running", nil, 0},
+		{"rsr_engine_retries_total", nil, 0},
+		{"rsr_engine_panics_total", nil, 0},
+		{"rsr_engine_events_dropped_total", nil, 0},
+	} {
+		if got := snapValue(t, snaps, c.name, c.labels); int64(got) != c.want {
+			t.Errorf("%s%v = %v, want %d", c.name, c.labels, got, c.want)
+		}
+	}
+
+	// The run itself streamed per-phase metrics into the same registry.
+	if n := snapValue(t, snaps, "rsr_sampling_runs_total", map[string]string{"kind": "sampled"}); n != 1 {
+		t.Errorf("sampling runs counter = %v, want 1", n)
+	}
+	if n := snapValue(t, snaps, "rsr_sampling_clusters_total", nil); int(n) != testRegimen.NumClusters {
+		t.Errorf("clusters counter = %v, want %d", n, testRegimen.NumClusters)
+	}
+	if n := snapValue(t, snaps, "rsr_warmup_recon_applied_total", map[string]string{"method": job.Warmup.Label()}); n == 0 {
+		t.Error("reverse run applied no reconstruction records")
+	}
+
+	// Prometheus exposition carries the histogram with one done observation.
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(buf.Bytes(), []byte(`rsr_engine_job_seconds_count{state="done"} 1`)) {
+		t.Errorf("exposition lacks job latency count:\n%s", buf.String())
+	}
+}
+
+// TestEngineSpans checks the engine-side trace: every executed job gets a
+// cache-load and a job-run span on its own track, and the job's per-cluster
+// phase spans share the trace.
+func TestEngineSpans(t *testing.T) {
+	tr := obs.NewTracer(0)
+	e := New(Options{Workers: 2, Tracer: tr})
+	defer e.Close()
+
+	job := sampledJob("parser", warmup.Spec{Kind: warmup.KindSMARTS, Cache: true, BPred: true})
+	if _, err := e.Run(context.Background(), job); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Cat  string `json:"cat"`
+			TID  int64  `json:"tid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace output is not valid JSON: %v", err)
+	}
+	count := map[string]int{}
+	for _, ev := range doc.TraceEvents {
+		count[ev.Name]++
+	}
+	if count["cache-load"] != 1 || count["job-run"] != 1 {
+		t.Fatalf("engine spans = %v, want one cache-load and one job-run", count)
+	}
+	if count["hot-sim"] != testRegimen.NumClusters {
+		t.Fatalf("hot-sim spans = %d, want %d", count["hot-sim"], testRegimen.NumClusters)
+	}
+}
+
+// TestEngineRetrySpansAndMetrics drives a transient fault through an
+// instrumented engine and checks the retry counters and retry-wait spans.
+func TestEngineRetrySpansAndMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	tr := obs.NewTracer(0)
+	job := sampledJob("twolf", warmup.Spec{Kind: warmup.KindNone})
+	inj := fault.New(3, fault.Rule{Point: fault.JobRun, Kind: fault.KindError, Prob: 1, Count: 2})
+	e := New(Options{Workers: 1, MaxAttempts: 3, RetryBackoff: time.Millisecond,
+		Fault: inj, Metrics: reg, Tracer: tr})
+	defer e.Close()
+
+	if _, err := e.Run(context.Background(), job); err != nil {
+		t.Fatal(err)
+	}
+	snaps := reg.Snapshot()
+	if n := snapValue(t, snaps, "rsr_engine_retries_total", nil); n != 2 {
+		t.Fatalf("retries counter = %v, want 2", n)
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	waits, runs := 0, 0
+	for _, ev := range doc.TraceEvents {
+		switch ev.Name {
+		case "retry-wait":
+			waits++
+		case "job-run":
+			runs++
+		}
+	}
+	if waits != 2 || runs != 3 {
+		t.Fatalf("retry-wait spans = %d (want 2), job-run spans = %d (want 3)", waits, runs)
+	}
+}
+
+// TestEventsDropped pins the satellite: a subscriber too slow for the event
+// rate loses events, and the loss is counted rather than silent.
+func TestEventsDropped(t *testing.T) {
+	e := New(Options{Workers: 2})
+	defer e.Close()
+
+	// A 1-slot buffer that is never drained: each job emits several events
+	// (queued, running, done), so all but the first are dropped.
+	ch, cancel := e.Subscribe(1)
+	defer cancel()
+	_ = ch
+
+	for seed := int64(0); seed < 3; seed++ {
+		job := sampledJob("twolf", warmup.Spec{Kind: warmup.KindNone})
+		job.Seed = 100 + seed
+		if _, err := e.Run(context.Background(), job); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := e.Stats()
+	if st.EventsDropped == 0 {
+		t.Fatal("EventsDropped = 0 after overwhelming a 1-slot subscriber")
+	}
+	// 3 jobs x (queued+running+done) = 9 emits; exactly one fit the buffer.
+	if want := int64(8); st.EventsDropped != want {
+		t.Fatalf("EventsDropped = %d, want %d", st.EventsDropped, want)
+	}
+}

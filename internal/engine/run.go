@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"rsr/internal/fault"
+	"rsr/internal/obs"
 	"rsr/internal/sampling"
 	"rsr/internal/workload"
 )
@@ -13,8 +14,9 @@ import (
 // safeRun executes runJob with worker-panic isolation and fault injection.
 // A panic — from the simulation itself or injected by a chaos plan — is
 // converted to a typed *PanicError carrying the recovery-time stack, so one
-// bad job can never take down the process or its sibling workers.
-func safeRun(j Job, inj fault.Injector, cancel <-chan struct{}) (res *Result, err error) {
+// bad job can never take down the process or its sibling workers. instr and
+// tr (both usually nil) stream the run's per-phase metrics and spans.
+func safeRun(j Job, inj fault.Injector, cancel <-chan struct{}, instr *sampling.Instruments, tr *obs.Tracer) (res *Result, err error) {
 	defer func() {
 		if v := recover(); v != nil {
 			err = &PanicError{Value: v, Stack: string(debug.Stack())}
@@ -36,29 +38,30 @@ func safeRun(j Job, inj fault.Injector, cancel <-chan struct{}) (res *Result, er
 			return nil, fmt.Errorf("engine: %s: %w", j.Label(), d.Err)
 		}
 	}
-	return runJob(j, cancel)
+	return runJob(j, cancel, instr, tr)
 }
 
 // runJob executes one validated job. cancel aborts the simulation
 // cooperatively (polled at cluster boundaries for sampled runs, every 64Ki
 // instructions for full runs); an uncanceled run is bit-identical to the
-// direct sampling-package call.
-func runJob(j Job, cancel <-chan struct{}) (*Result, error) {
+// direct sampling-package call — observability happens at phase boundaries
+// only, so attaching instr/tr cannot perturb results.
+func runJob(j Job, cancel <-chan struct{}, instr *sampling.Instruments, tr *obs.Tracer) (*Result, error) {
 	w, err := workload.ByName(j.Workload)
 	if err != nil {
 		return nil, fmt.Errorf("engine: %w", err)
 	}
 	p := w.Build()
+	opts := sampling.Options{Cancel: cancel, Instr: instr, Tracer: tr}
 	switch j.Kind {
 	case JobFull:
-		fr, err := sampling.RunFullOpts(p, j.Machine, j.Total, sampling.Options{Cancel: cancel})
+		fr, err := sampling.RunFullOpts(p, j.Machine, j.Total, opts)
 		if err != nil {
 			return nil, fmt.Errorf("engine: %s: %w", j.Label(), err)
 		}
 		return &Result{Kind: JobFull, Full: &fr}, nil
 	case JobSampled:
-		rr, err := sampling.RunSampledOpts(p, j.Machine, j.Regimen, j.Total, j.Seed, j.Warmup,
-			sampling.Options{Cancel: cancel})
+		rr, err := sampling.RunSampledOpts(p, j.Machine, j.Regimen, j.Total, j.Seed, j.Warmup, opts)
 		if err != nil {
 			return nil, fmt.Errorf("engine: %s: %w", j.Label(), err)
 		}

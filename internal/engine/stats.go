@@ -35,6 +35,10 @@ type Stats struct {
 	// Panics counts worker panics recovered into typed job errors.
 	Retries int64
 	Panics  int64
+	// EventsDropped counts progress events discarded because a subscriber's
+	// buffer was full. Delivery is best-effort by design; a nonzero value
+	// means some consumer is falling behind, not that work was lost.
+	EventsDropped int64
 	// Wall is the cumulative execution wall-clock across finished jobs.
 	Wall time.Duration
 }
@@ -48,21 +52,22 @@ type counters struct {
 	wallNanos                      atomic.Int64
 }
 
-func (c *counters) snapshot(diskErrs, quarantined int64) Stats {
+func (c *counters) snapshot(diskErrs, quarantined, eventsDropped int64) Stats {
 	return Stats{
-		Queued:      c.queued.Load(),
-		Running:     c.running.Load(),
-		Done:        c.done.Load(),
-		Failed:      c.failed.Load(),
-		CacheHits:   c.cacheHits.Load(),
-		DiskHits:    c.diskHits.Load(),
-		CacheMisses: c.cacheMiss.Load(),
-		Coalesced:   c.coalesced.Load(),
-		DiskErrors:  diskErrs,
-		Quarantined: quarantined,
-		Retries:     c.retries.Load(),
-		Panics:      c.panics.Load(),
-		Wall:        time.Duration(c.wallNanos.Load()),
+		Queued:        c.queued.Load(),
+		Running:       c.running.Load(),
+		Done:          c.done.Load(),
+		Failed:        c.failed.Load(),
+		CacheHits:     c.cacheHits.Load(),
+		DiskHits:      c.diskHits.Load(),
+		CacheMisses:   c.cacheMiss.Load(),
+		Coalesced:     c.coalesced.Load(),
+		DiskErrors:    diskErrs,
+		Quarantined:   quarantined,
+		Retries:       c.retries.Load(),
+		Panics:        c.panics.Load(),
+		EventsDropped: eventsDropped,
+		Wall:          time.Duration(c.wallNanos.Load()),
 	}
 }
 
@@ -97,8 +102,11 @@ type Event struct {
 
 // broadcaster fans events out to subscribers. Delivery is best-effort:
 // events are dropped for subscribers whose buffer is full, so a slow
-// consumer can never stall the workers.
+// consumer can never stall the workers. Drops are counted (surfaced as
+// Stats.EventsDropped) so silent loss is at least visible loss.
 type broadcaster struct {
+	dropped atomic.Int64
+
 	mu   sync.Mutex
 	next int
 	subs map[int]chan Event
@@ -133,8 +141,13 @@ func (b *broadcaster) emit(ev Event) {
 	for _, ch := range b.subs {
 		select {
 		case ch <- ev:
-		default: // drop rather than block a worker
+		default:
+			// Drop rather than block a worker, but keep count.
+			b.dropped.Add(1)
 		}
 	}
 	b.mu.Unlock()
 }
+
+// droppedCount reports how many events have been dropped so far.
+func (b *broadcaster) droppedCount() int64 { return b.dropped.Load() }

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"rsr/internal/engine"
+	"rsr/internal/obs"
 	"rsr/internal/sampling"
 	"rsr/internal/warmup"
 	"rsr/internal/workload"
@@ -38,6 +39,12 @@ type Config struct {
 	// Retries adds execution attempts for transiently failed jobs (worker
 	// panics, injected faults): a job runs at most 1+Retries times.
 	Retries int
+	// Metrics, when non-nil, exposes the lab's engine and every run through
+	// the registry (rsr's -metrics-out). Tracer, when non-nil, records
+	// engine and per-cluster phase spans (rsr's -trace-out). Both default
+	// off and do not perturb results.
+	Metrics *obs.Registry
+	Tracer  *obs.Tracer
 }
 
 // DefaultConfig returns the reference configuration.
@@ -114,6 +121,8 @@ func NewLab(cfg Config) *Lab {
 			Workers:     cfg.parallelism(),
 			CacheDir:    cfg.CacheDir,
 			MaxAttempts: cfg.Retries + 1,
+			Metrics:     cfg.Metrics,
+			Tracer:      cfg.Tracer,
 		}),
 	}
 }

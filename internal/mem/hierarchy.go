@@ -64,6 +64,16 @@ func NewHierarchy(cfg HierarchyConfig) *Hierarchy {
 // Config returns the hierarchy parameters.
 func (h *Hierarchy) Config() HierarchyConfig { return h.cfg }
 
+// EachCache visits the caches in level order under their fixed exposition
+// names ("l1i", "l1d", "l2"). It is the metric-export seam: each visit
+// copies a small Stats struct and the access paths carry no extra code, so
+// exposing the counters costs nothing until somebody asks.
+func (h *Hierarchy) EachCache(f func(level string, s Stats)) {
+	f("l1i", h.L1I.Stats())
+	f("l1d", h.L1D.Stats())
+	f("l2", h.L2.Stats())
+}
+
 // accessL2 performs a timed L2 access beginning at now and returns the data
 // ready time. L2 misses fetch the line over the memory bus; dirty evictions
 // write back off the critical path but occupy the bus.

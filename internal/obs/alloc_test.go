@@ -1,0 +1,39 @@
+package obs
+
+import "testing"
+
+// TestHotPathZeroAllocs pins the instrument hot paths — Counter.Add,
+// Gauge.Set, Histogram.Observe, and their nil (disabled) forms, plus span
+// begin/end — as allocation-free. These run once per simulation phase or
+// engine event; an allocation here would show up in every profile the layer
+// exists to produce.
+func TestHotPathZeroAllocs(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "")
+	g := r.Gauge("g", "")
+	h := r.Histogram("h_seconds", "", DurationBuckets)
+	var nc *Counter
+	var ng *Gauge
+	var nh *Histogram
+	tr := testTracer(64)
+	var ntr *Tracer
+
+	cases := []struct {
+		name string
+		fn   func()
+	}{
+		{"Counter.Add", func() { c.Add(3) }},
+		{"Gauge.Set", func() { g.Set(7) }},
+		{"Histogram.Observe", func() { h.Observe(0.003) }},
+		{"nil Counter.Add", func() { nc.Add(3) }},
+		{"nil Gauge.Set", func() { ng.Set(7) }},
+		{"nil Histogram.Observe", func() { nh.Observe(0.003) }},
+		{"Span begin/end", func() { tr.Begin("p", "c", 1).Arg("n", 4).End() }},
+		{"nil Span begin/end", func() { ntr.Begin("p", "c", 1).Arg("n", 4).End() }},
+	}
+	for _, tc := range cases {
+		if avg := testing.AllocsPerRun(200, tc.fn); avg != 0 {
+			t.Errorf("%s allocates %.2f per op; must be allocation-free", tc.name, avg)
+		}
+	}
+}

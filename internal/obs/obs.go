@@ -1,0 +1,485 @@
+// Package obs is the repository's dependency-free observability substrate:
+// a metrics registry of atomic counters, gauges, and fixed-bucket histograms
+// (plus labeled families of each), and a lightweight span tracer (span.go)
+// that records named phases into a ring buffer and exports Chrome
+// trace-event JSON.
+//
+// # Cost model
+//
+// The hot-path operations — Counter.Add, Gauge.Set, Histogram.Observe —
+// are lock-free, allocation-free, and safe for concurrent use; alloc_test.go
+// pins all three at zero allocations. Every instrument is additionally
+// nil-receiver safe: a nil *Counter, *Gauge, *Histogram, or *Tracer turns
+// each operation into a single branch, so instrumented code carries no
+// explicit "is observability on?" checks. Resolving a nil *Registry returns
+// nil instruments, which is how metrics stay off by default: the simulation
+// hot loops only ever see per-phase (per cluster, per batch of thousands of
+// instructions) recording, never per-instruction calls.
+//
+// # Exposition
+//
+// A Registry renders itself three ways: Prometheus text format
+// (WritePrometheus, served by rsrd's GET /metrics), a JSON snapshot
+// (Snapshot, written by rsr's -metrics-out), and programmatic reads on the
+// individual instruments (Value / Snapshot methods, used by tests).
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing metric. The zero value is ready to
+// use; a nil *Counter discards all operations.
+type Counter struct{ v atomic.Uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds n.
+func (c *Counter) Add(n uint64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Set overwrites the total. It exists for collector callbacks that
+// re-express an externally maintained monotonic counter (for example the
+// engine's atomic Stats) through the registry at scrape time; ordinary
+// instrumentation should use Add/Inc.
+func (c *Counter) Set(total uint64) {
+	if c != nil {
+		c.v.Store(total)
+	}
+}
+
+// Value returns the current total.
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a metric that can go up and down. The zero value is ready to
+// use; a nil *Gauge discards all operations.
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores v.
+func (g *Gauge) Set(v int64) {
+	if g != nil {
+		g.v.Store(v)
+	}
+}
+
+// Add adds delta (negative deltas decrease the gauge).
+func (g *Gauge) Add(delta int64) {
+	if g != nil {
+		g.v.Add(delta)
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Histogram counts observations into fixed buckets. Buckets are defined by
+// ascending upper bounds; an implicit +Inf bucket catches the tail. Observe
+// is lock-free and allocation-free; a nil *Histogram discards observations.
+type Histogram struct {
+	bounds []float64       // ascending upper bounds (inclusive), +Inf implicit
+	counts []atomic.Uint64 // len(bounds)+1, last is the +Inf bucket
+	count  atomic.Uint64
+	sum    atomic.Uint64 // float64 bits, CAS-accumulated
+}
+
+// newHistogram copies bounds (defensively) and allocates the buckets.
+func newHistogram(bounds []float64) *Histogram {
+	b := make([]float64, len(bounds))
+	copy(b, bounds)
+	for i := 1; i < len(b); i++ {
+		if b[i] <= b[i-1] {
+			panic(fmt.Sprintf("obs: histogram bounds not ascending: %v", bounds))
+		}
+	}
+	return &Histogram{bounds: b, counts: make([]atomic.Uint64, len(b)+1)}
+}
+
+// Observe records v into the first bucket whose upper bound is >= v. The
+// bucket scan is linear: bound lists here are small (≤ ~20) and a branchy
+// binary search would not beat it.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// HistogramSnapshot is a consistent-enough point-in-time read of a
+// histogram: per-bucket cumulative counts, total count, and sum. Concurrent
+// Observe calls may land between bucket loads, so Count can briefly exceed
+// the bucket total; exposition tolerates this the same way Prometheus
+// clients do.
+type HistogramSnapshot struct {
+	Bounds     []float64 `json:"bounds"`
+	Cumulative []uint64  `json:"cumulative"` // per bound, then +Inf last
+	Count      uint64    `json:"count"`
+	Sum        float64   `json:"sum"`
+}
+
+// Snapshot reads the histogram.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	if h == nil {
+		return HistogramSnapshot{}
+	}
+	s := HistogramSnapshot{
+		Bounds:     h.bounds,
+		Cumulative: make([]uint64, len(h.counts)),
+		Count:      h.count.Load(),
+		Sum:        math.Float64frombits(h.sum.Load()),
+	}
+	var cum uint64
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		s.Cumulative[i] = cum
+	}
+	return s
+}
+
+// DurationBuckets is the default latency bound list (seconds): 1µs to ~100s
+// in decade triples, covering both per-cluster phase times and whole-job
+// wall clocks.
+var DurationBuckets = []float64{
+	1e-6, 2.5e-6, 5e-6, 1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4,
+	1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2, 5e-2, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100,
+}
+
+// metric kinds, also the Prometheus TYPE strings.
+const (
+	kindCounter   = "counter"
+	kindGauge     = "gauge"
+	kindHistogram = "histogram"
+)
+
+// family is one named metric: a set of series distinguished by label values.
+// An unlabeled metric is a family with a single empty-key series.
+type family struct {
+	name   string
+	help   string
+	kind   string
+	labels []string
+	bounds []float64 // histograms only
+
+	mu     sync.Mutex
+	series map[string]*series
+	order  []*series // creation order; sorted at exposition
+}
+
+// series is one (metric, label values) time series.
+type series struct {
+	labelVals []string
+	c         *Counter
+	g         *Gauge
+	h         *Histogram
+}
+
+// Registry holds named metrics and pre-scrape collector callbacks. All
+// methods are safe for concurrent use. A nil *Registry resolves every
+// instrument to nil (a no-op instrument) and exposes nothing.
+type Registry struct {
+	mu         sync.Mutex
+	families   map[string]*family
+	order      []*family
+	collectors []func()
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// lookup returns the family, creating it on first use. Re-registering an
+// existing name with a different kind, label set, or bucket layout panics:
+// metric names are a program-wide contract and a mismatch is a bug.
+func (r *Registry) lookup(name, help, kind string, labels []string, bounds []float64) *family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.families[name]; ok {
+		if f.kind != kind || !equalStrings(f.labels, labels) || !equalFloats(f.bounds, bounds) {
+			panic(fmt.Sprintf("obs: metric %q re-registered with a different schema", name))
+		}
+		return f
+	}
+	f := &family{name: name, help: help, kind: kind, labels: labels,
+		bounds: bounds, series: make(map[string]*series)}
+	r.families[name] = f
+	r.order = append(r.order, f)
+	return f
+}
+
+// get returns the series for the given label values, creating it on demand.
+func (f *family) get(vals []string) *series {
+	if len(vals) != len(f.labels) {
+		panic(fmt.Sprintf("obs: metric %q wants %d label values, got %d", f.name, len(f.labels), len(vals)))
+	}
+	key := seriesKey(vals)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if s, ok := f.series[key]; ok {
+		return s
+	}
+	s := &series{labelVals: append([]string(nil), vals...)}
+	switch f.kind {
+	case kindCounter:
+		s.c = &Counter{}
+	case kindGauge:
+		s.g = &Gauge{}
+	case kindHistogram:
+		s.h = newHistogram(f.bounds)
+	}
+	f.series[key] = s
+	f.order = append(f.order, s)
+	return s
+}
+
+// seriesKey joins label values with an unlikely separator.
+func seriesKey(vals []string) string {
+	if len(vals) == 0 {
+		return ""
+	}
+	key := vals[0]
+	for _, v := range vals[1:] {
+		key += "\x1f" + v
+	}
+	return key
+}
+
+// Counter returns the named unlabeled counter, registering it on first use.
+func (r *Registry) Counter(name, help string) *Counter {
+	if r == nil {
+		return nil
+	}
+	return r.lookup(name, help, kindCounter, nil, nil).get(nil).c
+}
+
+// Gauge returns the named unlabeled gauge, registering it on first use.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	return r.lookup(name, help, kindGauge, nil, nil).get(nil).g
+}
+
+// Histogram returns the named unlabeled histogram, registering it on first
+// use. bounds are ascending upper bounds; +Inf is implicit.
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	return r.lookup(name, help, kindHistogram, nil, bounds).get(nil).h
+}
+
+// CounterVec is a labeled counter family.
+type CounterVec struct{ f *family }
+
+// CounterVec returns the named counter family with the given label names.
+func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
+	if r == nil {
+		return nil
+	}
+	return &CounterVec{r.lookup(name, help, kindCounter, labels, nil)}
+}
+
+// With returns the counter for the given label values (in label-name
+// order), creating the series on first use. Resolution takes a lock; hot
+// paths should resolve once and retain the *Counter.
+func (v *CounterVec) With(vals ...string) *Counter {
+	if v == nil {
+		return nil
+	}
+	return v.f.get(vals).c
+}
+
+// GaugeVec is a labeled gauge family.
+type GaugeVec struct{ f *family }
+
+// GaugeVec returns the named gauge family with the given label names.
+func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec {
+	if r == nil {
+		return nil
+	}
+	return &GaugeVec{r.lookup(name, help, kindGauge, labels, nil)}
+}
+
+// With returns the gauge for the given label values.
+func (v *GaugeVec) With(vals ...string) *Gauge {
+	if v == nil {
+		return nil
+	}
+	return v.f.get(vals).g
+}
+
+// HistogramVec is a labeled histogram family.
+type HistogramVec struct{ f *family }
+
+// HistogramVec returns the named histogram family with the given label
+// names and shared bucket bounds.
+func (r *Registry) HistogramVec(name, help string, bounds []float64, labels ...string) *HistogramVec {
+	if r == nil {
+		return nil
+	}
+	return &HistogramVec{r.lookup(name, help, kindHistogram, labels, bounds)}
+}
+
+// With returns the histogram for the given label values.
+func (v *HistogramVec) With(vals ...string) *Histogram {
+	if v == nil {
+		return nil
+	}
+	return v.f.get(vals).h
+}
+
+// RegisterCollector adds a callback invoked before every exposition
+// (WritePrometheus and Snapshot). Collectors bridge externally maintained
+// counters — e.g. the engine's atomic Stats — into registry instruments so
+// scrapes always see current values without double-counting update sites.
+func (r *Registry) RegisterCollector(fn func()) {
+	if r == nil || fn == nil {
+		return
+	}
+	r.mu.Lock()
+	r.collectors = append(r.collectors, fn)
+	r.mu.Unlock()
+}
+
+// collect runs the collectors and returns the families in name order.
+// Collectors run before the family list is read so any series they create
+// appear in the same scrape.
+func (r *Registry) collect() []*family {
+	r.mu.Lock()
+	var collectors []func()
+	collectors = append(collectors, r.collectors...)
+	r.mu.Unlock()
+	for _, fn := range collectors {
+		fn()
+	}
+	r.mu.Lock()
+	fams := append([]*family(nil), r.order...)
+	r.mu.Unlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+	return fams
+}
+
+// orderedSeries returns a family's series sorted by label values.
+func (f *family) orderedSeries() []*series {
+	f.mu.Lock()
+	ss := append([]*series(nil), f.order...)
+	f.mu.Unlock()
+	sort.Slice(ss, func(i, j int) bool {
+		return seriesKey(ss[i].labelVals) < seriesKey(ss[j].labelVals)
+	})
+	return ss
+}
+
+// SeriesSnapshot is one series in a registry snapshot.
+type SeriesSnapshot struct {
+	Labels map[string]string `json:"labels,omitempty"`
+	// Value carries counter totals and gauge values.
+	Value float64 `json:"value,omitempty"`
+	// Histogram carries bucket state for histogram series.
+	Histogram *HistogramSnapshot `json:"histogram,omitempty"`
+}
+
+// MetricSnapshot is one metric family in a registry snapshot.
+type MetricSnapshot struct {
+	Name   string           `json:"name"`
+	Type   string           `json:"type"`
+	Help   string           `json:"help,omitempty"`
+	Series []SeriesSnapshot `json:"series"`
+}
+
+// Snapshot runs the collectors and returns every metric family, name-sorted
+// with label-sorted series: the stable form behind rsr's -metrics-out.
+func (r *Registry) Snapshot() []MetricSnapshot {
+	if r == nil {
+		return nil
+	}
+	fams := r.collect()
+	out := make([]MetricSnapshot, 0, len(fams))
+	for _, f := range fams {
+		m := MetricSnapshot{Name: f.name, Type: f.kind, Help: f.help}
+		for _, s := range f.orderedSeries() {
+			ss := SeriesSnapshot{Labels: labelMap(f.labels, s.labelVals)}
+			switch f.kind {
+			case kindCounter:
+				ss.Value = float64(s.c.Value())
+			case kindGauge:
+				ss.Value = float64(s.g.Value())
+			case kindHistogram:
+				h := s.h.Snapshot()
+				ss.Histogram = &h
+			}
+			m.Series = append(m.Series, ss)
+		}
+		out = append(out, m)
+	}
+	return out
+}
+
+func labelMap(names, vals []string) map[string]string {
+	if len(names) == 0 {
+		return nil
+	}
+	m := make(map[string]string, len(names))
+	for i, n := range names {
+		m[n] = vals[i]
+	}
+	return m
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func equalFloats(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

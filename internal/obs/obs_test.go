@@ -1,0 +1,206 @@
+package obs
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestCounterGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "a counter")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	// Idempotent registration returns the same instrument.
+	if again := r.Counter("c_total", "a counter"); again != c {
+		t.Fatal("re-registration returned a different counter")
+	}
+	g := r.Gauge("g", "a gauge")
+	g.Set(7)
+	g.Add(-3)
+	if got := g.Value(); got != 4 {
+		t.Fatalf("gauge = %d, want 4", got)
+	}
+}
+
+func TestNilInstrumentsAreNoops(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x_total", "")
+	g := r.Gauge("x", "")
+	h := r.Histogram("x_seconds", "", DurationBuckets)
+	c.Inc()
+	c.Add(3)
+	g.Set(1)
+	h.Observe(0.5)
+	if c.Value() != 0 || g.Value() != 0 || h.Snapshot().Count != 0 {
+		t.Fatal("nil instruments must read as zero")
+	}
+	if r.CounterVec("v_total", "", "l").With("a") != nil {
+		t.Fatal("nil registry vec must resolve to nil")
+	}
+	if r.Snapshot() != nil {
+		t.Fatal("nil registry snapshot must be empty")
+	}
+	if err := r.WritePrometheus(&strings.Builder{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestHistogramBucketBoundaries pins the bucketing rule: a value lands in
+// the first bucket whose upper bound is >= the value (bounds inclusive),
+// and values past the last bound land in +Inf.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", "", []float64{1, 2, 5})
+	for _, v := range []float64{
+		0,    // -> bucket le=1
+		1,    // boundary: inclusive -> le=1
+		1.5,  // -> le=2
+		2,    // boundary -> le=2
+		4.99, // -> le=5
+		5,    // boundary -> le=5
+		5.01, // -> +Inf
+		100,  // -> +Inf
+	} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	// Cumulative counts per bucket: le=1 gets 2, le=2 gets +2, le=5 gets +2,
+	// +Inf gets +2.
+	want := []uint64{2, 4, 6, 8}
+	for i, w := range want {
+		if s.Cumulative[i] != w {
+			t.Fatalf("cumulative[%d] = %d, want %d (full: %v)", i, s.Cumulative[i], w, s.Cumulative)
+		}
+	}
+	if s.Count != 8 {
+		t.Fatalf("count = %d, want 8", s.Count)
+	}
+	if math.Abs(s.Sum-119.5) > 1e-9 {
+		t.Fatalf("sum = %g, want 119.5", s.Sum)
+	}
+}
+
+func TestHistogramRejectsUnsortedBounds(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unsorted bounds must panic")
+		}
+	}()
+	NewRegistry().Histogram("bad", "", []float64{1, 1})
+}
+
+func TestSchemaMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("m", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("kind mismatch must panic")
+		}
+	}()
+	r.Gauge("m", "")
+}
+
+func TestLabeledFamilies(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("jobs_total", "jobs by state", "state")
+	v.With("done").Add(3)
+	v.With("failed").Inc()
+	if v.With("done").Value() != 3 {
+		t.Fatal("labeled series lost its count")
+	}
+	if v.With("done") != v.With("done") {
+		t.Fatal("With must return a stable series")
+	}
+	hv := r.HistogramVec("phase_seconds", "", []float64{1}, "phase")
+	hv.With("cold").Observe(0.5)
+	hv.With("hot").Observe(2)
+	if hv.With("cold").Snapshot().Count != 1 || hv.With("hot").Snapshot().Count != 1 {
+		t.Fatal("histogram series not independent")
+	}
+}
+
+func TestWritePrometheusFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b_total", "second").Add(2)
+	v := r.CounterVec("a_total", "first", "state")
+	v.With("done").Add(3)
+	v.With(`we"ird`).Inc()
+	r.Gauge("g", "a gauge").Set(-4)
+	r.Histogram("h_seconds", "latency", []float64{0.1, 1}).Observe(0.5)
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+
+	for _, want := range []string{
+		"# HELP a_total first\n# TYPE a_total counter\n",
+		`a_total{state="done"} 3` + "\n",
+		`a_total{state="we\"ird"} 1` + "\n",
+		"b_total 2\n",
+		"g -4\n",
+		"# TYPE h_seconds histogram\n",
+		`h_seconds_bucket{le="0.1"} 0` + "\n",
+		`h_seconds_bucket{le="1"} 1` + "\n",
+		`h_seconds_bucket{le="+Inf"} 1` + "\n",
+		"h_seconds_sum 0.5\n",
+		"h_seconds_count 1\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// Families must appear in name order.
+	if strings.Index(out, "# TYPE a_total") > strings.Index(out, "# TYPE b_total") {
+		t.Fatalf("families not name-sorted:\n%s", out)
+	}
+}
+
+func TestCollectorRunsAtScrape(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("ext_total", "externally maintained")
+	var src uint64
+	r.RegisterCollector(func() { c.Set(src) })
+	src = 42
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "ext_total 42\n") {
+		t.Fatalf("collector value not scraped:\n%s", sb.String())
+	}
+	src = 43
+	snap := r.Snapshot()
+	found := false
+	for _, m := range snap {
+		if m.Name == "ext_total" && m.Series[0].Value == 43 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("snapshot did not run collectors: %+v", snap)
+	}
+}
+
+func TestSnapshotJSONRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.CounterVec("jobs_total", "", "state").With("done").Add(2)
+	r.Histogram("h_seconds", "", []float64{1}).Observe(0.25)
+	b, err := json.Marshal(r.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back []MetricSnapshot
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 2 || back[1].Name != "jobs_total" || back[1].Series[0].Labels["state"] != "done" {
+		t.Fatalf("round trip mangled snapshot: %s", b)
+	}
+}

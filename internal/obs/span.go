@@ -1,0 +1,246 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// SpanArg is one integer annotation on a span (instruction counts, cluster
+// indices, applied-reference counts). Fixed-size args keep span recording
+// allocation-free.
+type SpanArg struct {
+	Key string
+	Val int64
+}
+
+// maxSpanArgs bounds annotations per span; extra Arg calls are dropped.
+const maxSpanArgs = 4
+
+// spanRecord is one completed span in the ring buffer.
+type spanRecord struct {
+	name  string
+	cat   string
+	tid   int64
+	start time.Duration // since the tracer epoch
+	dur   time.Duration
+	args  [maxSpanArgs]SpanArg
+	nargs int
+}
+
+// Tracer records named phase spans into a fixed-capacity ring buffer and
+// exports them as Chrome trace-event JSON (loadable in chrome://tracing or
+// https://ui.perfetto.dev). When the ring wraps, the oldest spans are
+// overwritten: a long run keeps its most recent history, which is the
+// window being debugged. A nil *Tracer discards all spans at the cost of
+// one branch. All methods are safe for concurrent use.
+type Tracer struct {
+	epoch time.Time
+	now   func() time.Time // test seam; time.Now by default
+
+	nextTID atomic.Int64
+
+	mu      sync.Mutex
+	ring    []spanRecord
+	next    uint64 // total spans recorded; next % len(ring) is the write slot
+	dropped uint64 // spans overwritten after the ring wrapped
+}
+
+// DefaultTraceCapacity is the span ring size used when NewTracer is given a
+// non-positive capacity: enough for every per-cluster phase of a full
+// Table-2 matrix run.
+const DefaultTraceCapacity = 1 << 16
+
+// NewTracer returns a tracer whose epoch is "now".
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultTraceCapacity
+	}
+	return &Tracer{epoch: time.Now(), now: time.Now, ring: make([]spanRecord, 0, capacity)}
+}
+
+// NextTID hands out a fresh logical track ID. Chrome's trace viewer nests
+// overlapping spans that share a track, so each concurrent unit of work (a
+// sampled run, an engine job) should record its spans under its own TID.
+func (t *Tracer) NextTID() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.nextTID.Add(1)
+}
+
+// Span is an in-progress phase measurement returned by Begin. It is a value
+// type: copying is cheap and no allocation occurs on the begin/end path.
+type Span struct {
+	t     *Tracer
+	name  string
+	cat   string
+	tid   int64
+	start time.Duration
+	args  [maxSpanArgs]SpanArg
+	nargs int
+}
+
+// Begin starts a span named name in category cat on track tid. End records
+// it; an unfinished span is simply never recorded.
+func (t *Tracer) Begin(name, cat string, tid int64) Span {
+	if t == nil {
+		return Span{}
+	}
+	return Span{t: t, name: name, cat: cat, tid: tid, start: t.now().Sub(t.epoch)}
+}
+
+// Arg annotates the span with an integer value (shown in the trace viewer's
+// detail pane). At most four args are kept; extras are dropped.
+func (s Span) Arg(key string, val int64) Span {
+	if s.t == nil || s.nargs >= maxSpanArgs {
+		return s
+	}
+	s.args[s.nargs] = SpanArg{Key: key, Val: val}
+	s.nargs++
+	return s
+}
+
+// End completes the span and commits it to the ring buffer.
+func (s Span) End() {
+	t := s.t
+	if t == nil {
+		return
+	}
+	end := t.now().Sub(t.epoch)
+	t.commit(spanRecord{name: s.name, cat: s.cat, tid: s.tid,
+		start: s.start, dur: end - s.start, args: s.args, nargs: s.nargs})
+}
+
+// Record commits an already-measured span: start is the wall-clock phase
+// start and dur its length. It is the hook for callers that time phases
+// themselves (e.g. the sampling controller, which shares one clock read
+// between its duration histograms and its spans). At most four args are
+// kept.
+func (t *Tracer) Record(name, cat string, tid int64, start time.Time, dur time.Duration, args ...SpanArg) {
+	if t == nil {
+		return
+	}
+	rec := spanRecord{name: name, cat: cat, tid: tid, start: start.Sub(t.epoch), dur: dur}
+	rec.nargs = copy(rec.args[:], args)
+	t.commit(rec)
+}
+
+// commit appends one completed span, overwriting the oldest once the ring
+// is full.
+func (t *Tracer) commit(rec spanRecord) {
+	t.mu.Lock()
+	if len(t.ring) < cap(t.ring) {
+		t.ring = append(t.ring, spanRecord{})
+	} else {
+		t.dropped++
+	}
+	t.ring[t.next%uint64(cap(t.ring))] = rec
+	t.next++
+	t.mu.Unlock()
+}
+
+// Len reports how many spans are currently held (at most the capacity).
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.ring)
+}
+
+// Dropped reports how many spans were overwritten after the ring wrapped.
+func (t *Tracer) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// WriteChromeTrace renders the held spans as Chrome trace-event JSON:
+// an object with a traceEvents array of complete ("ph":"X") events,
+// timestamps and durations in microseconds since the tracer epoch, sorted
+// by start time. Load the file via chrome://tracing or ui.perfetto.dev.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	var spans []spanRecord
+	if t != nil {
+		t.mu.Lock()
+		spans = append(spans, t.ring...)
+		t.mu.Unlock()
+	}
+	sort.Slice(spans, func(i, j int) bool { return spans[i].start < spans[j].start })
+
+	bw := bufio.NewWriter(w)
+	bw.WriteString(`{"traceEvents":[`)
+	for i := range spans {
+		if i > 0 {
+			bw.WriteByte(',')
+		}
+		writeTraceEvent(bw, &spans[i])
+	}
+	bw.WriteString("]}\n")
+	return bw.Flush()
+}
+
+// writeTraceEvent emits one complete-event JSON object. Span names and
+// categories are identifier-like in this codebase, but method labels (e.g.
+// `R$BP (20%)`) flow into cat, so strings are escaped.
+func writeTraceEvent(bw *bufio.Writer, r *spanRecord) {
+	bw.WriteString(`{"name":`)
+	writeJSONString(bw, r.name)
+	bw.WriteString(`,"cat":`)
+	writeJSONString(bw, r.cat)
+	bw.WriteString(`,"ph":"X","pid":1,"tid":`)
+	bw.WriteString(strconv.FormatInt(r.tid, 10))
+	bw.WriteString(`,"ts":`)
+	writeMicros(bw, r.start)
+	bw.WriteString(`,"dur":`)
+	writeMicros(bw, r.dur)
+	if r.nargs > 0 {
+		bw.WriteString(`,"args":{`)
+		for i := 0; i < r.nargs; i++ {
+			if i > 0 {
+				bw.WriteByte(',')
+			}
+			writeJSONString(bw, r.args[i].Key)
+			bw.WriteByte(':')
+			bw.WriteString(strconv.FormatInt(r.args[i].Val, 10))
+		}
+		bw.WriteByte('}')
+	}
+	bw.WriteByte('}')
+}
+
+// writeMicros renders a duration as fractional microseconds (Chrome's trace
+// unit), keeping sub-microsecond spans visible.
+func writeMicros(bw *bufio.Writer, d time.Duration) {
+	bw.WriteString(strconv.FormatFloat(float64(d.Nanoseconds())/1e3, 'f', 3, 64))
+}
+
+// writeJSONString emits a JSON string literal with minimal escaping.
+func writeJSONString(bw *bufio.Writer, s string) {
+	bw.WriteByte('"')
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c == '"' || c == '\\':
+			bw.WriteByte('\\')
+			bw.WriteByte(c)
+		case c < 0x20:
+			const hex = "0123456789abcdef"
+			bw.WriteString(`\u00`)
+			bw.WriteByte(hex[c>>4])
+			bw.WriteByte(hex[c&0xf])
+		default:
+			bw.WriteByte(c)
+		}
+	}
+	bw.WriteByte('"')
+}

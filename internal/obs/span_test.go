@@ -1,0 +1,129 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+// fakeClock makes span timing deterministic: every call advances by step.
+type fakeClock struct {
+	t    time.Time
+	step time.Duration
+}
+
+func (c *fakeClock) now() time.Time {
+	c.t = c.t.Add(c.step)
+	return c.t
+}
+
+func testTracer(capacity int) *Tracer {
+	tr := NewTracer(capacity)
+	clk := &fakeClock{t: tr.epoch, step: time.Millisecond}
+	tr.now = clk.now
+	return tr
+}
+
+func TestTracerRecordsSpans(t *testing.T) {
+	tr := testTracer(16)
+	tid := tr.NextTID()
+	sp := tr.Begin("cold-skip", "sampling", tid).Arg("cluster", 0).Arg("instructions", 1000)
+	sp.End()
+	tr.Begin("hot-sim", "sampling", tid).End()
+	if tr.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", tr.Len())
+	}
+
+	var sb strings.Builder
+	if err := tr.WriteChromeTrace(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string           `json:"name"`
+			Cat  string           `json:"cat"`
+			Ph   string           `json:"ph"`
+			PID  int              `json:"pid"`
+			TID  int64            `json:"tid"`
+			TS   float64          `json:"ts"`
+			Dur  float64          `json:"dur"`
+			Args map[string]int64 `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(sb.String()), &doc); err != nil {
+		t.Fatalf("chrome trace is not valid JSON: %v\n%s", err, sb.String())
+	}
+	if len(doc.TraceEvents) != 2 {
+		t.Fatalf("%d events, want 2", len(doc.TraceEvents))
+	}
+	ev := doc.TraceEvents[0]
+	if ev.Name != "cold-skip" || ev.Cat != "sampling" || ev.Ph != "X" || ev.TID != tid {
+		t.Fatalf("bad event: %+v", ev)
+	}
+	if ev.Args["cluster"] != 0 || ev.Args["instructions"] != 1000 {
+		t.Fatalf("args lost: %+v", ev.Args)
+	}
+	// The fake clock steps 1ms per call: Begin then End = 1ms duration.
+	if ev.Dur != 1000 {
+		t.Fatalf("dur = %v µs, want 1000", ev.Dur)
+	}
+	if doc.TraceEvents[1].TS <= ev.TS {
+		t.Fatal("events must be sorted by start time")
+	}
+}
+
+func TestTracerRingWrap(t *testing.T) {
+	tr := testTracer(4)
+	for i := 0; i < 10; i++ {
+		tr.Begin("s", "t", 1).Arg("i", int64(i)).End()
+	}
+	if tr.Len() != 4 {
+		t.Fatalf("Len = %d, want capacity 4", tr.Len())
+	}
+	if tr.Dropped() != 6 {
+		t.Fatalf("Dropped = %d, want 6", tr.Dropped())
+	}
+	var sb strings.Builder
+	if err := tr.WriteChromeTrace(&sb); err != nil {
+		t.Fatal(err)
+	}
+	// The newest spans (6..9) survive.
+	for _, want := range []string{`"i":6`, `"i":9`} {
+		if !strings.Contains(sb.String(), want) {
+			t.Fatalf("missing %s in %s", want, sb.String())
+		}
+	}
+	if strings.Contains(sb.String(), `"i":5`) {
+		t.Fatal("overwritten span still present")
+	}
+}
+
+func TestNilTracerIsNoop(t *testing.T) {
+	var tr *Tracer
+	sp := tr.Begin("x", "y", tr.NextTID()).Arg("k", 1)
+	sp.End()
+	if tr.Len() != 0 || tr.Dropped() != 0 {
+		t.Fatal("nil tracer must hold nothing")
+	}
+	var sb strings.Builder
+	if err := tr.WriteChromeTrace(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "traceEvents") {
+		t.Fatalf("nil tracer must still write a valid document, got %q", sb.String())
+	}
+}
+
+func TestSpanEscaping(t *testing.T) {
+	tr := testTracer(4)
+	tr.Begin(`R$BP ("20%")`, "warm\nup", 1).End()
+	var sb strings.Builder
+	if err := tr.WriteChromeTrace(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal([]byte(sb.String()), &doc); err != nil {
+		t.Fatalf("escaping broke JSON: %v\n%s", err, sb.String())
+	}
+}

@@ -24,6 +24,7 @@ import (
 	"rsr/internal/bpred"
 	"rsr/internal/funcsim"
 	"rsr/internal/mem"
+	"rsr/internal/obs"
 	"rsr/internal/ooo"
 	"rsr/internal/prog"
 	"rsr/internal/stats"
@@ -187,6 +188,15 @@ type Options struct {
 	// additionally at cluster boundaries), so results of uncanceled runs are
 	// unaffected.
 	Cancel <-chan struct{}
+	// Instr, when non-nil, streams per-phase instruction counts, durations,
+	// warm-up work deltas, and machine event counters into its registry.
+	// Tracer, when non-nil, records one span per cluster phase (cold-skip,
+	// reverse-scan, warm-apply, hot-sim) on a track of its own. Both default
+	// off; recording happens at phase boundaries — never per instruction —
+	// so enabling them does not perturb results (TestInstrumentedRunIdentical
+	// pins this) and the simulation hot loops stay allocation-free.
+	Instr  *Instruments
+	Tracer *obs.Tracer
 }
 
 // canceled reports whether the cancel channel (if any) has been closed.
@@ -259,12 +269,13 @@ func runSampled(p *prog.Program, m MachineConfig, reg Regimen, total uint64, see
 	fs := funcsim.New(p)
 
 	res := &RunResult{Method: method.Name()}
+	ro := newRunObs(opts.Instr, opts.Tracer, method.Name(), method.Name())
 	begin := time.Now()
 	buf := make([]trace.DynInst, funcsim.BatchSize)
 	st := &stream{fs: fs, buf: buf, opts: &opts}
 	observe := method.ObserveSkipBatch
 	var pos uint64
-	for _, start := range starts {
+	for ci, start := range starts {
 		if opts.canceled() {
 			return nil, ErrCanceled
 		}
@@ -277,6 +288,7 @@ func runSampled(p *prog.Program, m MachineConfig, reg Regimen, total uint64, see
 
 		// Cold phase: batch-execute the skip region, handing each batch to
 		// the warm-up method and polling cancellation between batches.
+		t0 := ro.begin()
 		method.BeginSkip(cold)
 		var ran uint64
 		for ran < cold {
@@ -303,19 +315,26 @@ func runSampled(p *prog.Program, m MachineConfig, reg Regimen, total uint64, see
 			return nil, fmt.Errorf("sampling: workload halted after %d skipped instructions", ran)
 		}
 		res.FuncInstructions += ran
+		ro.coldDone(t0, ci, ran, method.Work())
+
+		t0 = ro.begin()
 		method.EndSkip()
+		ro.reconDone(t0, ci, method.Work())
 		pos += ran
 
 		if dw > 0 {
 			// Unmeasured detailed warm-up immediately before the cluster.
+			t0 = ro.begin()
 			w := sim.SimulateSource(dw, st)
 			if st.err != nil {
 				return nil, fmt.Errorf("sampling: detailed warm-up: %w", st.err)
 			}
 			res.FuncInstructions += w.Instructions
 			pos += w.Instructions
+			ro.warmDone(t0, ci, w.Instructions)
 		}
 
+		t0 = ro.begin()
 		r := sim.SimulateSource(reg.ClusterSize, st)
 		if st.err != nil {
 			return nil, fmt.Errorf("sampling: hot phase: %w", st.err)
@@ -324,9 +343,11 @@ func runSampled(p *prog.Program, m MachineConfig, reg Regimen, total uint64, see
 		res.HotInstructions += r.Instructions
 		res.Clusters = append(res.Clusters, ClusterStat{Start: start, Result: r})
 		pos += r.Instructions
+		ro.hotDone(t0, ci, r.Instructions, method.Work())
 	}
 	res.Elapsed = time.Since(begin)
 	res.Work = method.Work()
+	ro.runDone("sampled", hier, unit)
 	return res, nil
 }
 
@@ -350,12 +371,16 @@ func RunFullOpts(p *prog.Program, m MachineConfig, total uint64, opts Options) (
 	unit := bpred.NewUnit(m.Pred)
 	sim := ooo.New(m.CPU, hier, unit)
 	fs := funcsim.New(p)
+	ro := newRunObs(opts.Instr, opts.Tracer, "full", "")
 	begin := time.Now()
 	st := &stream{fs: fs, buf: make([]trace.DynInst, funcsim.BatchSize), opts: &opts}
+	t0 := ro.begin()
 	r := sim.SimulateSource(total, st)
 	if st.err != nil {
 		return FullResult{}, fmt.Errorf("sampling: full run: %w", st.err)
 	}
+	ro.fullDone(t0, r.Instructions)
+	ro.runDone("full", hier, unit)
 	return FullResult{Result: r, Elapsed: time.Since(begin)}, nil
 }
 

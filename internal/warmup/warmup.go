@@ -63,6 +63,20 @@ type Work struct {
 	ReconApplied uint64
 }
 
+// Sub returns the work performed since prev. Method.Work is cumulative and
+// cheap to read, so snapshotting it at phase boundaries and subtracting
+// yields per-cluster deltas — how the sampling controller attributes logged
+// records and applied references to individual clusters for metrics and
+// trace spans without touching the observe hot path.
+func (w Work) Sub(prev Work) Work {
+	return Work{
+		WarmOps:       w.WarmOps - prev.WarmOps,
+		LoggedRecords: w.LoggedRecords - prev.LoggedRecords,
+		ReconScanned:  w.ReconScanned - prev.ReconScanned,
+		ReconApplied:  w.ReconApplied - prev.ReconApplied,
+	}
+}
+
 // Kind enumerates the warm-up families.
 type Kind uint8
 
