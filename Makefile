@@ -28,8 +28,10 @@ test: build
 
 # verify keeps the concurrent engine and the simulation substrate it
 # schedules race-clean: the engine package owns the worker pool / cache /
-# single-flight machinery, and the sampling package carries the fresh-
-# state-per-call concurrency contract the engine relies on.
+# single-flight machinery, and the sampling package carries both the
+# fresh-state-per-call concurrency contract the engine relies on and the
+# sharded cluster pipeline (parallel_test.go's byte-identity and
+# cancellation tests run under -race here).
 verify:
 	$(GO) vet ./...
 	$(GO) test -race ./internal/obs/... ./internal/engine/... ./internal/sampling/... ./cmd/rsrd/...

@@ -29,6 +29,8 @@
 //	-seed n        cluster placement seed
 //	-workloads s   comma-separated workload subset
 //	-parallel n    engine worker-pool size (0 = GOMAXPROCS; 1 for clean per-run wall times)
+//	-shards n      cluster-pipeline shards inside each sampled run
+//	               (default GOMAXPROCS; 1 = sequential; byte-identical either way)
 //	-cachedir s    content-addressed result cache directory (persists runs across invocations)
 //	-retries n     extra execution attempts for transiently failed jobs (worker panics)
 //	-stats         print engine scheduler/cache statistics to stderr when done
@@ -67,6 +69,7 @@ func main() {
 	workloadsFlag := flag.String("workloads", "", "comma-separated workload subset")
 	parallel := flag.Int("parallel", 0, "engine worker-pool size (0 = GOMAXPROCS; use 1 for clean per-run wall times)")
 	par := flag.Int("par", 0, "deprecated alias for -parallel")
+	shards := flag.Int("shards", runtime.GOMAXPROCS(0), "cluster-pipeline shards per sampled run (1 = sequential; results byte-identical at any count)")
 	cacheDir := flag.String("cachedir", "", "content-addressed result cache directory (empty = memory-only)")
 	retries := flag.Int("retries", 0, "extra execution attempts for transiently failed jobs (worker panics)")
 	stats := flag.Bool("stats", false, "print engine scheduler/cache statistics to stderr when done")
@@ -161,6 +164,7 @@ func main() {
 	}
 	cfg.CacheDir = *cacheDir
 	cfg.Retries = *retries
+	cfg.Shards = *shards
 	cfg.Metrics = reg
 	cfg.Tracer = tracer
 	if *workloadsFlag != "" {

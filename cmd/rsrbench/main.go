@@ -14,6 +14,8 @@
 //	reverse_recon_20   reverse cache reconstruction, newest 20% (records/s)
 //	reverse_recon_100  reverse cache reconstruction, full log (records/s)
 //	warmup_<arm>       end-to-end sampled run per warm-up method (runs/s)
+//	shard_sweep_<n>    parallel cluster pipeline at n shards (runs/s);
+//	                   the <n>/1 ratio is the intra-run speedup
 //	figure7            one end-to-end figure regeneration (runs/s)
 //
 // With -compare, the deltas against a previous snapshot are printed and the
@@ -194,6 +196,25 @@ func measure() []Metric {
 			}
 		})
 		out = append(out, throughput("warmup_"+spec.Label(), "runs/s", 1, r))
+	}
+
+	// Shard sweep: the same Figure-7 warm-up configuration driven through
+	// the parallel cluster pipeline at increasing shard counts. Results are
+	// byte-identical across the sweep (the parallel path's contract), so the
+	// only thing that moves is wall clock; shard_sweep_N / shard_sweep_1 is
+	// the intra-run speedup quoted in EXPERIMENTS.md.
+	sweepSpec := warmup.Spec{Kind: warmup.KindReverse, Percent: 20, Cache: true, BPred: true}
+	for _, shards := range []int{1, 2, 4, 8} {
+		shards := shards
+		opts := sampling.Options{Shards: shards}
+		r = testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := sampling.RunSampledOpts(gcc, sampling.DefaultMachine(), reg, 2_000_000, 1, sweepSpec, opts); err != nil {
+					fail(err)
+				}
+			}
+		})
+		out = append(out, throughput(fmt.Sprintf("shard_sweep_%d", shards), "runs/s", 1, r))
 	}
 
 	// One end-to-end figure at reduced scale: exercises the engine, the

@@ -81,7 +81,7 @@ func main() {
 		Metrics:        reg,
 	})
 
-	srv := newServer(eng, reg, log)
+	srv := newServer(eng, reg, log, *drainTimeout)
 	hs := &http.Server{Addr: *addr, Handler: srv.routes()}
 
 	// First signal begins the drain; stop() below restores default handling

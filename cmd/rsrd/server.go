@@ -7,6 +7,7 @@ import (
 	"log/slog"
 	"net/http"
 	"net/http/pprof"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -27,6 +28,12 @@ type server struct {
 	log *slog.Logger
 	ids *requestIDs
 
+	// retryAfter is the drain-refusal Retry-After header value, derived
+	// from the configured drain window: the drain bounds how long this
+	// process may still be finishing work, so it is the honest earliest
+	// time a retried submission could land on a replacement.
+	retryAfter string
+
 	// draining flips when shutdown begins: readiness goes 503, submissions
 	// are refused with 503 + Retry-After, but status polls and the event
 	// stream keep working so clients can collect in-flight results.
@@ -36,12 +43,28 @@ type server struct {
 	tickets map[string]*engine.Ticket
 }
 
-func newServer(eng *engine.Engine, reg *obs.Registry, log *slog.Logger) *server {
+func newServer(eng *engine.Engine, reg *obs.Registry, log *slog.Logger, drainWindow time.Duration) *server {
 	if log == nil {
 		log = slog.Default()
 	}
 	return &server{eng: eng, reg: reg, log: log, ids: newRequestIDs(),
-		tickets: make(map[string]*engine.Ticket)}
+		retryAfter: retryAfterValue(drainWindow),
+		tickets:    make(map[string]*engine.Ticket)}
+}
+
+// retryAfterValue renders a drain window as a Retry-After header: whole
+// seconds rounded up, at least 1 (sub-second windows must not advertise an
+// instant retry), and capped at five minutes so a generous drain budget
+// does not park well-behaved clients indefinitely.
+func retryAfterValue(drainWindow time.Duration) string {
+	secs := int64((drainWindow + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 300 {
+		secs = 300
+	}
+	return strconv.FormatInt(secs, 10)
 }
 
 // beginDrain stops accepting new jobs; already-submitted work continues.
@@ -95,6 +118,10 @@ type jobRequest struct {
 	Regimen  *sampling.Regimen `json:"regimen,omitempty"`
 	// TimeoutMS bounds the job's execution in milliseconds (0 = engine default).
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// Shards runs a sampled job through the parallel cluster pipeline with
+	// this many shard goroutines (0 or 1 = sequential). Results are
+	// byte-identical either way, so shards do not enter the job's identity.
+	Shards int `json:"shards,omitempty"`
 }
 
 // toJob resolves the request against the reproduction defaults.
@@ -107,6 +134,7 @@ func (r jobRequest) toJob() (engine.Job, error) {
 		Total:    def.Total(),
 		Seed:     def.Seed,
 		Timeout:  time.Duration(r.TimeoutMS) * time.Millisecond,
+		Shards:   r.Shards,
 	}
 	if r.Kind != "" {
 		j.Kind = engine.JobKind(r.Kind)
@@ -152,7 +180,7 @@ func (s *server) handleJobs(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if s.draining.Load() {
-		w.Header().Set("Retry-After", "10")
+		w.Header().Set("Retry-After", s.retryAfter)
 		httpError(w, http.StatusServiceUnavailable, "draining: not accepting new jobs")
 		return
 	}

@@ -51,7 +51,7 @@ func getStatus(t *testing.T, ts *httptest.Server, id string) jobStatus {
 func TestDaemonJobLifecycle(t *testing.T) {
 	eng := engine.New(engine.Options{Workers: 2})
 	defer eng.Close()
-	ts := httptest.NewServer(newServer(eng, nil, testLogger()).routes())
+	ts := httptest.NewServer(newServer(eng, nil, testLogger(), 30*time.Second).routes())
 	defer ts.Close()
 
 	id := postJob(t, ts, `{"workload": "twolf", "method": "None",
@@ -106,7 +106,7 @@ func TestDaemonJobLifecycle(t *testing.T) {
 func TestDaemonDrainGraceful(t *testing.T) {
 	eng := engine.New(engine.Options{Workers: 1})
 	defer eng.Close()
-	s := newServer(eng, nil, testLogger())
+	s := newServer(eng, nil, testLogger(), 42*time.Second)
 	ts := httptest.NewServer(s.routes())
 	defer ts.Close()
 
@@ -147,8 +147,8 @@ func TestDaemonDrainGraceful(t *testing.T) {
 	if resp.StatusCode != http.StatusServiceUnavailable {
 		t.Errorf("submission during drain = %d, want 503", resp.StatusCode)
 	}
-	if ra := resp.Header.Get("Retry-After"); ra == "" {
-		t.Error("503 during drain must carry Retry-After")
+	if ra := resp.Header.Get("Retry-After"); ra != "42" {
+		t.Errorf("503 during drain: Retry-After = %q, want %q (the configured -drain-timeout)", ra, "42")
 	}
 
 	// The in-flight job finishes inside the drain budget...
@@ -167,7 +167,7 @@ func TestDaemonDrainGraceful(t *testing.T) {
 func TestDaemonRejectsBadJobs(t *testing.T) {
 	eng := engine.New(engine.Options{Workers: 1})
 	defer eng.Close()
-	ts := httptest.NewServer(newServer(eng, nil, testLogger()).routes())
+	ts := httptest.NewServer(newServer(eng, nil, testLogger(), 30*time.Second).routes())
 	defer ts.Close()
 
 	for _, body := range []string{

@@ -4,7 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"math/rand"
+	"hash/fnv"
 	"runtime"
 	"sync"
 	"time"
@@ -320,7 +320,7 @@ func (e *Engine) execute(t *task) {
 		e.bcast.emit(Event{JobHash: t.hash, Label: t.job.Label(), State: StateRetrying,
 			Err: err.Error(), Wall: wall, Attempt: attempt})
 		b0 := time.Now()
-		ok := e.backoff(t.ctx, attempt)
+		ok := e.backoff(t.ctx, t.hash, attempt)
 		e.obs.span("retry-wait", tid, b0, obs.SpanArg{Key: "attempt", Val: int64(attempt)})
 		if !ok {
 			if ctxErr := t.ctx.Err(); ctxErr != nil {
@@ -387,17 +387,16 @@ func (e *Engine) attempt(t *task, attempt int, tid int64) (*Result, time.Duratio
 // backoff sleeps before the next attempt — full jitter over an
 // exponentially growing window (AWS-style: delay = U(0, base*2^(attempt-1)),
 // capped) — and reports false when the submitter's context or engine
-// shutdown interrupts the wait.
-func (e *Engine) backoff(ctx context.Context, attempt int) bool {
+// shutdown interrupts the wait. The jitter is a pure function of the job
+// hash and the attempt number (never the global math/rand source), so the
+// retry schedule of a seeded chaos run is reproducible and identical across
+// worker interleavings, matching the fault injector's determinism contract.
+func (e *Engine) backoff(ctx context.Context, hash string, attempt int) bool {
 	base := e.opts.RetryBackoff
 	if base <= 0 {
 		base = 50 * time.Millisecond
 	}
-	window := base << uint(attempt-1)
-	if cap := 5 * time.Second; window > cap || window <= 0 {
-		window = cap
-	}
-	timer := time.NewTimer(time.Duration(rand.Int63n(int64(window) + 1)))
+	timer := time.NewTimer(retryJitter(hash, attempt, base))
 	defer timer.Stop()
 	select {
 	case <-timer.C:
@@ -407,6 +406,20 @@ func (e *Engine) backoff(ctx context.Context, attempt int) bool {
 	case <-e.closedCh:
 		return false
 	}
+}
+
+// retryJitter maps (job hash, attempt) to the attempt's backoff delay:
+// uniform over [0, base*2^(attempt-1)] capped at 5s, drawn by FNV-1a in the
+// style of internal/fault's decision draws — allocation-free, dependency-
+// free, and deterministic.
+func retryJitter(hash string, attempt int, base time.Duration) time.Duration {
+	window := base << uint(attempt-1)
+	if cap := 5 * time.Second; window > cap || window <= 0 {
+		window = cap
+	}
+	h := fnv.New64a()
+	fmt.Fprintf(h, "backoff|%s|%d", hash, attempt)
+	return time.Duration(h.Sum64() % uint64(window+1))
 }
 
 // finish publishes a task's outcome, retires it from the in-flight table,

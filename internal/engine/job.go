@@ -59,6 +59,12 @@ type Job struct {
 	// first (0 = the engine default). Like Timeout it is scheduling policy,
 	// not identity.
 	MaxAttempts int `json:"MaxAttempts,omitempty"`
+	// Shards runs a sampled job through the parallel cluster pipeline with
+	// this many shard goroutines (0 or 1 = sequential). The sharded run is
+	// byte-identical to the sequential one (sampling.RunSampledParallel),
+	// so like Timeout it is scheduling policy, not identity: jobs differing
+	// only in Shards share one cache entry.
+	Shards int `json:"Shards,omitempty"`
 }
 
 // jobIdentity is the canonical hashed form of a Job. HashVersion must be

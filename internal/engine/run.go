@@ -52,7 +52,7 @@ func runJob(j Job, cancel <-chan struct{}, instr *sampling.Instruments, tr *obs.
 		return nil, fmt.Errorf("engine: %w", err)
 	}
 	p := w.Build()
-	opts := sampling.Options{Cancel: cancel, Instr: instr, Tracer: tr}
+	opts := sampling.Options{Cancel: cancel, Instr: instr, Tracer: tr, Shards: j.Shards}
 	switch j.Kind {
 	case JobFull:
 		fr, err := sampling.RunFullOpts(p, j.Machine, j.Total, opts)

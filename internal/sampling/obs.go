@@ -19,6 +19,9 @@ const (
 	PhaseWarmApply   = "warm-apply"
 	PhaseHotSim      = "hot-sim"
 	PhaseFullSim     = "full-sim"
+	// PhaseCheckpoint is the parallel pre-pass capturing an architectural
+	// checkpoint (registers + dirty-page delta) at a shard boundary.
+	PhaseCheckpoint = "checkpoint-capture"
 )
 
 // Instruments is the sampling layer's bundle of registry instruments.
@@ -176,6 +179,19 @@ func (ro *runObs) coldDone(t0 time.Time, cluster int, instrs uint64, w warmup.Wo
 		obs.SpanArg{Key: "instructions", Val: int64(instrs)},
 		obs.SpanArg{Key: "logged", Val: int64(d.LoggedRecords)},
 		obs.SpanArg{Key: "warm_ops", Val: int64(d.WarmOps)})
+}
+
+// coldAdopted records a cold-skip phase that a shard producer already
+// performed and timed: the parallel consumer folds the producer-measured
+// duration and the adopted work into the same metric families as coldDone,
+// while the phase's trace span lives on the producing shard's own track.
+func (ro *runObs) coldAdopted(dur time.Duration, instrs uint64, w warmup.Work) {
+	if ro == nil {
+		return
+	}
+	ro.coldDur.Observe(dur.Seconds())
+	ro.coldInstr.Add(instrs)
+	ro.workDelta(w)
 }
 
 // reconDone records the reconstruction phase (Method.EndSkip) of one

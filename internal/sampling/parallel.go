@@ -1,0 +1,404 @@
+// Parallel cluster simulation: the RSR observation that between-cluster
+// state is reconstructible from region-local logs makes the expensive parts
+// of a sampled run — cold functional execution and skip-log capture —
+// independent per cluster. runParallel fans those parts out over shard
+// goroutines seeded from architectural checkpoints, while everything that
+// touches shared microarchitectural state (cache warm-up carry-over,
+// reconstruction, detailed simulation) is replayed by a single consumer in
+// strict cluster order. Results are therefore byte-identical to the
+// sequential path by construction; see DESIGN.md "Parallel cluster
+// simulation" for the full determinism argument.
+
+package sampling
+
+import (
+	"fmt"
+	"time"
+
+	"rsr/internal/bpred"
+	"rsr/internal/funcsim"
+	"rsr/internal/mem"
+	"rsr/internal/obs"
+	"rsr/internal/ooo"
+	"rsr/internal/prog"
+	"rsr/internal/trace"
+	"rsr/internal/warmup"
+)
+
+// shardCount clamps the requested shard count to the cluster count: a shard
+// with no regions would idle, and one cluster cannot split.
+func shardCount(requested, clusters int) int {
+	s := requested
+	if s > clusters {
+		s = clusters
+	}
+	if s < 1 {
+		s = 1
+	}
+	return s
+}
+
+// shardWindow bounds how many produced-but-unconsumed regions each shard
+// may hold. A region product carries the region's skip log and the
+// materialized detailed-warm-up + hot instruction records, so the window is
+// what keeps peak memory at O(shards × window × region product) instead of
+// O(clusters).
+const shardWindow = 8
+
+// prepassChunk is the cancellation-poll granularity of the checkpoint
+// pre-pass (pure functional skipping at full interpreter speed).
+const prepassChunk = 1 << 16
+
+// regionProduct is everything a shard precomputes for one cluster region:
+// the cold-phase observation capture, the region's actual geometry, and the
+// materialized instruction records the consumer replays through the timing
+// model for the detailed-warm-up and hot phases.
+type regionProduct struct {
+	cold    uint64 // cold-phase length from the region's actual geometry
+	dw      uint64 // detailed-warm-up length (min(opts.DetailedWarmup, skip))
+	coldRan uint64 // instructions actually cold-skipped
+	coldDur time.Duration
+	err     error // cold-phase failure (fault or premature halt)
+
+	capture warmup.RegionCapture
+	records []trace.DynInst // committed dw+hot stream, in order
+	recErr  error           // execution fault hit while materializing records
+}
+
+// replaySource feeds the timing model the records a shard materialized,
+// chunked at the sequential path's batch size so cancellation polls keep
+// the same cadence. A materialization fault surfaces only after every
+// earlier record is delivered — exactly when the live functional simulator
+// would have hit it.
+type replaySource struct {
+	records []trace.DynInst
+	next    int
+	final   error // surfaced at exhaustion (nil for halt / end of stream)
+	err     error
+	opts    *Options
+}
+
+func (rp *replaySource) Fill(max uint64) []trace.DynInst {
+	if rp.err != nil {
+		return nil
+	}
+	if rp.opts.canceled() {
+		rp.err = ErrCanceled
+		return nil
+	}
+	rem := len(rp.records) - rp.next
+	if rem == 0 {
+		rp.err = rp.final
+		return nil
+	}
+	n := rem
+	if max < uint64(n) {
+		n = int(max)
+	}
+	if n > funcsim.BatchSize {
+		n = funcsim.BatchSize
+	}
+	b := rp.records[rp.next : rp.next+n]
+	rp.next += n
+	return b
+}
+
+// shardTrace records spans for one pipeline goroutine (the pre-pass or a
+// shard producer) on a trace track of its own.
+type shardTrace struct {
+	tr  *obs.Tracer
+	tid int64
+	cat string
+}
+
+func newShardTrace(tr *obs.Tracer, cat string) shardTrace {
+	st := shardTrace{tr: tr, cat: cat}
+	if tr != nil {
+		st.tid = tr.NextTID()
+	}
+	return st
+}
+
+func (s *shardTrace) span(name string, t0 time.Time, args ...obs.SpanArg) {
+	if s.tr == nil {
+		return
+	}
+	s.tr.Record(name, s.cat, s.tid, t0, time.Since(t0), args...)
+}
+
+// runParallel executes the sharded sampled run. starts are the cluster
+// positions; robs is the run's warm-up method, which has already proven
+// (by implementing warmup.RegionObserver) that its skip observation is
+// region-local.
+//
+// Pipeline shape: one pre-pass goroutine runs pure functional simulation
+// ahead of everything, capturing an architectural checkpoint (registers +
+// dirty-page delta) at each shard boundary and handing shard s its
+// checkpoint chain as soon as it exists, so shard s starts after only
+// s/shards of the pre-pass rather than all of it. Each shard goroutine then
+// seeds a private functional simulator from its chain and walks its
+// contiguous region range: cold-skip with observation into a RegionCapture,
+// then materialization of the detailed-warm-up + hot record stream. The
+// consumer (this goroutine) walks regions in cluster order, adopting each
+// capture into the shared method, reconstructing, and replaying the
+// materialized records through the shared timing model.
+func runParallel(p *prog.Program, reg Regimen, starts []uint64, hier *mem.Hierarchy, unit *bpred.Unit, robs warmup.RegionObserver, sim *ooo.Sim, shards int, opts Options) (*RunResult, error) {
+	method := warmup.Method(robs)
+	res := &RunResult{Method: method.Name()}
+	ro := newRunObs(opts.Instr, opts.Tracer, method.Name(), method.Name())
+	begin := time.Now()
+
+	firstOf := func(s int) int { return s * len(starts) / shards }
+
+	// Planned absolute position at each shard's first region: the position
+	// the sequential run reaches there absent a halt. A halt earlier in the
+	// run parks the pre-pass simulator at the halt point instead, which is
+	// also exactly where the sequential run's position would be stuck.
+	seedPos := make([]uint64, shards)
+	for s := 1; s < shards; s++ {
+		seedPos[s] = starts[firstOf(s)-1] + reg.ClusterSize
+	}
+
+	done := make(chan struct{})
+	defer close(done)
+	stopped := func() bool {
+		if opts.canceled() {
+			return true
+		}
+		select {
+		case <-done:
+			return true
+		default:
+			return false
+		}
+	}
+
+	seeds := make([]chan []*funcsim.Delta, shards)
+	outs := make([]chan *regionProduct, shards)
+	for s := range seeds {
+		seeds[s] = make(chan []*funcsim.Delta, 1)
+		outs[s] = make(chan *regionProduct, shardWindow)
+	}
+
+	var ckptDur *obs.Histogram
+	if opts.Instr != nil {
+		ckptDur = opts.Instr.phaseDur.With(PhaseCheckpoint)
+	}
+
+	// Checkpoint pre-pass: pure functional skipping, no logging, no timing
+	// model — the fastest way to learn the architectural state at each
+	// shard boundary. Checkpoints are cumulative deltas; shard s receives
+	// the chain [1..s] and applies it in order onto a fresh simulator.
+	go func() {
+		str := newShardTrace(opts.Tracer, "pre-pass")
+		fs := funcsim.New(p)
+		chain := make([]*funcsim.Delta, 0, shards)
+		for s := 0; s < shards; s++ {
+			for fs.Seq() < seedPos[s] && !fs.Halted() {
+				n := seedPos[s] - fs.Seq()
+				if n > prepassChunk {
+					n = prepassChunk
+				}
+				ran, err := fs.Skip(n)
+				// A fault or halt parks the pre-pass here; the shard that
+				// owns the faulting region reproduces the failure itself,
+				// and the consumer surfaces the earliest one in cluster
+				// order, so later shards just seed from the parked state.
+				if err != nil || ran < n {
+					break
+				}
+				if stopped() {
+					return
+				}
+			}
+			if s > 0 {
+				t0 := time.Now()
+				d := fs.CaptureDelta()
+				chain = append(chain, d)
+				if ckptDur != nil {
+					ckptDur.Observe(time.Since(t0).Seconds())
+				}
+				str.span(PhaseCheckpoint, t0,
+					obs.SpanArg{Key: "shard", Val: int64(s)},
+					obs.SpanArg{Key: "pages", Val: int64(len(d.Pages))},
+					obs.SpanArg{Key: "position", Val: int64(d.Seq)})
+			}
+			c := append([]*funcsim.Delta(nil), chain...)
+			select {
+			case seeds[s] <- c:
+			case <-done:
+				return
+			}
+		}
+	}()
+
+	// Shard producers: region-local work only. Geometry derives from the
+	// private simulator's actual position (fs.Seq()), not the plan, so a
+	// halted workload yields the same degenerate regions the sequential run
+	// sees.
+	for s := 0; s < shards; s++ {
+		go func(s, first, last int) {
+			str := newShardTrace(opts.Tracer, "shard")
+			var chain []*funcsim.Delta
+			select {
+			case chain = <-seeds[s]:
+			case <-done:
+				return
+			}
+			fs := funcsim.New(p)
+			for _, d := range chain {
+				fs.ApplyDelta(d)
+			}
+			buf := make([]trace.DynInst, funcsim.BatchSize)
+			for i := first; i < last; i++ {
+				prod := produceRegion(fs, buf, starts[i], reg.ClusterSize, robs, &opts, stopped)
+				if prod == nil {
+					return // canceled
+				}
+				str.span(PhaseColdSkip, time.Now().Add(-prod.coldDur),
+					obs.SpanArg{Key: "cluster", Val: int64(i)},
+					obs.SpanArg{Key: "shard", Val: int64(s)},
+					obs.SpanArg{Key: "instructions", Val: int64(prod.coldRan)})
+				select {
+				case outs[s] <- prod:
+				case <-done:
+					return
+				}
+				if prod.err != nil || prod.recErr != nil {
+					return // the consumer stops at this region
+				}
+			}
+		}(s, firstOf(s), firstOf(s+1))
+	}
+
+	// Consumer: all shared-state mutation, in strict cluster order. This
+	// loop is the sequential loop of runSampled with the cold work replaced
+	// by adoption of the shard's capture and the functional stream replaced
+	// by replay of the shard's materialized records.
+	for s := 0; s < shards; s++ {
+		for ci := firstOf(s); ci < firstOf(s+1); ci++ {
+			if opts.canceled() {
+				return nil, ErrCanceled
+			}
+			var prod *regionProduct
+			select {
+			case prod = <-outs[s]:
+			case <-opts.Cancel: // nil channel blocks; products always arrive
+				return nil, ErrCanceled
+			}
+
+			method.BeginSkip(prod.cold)
+			if prod.err != nil {
+				return nil, prod.err
+			}
+			robs.AdoptRegion(prod.capture)
+			res.FuncInstructions += prod.coldRan
+			ro.coldAdopted(prod.coldDur, prod.coldRan, method.Work())
+
+			t0 := ro.begin()
+			method.EndSkip()
+			ro.reconDone(t0, ci, method.Work())
+
+			rp := &replaySource{records: prod.records, final: prod.recErr, opts: &opts}
+			if prod.dw > 0 {
+				t0 = ro.begin()
+				w := sim.SimulateSource(prod.dw, rp)
+				if rp.err != nil {
+					return nil, fmt.Errorf("sampling: detailed warm-up: %w", rp.err)
+				}
+				res.FuncInstructions += w.Instructions
+				ro.warmDone(t0, ci, w.Instructions)
+			}
+
+			t0 = ro.begin()
+			r := sim.SimulateSource(reg.ClusterSize, rp)
+			if rp.err != nil {
+				return nil, fmt.Errorf("sampling: hot phase: %w", rp.err)
+			}
+			res.FuncInstructions += r.Instructions
+			res.HotInstructions += r.Instructions
+			res.Clusters = append(res.Clusters, ClusterStat{Start: starts[ci], Result: r})
+			ro.hotDone(t0, ci, r.Instructions, method.Work())
+		}
+	}
+	res.Elapsed = time.Since(begin)
+	res.Work = method.Work()
+	ro.runDone("sampled", hier, unit)
+	return res, nil
+}
+
+// produceRegion runs one region's shard-side work on a private functional
+// simulator: cold-skip the region with observation into a fresh capture,
+// then materialize the committed records of the detailed-warm-up and hot
+// phases. It mirrors the sequential controller's cold loop exactly —
+// including its failure modes — and returns nil only when canceled.
+func produceRegion(fs *funcsim.Sim, buf []trace.DynInst, start, clusterSize uint64, robs warmup.RegionObserver, opts *Options, stopped func() bool) *regionProduct {
+	pos := fs.Seq()
+	skip := start - pos
+	dw := opts.DetailedWarmup
+	if dw > skip {
+		dw = skip
+	}
+	cold := skip - dw
+
+	prod := &regionProduct{cold: cold, dw: dw}
+	capture := robs.NewRegionCapture(cold)
+	t0 := time.Now()
+	var ran uint64
+	for ran < cold {
+		b := buf
+		if rem := cold - ran; rem < uint64(len(b)) {
+			b = b[:rem]
+		}
+		k, err := fs.RunBatch(b)
+		if err != nil {
+			prod.coldRan, prod.coldDur = ran, time.Since(t0)
+			prod.err = fmt.Errorf("sampling: cold phase: %w", err)
+			return prod
+		}
+		if k > 0 {
+			capture.ObserveSkipBatch(b[:k])
+		}
+		ran += uint64(k)
+		if k < len(b) {
+			break // halted
+		}
+		if stopped() {
+			return nil
+		}
+	}
+	prod.coldRan, prod.coldDur = ran, time.Since(t0)
+	if ran != cold {
+		prod.err = fmt.Errorf("sampling: workload halted after %d skipped instructions", ran)
+		return prod
+	}
+	prod.capture = capture
+
+	// Materialize the committed dw+hot stream. The timing model's result
+	// depends only on the record sequence, never on Fill chunk sizes, so
+	// replaying this slice is equivalent to live functional feeding. On a
+	// fault the records committed before it are kept, exactly as the live
+	// stream would have delivered them.
+	need := dw + clusterSize
+	records := make([]trace.DynInst, 0, need)
+	for uint64(len(records)) < need {
+		b := buf
+		if rem := need - uint64(len(records)); rem < uint64(len(b)) {
+			b = b[:rem]
+		}
+		k, err := fs.RunBatch(b)
+		records = append(records, b[:k]...)
+		if err != nil {
+			prod.recErr = err
+			break
+		}
+		if k < len(b) {
+			break // halted: the consumer sees a short (or empty) stream
+		}
+		if stopped() {
+			return nil
+		}
+	}
+	prod.records = records
+	return prod
+}

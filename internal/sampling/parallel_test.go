@@ -1,0 +1,163 @@
+package sampling
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+
+	"rsr/internal/warmup"
+	"rsr/internal/workload"
+)
+
+// normalize clears the only field allowed to differ between two runs of the
+// same job: wall-clock time.
+func normalize(r *RunResult) *RunResult {
+	if r != nil {
+		r.Elapsed = 0
+	}
+	return r
+}
+
+// TestParallelByteIdenticalToSequential is the tentpole contract: for every
+// shard count, RunSampledParallel must produce results deeply equal to the
+// sequential path — cluster stats, work counters, and instruction accounting
+// alike — across seeds, workloads, warm-up methods, and detailed warm-up.
+func TestParallelByteIdenticalToSequential(t *testing.T) {
+	reg := Regimen{ClusterSize: 2000, NumClusters: 10}
+	const total = 400_000
+	specs := []string{"None", "R$BP (20%)", "R$BP (100%)", "RBP"}
+	for _, name := range []string{"twolf", "parser"} {
+		w, err := workload.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := w.Build()
+		for _, label := range specs {
+			spec, err := warmup.SpecByLabel(label)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, seed := range []int64{1, 2007} {
+				for _, dw := range []uint64{0, 500} {
+					seq, err := RunSampledOpts(p, DefaultMachine(), reg, total, seed, spec,
+						Options{DetailedWarmup: dw})
+					if err != nil {
+						t.Fatalf("%s/%s seq: %v", name, label, err)
+					}
+					for _, shards := range []int{1, 2, 4, 7} {
+						par, err := RunSampledParallel(p, DefaultMachine(), reg, total, seed, spec,
+							Options{DetailedWarmup: dw, Shards: shards})
+						if err != nil {
+							t.Fatalf("%s/%s shards=%d: %v", name, label, shards, err)
+						}
+						if !reflect.DeepEqual(normalize(seq), normalize(par)) {
+							t.Errorf("%s/%s seed=%d dw=%d shards=%d: parallel result differs from sequential",
+								name, label, seed, dw, shards)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestParallelAllWorkloadsIdentical covers the acceptance matrix: every
+// workload, sharded at 4, must match the sequential run byte for byte.
+func TestParallelAllWorkloadsIdentical(t *testing.T) {
+	reg := Regimen{ClusterSize: 2000, NumClusters: 10}
+	const total = 400_000
+	spec, err := warmup.SpecByLabel("R$BP (20%)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range workload.Names() {
+		w, err := workload.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := w.Build()
+		seq, err := RunSampledOpts(p, DefaultMachine(), reg, total, 2007, spec, Options{})
+		if err != nil {
+			t.Fatalf("%s seq: %v", name, err)
+		}
+		par, err := RunSampledParallel(p, DefaultMachine(), reg, total, 2007, spec, Options{Shards: 4})
+		if err != nil {
+			t.Fatalf("%s parallel: %v", name, err)
+		}
+		if !reflect.DeepEqual(normalize(seq), normalize(par)) {
+			t.Errorf("%s: parallel result differs from sequential", name)
+		}
+	}
+}
+
+// TestParallelFuncWarmFallsBack pins the documented fallback: methods whose
+// observation mutates shared machine state (SMARTS functional warming) do
+// not implement warmup.RegionObserver, so a sharded request silently runs
+// the sequential path and still matches it exactly.
+func TestParallelFuncWarmFallsBack(t *testing.T) {
+	w, err := workload.ByName("twolf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := w.Build()
+	reg := Regimen{ClusterSize: 2000, NumClusters: 10}
+	spec := warmup.Spec{Kind: warmup.KindSMARTS, Cache: true, BPred: true}
+	seq, err := RunSampledOpts(p, DefaultMachine(), reg, 400_000, 2007, spec, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := RunSampledParallel(p, DefaultMachine(), reg, 400_000, 2007, spec, Options{Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(normalize(seq), normalize(par)) {
+		t.Error("S$BP sharded request diverged from sequential")
+	}
+}
+
+// TestParallelCancelPreClosed pins the earliest cancel point of the sharded
+// path: a pre-closed channel aborts with ErrCanceled and only the zero
+// value escapes, matching the sequential contract.
+func TestParallelCancelPreClosed(t *testing.T) {
+	w, err := workload.ByName("twolf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, _ := warmup.SpecByLabel("R$BP (20%)")
+	reg := Regimen{ClusterSize: 2000, NumClusters: 10}
+	res, err := RunSampledParallel(w.Build(), DefaultMachine(), reg, 400_000, 2007, spec,
+		Options{Shards: 4, Cancel: closedChan()})
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+	if res != nil {
+		t.Errorf("partial state escaped a canceled parallel run: %+v", res)
+	}
+}
+
+// TestParallelCancelMidRun fires cancellation while shards are mid-flight:
+// both paths must return ErrCanceled with no partial result, and every
+// pipeline goroutine must exit (the race detector guards the teardown).
+func TestParallelCancelMidRun(t *testing.T) {
+	w, err := workload.ByName("twolf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := w.Build()
+	spec, _ := warmup.SpecByLabel("R$BP (20%)")
+	reg := Regimen{ClusterSize: 2000, NumClusters: 20}
+	cancel := make(chan struct{})
+	go func() {
+		time.Sleep(2 * time.Millisecond)
+		close(cancel)
+	}()
+	res, err := RunSampledParallel(p, DefaultMachine(), reg, 2_000_000, 2007, spec,
+		Options{Shards: 4, Cancel: cancel})
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+	if res != nil {
+		t.Errorf("partial state escaped a canceled parallel run: %+v", res)
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"runtime"
 	"time"
 
 	"rsr/internal/bpred"
@@ -44,13 +45,12 @@ func (r Regimen) Validate(total uint64) error {
 	if r.ClusterSize == 0 || r.NumClusters <= 0 {
 		return errors.New("sampling: cluster size and count must be positive")
 	}
+	// NumClusters*ClusterSize <= total implies floor(total/NumClusters) >=
+	// ClusterSize, so every stratum fits its cluster: no separate stratum
+	// check is needed (TestRegimenValidateBoundaries pins the boundaries).
 	if uint64(r.NumClusters)*r.ClusterSize > total {
 		return fmt.Errorf("sampling: %d clusters of %d exceed workload length %d",
 			r.NumClusters, r.ClusterSize, total)
-	}
-	if total/uint64(r.NumClusters) < r.ClusterSize {
-		return fmt.Errorf("sampling: strata of %d too small for clusters of %d",
-			total/uint64(r.NumClusters), r.ClusterSize)
 	}
 	return nil
 }
@@ -188,6 +188,16 @@ type Options struct {
 	// additionally at cluster boundaries), so results of uncanceled runs are
 	// unaffected.
 	Cancel <-chan struct{}
+	// Shards, when > 1, runs the sampled simulation through the parallel
+	// cluster pipeline (RunSampledParallel): cold functional execution and
+	// skip-log capture fan out over shard goroutines seeded from
+	// architectural checkpoints, while microarchitectural state advances
+	// sequentially in cluster order, so results stay byte-identical to the
+	// sequential run. 0 or 1 selects the sequential path, as do warm-up
+	// methods that mutate machine state while observing (functional
+	// warming), which cannot shard. Shards is an execution policy, not part
+	// of a run's identity.
+	Shards int
 	// Instr, when non-nil, streams per-phase instruction counts, durations,
 	// warm-up work deltas, and machine event counters into its registry.
 	// Tracer, when non-nil, records one span per cluster phase (cold-skip,
@@ -217,6 +227,24 @@ func RunSampledOpts(p *prog.Program, m MachineConfig, reg Regimen, total uint64,
 	return runSampled(p, m, reg, total, seed, func(h *mem.Hierarchy, u *bpred.Unit) warmup.Method {
 		return spec.New(h, u)
 	}, opts)
+}
+
+// RunSampledParallel is RunSampledOpts with intra-run cluster parallelism:
+// opts.Shards goroutines (defaulting to GOMAXPROCS when unset) divide the
+// clusters into contiguous shards, a fast functional pre-pass seeds each
+// shard with an architectural checkpoint (registers plus dirty-page deltas)
+// at its boundary, and the shards execute their cold phases and capture
+// their skip logs concurrently while microarchitectural state — caches,
+// predictor, reconstruction — advances strictly in cluster order. The
+// result is byte-identical to the sequential run (see DESIGN.md "Parallel
+// cluster simulation" for the determinism argument); warm-up methods whose
+// observation mutates shared machine state (functional warming) run
+// sequentially regardless of Shards.
+func RunSampledParallel(p *prog.Program, m MachineConfig, reg Regimen, total uint64, seed int64, spec warmup.Spec, opts Options) (*RunResult, error) {
+	if opts.Shards == 0 {
+		opts.Shards = runtime.GOMAXPROCS(0)
+	}
+	return RunSampledOpts(p, m, reg, total, seed, spec, opts)
 }
 
 // RunSampledMethod is RunSampled for warm-up methods that need more context
@@ -266,6 +294,16 @@ func runSampled(p *prog.Program, m MachineConfig, reg Regimen, total uint64, see
 	unit := bpred.NewUnit(m.Pred)
 	method := mk(hier, unit)
 	sim := ooo.New(m.CPU, hier, method.Predictor())
+
+	if shards := shardCount(opts.Shards, len(starts)); shards > 1 {
+		// Only methods with region-local observation can shard; functional
+		// warming mutates the shared machine while observing and falls back
+		// to the sequential path below.
+		if robs, ok := method.(warmup.RegionObserver); ok {
+			return runParallel(p, reg, starts, hier, unit, robs, sim, shards, opts)
+		}
+	}
+
 	fs := funcsim.New(p)
 
 	res := &RunResult{Method: method.Name()}

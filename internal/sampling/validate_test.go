@@ -1,0 +1,35 @@
+package sampling
+
+import "testing"
+
+// TestRegimenValidateBoundaries pins Validate's accept/reject boundary: the
+// single NumClusters*ClusterSize <= total check subsumes the per-stratum
+// bound (floor(total/N) >= ClusterSize follows from it), so exact fits are
+// accepted and one instruction less is rejected.
+func TestRegimenValidateBoundaries(t *testing.T) {
+	cases := []struct {
+		name  string
+		r     Regimen
+		total uint64
+		ok    bool
+	}{
+		{"zero cluster size", Regimen{ClusterSize: 0, NumClusters: 10}, 1000, false},
+		{"zero cluster count", Regimen{ClusterSize: 100, NumClusters: 0}, 1000, false},
+		{"negative cluster count", Regimen{ClusterSize: 100, NumClusters: -1}, 1000, false},
+		{"exact fit", Regimen{ClusterSize: 100, NumClusters: 10}, 1000, true},
+		{"one short", Regimen{ClusterSize: 100, NumClusters: 10}, 999, false},
+		{"single cluster spans all", Regimen{ClusterSize: 1000, NumClusters: 1}, 1000, true},
+		{"single cluster too big", Regimen{ClusterSize: 1001, NumClusters: 1}, 1000, false},
+		{"uneven strata still fit", Regimen{ClusterSize: 3, NumClusters: 3}, 10, true},
+		{"generous slack", Regimen{ClusterSize: 2000, NumClusters: 50}, 20_000_000, true},
+	}
+	for _, c := range cases {
+		err := c.r.Validate(c.total)
+		if c.ok && err != nil {
+			t.Errorf("%s: Validate(%d) = %v, want accept", c.name, c.total, err)
+		}
+		if !c.ok && err == nil {
+			t.Errorf("%s: Validate(%d) accepted, want reject", c.name, c.total)
+		}
+	}
+}

@@ -48,6 +48,34 @@ func ObserveSkipScalar(ds []trace.DynInst, observe func(*trace.DynInst)) {
 	}
 }
 
+// RegionCapture accumulates one skip region's observation product away from
+// the method's shared state, so a region can be observed on a goroutine of
+// its own while earlier regions are still being consumed. Feeding a capture
+// the region's batches and adopting it is equivalent to feeding the method
+// directly between BeginSkip and EndSkip.
+type RegionCapture interface {
+	ObserveSkipBatch(ds []trace.DynInst)
+}
+
+// RegionObserver is implemented by methods whose skip observation is
+// region-local: BeginSkip discards all observation state from earlier
+// regions, so a region's observation product depends only on that region's
+// instruction stream. Such methods can have their cold phases captured out
+// of order (sampling.RunSampledParallel relies on this); methods that mutate
+// shared machine state while observing (functional warming) cannot implement
+// it and fall back to the sequential path.
+//
+// NewRegionCapture must be safe for concurrent use; the returned capture is
+// confined to one goroutine until it is handed to AdoptRegion. AdoptRegion
+// must be called between BeginSkip and EndSkip in place of the method's own
+// ObserveSkip calls for that region, and leaves the method in exactly the
+// state direct observation of the same stream would.
+type RegionObserver interface {
+	Method
+	NewRegionCapture(expectedLen uint64) RegionCapture
+	AdoptRegion(c RegionCapture)
+}
+
 // Work counts warm-up effort in state operations, the deterministic analogue
 // of the paper's simulation-time comparison.
 type Work struct {
@@ -224,6 +252,15 @@ func (n *none) ObserveSkipBatch([]trace.DynInst) {}
 func (n *none) EndSkip()                         {}
 func (n *none) Predictor() bpred.Predictor       { return n.u }
 func (n *none) Work() Work                       { return Work{} }
+
+// noneCapture is the trivial region capture: None observes nothing, so the
+// capture is stateless and a single value serves every region.
+type noneCapture struct{}
+
+func (noneCapture) ObserveSkipBatch([]trace.DynInst) {}
+
+func (n *none) NewRegionCapture(uint64) RegionCapture { return noneCapture{} }
+func (n *none) AdoptRegion(RegionCapture)             {}
 
 // --- shared functional-warming machinery (SMARTS and fixed-period) ---
 
@@ -420,11 +457,15 @@ func (w *windowed) Work() Work                 { return w.work }
 // --- Reverse State Reconstruction ---
 
 type reverse struct {
-	h             *mem.Hierarchy
-	u             *bpred.Unit
-	rp            *core.ReconPredictor
-	spec          Spec
-	label         string
+	h     *mem.Hierarchy
+	u     *bpred.Unit
+	rp    *core.ReconPredictor
+	spec  Spec
+	label string
+	// lineMask is the immutable L1I line mask; NewRegionCapture reads it
+	// from concurrent producer goroutines while AdoptRegion overwrites the
+	// mutable lines tracker, so the two must be separate fields.
+	lineMask      uint64
 	log           trace.SkipLog
 	lines         lineTracker
 	work          Work
@@ -432,8 +473,9 @@ type reverse struct {
 }
 
 func newReverse(h *mem.Hierarchy, u *bpred.Unit, s Spec) *reverse {
+	lt := newLineTracker(h.Config().L1I.LineBytes)
 	r := &reverse{h: h, u: u, spec: s, label: s.Label(),
-		lines: newLineTracker(h.Config().L1I.LineBytes)}
+		lineMask: lt.lineMask, lines: lt}
 	if s.BPred {
 		r.rp = core.NewReconPredictor(u)
 		r.rp.SetNoInference(s.NoCounterInference)
@@ -471,15 +513,18 @@ func (r *reverse) ObserveSkip(d *trace.DynInst) {
 	}
 }
 
-// ObserveSkipBatch is ObserveSkip flattened over a batch: the spec checks
-// are hoisted out of the loop, the line tracker runs on locals, and records
-// append straight onto the log slices (allocation-free once the region log
-// has reached steady-state capacity).
-func (r *reverse) ObserveSkipBatch(ds []trace.DynInst) {
+// appendSkipRecords is the batched logging kernel shared by the reverse
+// method and its region captures: the cache/bpred policy checks are hoisted
+// out of the loop, the line tracker runs on locals, and records append
+// straight onto the log slices (allocation-free once the region log has
+// reached steady-state capacity). It returns how many records it appended.
+// Sharing the kernel is what makes a capture's log byte-identical to direct
+// observation by construction.
+func appendSkipRecords(log *trace.SkipLog, lines *lineTracker, cache, bp bool, ds []trace.DynInst) uint64 {
 	var logged uint64
-	if r.spec.Cache {
-		mask, last, have := r.lines.lineMask, r.lines.last, r.lines.have
-		mem := r.log.Mem
+	if cache {
+		mask, last, have := lines.lineMask, lines.last, lines.have
+		mem := log.Mem
 		for i := range ds {
 			d := &ds[i]
 			if line := d.PC & mask; !have || line != last {
@@ -495,11 +540,11 @@ func (r *reverse) ObserveSkipBatch(ds []trace.DynInst) {
 				logged++
 			}
 		}
-		r.log.Mem = mem
-		r.lines.last, r.lines.have = last, have
+		log.Mem = mem
+		lines.last, lines.have = last, have
 	}
-	if r.spec.BPred {
-		branches := r.log.Branches
+	if bp {
+		branches := log.Branches
 		for i := range ds {
 			d := &ds[i]
 			if d.Op.IsControl() {
@@ -507,9 +552,49 @@ func (r *reverse) ObserveSkipBatch(ds []trace.DynInst) {
 				logged++
 			}
 		}
-		r.log.Branches = branches
+		log.Branches = branches
 	}
-	r.work.LoggedRecords += logged
+	return logged
+}
+
+// ObserveSkipBatch is ObserveSkip flattened over a batch via the shared
+// logging kernel.
+func (r *reverse) ObserveSkipBatch(ds []trace.DynInst) {
+	r.work.LoggedRecords += appendSkipRecords(&r.log, &r.lines, r.spec.Cache, r.spec.BPred, ds)
+}
+
+// reverseCapture is the reverse method's region capture: a private log and
+// line tracker fed by the same kernel as direct observation. BeginSkip
+// discards the previous region's log, so starting from an empty log and a
+// reset tracker reproduces the method's region-start state exactly.
+type reverseCapture struct {
+	cache  bool
+	bp     bool
+	log    trace.SkipLog
+	lines  lineTracker
+	logged uint64
+}
+
+func (c *reverseCapture) ObserveSkipBatch(ds []trace.DynInst) {
+	c.logged += appendSkipRecords(&c.log, &c.lines, c.cache, c.bp, ds)
+}
+
+// NewRegionCapture returns a capture for one skip region. Only immutable
+// configuration is read, so captures may be created concurrently.
+func (r *reverse) NewRegionCapture(expectedLen uint64) RegionCapture {
+	return &reverseCapture{cache: r.spec.Cache, bp: r.spec.BPred,
+		lines: lineTracker{lineMask: r.lineMask}}
+}
+
+// AdoptRegion installs a captured region log as if the method had observed
+// the region itself. The caller has already run BeginSkip for the region
+// (which folded predictor work and discarded the previous log), so adopting
+// replaces the empty log wholesale.
+func (r *reverse) AdoptRegion(c RegionCapture) {
+	cc := c.(*reverseCapture)
+	r.log = cc.log
+	r.lines = cc.lines
+	r.work.LoggedRecords += cc.logged
 }
 
 func (r *reverse) EndSkip() {
