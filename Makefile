@@ -6,6 +6,8 @@
 #   make chaos       race-enabled fault-injection suite (chaos + drain tests)
 #   make obs-smoke   end-to-end observability check: rsrd /metrics scrape +
 #                    rsr -metrics-out/-trace-out artifacts
+#   make cluster-smoke  sweep-fabric check: 1 rsrc coordinator + 2 peer rsrd
+#                    workers, sweep output diffed against a single-node run
 #   make bench       machine-readable benchmark snapshot (BENCH_$(LABEL).json)
 #   make bench-sweep sequential-vs-parallel sweep benchmark at small scale
 #   make all         everything above
@@ -16,9 +18,9 @@
 GO ?= go
 LABEL ?= dev
 
-.PHONY: all build test verify chaos obs-smoke bench bench-sweep
+.PHONY: all build test verify chaos obs-smoke cluster-smoke bench bench-sweep
 
-all: build test verify chaos obs-smoke
+all: build test verify chaos obs-smoke cluster-smoke
 
 build:
 	$(GO) build ./...
@@ -31,10 +33,13 @@ test: build
 # single-flight machinery, and the sampling package carries both the
 # fresh-state-per-call concurrency contract the engine relies on and the
 # sharded cluster pipeline (parallel_test.go's byte-identity and
-# cancellation tests run under -race here).
+# cancellation tests run under -race here). The cluster and cas packages
+# carry the distributed scheduler and the shared content-addressed store,
+# both all-mutex-and-goroutine code.
 verify:
 	$(GO) vet ./...
-	$(GO) test -race ./internal/obs/... ./internal/engine/... ./internal/sampling/... ./cmd/rsrd/...
+	$(GO) test -race ./internal/obs/... ./internal/engine/... ./internal/sampling/... \
+		./internal/cluster/... ./internal/cas/... ./cmd/rsrd/...
 
 # chaos drives the deterministic fault injector through the engine's real
 # cache and run paths under the race detector: injected disk errors, torn
@@ -43,7 +48,8 @@ verify:
 chaos:
 	$(GO) test -race ./internal/fault/...
 	$(GO) test -race -run 'Chaos|Fault|Drain|Cancel|Quarantin' \
-		./internal/engine/... ./internal/sampling/... ./cmd/rsrd/...
+		./internal/engine/... ./internal/sampling/... ./internal/cluster/... \
+		./internal/cas/... ./cmd/rsrd/...
 
 # obs-smoke proves the observability layer end to end without any test
 # scaffolding: a real daemon serves /metrics after running a real job, and
@@ -51,6 +57,12 @@ chaos:
 # fails if any required metric family or phase span is missing.
 obs-smoke: build
 	./scripts/obs-smoke.sh
+
+# cluster-smoke proves the sweep fabric end to end with real processes: one
+# rsrc coordinator, two peer-mode rsrd workers, and a sweep submitted with
+# `rsr -cluster` whose output must be byte-identical to a single-node run.
+cluster-smoke: build
+	./scripts/cluster-smoke.sh
 
 bench:
 	$(GO) run ./cmd/rsrbench -label $(LABEL)

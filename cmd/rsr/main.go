@@ -25,6 +25,8 @@
 //
 // Flags:
 //
+//	-cluster url   run jobs on a sweep-fabric coordinator (cmd/rsrc) instead
+//	               of a local engine, e.g. -cluster http://host:9900
 //	-scale f       scale workload length (1.0 = 20M instructions)
 //	-seed n        cluster placement seed
 //	-workloads s   comma-separated workload subset
@@ -44,6 +46,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -56,6 +59,8 @@ import (
 	"syscall"
 	"time"
 
+	"rsr/internal/cluster"
+	"rsr/internal/engine"
 	"rsr/internal/experiments"
 	"rsr/internal/obs"
 	"rsr/internal/report"
@@ -63,7 +68,21 @@ import (
 	"rsr/internal/workload"
 )
 
+// clusterRunner adapts the cluster client to the lab's Runner seam.
+type clusterRunner struct{ c *cluster.Client }
+
+func (r clusterRunner) Submit(ctx context.Context, job engine.Job) (experiments.Waiter, error) {
+	t, err := r.c.Submit(ctx, job)
+	if err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+func (r clusterRunner) Close() {}
+
 func main() {
+	clusterAddr := flag.String("cluster", "", "sweep-fabric coordinator URL (e.g. http://host:9900); jobs run on its workers instead of a local engine")
 	scale := flag.Float64("scale", 1.0, "workload length scale (1.0 = 20M instructions)")
 	seed := flag.Int64("seed", 2007, "cluster placement seed")
 	workloadsFlag := flag.String("workloads", "", "comma-separated workload subset")
@@ -170,6 +189,18 @@ func main() {
 	if *workloadsFlag != "" {
 		cfg.Workloads = strings.Split(*workloadsFlag, ",")
 	}
+	if *clusterAddr != "" {
+		// One request ID for the whole invocation: the coordinator and every
+		// worker tag their logs and engine events with it, so a sweep is
+		// traceable end to end from this process's submissions.
+		reqID := cluster.NewRequestIDs().Next()
+		cl := cluster.NewClient(*clusterAddr, reqID, nil)
+		if _, err := cl.Handshake(context.Background()); err != nil {
+			fmt.Fprintln(os.Stderr, "rsr: -cluster:", err)
+			os.Exit(1)
+		}
+		cfg.Runner = clusterRunner{cl}
+	}
 
 	cmd := flag.Arg(0)
 	if cmd == "" {
@@ -234,7 +265,7 @@ func writeTrace(tr *obs.Tracer, path string) error {
 func dispatch(cmd string, cfg experiments.Config, wl, method, format, out string, stats bool) error {
 	lab := experiments.NewLab(cfg)
 	defer lab.Close()
-	if stats {
+	if stats && lab.Engine() != nil {
 		defer func() {
 			s := lab.Engine().Stats()
 			fmt.Fprintf(os.Stderr,

@@ -1,0 +1,125 @@
+// Command rsrc is the sweep-fabric coordinator: it accepts simulation jobs,
+// splits them across peer-mode rsrd workers, and serves the shared
+// content-addressed store that carries result blobs and pre-pass checkpoint
+// chains between nodes.
+//
+// Usage:
+//
+//	rsrc [-addr :9900] [-casdir DIR] [-queue N] [-heartbeat-timeout D]
+//	     [-hedge-after D] [-max-requeues N] [-drain-timeout D]
+//
+// API:
+//
+//	POST /v1/jobs            submit one engine job; 503 + Retry-After when
+//	                         every worker queue is full (backpressure)
+//	GET  /v1/jobs/{id}       job status, and the result once finished
+//	POST /v1/sweeps          submit a batch (idempotent on retry)
+//	GET  /v1/sweeps/{id}     sweep progress
+//	POST /v1/peers/heartbeat worker liveness + engine depth (409 on skew)
+//	POST /v1/peers/pull      lease one work item (204 when idle)
+//	POST /v1/peers/complete  report an execution outcome
+//	/v1/cas/...              the shared content-addressed store
+//	GET  /v1/version         build info + cluster protocol version
+//	GET  /metrics            per-node queue/in-flight/steal/hedge gauges
+//	GET  /healthz, /readyz   liveness / readiness
+//
+// Scheduling is pull-based with bounded per-worker queues, work stealing
+// from slow nodes, hedged requests against stragglers, and heartbeat-driven
+// requeue on node loss; every job is deterministic and content-addressed,
+// so a sweep's results are byte-identical to a single-node run no matter
+// how the fabric moves the work (see internal/cluster).
+//
+// Start workers with:
+//
+//	rsrd -addr :8746 -peer -coordinator http://host:9900
+//
+// and point clients at the fabric with:
+//
+//	rsr -cluster http://host:9900 sweep -workload twolf
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log/slog"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"rsr/internal/cas"
+	"rsr/internal/cluster"
+	"rsr/internal/obs"
+)
+
+func main() {
+	addr := flag.String("addr", ":9900", "listen address")
+	casDir := flag.String("casdir", "", "content-addressed store directory (empty = memory-only)")
+	queue := flag.Int("queue", 0, "per-worker queue bound (0 = 32); full queues refuse submissions with 503")
+	hbTimeout := flag.Duration("heartbeat-timeout", 5*time.Second, "reap workers silent this long and requeue their work")
+	hedgeAfter := flag.Duration("hedge-after", 30*time.Second, "duplicate a lease running longer than this onto an idle worker (<0 disables)")
+	maxRequeues := flag.Int("max-requeues", 3, "per-item requeue budget across transient failures and node loss")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "bound on finishing scheduled work after SIGTERM/SIGINT")
+	logLevel := flag.String("log-level", "info", "log verbosity: debug, info, warn, or error")
+	flag.Parse()
+
+	var level slog.Level
+	if err := level.UnmarshalText([]byte(*logLevel)); err != nil {
+		slog.Error("bad -log-level", "value", *logLevel, "err", err)
+		os.Exit(2)
+	}
+	log := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
+	slog.SetDefault(log)
+
+	reg := obs.NewRegistry()
+	co := cluster.NewCoordinator(cluster.CoordinatorOptions{
+		QueuePerWorker:   *queue,
+		HeartbeatTimeout: *hbTimeout,
+		HedgeAfter:       *hedgeAfter,
+		MaxRequeues:      *maxRequeues,
+		Store:            cas.NewStore(*casDir),
+		Metrics:          reg,
+		Log:              log,
+	})
+
+	srv := cluster.NewServer(co, reg, log)
+	hs := &http.Server{Addr: *addr, Handler: srv.Routes()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.ListenAndServe() }()
+	log.Info("coordinating", "addr", *addr, "cas", *casDir,
+		"queue_per_worker", *queue, "heartbeat_timeout", *hbTimeout,
+		"hedge_after", *hedgeAfter, "protocol", cluster.ProtocolVersion)
+
+	select {
+	case err := <-serveErr:
+		co.Close()
+		log.Error("serve failed", "err", err)
+		os.Exit(1)
+	case <-ctx.Done():
+	}
+	stop()
+
+	// Graceful drain: refuse new submissions, give scheduled work a window
+	// to finish (results land in the CAS, so clients polling for them still
+	// succeed), then shut down.
+	log.Info("signal received, draining", "timeout", *drainTimeout)
+	co.BeginDrain()
+	dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if co.Quiesce(dctx) {
+		log.Info("all scheduled work finished")
+	} else {
+		log.Warn("drain timeout; unfinished items fail with coordinator closed")
+	}
+	if err := hs.Shutdown(dctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Error("shutdown failed", "err", err)
+	}
+	co.Close()
+	log.Info("drained, exiting")
+}

@@ -5,6 +5,7 @@
 //
 //	rsrd [-addr :8745] [-parallel N] [-cachedir DIR] [-job-timeout D]
 //	     [-retries N] [-drain-timeout D]
+//	     [-peer -coordinator URL [-node NAME] [-pulls N]]
 //
 // API:
 //
@@ -12,9 +13,17 @@
 //	GET  /v1/jobs/{id} job status, and the result once finished
 //	GET  /v1/stats     engine scheduler/cache counters
 //	GET  /v1/events    progress event stream (ndjson, until disconnect)
+//	GET  /v1/version   build info + cluster protocol version
 //	GET  /metrics      Prometheus text exposition of the metric registry
 //	GET  /healthz      liveness (200 while the process runs)
 //	GET  /readyz       readiness (503 once draining)
+//
+// With -peer, the daemon additionally joins the sweep fabric of the rsrc
+// coordinator at -coordinator: it heartbeats, pulls work, runs it on the
+// local engine, uploads results to the coordinator's content-addressed
+// store, and shares pre-pass checkpoint chains through the same store so
+// sibling nodes skip redundant functional warm-up. The local HTTP API stays
+// fully usable in peer mode.
 //
 // Every request is logged as one structured log/slog line (method, path,
 // status, duration, request ID); the ID is echoed as X-Request-ID, and a
@@ -46,6 +55,7 @@ import (
 	"syscall"
 	"time"
 
+	"rsr/internal/cluster"
 	"rsr/internal/engine"
 	"rsr/internal/obs"
 )
@@ -59,6 +69,10 @@ func main() {
 	retries := flag.Int("retries", 2, "extra execution attempts for transiently failed jobs (worker panics, injected faults)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "bound on finishing in-flight jobs after SIGTERM/SIGINT")
 	logLevel := flag.String("log-level", "info", "log verbosity: debug, info, warn, or error")
+	peerMode := flag.Bool("peer", false, "join a sweep-fabric coordinator as a worker (requires -coordinator)")
+	coordinator := flag.String("coordinator", "", "coordinator base URL for -peer, e.g. http://host:9900")
+	nodeName := flag.String("node", "", "cluster-unique worker name for -peer (default hostname-pid)")
+	pulls := flag.Int("pulls", 0, "concurrent work-pull loops in -peer mode (0 = 2)")
 	flag.Parse()
 	if *jobTimeout == 0 {
 		*jobTimeout = *timeoutAlias
@@ -72,14 +86,27 @@ func main() {
 	log := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
 	slog.SetDefault(log)
 
+	if *peerMode && *coordinator == "" {
+		slog.Error("-peer requires -coordinator")
+		os.Exit(2)
+	}
+
 	reg := obs.NewRegistry()
-	eng := engine.New(engine.Options{
+	engOpts := engine.Options{
 		Workers:        *parallel,
 		CacheDir:       *cacheDir,
 		DefaultTimeout: *jobTimeout,
 		MaxAttempts:    *retries + 1,
 		Metrics:        reg,
-	})
+	}
+	if *peerMode {
+		// Share pre-pass checkpoint chains through the coordinator's CAS:
+		// the first node to shard a pre-pass publishes the chain, siblings
+		// skip straight to detailed simulation. Execution policy only —
+		// results stay byte-identical.
+		engOpts.Checkpoints = cluster.NewCASCheckpoints(*coordinator, nil, log)
+	}
+	eng := engine.New(engOpts)
 
 	srv := newServer(eng, reg, log, *drainTimeout)
 	hs := &http.Server{Addr: *addr, Handler: srv.routes()}
@@ -94,8 +121,31 @@ func main() {
 	log.Info("listening", "addr", *addr, "workers", eng.Workers(),
 		"cache", *cacheDir, "retries", *retries, "drain", *drainTimeout)
 
+	var peer *cluster.Peer
+	if *peerMode {
+		p, err := cluster.NewPeer(cluster.PeerOptions{
+			Node:        *nodeName,
+			Coordinator: *coordinator,
+			Engine:      eng,
+			Pulls:       *pulls,
+			Log:         log,
+		})
+		if err == nil {
+			err = p.Start()
+		}
+		if err != nil {
+			eng.Close()
+			log.Error("peer mode failed", "err", err)
+			os.Exit(1)
+		}
+		peer = p
+	}
+
 	select {
 	case err := <-serveErr:
+		if peer != nil {
+			peer.Close()
+		}
 		eng.Close()
 		log.Error("serve failed", "err", err)
 		os.Exit(1)
@@ -108,6 +158,11 @@ func main() {
 	// instead of recomputing), then stop the listener and the workers.
 	log.Info("signal received, draining", "timeout", *drainTimeout)
 	srv.beginDrain()
+	if peer != nil {
+		// Leave the fabric first: heartbeats stop, so the coordinator
+		// requeues anything this node had leased but not finished.
+		peer.Close()
+	}
 	dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
 	if eng.Quiesce(dctx) {

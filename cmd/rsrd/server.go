@@ -13,6 +13,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"rsr/internal/cluster"
 	"rsr/internal/engine"
 	"rsr/internal/experiments"
 	"rsr/internal/obs"
@@ -26,7 +27,7 @@ type server struct {
 	eng *engine.Engine
 	reg *obs.Registry // scraped by GET /metrics; nil disables the endpoint
 	log *slog.Logger
-	ids *requestIDs
+	ids *cluster.RequestIDs
 
 	// retryAfter is the drain-refusal Retry-After header value, derived
 	// from the configured drain window: the drain bounds how long this
@@ -47,7 +48,7 @@ func newServer(eng *engine.Engine, reg *obs.Registry, log *slog.Logger, drainWin
 	if log == nil {
 		log = slog.Default()
 	}
-	return &server{eng: eng, reg: reg, log: log, ids: newRequestIDs(),
+	return &server{eng: eng, reg: reg, log: log, ids: cluster.NewRequestIDs(),
 		retryAfter: retryAfterValue(drainWindow),
 		tickets:    make(map[string]*engine.Ticket)}
 }
@@ -76,6 +77,9 @@ func (s *server) routes() http.Handler {
 	mux.HandleFunc("/v1/jobs/", s.handleJob)
 	mux.HandleFunc("/v1/stats", s.handleStats)
 	mux.HandleFunc("/v1/events", s.handleEvents)
+	// Build info + protocol version, so operators and peers can spot
+	// mixed-version fleets before they corrupt a sweep.
+	mux.HandleFunc("/v1/version", s.handleVersion)
 	// Liveness is unconditional while the process runs; readiness flips
 	// during drain so load balancers stop routing submissions here.
 	mux.HandleFunc("/healthz", s.handleHealthz)
@@ -91,7 +95,12 @@ func (s *server) routes() http.Handler {
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	// Every route shares the request-ID + structured-log wrapper: one line
 	// per request, the ID echoed as X-Request-ID.
-	return withRequestLog(s.log, s.ids, mux)
+	return cluster.WithRequestLog(s.log, s.ids, mux)
+}
+
+// handleVersion serves build info and the cluster protocol version.
+func (s *server) handleVersion(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, cluster.Version())
 }
 
 // handleMetrics serves the registry in Prometheus text exposition format.
@@ -195,8 +204,11 @@ func (s *server) handleJobs(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	// The daemon owns the run lifetime, not the request: jobs keep running
-	// after the submitting connection goes away.
-	tk, err := s.eng.Submit(context.Background(), job)
+	// after the submitting connection goes away. The request's correlation
+	// ID rides along so the job's engine events carry the same X-Request-ID
+	// the client saw.
+	ctx := engine.WithRequestID(context.Background(), cluster.RequestIDFrom(r.Context()))
+	tk, err := s.eng.Submit(ctx, job)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return

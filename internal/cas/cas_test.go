@@ -1,0 +1,157 @@
+package cas
+
+import (
+	"bytes"
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestStoreRoundTrip(t *testing.T) {
+	for _, dir := range []string{"", t.TempDir()} {
+		s := NewStore(dir)
+		blob := []byte("reverse state reconstruction")
+		sum, err := s.Put(blob)
+		if err != nil {
+			t.Fatalf("Put: %v", err)
+		}
+		if sum != Sum(blob) {
+			t.Fatalf("Put sum = %s, want %s", sum, Sum(blob))
+		}
+		got, err := s.Get(sum)
+		if err != nil || !bytes.Equal(got, blob) {
+			t.Fatalf("Get = %q, %v", got, err)
+		}
+		if !s.Has(sum) {
+			t.Fatal("Has = false after Put")
+		}
+		if _, err := s.Get(Sum([]byte("absent"))); err != ErrNotFound {
+			t.Fatalf("Get(absent) err = %v, want ErrNotFound", err)
+		}
+
+		if err := s.Link("ckpt|twolf", sum); err != nil {
+			t.Fatalf("Link: %v", err)
+		}
+		r, err := s.Resolve("ckpt|twolf")
+		if err != nil || r != sum {
+			t.Fatalf("Resolve = %s, %v", r, err)
+		}
+		if _, err := s.Resolve("missing"); err != ErrNotFound {
+			t.Fatalf("Resolve(missing) err = %v, want ErrNotFound", err)
+		}
+	}
+}
+
+func TestStoreDiskPersistence(t *testing.T) {
+	dir := t.TempDir()
+	blob := []byte("persisted blob")
+	sum, err := NewStore(dir).Put(blob)
+	if err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	if err := NewStore(dir).Link("k", sum); err != nil {
+		t.Fatalf("Link: %v", err)
+	}
+
+	// A fresh store over the same directory sees both spaces.
+	s := NewStore(dir)
+	got, err := s.Get(sum)
+	if err != nil || !bytes.Equal(got, blob) {
+		t.Fatalf("Get after reopen = %q, %v", got, err)
+	}
+	if r, err := s.Resolve("k"); err != nil || r != sum {
+		t.Fatalf("Resolve after reopen = %s, %v", r, err)
+	}
+}
+
+func TestServerClientRoundTrip(t *testing.T) {
+	store := NewStore(t.TempDir())
+	mux := http.NewServeMux()
+	mux.Handle("/v1/cas/", NewServer(store, "/v1/cas"))
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	c := NewClient(nil, srv.URL+"/v1/cas")
+	ctx := context.Background()
+	blob := []byte("over the wire")
+	sum, err := c.Put(ctx, blob)
+	if err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	got, err := c.Fetch(ctx, sum)
+	if err != nil || !bytes.Equal(got, blob) {
+		t.Fatalf("Fetch = %q, %v", got, err)
+	}
+	if err := c.Link(ctx, "result|abc", sum); err != nil {
+		t.Fatalf("Link: %v", err)
+	}
+	got, err = c.FetchKey(ctx, "result|abc")
+	if err != nil || !bytes.Equal(got, blob) {
+		t.Fatalf("FetchKey = %q, %v", got, err)
+	}
+	if _, err := c.Fetch(ctx, Sum([]byte("nope"))); err == nil {
+		t.Fatal("Fetch of absent blob succeeded")
+	}
+}
+
+func TestServerRejectsMismatchedPut(t *testing.T) {
+	store := NewStore("")
+	srv := httptest.NewServer(NewServer(store, "/v1/cas"))
+	defer srv.Close()
+
+	// Claim one sum, send other bytes: the server must refuse and store
+	// nothing, or a lying peer could poison the address space.
+	claimed := Sum([]byte("honest bytes"))
+	req, _ := http.NewRequest(http.MethodPut, srv.URL+"/v1/cas/blobs/"+claimed,
+		strings.NewReader("dishonest bytes"))
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("PUT: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("mismatched PUT status = %d, want 400", resp.StatusCode)
+	}
+	if store.Has(claimed) {
+		t.Fatal("store accepted a blob that does not hash to its key")
+	}
+}
+
+func TestQuarantineLayout(t *testing.T) {
+	dir := t.TempDir()
+	s := NewStore(dir)
+	blob := []byte("will be corrupted")
+	sum, err := s.Put(blob)
+	if err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+
+	// Corrupt the on-disk entry behind a fresh store (no memory copy).
+	if err := os.WriteFile(filepath.Join(dir, "blobs", sum), []byte("scribbled"), 0o644); err != nil {
+		t.Fatalf("corrupt: %v", err)
+	}
+	s2 := NewStore(dir)
+	if _, err := s2.Get(sum); err == nil || !strings.Contains(err.Error(), "corrupt") {
+		t.Fatalf("Get of corrupt blob err = %v, want ErrCorrupt", err)
+	}
+	if s2.Stats().Corrupt != 1 {
+		t.Fatalf("Corrupt counter = %d, want 1", s2.Stats().Corrupt)
+	}
+	// The evidence moved to quarantine; the blob path is free for a rewrite.
+	if _, err := os.Stat(filepath.Join(dir, "quarantine", sum)); err != nil {
+		t.Fatalf("quarantined file missing: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "blobs", sum)); !os.IsNotExist(err) {
+		t.Fatalf("corrupt blob still at its path: %v", err)
+	}
+	if _, err := s2.Put(blob); err != nil {
+		t.Fatalf("rewrite after quarantine: %v", err)
+	}
+	if got, err := s2.Get(sum); err != nil || !bytes.Equal(got, blob) {
+		t.Fatalf("Get after rewrite = %q, %v", got, err)
+	}
+}

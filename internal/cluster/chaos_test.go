@@ -1,0 +1,181 @@
+package cluster
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"rsr/internal/engine"
+	"rsr/internal/fault"
+	"rsr/internal/obs"
+)
+
+// TestChaosNodeKillMidSweepByteIdentical proves the fabric's recovery
+// contract: a worker killed after leasing work (via the fault plan's
+// node-kill point) loses its leases and queue to the reaper, a survivor
+// picks everything up, and the sweep's results are still byte-identical to
+// a single-node run.
+func TestChaosNodeKillMidSweepByteIdentical(t *testing.T) {
+	reg := obs.NewRegistry()
+	co := NewCoordinator(CoordinatorOptions{
+		QueuePerWorker:   16,
+		HeartbeatTimeout: 300 * time.Millisecond,
+		HedgeAfter:       -1, // isolate the requeue path from hedging
+		Metrics:          reg,
+		Log:              testLogger(),
+	})
+	ts := httptest.NewServer(NewServer(co, reg, testLogger()).Routes())
+	defer ts.Close()
+	defer co.Close()
+
+	// The victim joins first and alone, so the whole sweep lands on its
+	// queue; the armed node-kill point fires on its first lease, before the
+	// job reaches the engine.
+	engA := engine.New(engine.Options{Workers: 2})
+	defer engA.Close()
+	victim, err := NewPeer(PeerOptions{
+		Node: "peer-a", Coordinator: ts.URL, Engine: engA,
+		Pulls: 1, HeartbeatEvery: 50 * time.Millisecond, PollEvery: 10 * time.Millisecond,
+		Fault: fault.New(7, fault.Rule{Point: fault.NodeKill, Kind: fault.KindError, Prob: 1}),
+		Log:   testLogger(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := victim.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer victim.Close()
+
+	cl := NewClient(ts.URL, "chaos-req", nil)
+	cl.pollEvery = 20 * time.Millisecond
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	jobs := sweepJobs(t)
+	tickets := make([]*RemoteTicket, len(jobs))
+	for i, j := range jobs {
+		tk, err := cl.Submit(ctx, j)
+		if err != nil {
+			t.Fatalf("submit %s: %v", j.Label(), err)
+		}
+		tickets[i] = tk
+	}
+
+	// The victim dies at its first pull; nothing completes until then.
+	deadline := time.Now().Add(10 * time.Second)
+	for !victim.Killed() {
+		if time.Now().After(deadline) {
+			t.Fatal("victim was never killed")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// A healthy survivor joins; the reaper hands it the dead node's leased
+	// and queued work.
+	engB := engine.New(engine.Options{Workers: 2})
+	defer engB.Close()
+	survivor, err := NewPeer(PeerOptions{
+		Node: "peer-b", Coordinator: ts.URL, Engine: engB,
+		Pulls: 2, HeartbeatEvery: 50 * time.Millisecond, PollEvery: 10 * time.Millisecond,
+		Log: testLogger(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := survivor.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer survivor.Close()
+
+	remote := make([]string, len(jobs))
+	for i, tk := range tickets {
+		res, err := tk.Wait(ctx)
+		if err != nil {
+			t.Fatalf("wait %s after node kill: %v", jobs[i].Label(), err)
+		}
+		remote[i] = canon(t, res)
+	}
+
+	// The chaos actually happened: a node was reaped and its lease requeued.
+	if got := metricValue(reg, "rsr_cluster_nodes_lost_total"); got < 1 {
+		t.Errorf("nodes lost = %v, want >= 1", got)
+	}
+	if got := metricValue(reg, "rsr_cluster_requeues_total"); got < 1 {
+		t.Errorf("requeues = %v, want >= 1", got)
+	}
+
+	// Recovery must not change a single byte of the results.
+	local := engine.New(engine.Options{Workers: 4})
+	defer local.Close()
+	for i, j := range jobs {
+		res, err := local.Run(ctx, j)
+		if err != nil {
+			t.Fatalf("local %s: %v", j.Label(), err)
+		}
+		if got := canon(t, res); got != remote[i] {
+			t.Errorf("%s: post-recovery result differs from single-node", j.Label())
+		}
+	}
+}
+
+// TestFaultNodeLossRequeuesToSurvivor exercises the reaper directly, without
+// HTTP: a node that stops heartbeating loses both its lease and its queued
+// backlog; the work requeues (to the lobby while no node is live, then to
+// the next worker's queue on its first heartbeat) and completes there.
+func TestFaultNodeLossRequeuesToSurvivor(t *testing.T) {
+	reg := obs.NewRegistry()
+	co := NewCoordinator(CoordinatorOptions{
+		QueuePerWorker:   8,
+		HeartbeatTimeout: 100 * time.Millisecond,
+		HedgeAfter:       -1,
+		Metrics:          reg,
+		Log:              testLogger(),
+	})
+	defer co.Close()
+	beat(t, co, "a")
+	id1, err := co.Submit(unitJob(1), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	id2, err := co.Submit(unitJob(2), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if it := co.Pull("a"); it == nil || it.ID != id1 {
+		t.Fatalf("lease = %+v, want %s", it, short(id1))
+	}
+	// Node a goes silent: one item leased, one still queued.
+	time.Sleep(250 * time.Millisecond)
+
+	beat(t, co, "b")
+	got := map[string]bool{}
+	deadline := time.Now().Add(2 * time.Second)
+	for len(got) < 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("survivor recovered %d/2 items", len(got))
+		}
+		if it := co.Pull("b"); it != nil {
+			got[it.ID] = true
+			fakeComplete(t, co, "b", it.ID)
+		} else {
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+	if !got[id1] || !got[id2] {
+		t.Fatalf("recovered = %v, want both %s and %s", got, short(id1), short(id2))
+	}
+	for _, id := range []string{id1, id2} {
+		if st, ok := co.Status(id); !ok || st.Status != "done" {
+			t.Fatalf("status[%s] = %+v", short(id), st)
+		}
+	}
+	if got := metricValue(reg, "rsr_cluster_nodes_lost_total"); got != 1 {
+		t.Errorf("nodes lost = %v, want 1", got)
+	}
+	// Only the leased item charges the requeue budget; the never-started
+	// queued item moves for free.
+	if got := metricValue(reg, "rsr_cluster_requeues_total"); got != 1 {
+		t.Errorf("requeues = %v, want 1", got)
+	}
+}

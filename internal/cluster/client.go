@@ -1,0 +1,200 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"rsr/internal/engine"
+)
+
+// Client submits jobs to a coordinator and waits for results, shaped like
+// the engine's Submit/Wait so callers (the lab's Runner seam) cannot tell
+// local from distributed execution. Backpressure is handled here: a 503 +
+// Retry-After submission is retried until it lands or the context dies, so
+// callers that submit a whole sweep up front just work.
+type Client struct {
+	base  string
+	hc    *http.Client
+	reqID string
+	// pollEvery is the initial result-poll interval (grows 1.5x to a 1s
+	// cap); tests shorten it.
+	pollEvery time.Duration
+}
+
+// NewClient returns a client for the coordinator at base (e.g.
+// "http://host:9000"). reqID, when non-empty, is sent as X-Request-ID on
+// every call so the whole sweep correlates end to end; hc may be nil for a
+// default 30s-timeout client.
+func NewClient(base string, reqID string, hc *http.Client) *Client {
+	if hc == nil {
+		hc = &http.Client{Timeout: 30 * time.Second}
+	}
+	return &Client{base: base, hc: hc, reqID: reqID, pollEvery: 50 * time.Millisecond}
+}
+
+// Handshake fetches the coordinator's version and fails fast on protocol
+// skew.
+func (c *Client) Handshake(ctx context.Context) (VersionInfo, error) {
+	v, err := fetchVersion(ctx, c.hc, c.base)
+	if err != nil {
+		return v, fmt.Errorf("cluster: coordinator handshake: %w", err)
+	}
+	if v.Protocol != ProtocolVersion {
+		return v, fmt.Errorf("%w: coordinator %d, this client %d",
+			ErrProtocol, v.Protocol, ProtocolVersion)
+	}
+	return v, nil
+}
+
+// RemoteTicket is a handle to a submitted job, polled via Wait.
+type RemoteTicket struct {
+	c  *Client
+	id string
+}
+
+// Hash returns the job's content address.
+func (t *RemoteTicket) Hash() string { return t.id }
+
+// Submit sends one job, absorbing backpressure: a 503 response is retried
+// after its Retry-After delay (capped at 2s) until accepted or ctx is done.
+func (c *Client) Submit(ctx context.Context, job engine.Job) (*RemoteTicket, error) {
+	body, err := json.Marshal(job)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		code, resp, header, err := c.post(ctx, "/v1/jobs", body)
+		if err != nil {
+			return nil, err
+		}
+		switch code {
+		case http.StatusAccepted:
+			var out struct {
+				ID string `json:"id"`
+			}
+			if err := json.Unmarshal(resp, &out); err != nil || out.ID == "" {
+				return nil, fmt.Errorf("cluster: bad submit response: %q", resp)
+			}
+			return &RemoteTicket{c: c, id: out.ID}, nil
+		case http.StatusServiceUnavailable:
+			delay := retryAfter(header, 2*time.Second)
+			select {
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			case <-time.After(delay):
+			}
+		default:
+			return nil, fmt.Errorf("cluster: submit refused: status %d: %s", code, errBody(resp))
+		}
+	}
+}
+
+// Wait polls the job until it finishes or ctx is done, returning the result
+// exactly as an engine.Ticket would.
+func (t *RemoteTicket) Wait(ctx context.Context) (*engine.Result, error) {
+	delay := t.c.pollEvery
+	for {
+		st, err := t.c.status(ctx, t.id)
+		if err != nil {
+			return nil, err
+		}
+		switch st.Status {
+		case "done":
+			if st.Result == nil {
+				return nil, fmt.Errorf("cluster: job %s done without a result", short(t.id))
+			}
+			return st.Result, nil
+		case "failed":
+			return nil, fmt.Errorf("cluster: job %s failed: %s", short(t.id), st.Error)
+		}
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-time.After(delay):
+		}
+		if delay = delay * 3 / 2; delay > time.Second {
+			delay = time.Second
+		}
+	}
+}
+
+// status GETs one job's state.
+func (c *Client) status(ctx context.Context, id string) (JobStatus, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/jobs/"+id, nil)
+	if err != nil {
+		return JobStatus{}, err
+	}
+	c.setHeaders(req)
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return JobStatus{}, err
+	}
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return JobStatus{}, fmt.Errorf("cluster: job %s: status %d: %s",
+			short(id), resp.StatusCode, errBody(body))
+	}
+	var st JobStatus
+	if err := json.Unmarshal(body, &st); err != nil {
+		return JobStatus{}, fmt.Errorf("cluster: job %s: decode: %w", short(id), err)
+	}
+	return st, nil
+}
+
+// post sends a JSON body and returns status, body, and headers.
+func (c *Client) post(ctx context.Context, path string, body []byte) (int, []byte, http.Header, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(body))
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	c.setHeaders(req)
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	b, _ := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	resp.Body.Close()
+	return resp.StatusCode, b, resp.Header, nil
+}
+
+func (c *Client) setHeaders(req *http.Request) {
+	if c.reqID != "" {
+		req.Header.Set("X-Request-ID", c.reqID)
+	}
+}
+
+// retryAfter parses a Retry-After header in seconds, capped.
+func retryAfter(h http.Header, max time.Duration) time.Duration {
+	if h == nil {
+		return 250 * time.Millisecond
+	}
+	secs, err := strconv.Atoi(h.Get("Retry-After"))
+	if err != nil || secs < 1 {
+		return 250 * time.Millisecond
+	}
+	d := time.Duration(secs) * time.Second
+	if d > max {
+		d = max
+	}
+	return d
+}
+
+// errBody extracts the {"error": ...} message from an error response, or
+// returns the raw body.
+func errBody(b []byte) string {
+	var e struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(b, &e) == nil && e.Error != "" {
+		return e.Error
+	}
+	return string(bytes.TrimSpace(b))
+}

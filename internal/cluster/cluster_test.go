@@ -1,0 +1,527 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"rsr/internal/engine"
+	"rsr/internal/obs"
+	"rsr/internal/sampling"
+	"rsr/internal/warmup"
+)
+
+func testLogger() *slog.Logger {
+	return slog.New(slog.NewTextHandler(io.Discard, nil))
+}
+
+// unitJob builds a valid job with a distinct hash per seed, for scheduler
+// unit tests that never execute it.
+func unitJob(seed int64) engine.Job {
+	return engine.Job{
+		Kind:     engine.JobSampled,
+		Workload: "twolf",
+		Total:    400_000,
+		Regimen:  sampling.Regimen{ClusterSize: 2000, NumClusters: 10},
+		Seed:     seed,
+	}
+}
+
+// fakeComplete stores a minimal decodable result blob for id and reports a
+// successful completion from node.
+func fakeComplete(t *testing.T, co *Coordinator, node, id string) {
+	t.Helper()
+	blob, err := json.Marshal(engine.Result{JobHash: id, Kind: engine.JobSampled})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := co.Store().Put(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := co.Complete(CompleteRequest{Node: node, ID: id, BlobSum: sum}); err != nil {
+		t.Fatalf("complete: %v", err)
+	}
+}
+
+// metricValue sums a family's series values in a registry snapshot.
+func metricValue(reg *obs.Registry, name string) float64 {
+	var total float64
+	for _, m := range reg.Snapshot() {
+		if m.Name != name {
+			continue
+		}
+		for _, s := range m.Series {
+			total += s.Value
+		}
+	}
+	return total
+}
+
+func beat(t *testing.T, co *Coordinator, node string) {
+	t.Helper()
+	if err := co.Heartbeat(Heartbeat{Node: node, Protocol: ProtocolVersion}); err != nil {
+		t.Fatalf("heartbeat %s: %v", node, err)
+	}
+}
+
+func TestSchedulerBackpressure(t *testing.T) {
+	co := NewCoordinator(CoordinatorOptions{
+		QueuePerWorker: 2, HeartbeatTimeout: time.Hour, Log: testLogger(),
+		Metrics: obs.NewRegistry(),
+	})
+	defer co.Close()
+	beat(t, co, "a")
+
+	id1, err := co.Submit(unitJob(1), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := co.Submit(unitJob(2), ""); err != nil {
+		t.Fatal(err)
+	}
+	// Queue full: the third submission is refused.
+	if _, err := co.Submit(unitJob(3), ""); err != ErrBusy {
+		t.Fatalf("third submit: err = %v, want ErrBusy", err)
+	}
+	// Duplicates coalesce even against a full queue.
+	dup, err := co.Submit(unitJob(1), "")
+	if err != nil || dup != id1 {
+		t.Fatalf("duplicate submit: id %s err %v, want %s <nil>", dup, err, id1)
+	}
+}
+
+func TestSchedulerLobbyHoldsWorkBeforeWorkers(t *testing.T) {
+	co := NewCoordinator(CoordinatorOptions{
+		QueuePerWorker: 2, HeartbeatTimeout: time.Hour, Log: testLogger(),
+	})
+	defer co.Close()
+
+	// No workers yet: the lobby admits up to one queue's worth, then
+	// backpressure.
+	if _, err := co.Submit(unitJob(1), ""); err != nil {
+		t.Fatal(err)
+	}
+	id2, err := co.Submit(unitJob(2), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := co.Submit(unitJob(3), ""); err != ErrBusy {
+		t.Fatalf("lobby overflow: err = %v, want ErrBusy", err)
+	}
+	// First worker arrives; its heartbeat drains the lobby to its queue.
+	beat(t, co, "a")
+	it := co.Pull("a")
+	if it == nil {
+		t.Fatal("pull after lobby drain returned nothing")
+	}
+	if it2 := co.Pull("a"); it2 == nil || it2.ID == it.ID {
+		t.Fatalf("second pull = %+v, want the other lobby item", it2)
+	} else if it.ID != id2 && it2.ID != id2 {
+		t.Fatal("lobby items lost in handoff")
+	}
+}
+
+func TestSchedulerStealsFromLongestQueue(t *testing.T) {
+	reg := obs.NewRegistry()
+	co := NewCoordinator(CoordinatorOptions{
+		QueuePerWorker: 8, HeartbeatTimeout: time.Hour, Log: testLogger(), Metrics: reg,
+	})
+	defer co.Close()
+	beat(t, co, "a")
+	ids := make([]string, 4)
+	for i := range ids {
+		id, err := co.Submit(unitJob(int64(i)), "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = id
+	}
+	// A second, idle worker steals from the back of a's queue.
+	beat(t, co, "b")
+	it := co.Pull("b")
+	if it == nil {
+		t.Fatal("idle worker did not steal")
+	}
+	if it.ID != ids[3] {
+		t.Errorf("stole %s, want the back of the queue %s", short(it.ID), short(ids[3]))
+	}
+	if got := metricValue(reg, "rsr_cluster_steals_total"); got != 1 {
+		t.Errorf("steals metric = %v, want 1", got)
+	}
+	// The thief completes the stolen item.
+	fakeComplete(t, co, "b", it.ID)
+	st, ok := co.Status(it.ID)
+	if !ok || st.Status != "done" || st.Result == nil {
+		t.Fatalf("stolen item status = %+v", st)
+	}
+}
+
+func TestSchedulerHedgesStragglerAndDropsLateCopy(t *testing.T) {
+	reg := obs.NewRegistry()
+	co := NewCoordinator(CoordinatorOptions{
+		QueuePerWorker: 8, HeartbeatTimeout: time.Hour,
+		HedgeAfter: 30 * time.Millisecond, Log: testLogger(), Metrics: reg,
+	})
+	defer co.Close()
+	beat(t, co, "a")
+	id, err := co.Submit(unitJob(1), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if it := co.Pull("a"); it == nil || it.Hedged {
+		t.Fatalf("first lease = %+v", it)
+	}
+	time.Sleep(60 * time.Millisecond)
+
+	beat(t, co, "b")
+	hedge := co.Pull("b")
+	if hedge == nil || !hedge.Hedged || hedge.ID != id {
+		t.Fatalf("hedge lease = %+v, want hedged duplicate of %s", hedge, short(id))
+	}
+	// A worker never hedges an item it already holds.
+	if again := co.Pull("b"); again != nil {
+		t.Fatalf("second pull from b = %+v, want nothing", again)
+	}
+	fakeComplete(t, co, "b", id)
+	// The straggler's late completion is dropped, not an error.
+	blob, _ := json.Marshal(engine.Result{JobHash: id, Kind: engine.JobSampled})
+	sum, _ := co.Store().Put(blob)
+	if err := co.Complete(CompleteRequest{Node: "a", ID: id, BlobSum: sum}); err != nil {
+		t.Fatalf("late complete: %v", err)
+	}
+	if got := metricValue(reg, "rsr_cluster_hedges_total"); got != 1 {
+		t.Errorf("hedges metric = %v, want 1", got)
+	}
+	if got := metricValue(reg, "rsr_cluster_late_completes_total"); got != 1 {
+		t.Errorf("late completes metric = %v, want 1", got)
+	}
+}
+
+func TestSchedulerRefusesUnverifiableBlobs(t *testing.T) {
+	co := NewCoordinator(CoordinatorOptions{HeartbeatTimeout: time.Hour, Log: testLogger()})
+	defer co.Close()
+	beat(t, co, "a")
+	id, err := co.Submit(unitJob(1), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if it := co.Pull("a"); it == nil {
+		t.Fatal("no lease")
+	}
+	// A blob that decodes to a different job's result must be refused.
+	blob, _ := json.Marshal(engine.Result{JobHash: "deadbeef", Kind: engine.JobSampled})
+	sum, _ := co.Store().Put(blob)
+	err = co.Complete(CompleteRequest{Node: "a", ID: id, BlobSum: sum})
+	if err == nil || !strings.Contains(err.Error(), "result of job") {
+		t.Fatalf("mismatched blob: err = %v, want ErrBadBlob", err)
+	}
+	// A sum that is not in the store at all is likewise refused.
+	err = co.Complete(CompleteRequest{Node: "a", ID: id,
+		BlobSum: strings.Repeat("ab", 32)})
+	if err == nil {
+		t.Fatal("absent blob: want error")
+	}
+	// The item is still running and completable.
+	fakeComplete(t, co, "a", id)
+	if st, _ := co.Status(id); st.Status != "done" {
+		t.Fatalf("status = %s after good blob", st.Status)
+	}
+}
+
+func TestVersionHandshakeAndProtocolSkew(t *testing.T) {
+	co := NewCoordinator(CoordinatorOptions{HeartbeatTimeout: time.Hour, Log: testLogger()})
+	defer co.Close()
+	ts := httptest.NewServer(NewServer(co, nil, testLogger()).Routes())
+	defer ts.Close()
+
+	v, err := NewClient(ts.URL, "", nil).Handshake(context.Background())
+	if err != nil {
+		t.Fatalf("handshake: %v", err)
+	}
+	if v.Protocol != ProtocolVersion || v.GoVersion == "" {
+		t.Fatalf("version = %+v", v)
+	}
+
+	// A skewed worker heartbeat is refused with 409.
+	body, _ := json.Marshal(Heartbeat{Node: "old", Protocol: ProtocolVersion + 1})
+	resp, err := http.Post(ts.URL+"/v1/peers/heartbeat", "application/json",
+		strings.NewReader(string(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("skewed heartbeat status = %d, want 409", resp.StatusCode)
+	}
+}
+
+func TestSubmitBackpressure503WithRetryAfter(t *testing.T) {
+	co := NewCoordinator(CoordinatorOptions{
+		QueuePerWorker: 1, HeartbeatTimeout: time.Hour, Log: testLogger(),
+	})
+	defer co.Close()
+	ts := httptest.NewServer(NewServer(co, nil, testLogger()).Routes())
+	defer ts.Close()
+
+	post := func(seed int64) *http.Response {
+		b, _ := json.Marshal(unitJob(seed))
+		resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(string(b)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+	r1 := post(1)
+	io.Copy(io.Discard, r1.Body)
+	r1.Body.Close()
+	if r1.StatusCode != http.StatusAccepted {
+		t.Fatalf("first submit = %d", r1.StatusCode)
+	}
+	r2 := post(2)
+	io.Copy(io.Discard, r2.Body)
+	r2.Body.Close()
+	if r2.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("overflow submit = %d, want 503", r2.StatusCode)
+	}
+	if r2.Header.Get("Retry-After") == "" {
+		t.Error("503 without Retry-After")
+	}
+}
+
+// --- full-fabric tests: coordinator + HTTP + real peers with real engines ---
+
+// fabric is an in-process cluster: one coordinator behind httptest, n peers
+// each with its own engine sharing checkpoints through the coordinator CAS.
+type fabric struct {
+	co      *Coordinator
+	ts      *httptest.Server
+	reg     *obs.Registry
+	peers   []*Peer
+	engines []*engine.Engine
+
+	closeOnce sync.Once
+}
+
+func newFabric(t *testing.T, copts CoordinatorOptions, npeers int) *fabric {
+	t.Helper()
+	if copts.Log == nil {
+		copts.Log = testLogger()
+	}
+	if copts.Metrics == nil {
+		copts.Metrics = obs.NewRegistry()
+	}
+	co := NewCoordinator(copts)
+	ts := httptest.NewServer(NewServer(co, copts.Metrics, copts.Log).Routes())
+	f := &fabric{co: co, ts: ts, reg: copts.Metrics}
+	for i := 0; i < npeers; i++ {
+		eng := engine.New(engine.Options{
+			Workers:     2,
+			Checkpoints: NewCASCheckpoints(ts.URL, nil, copts.Log),
+		})
+		p, err := NewPeer(PeerOptions{
+			Node:           fmt.Sprintf("peer-%c", 'a'+i),
+			Coordinator:    ts.URL,
+			Engine:         eng,
+			Pulls:          2,
+			HeartbeatEvery: 50 * time.Millisecond,
+			PollEvery:      10 * time.Millisecond,
+			Log:            copts.Log,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Start(); err != nil {
+			t.Fatal(err)
+		}
+		f.peers = append(f.peers, p)
+		f.engines = append(f.engines, eng)
+	}
+	t.Cleanup(f.close)
+	return f
+}
+
+func (f *fabric) close() {
+	f.closeOnce.Do(func() {
+		for _, p := range f.peers {
+			p.Close()
+		}
+		for _, e := range f.engines {
+			e.Close()
+		}
+		f.co.Close()
+		f.ts.Close()
+	})
+}
+
+// sweepJobs is a small mixed sweep: sampled runs across workloads and
+// methods (sharded, so checkpoint chains flow through the CAS) plus one
+// full baseline.
+func sweepJobs(t *testing.T) []engine.Job {
+	t.Helper()
+	reg := sampling.Regimen{ClusterSize: 2000, NumClusters: 10}
+	var jobs []engine.Job
+	for _, wl := range []string{"twolf", "parser"} {
+		for _, label := range []string{"None", "R$BP (20%)"} {
+			spec, err := warmup.SpecByLabel(label)
+			if err != nil {
+				t.Fatal(err)
+			}
+			jobs = append(jobs, engine.Job{
+				Kind:     engine.JobSampled,
+				Workload: wl,
+				Machine:  sampling.DefaultMachine(),
+				Total:    400_000,
+				Regimen:  reg,
+				Seed:     2007,
+				Warmup:   spec,
+				Shards:   2,
+			})
+		}
+	}
+	jobs = append(jobs, engine.Job{
+		Kind: engine.JobFull, Workload: "twolf",
+		Machine: sampling.DefaultMachine(), Total: 400_000,
+	})
+	return jobs
+}
+
+// canon renders a result in canonical JSON with the legitimately
+// nondeterministic wall-clock fields zeroed: the byte-identity comparand.
+func canon(t *testing.T, res *engine.Result) string {
+	t.Helper()
+	if res == nil {
+		t.Fatal("nil result")
+	}
+	r := *res
+	r.Wall = 0
+	if r.Sampled != nil {
+		cp := *r.Sampled
+		cp.Elapsed = 0
+		r.Sampled = &cp
+	}
+	if r.Full != nil {
+		cp := *r.Full
+		cp.Elapsed = 0
+		r.Full = &cp
+	}
+	b, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// TestClusterSweepByteIdenticalToSingleNode is the fabric's tentpole
+// contract: a sweep scheduled across two peer workers — with sharded
+// pre-pass checkpoints flowing through the shared CAS — produces results
+// byte-identical to the same jobs run on one local engine.
+func TestClusterSweepByteIdenticalToSingleNode(t *testing.T) {
+	f := newFabric(t, CoordinatorOptions{
+		QueuePerWorker: 16, HeartbeatTimeout: 2 * time.Second,
+	}, 2)
+	cl := NewClient(f.ts.URL, "sweep-req-1", nil)
+	cl.pollEvery = 10 * time.Millisecond
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+
+	jobs := sweepJobs(t)
+	tickets := make([]*RemoteTicket, len(jobs))
+	for i, j := range jobs {
+		tk, err := cl.Submit(ctx, j)
+		if err != nil {
+			t.Fatalf("submit %s: %v", j.Label(), err)
+		}
+		tickets[i] = tk
+	}
+	remote := make([]string, len(jobs))
+	for i, tk := range tickets {
+		res, err := tk.Wait(ctx)
+		if err != nil {
+			t.Fatalf("wait %s: %v", jobs[i].Label(), err)
+		}
+		remote[i] = canon(t, res)
+	}
+
+	local := engine.New(engine.Options{Workers: 4})
+	defer local.Close()
+	for i, j := range jobs {
+		res, err := local.Run(ctx, j)
+		if err != nil {
+			t.Fatalf("local %s: %v", j.Label(), err)
+		}
+		if got := canon(t, res); got != remote[i] {
+			t.Errorf("%s: cluster result differs from single-node\ncluster: %s\nlocal:   %s",
+				j.Label(), remote[i], got)
+		}
+	}
+
+	// Both peers worked the sweep and the per-node families are exposed.
+	prom := promText(t, f.ts.URL)
+	for _, want := range []string{
+		`rsr_cluster_queue_depth{node="peer-a"}`,
+		`rsr_cluster_queue_depth{node="peer-b"}`,
+		`rsr_cluster_inflight{node="peer-a"}`,
+		"rsr_cluster_jobs_submitted_total",
+		"rsr_cluster_workers 2",
+	} {
+		if !strings.Contains(prom, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}
+
+// promText scrapes the coordinator's /metrics.
+func promText(t *testing.T, base string) string {
+	t.Helper()
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// TestRequestIDPropagatesAcrossNodeHops pins the correlation contract: the
+// X-Request-ID a client sends with a submission reappears in the engine
+// events of the worker that executed the job, two hops away.
+func TestRequestIDPropagatesAcrossNodeHops(t *testing.T) {
+	f := newFabric(t, CoordinatorOptions{HeartbeatTimeout: 2 * time.Second}, 1)
+	events, cancel := f.engines[0].Subscribe(256)
+	defer cancel()
+
+	cl := NewClient(f.ts.URL, "corr-42", nil)
+	cl.pollEvery = 10 * time.Millisecond
+	ctx, cancelCtx := context.WithTimeout(context.Background(), time.Minute)
+	defer cancelCtx()
+	tk, err := cl.Submit(ctx, sweepJobs(t)[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tk.Wait(ctx); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.After(5 * time.Second)
+	for {
+		select {
+		case ev := <-events:
+			if ev.RequestID == "corr-42" {
+				return
+			}
+		case <-deadline:
+			t.Fatal("no worker engine event carried the client's request ID")
+		}
+	}
+}

@@ -1,0 +1,699 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"log/slog"
+	"sort"
+	"sync"
+	"time"
+
+	"rsr/internal/cas"
+	"rsr/internal/engine"
+	"rsr/internal/obs"
+)
+
+// CoordinatorOptions configures a Coordinator.
+type CoordinatorOptions struct {
+	// QueuePerWorker bounds each worker's assignment queue (and the lobby
+	// that holds work arriving before any worker has); when every queue is
+	// full, submissions are refused with ErrBusy (0 = 32).
+	QueuePerWorker int
+	// HeartbeatTimeout is how long a worker may go silent before it is
+	// reaped and its work requeued (0 = 5s).
+	HeartbeatTimeout time.Duration
+	// HedgeAfter is how long an item may run before an idle worker is given
+	// a duplicate lease racing the straggler (0 = 30s, negative disables).
+	HedgeAfter time.Duration
+	// MaxRequeues bounds how many times one item may be requeued — after
+	// transient failures or node loss — before it fails for good (0 = 3).
+	MaxRequeues int
+	// Store is the shared content-addressed store for result blobs and
+	// checkpoint chains (nil = a private in-memory store).
+	Store *cas.Store
+	// Metrics, when non-nil, exposes the fabric's per-node gauges and
+	// scheduling counters for the coordinator's /metrics.
+	Metrics *obs.Registry
+	// Log receives scheduling decisions worth an operator's attention
+	// (nil = slog.Default()).
+	Log *slog.Logger
+}
+
+// itemState is the lifecycle position of a work item.
+type itemState int
+
+const (
+	itemQueued itemState = iota
+	itemRunning
+	itemDone
+	itemFailed
+)
+
+// item is one accepted job and its scheduling state.
+type item struct {
+	id    string
+	job   engine.Job
+	reqID string
+
+	state      itemState
+	holders    map[string]bool // nodes currently leasing this item
+	firstStart time.Time       // zero until first leased; reset on requeue
+	requeues   int
+	hedged     bool
+
+	res    *engine.Result
+	errMsg string
+	done   chan struct{} // closed on done/failed
+}
+
+// node is one live worker.
+type node struct {
+	name     string
+	lastBeat time.Time
+	queue    []*item         // assigned, not yet pulled
+	leases   map[string]bool // item IDs pulled and executing
+	// engQueued/engRunning are the worker's self-reported engine counters,
+	// surfaced per node on the coordinator's /metrics.
+	engQueued, engRunning int64
+}
+
+// sweep tracks a named batch of job IDs.
+type sweep struct {
+	id  string
+	ids []string
+}
+
+// Coordinator schedules a sweep's jobs across peer workers. All methods are
+// safe for concurrent use.
+type Coordinator struct {
+	opts  CoordinatorOptions
+	store *cas.Store
+	log   *slog.Logger
+	obs   *coordObs
+
+	mu       sync.Mutex
+	nodes    map[string]*node
+	items    map[string]*item
+	lobby    []*item // accepted before any worker was live
+	sweeps   map[string]*sweep
+	sweepSeq int
+	closed   bool
+	draining bool
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+// NewCoordinator starts a coordinator and its reaper. Call Close to stop.
+func NewCoordinator(opts CoordinatorOptions) *Coordinator {
+	if opts.QueuePerWorker <= 0 {
+		opts.QueuePerWorker = 32
+	}
+	if opts.HeartbeatTimeout <= 0 {
+		opts.HeartbeatTimeout = 5 * time.Second
+	}
+	if opts.HedgeAfter == 0 {
+		opts.HedgeAfter = 30 * time.Second
+	}
+	if opts.MaxRequeues <= 0 {
+		opts.MaxRequeues = 3
+	}
+	if opts.Log == nil {
+		opts.Log = slog.Default()
+	}
+	st := opts.Store
+	if st == nil {
+		st = cas.NewStore("")
+	}
+	c := &Coordinator{
+		opts:   opts,
+		store:  st,
+		log:    opts.Log,
+		nodes:  make(map[string]*node),
+		items:  make(map[string]*item),
+		sweeps: make(map[string]*sweep),
+		stop:   make(chan struct{}),
+	}
+	c.obs = newCoordObs(opts.Metrics, c)
+	c.wg.Add(1)
+	go c.reapLoop()
+	return c
+}
+
+// Store returns the coordinator's content-addressed store (mounted under
+// /v1/cas/ by the HTTP layer; also usable in process by tests).
+func (c *Coordinator) Store() *cas.Store { return c.store }
+
+// Close stops the reaper and fails every unfinished item with ErrClosed so
+// pollers unblock. Workers discover the shutdown through failed pulls.
+func (c *Coordinator) Close() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		c.wg.Wait()
+		return
+	}
+	c.closed = true
+	close(c.stop)
+	var pending []*item
+	for _, it := range c.items {
+		if it.state == itemQueued || it.state == itemRunning {
+			pending = append(pending, it)
+		}
+	}
+	for _, it := range pending {
+		c.finalize(it, nil, ErrClosed.Error())
+	}
+	c.lobby = nil
+	c.mu.Unlock()
+	c.wg.Wait()
+}
+
+// BeginDrain stops accepting new submissions; scheduled work continues so
+// in-flight sweeps can finish. Readiness handlers report 503 while draining.
+func (c *Coordinator) BeginDrain() {
+	c.mu.Lock()
+	c.draining = true
+	c.mu.Unlock()
+}
+
+// Quiesce blocks until no item is queued or running, or until ctx is done,
+// reporting whether idleness was reached: the wait half of a graceful
+// drain, after BeginDrain stops new submissions.
+func (c *Coordinator) Quiesce(ctx context.Context) bool {
+	tick := time.NewTicker(20 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		c.mu.Lock()
+		idle := true
+		for _, it := range c.items {
+			if it.state == itemQueued || it.state == itemRunning {
+				idle = false
+				break
+			}
+		}
+		c.mu.Unlock()
+		if idle {
+			return true
+		}
+		select {
+		case <-ctx.Done():
+			return false
+		case <-tick.C:
+		}
+	}
+}
+
+// Draining reports whether BeginDrain has been called.
+func (c *Coordinator) Draining() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.draining
+}
+
+// Submit accepts one job, returning its content-hash ID. Duplicate
+// submissions — concurrent or after completion — coalesce onto the existing
+// item. ErrBusy signals backpressure: every live worker's queue (or, with no
+// workers yet, the lobby) is full and the client should retry after a delay.
+func (c *Coordinator) Submit(job engine.Job, reqID string) (string, error) {
+	if err := job.Validate(); err != nil {
+		return "", err
+	}
+	id := job.Hash()
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return "", ErrClosed
+	}
+	if c.draining {
+		return "", ErrBusy
+	}
+	if _, ok := c.items[id]; ok {
+		c.obs.coalesced.Inc()
+		return id, nil
+	}
+	it := &item{
+		id:      id,
+		job:     job,
+		reqID:   reqID,
+		holders: make(map[string]bool),
+		done:    make(chan struct{}),
+	}
+	if n := c.shortestLiveQueue(time.Now()); n != nil {
+		n.queue = append(n.queue, it)
+	} else if !c.anyLive(time.Now()) && len(c.lobby) < c.opts.QueuePerWorker {
+		c.lobby = append(c.lobby, it)
+	} else {
+		c.obs.rejected.Inc()
+		return "", ErrBusy
+	}
+	c.items[id] = it
+	c.obs.submitted.Inc()
+	return id, nil
+}
+
+// SubmitSweep accepts a batch of jobs as one sweep. On backpressure the
+// sweep is partially accepted and ErrBusy is returned alongside the sweep
+// status so far; resubmitting the same batch is idempotent (accepted members
+// coalesce), so clients simply retry the whole sweep.
+func (c *Coordinator) SubmitSweep(jobs []engine.Job, reqID string) (SweepStatus, error) {
+	ids := make([]string, 0, len(jobs))
+	for _, j := range jobs {
+		id, err := c.Submit(j, reqID)
+		if err != nil {
+			return SweepStatus{JobIDs: ids, Total: len(ids)}, err
+		}
+		ids = append(ids, id)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return SweepStatus{}, ErrClosed
+	}
+	c.sweepSeq++
+	sw := &sweep{id: fmt.Sprintf("sweep-%d", c.sweepSeq), ids: ids}
+	c.sweeps[sw.id] = sw
+	return c.sweepStatusLocked(sw), nil
+}
+
+// SweepStatus reports a sweep's progress.
+func (c *Coordinator) SweepStatus(id string) (SweepStatus, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	sw, ok := c.sweeps[id]
+	if !ok {
+		return SweepStatus{}, false
+	}
+	return c.sweepStatusLocked(sw), true
+}
+
+func (c *Coordinator) sweepStatusLocked(sw *sweep) SweepStatus {
+	st := SweepStatus{ID: sw.id, Total: len(sw.ids), JobIDs: sw.ids}
+	for _, id := range sw.ids {
+		switch c.items[id].state {
+		case itemDone:
+			st.Done++
+		case itemFailed:
+			st.Failed++
+		default:
+			st.Pending++
+		}
+	}
+	return st
+}
+
+// JobStatus is the poll-facing view of one item, shaped like rsrd's job
+// status so clients can share decoding.
+type JobStatus struct {
+	ID     string         `json:"id"`
+	Status string         `json:"status"` // pending, done, or failed
+	Error  string         `json:"error,omitempty"`
+	Result *engine.Result `json:"result,omitempty"`
+}
+
+// Status reports one job's state and, once finished, its result.
+func (c *Coordinator) Status(id string) (JobStatus, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	it, ok := c.items[id]
+	if !ok {
+		return JobStatus{}, false
+	}
+	st := JobStatus{ID: id, Status: "pending"}
+	switch it.state {
+	case itemDone:
+		st.Status, st.Result = "done", it.res
+	case itemFailed:
+		st.Status, st.Error = "failed", it.errMsg
+	}
+	return st, true
+}
+
+// Done returns a channel closed when the item finishes, for in-process
+// waiters (tests); false for unknown IDs.
+func (c *Coordinator) Done(id string) (<-chan struct{}, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	it, ok := c.items[id]
+	if !ok {
+		return nil, false
+	}
+	return it.done, true
+}
+
+// Heartbeat registers or refreshes a worker. A version-skewed worker is
+// refused with ErrProtocol so mixed fleets fail fast.
+func (c *Coordinator) Heartbeat(hb Heartbeat) error {
+	if hb.Protocol != ProtocolVersion {
+		return fmt.Errorf("%w: coordinator %d, worker %q %d",
+			ErrProtocol, ProtocolVersion, hb.Node, hb.Protocol)
+	}
+	if hb.Node == "" {
+		return fmt.Errorf("cluster: heartbeat without a node name")
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return ErrClosed
+	}
+	n := c.touch(hb.Node)
+	n.engQueued, n.engRunning = hb.QueueDepth, hb.Inflight
+	c.drainLobbyLocked()
+	return nil
+}
+
+// touch returns the named node, creating it on first contact, and refreshes
+// its liveness clock. Callers hold c.mu.
+func (c *Coordinator) touch(name string) *node {
+	n := c.nodes[name]
+	if n == nil {
+		n = &node{name: name, leases: make(map[string]bool)}
+		c.nodes[name] = n
+		c.log.Info("worker joined", "node", name)
+	}
+	n.lastBeat = time.Now()
+	return n
+}
+
+// Pull leases one work item to a worker: its own queue first, then the
+// lobby, then a steal from the back of the longest sibling queue, then a
+// hedged duplicate of the oldest long-running item. Returns nil when there
+// is nothing to do.
+func (c *Coordinator) Pull(nodeName string) *WorkItem {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed || nodeName == "" {
+		return nil
+	}
+	n := c.touch(nodeName)
+	now := time.Now()
+
+	var it *item
+	var hedged bool
+	switch {
+	case len(n.queue) > 0:
+		it, n.queue = n.queue[0], n.queue[1:]
+	case len(c.lobby) > 0:
+		it, c.lobby = c.lobby[0], c.lobby[1:]
+	default:
+		if victim := c.longestLiveQueue(n, now); victim != nil {
+			it = victim.queue[len(victim.queue)-1]
+			victim.queue = victim.queue[:len(victim.queue)-1]
+			c.obs.steals.With(nodeName).Inc()
+			c.log.Info("stole work", "node", nodeName, "from", victim.name, "job", short(it.id))
+		} else if h := c.hedgeCandidate(nodeName, now); h != nil {
+			it, hedged = h, true
+			it.hedged = true
+			c.obs.hedges.With(nodeName).Inc()
+			c.log.Info("hedged straggler", "node", nodeName, "job", short(it.id),
+				"running_for", now.Sub(it.firstStart).Round(time.Millisecond))
+		}
+	}
+	if it == nil {
+		return nil
+	}
+	it.state = itemRunning
+	it.holders[nodeName] = true
+	if it.firstStart.IsZero() {
+		it.firstStart = now
+	}
+	n.leases[it.id] = true
+	return &WorkItem{ID: it.id, Job: it.job, RequestID: it.reqID, Hedged: hedged}
+}
+
+// hedgeCandidate picks the oldest running item this node does not already
+// hold that has been running past HedgeAfter. Callers hold c.mu.
+func (c *Coordinator) hedgeCandidate(nodeName string, now time.Time) *item {
+	if c.opts.HedgeAfter < 0 {
+		return nil
+	}
+	var best *item
+	for _, it := range c.items {
+		if it.state != itemRunning || it.holders[nodeName] || len(it.holders) == 0 {
+			continue
+		}
+		if now.Sub(it.firstStart) < c.opts.HedgeAfter {
+			continue
+		}
+		if best == nil || it.firstStart.Before(best.firstStart) {
+			best = it
+		}
+	}
+	return best
+}
+
+// Complete records one execution's outcome. Success must name a result blob
+// already in the store; a blob that is missing, corrupt, or decodes to a
+// different job's result is refused with ErrBadBlob (the worker re-uploads
+// and retries). Failures release the node's lease: if another node still
+// holds a hedged lease the item keeps running, otherwise a transient failure
+// is requeued within the item's budget and anything else fails the item.
+func (c *Coordinator) Complete(req CompleteRequest) error {
+	var res *engine.Result
+	if req.Error == "" {
+		b, err := c.store.Get(req.BlobSum)
+		if err != nil {
+			return fmt.Errorf("%w: %v", ErrBadBlob, err)
+		}
+		res = new(engine.Result)
+		if err := json.Unmarshal(b, res); err != nil {
+			return fmt.Errorf("%w: decode: %v", ErrBadBlob, err)
+		}
+		if res.JobHash != req.ID {
+			return fmt.Errorf("%w: blob is a result of job %s, not %s",
+				ErrBadBlob, short(res.JobHash), short(req.ID))
+		}
+	}
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return ErrClosed
+	}
+	it, ok := c.items[req.ID]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownJob, short(req.ID))
+	}
+	delete(it.holders, req.Node)
+	if n := c.nodes[req.Node]; n != nil {
+		delete(n.leases, req.ID)
+		n.lastBeat = time.Now()
+	}
+	if it.state == itemDone || it.state == itemFailed {
+		// A hedge or requeue raced a slow completion; results are
+		// deterministic so the late copy is identical and simply dropped.
+		c.obs.lateCompletes.Inc()
+		return nil
+	}
+	if res != nil {
+		c.finalize(it, res, "")
+		return nil
+	}
+	if len(it.holders) > 0 {
+		// Another lease is still racing; let it decide the item.
+		c.log.Warn("lease failed, hedge still running", "node", req.Node,
+			"job", short(req.ID), "err", req.Error)
+		return nil
+	}
+	if req.Transient && it.requeues < c.opts.MaxRequeues {
+		c.requeueLocked(it, fmt.Sprintf("transient failure on %s: %s", req.Node, req.Error))
+		return nil
+	}
+	c.finalize(it, nil, req.Error)
+	return nil
+}
+
+// finalize publishes an item's terminal state. Callers hold c.mu.
+func (c *Coordinator) finalize(it *item, res *engine.Result, errMsg string) {
+	if it.state == itemDone || it.state == itemFailed {
+		return
+	}
+	if res != nil {
+		it.state, it.res = itemDone, res
+		c.obs.completed.With("done").Inc()
+	} else {
+		it.state, it.errMsg = itemFailed, errMsg
+		c.obs.completed.With("failed").Inc()
+	}
+	close(it.done)
+}
+
+// requeueLocked puts a running or assigned item back in line: on the
+// shortest live queue (capacity is not enforced for requeues — the work was
+// already accepted) or the lobby when no worker is live. Callers hold c.mu.
+func (c *Coordinator) requeueLocked(it *item, why string) {
+	it.state = itemQueued
+	it.firstStart = time.Time{}
+	it.requeues++
+	c.obs.requeues.Inc()
+	c.log.Warn("requeued", "job", short(it.id), "attempt", it.requeues, "why", why)
+	if n := c.shortestLiveQueueAnyDepth(time.Now()); n != nil {
+		n.queue = append(n.queue, it)
+	} else {
+		c.lobby = append(c.lobby, it)
+	}
+}
+
+// reapLoop periodically retires workers whose heartbeats stopped.
+func (c *Coordinator) reapLoop() {
+	defer c.wg.Done()
+	every := c.opts.HeartbeatTimeout / 4
+	if every < 10*time.Millisecond {
+		every = 10 * time.Millisecond
+	}
+	tick := time.NewTicker(every)
+	defer tick.Stop()
+	for {
+		select {
+		case <-c.stop:
+			return
+		case <-tick.C:
+			c.reap(time.Now())
+		}
+	}
+}
+
+// reap requeues the queued and leased work of every node silent past the
+// heartbeat timeout, then removes the node. An item over its requeue budget
+// fails instead of cycling through dying nodes forever.
+func (c *Coordinator) reap(now time.Time) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for name, n := range c.nodes {
+		if now.Sub(n.lastBeat) <= c.opts.HeartbeatTimeout {
+			continue
+		}
+		c.log.Warn("worker lost", "node", name,
+			"queued", len(n.queue), "leased", len(n.leases),
+			"silent_for", now.Sub(n.lastBeat).Round(time.Millisecond))
+		delete(c.nodes, name)
+		c.obs.nodesLost.Inc()
+		c.obs.zeroNode(name)
+		for _, it := range n.queue {
+			if it.state == itemQueued {
+				// Not counted against the requeue budget: assigned-but-never-
+				// started work lost nothing but its place in line.
+				if t := c.shortestLiveQueueAnyDepth(now); t != nil {
+					t.queue = append(t.queue, it)
+				} else {
+					c.lobby = append(c.lobby, it)
+				}
+			}
+		}
+		for id := range n.leases {
+			it := c.items[id]
+			if it == nil {
+				continue
+			}
+			delete(it.holders, name)
+			if it.state != itemRunning || len(it.holders) > 0 {
+				continue
+			}
+			if it.requeues < c.opts.MaxRequeues {
+				c.requeueLocked(it, fmt.Sprintf("node %s lost", name))
+			} else {
+				c.finalize(it, nil, fmt.Sprintf(
+					"cluster: job lost with node %s after %d requeues", name, it.requeues))
+			}
+		}
+	}
+	c.drainLobbyLocked()
+}
+
+// drainLobbyLocked moves lobby items onto live queues with room. Callers
+// hold c.mu.
+func (c *Coordinator) drainLobbyLocked() {
+	now := time.Now()
+	for len(c.lobby) > 0 {
+		n := c.shortestLiveQueue(now)
+		if n == nil {
+			return
+		}
+		n.queue = append(n.queue, c.lobby[0])
+		c.lobby = c.lobby[1:]
+	}
+}
+
+// shortestLiveQueue returns the live node with the shortest queue that still
+// has room, or nil. Ties break by name so placement is deterministic given
+// the same cluster view. Callers hold c.mu.
+func (c *Coordinator) shortestLiveQueue(now time.Time) *node {
+	var best *node
+	for _, n := range c.sortedNodes() {
+		if now.Sub(n.lastBeat) > c.opts.HeartbeatTimeout {
+			continue
+		}
+		if len(n.queue) >= c.opts.QueuePerWorker {
+			continue
+		}
+		if best == nil || len(n.queue) < len(best.queue) {
+			best = n
+		}
+	}
+	return best
+}
+
+// shortestLiveQueueAnyDepth is shortestLiveQueue without the capacity check,
+// for requeued work that must land somewhere. Callers hold c.mu.
+func (c *Coordinator) shortestLiveQueueAnyDepth(now time.Time) *node {
+	var best *node
+	for _, n := range c.sortedNodes() {
+		if now.Sub(n.lastBeat) > c.opts.HeartbeatTimeout {
+			continue
+		}
+		if best == nil || len(n.queue) < len(best.queue) {
+			best = n
+		}
+	}
+	return best
+}
+
+// longestLiveQueue returns the live node other than thief with the longest
+// non-empty queue — the steal victim. Callers hold c.mu.
+func (c *Coordinator) longestLiveQueue(thief *node, now time.Time) *node {
+	var best *node
+	for _, n := range c.sortedNodes() {
+		if n == thief || len(n.queue) == 0 {
+			continue
+		}
+		if now.Sub(n.lastBeat) > c.opts.HeartbeatTimeout {
+			continue
+		}
+		if best == nil || len(n.queue) > len(best.queue) {
+			best = n
+		}
+	}
+	return best
+}
+
+// sortedNodes returns the nodes in name order, making scheduling decisions
+// independent of map iteration order. Callers hold c.mu.
+func (c *Coordinator) sortedNodes() []*node {
+	ns := make([]*node, 0, len(c.nodes))
+	for _, n := range c.nodes {
+		ns = append(ns, n)
+	}
+	sort.Slice(ns, func(i, j int) bool { return ns[i].name < ns[j].name })
+	return ns
+}
+
+// anyLive reports whether at least one worker is within its heartbeat
+// window. Callers hold c.mu.
+func (c *Coordinator) anyLive(now time.Time) bool {
+	for _, n := range c.nodes {
+		if now.Sub(n.lastBeat) <= c.opts.HeartbeatTimeout {
+			return true
+		}
+	}
+	return false
+}
+
+// short abbreviates a content hash for logs.
+func short(sum string) string {
+	if len(sum) > 12 {
+		return sum[:12]
+	}
+	return sum
+}

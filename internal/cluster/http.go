@@ -1,0 +1,218 @@
+package cluster
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"strings"
+
+	"rsr/internal/cas"
+	"rsr/internal/engine"
+	"rsr/internal/obs"
+)
+
+// Server maps a Coordinator onto the rsrc HTTP API:
+//
+//	POST /v1/jobs            submit one engine.Job; 202 {"id": hash},
+//	                         503 + Retry-After on backpressure
+//	GET  /v1/jobs/{id}       job status, and the result once finished
+//	POST /v1/sweeps          submit a batch; idempotent on retry
+//	GET  /v1/sweeps/{id}     sweep progress
+//	POST /v1/peers/heartbeat worker liveness + engine depth (409 on skew)
+//	POST /v1/peers/pull      lease one work item (204 when idle)
+//	POST /v1/peers/complete  report an execution outcome
+//	/v1/cas/...              the shared content-addressed store
+//	GET  /v1/version         build info + protocol version
+//	GET  /metrics            Prometheus text exposition
+//	GET  /healthz, /readyz   liveness / readiness (503 while draining)
+type Server struct {
+	co  *Coordinator
+	reg *obs.Registry
+	log *slog.Logger
+	ids *RequestIDs
+	cas *cas.Server
+}
+
+// NewServer wraps a coordinator for serving.
+func NewServer(co *Coordinator, reg *obs.Registry, log *slog.Logger) *Server {
+	if log == nil {
+		log = slog.Default()
+	}
+	return &Server{co: co, reg: reg, log: log, ids: NewRequestIDs(),
+		cas: cas.NewServer(co.Store(), "/v1/cas")}
+}
+
+// Routes returns the wrapped handler tree.
+func (s *Server) Routes() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/jobs", s.handleJobs)
+	mux.HandleFunc("/v1/jobs/", s.handleJob)
+	mux.HandleFunc("/v1/sweeps", s.handleSweeps)
+	mux.HandleFunc("/v1/sweeps/", s.handleSweep)
+	mux.HandleFunc("/v1/peers/heartbeat", s.handleHeartbeat)
+	mux.HandleFunc("/v1/peers/pull", s.handlePull)
+	mux.HandleFunc("/v1/peers/complete", s.handleComplete)
+	mux.Handle("/v1/cas/", s.cas)
+	mux.HandleFunc("/v1/version", s.handleVersion)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		if s.co.Draining() {
+			writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+	})
+	return WithRequestLog(s.log, s.ids, mux)
+}
+
+func (s *Server) handleVersion(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, Version())
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if s.reg == nil {
+		httpError(w, http.StatusNotFound, "metrics disabled")
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := s.reg.WritePrometheus(w); err != nil {
+		s.log.Error("metrics write failed", "err", err)
+	}
+}
+
+func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var job engine.Job
+	if err := json.NewDecoder(r.Body).Decode(&job); err != nil {
+		httpError(w, http.StatusBadRequest, "bad job body: %v", err)
+		return
+	}
+	id, err := s.co.Submit(job, RequestIDFrom(r.Context()))
+	switch {
+	case errors.Is(err, ErrBusy), errors.Is(err, ErrClosed):
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	case err != nil:
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, map[string]string{"id": id, "label": job.Label()})
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	id := strings.TrimPrefix(r.URL.Path, "/v1/jobs/")
+	st, ok := s.co.Status(id)
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown job %q", id)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleSweeps(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var req SweepRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad sweep body: %v", err)
+		return
+	}
+	st, err := s.co.SubmitSweep(req.Jobs, RequestIDFrom(r.Context()))
+	switch {
+	case errors.Is(err, ErrBusy), errors.Is(err, ErrClosed):
+		// Partial acceptance: the client retries the whole sweep; accepted
+		// members coalesce, so retry converges.
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusServiceUnavailable, st)
+		return
+	case err != nil:
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, st)
+}
+
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	id := strings.TrimPrefix(r.URL.Path, "/v1/sweeps/")
+	st, ok := s.co.SweepStatus(id)
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown sweep %q", id)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
+	var hb Heartbeat
+	if err := json.NewDecoder(r.Body).Decode(&hb); err != nil {
+		httpError(w, http.StatusBadRequest, "bad heartbeat: %v", err)
+		return
+	}
+	switch err := s.co.Heartbeat(hb); {
+	case errors.Is(err, ErrProtocol):
+		httpError(w, http.StatusConflict, "%v", err)
+	case errors.Is(err, ErrClosed):
+		httpError(w, http.StatusServiceUnavailable, "%v", err)
+	case err != nil:
+		httpError(w, http.StatusBadRequest, "%v", err)
+	default:
+		w.WriteHeader(http.StatusNoContent)
+	}
+}
+
+func (s *Server) handlePull(w http.ResponseWriter, r *http.Request) {
+	var req PullRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil || req.Node == "" {
+		httpError(w, http.StatusBadRequest, "bad pull body")
+		return
+	}
+	it := s.co.Pull(req.Node)
+	if it == nil {
+		w.WriteHeader(http.StatusNoContent)
+		return
+	}
+	writeJSON(w, http.StatusOK, it)
+}
+
+func (s *Server) handleComplete(w http.ResponseWriter, r *http.Request) {
+	var req CompleteRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad complete body: %v", err)
+		return
+	}
+	switch err := s.co.Complete(req); {
+	case errors.Is(err, ErrUnknownJob):
+		httpError(w, http.StatusNotFound, "%v", err)
+	case errors.Is(err, ErrBadBlob):
+		httpError(w, http.StatusConflict, "%v", err)
+	case errors.Is(err, ErrClosed):
+		httpError(w, http.StatusServiceUnavailable, "%v", err)
+	case err != nil:
+		httpError(w, http.StatusBadRequest, "%v", err)
+	default:
+		w.WriteHeader(http.StatusNoContent)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}

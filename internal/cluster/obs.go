@@ -1,0 +1,110 @@
+package cluster
+
+import "rsr/internal/obs"
+
+// coordObs is the coordinator's metric surface. Scheduling counters are
+// incremented at decision time; per-node gauges are mirrored from a
+// coordinator snapshot at scrape time (the RegisterCollector pattern, same
+// as the engine's), so the scheduler state stays the single source of truth.
+// With a nil registry every instrument is nil, which the obs package turns
+// into no-ops.
+type coordObs struct {
+	submitted     *obs.Counter
+	coalesced     *obs.Counter
+	rejected      *obs.Counter
+	requeues      *obs.Counter
+	lateCompletes *obs.Counter
+	nodesLost     *obs.Counter
+	completed     *obs.CounterVec // label: state (done|failed)
+	steals        *obs.CounterVec // label: node (the thief)
+	hedges        *obs.CounterVec // label: node (the hedger)
+
+	workers    *obs.Gauge
+	lobby      *obs.Gauge
+	queueDepth *obs.GaugeVec // label: node
+	inflight   *obs.GaugeVec // label: node
+	engQueued  *obs.GaugeVec // label: node
+	engRunning *obs.GaugeVec // label: node
+}
+
+// nodeSnap is one worker's scrape-time view for the per-node gauges.
+type nodeSnap struct {
+	name                  string
+	queue, leases         int
+	engQueued, engRunning int64
+}
+
+// snapshotNodes reads the scheduler state for the metrics collector.
+func (c *Coordinator) snapshotNodes() (ns []nodeSnap, lobby int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, n := range c.sortedNodes() {
+		ns = append(ns, nodeSnap{
+			name:       n.name,
+			queue:      len(n.queue),
+			leases:     len(n.leases),
+			engQueued:  n.engQueued,
+			engRunning: n.engRunning,
+		})
+	}
+	return ns, len(c.lobby)
+}
+
+func newCoordObs(reg *obs.Registry, c *Coordinator) *coordObs {
+	o := &coordObs{}
+	if reg == nil {
+		return o
+	}
+	o.submitted = reg.Counter("rsr_cluster_jobs_submitted_total",
+		"Jobs accepted by the coordinator.")
+	o.coalesced = reg.Counter("rsr_cluster_jobs_coalesced_total",
+		"Duplicate submissions coalesced onto an existing item.")
+	o.rejected = reg.Counter("rsr_cluster_jobs_rejected_total",
+		"Submissions refused with backpressure (every queue full).")
+	o.requeues = reg.Counter("rsr_cluster_requeues_total",
+		"Items requeued after transient failures or node loss.")
+	o.lateCompletes = reg.Counter("rsr_cluster_late_completes_total",
+		"Completions that arrived after the item was already terminal (hedge or requeue races; byte-identical results, dropped).")
+	o.nodesLost = reg.Counter("rsr_cluster_nodes_lost_total",
+		"Workers reaped after missing the heartbeat timeout.")
+	o.completed = reg.CounterVec("rsr_cluster_items_total",
+		"Items finished, by terminal state.", "state")
+	o.steals = reg.CounterVec("rsr_cluster_steals_total",
+		"Work items stolen from a sibling's queue, by the stealing node.", "node")
+	o.hedges = reg.CounterVec("rsr_cluster_hedges_total",
+		"Hedged duplicate leases issued against stragglers, by the hedging node.", "node")
+	o.workers = reg.Gauge("rsr_cluster_workers",
+		"Live workers within their heartbeat window.")
+	o.lobby = reg.Gauge("rsr_cluster_lobby_depth",
+		"Accepted items waiting for a first worker.")
+	o.queueDepth = reg.GaugeVec("rsr_cluster_queue_depth",
+		"Assigned items awaiting pull, per worker.", "node")
+	o.inflight = reg.GaugeVec("rsr_cluster_inflight",
+		"Leased items executing, per worker.", "node")
+	o.engQueued = reg.GaugeVec("rsr_cluster_node_engine_queued",
+		"Worker-reported local engine queue depth (heartbeat payload).", "node")
+	o.engRunning = reg.GaugeVec("rsr_cluster_node_engine_running",
+		"Worker-reported local engine running jobs (heartbeat payload).", "node")
+	reg.RegisterCollector(func() {
+		ns, lobby := c.snapshotNodes()
+		o.workers.Set(int64(len(ns)))
+		o.lobby.Set(int64(lobby))
+		for _, n := range ns {
+			o.queueDepth.With(n.name).Set(int64(n.queue))
+			o.inflight.With(n.name).Set(int64(n.leases))
+			o.engQueued.With(n.name).Set(n.engQueued)
+			o.engRunning.With(n.name).Set(n.engRunning)
+		}
+	})
+	return o
+}
+
+// zeroNode clears a reaped node's gauges so stale depths do not linger on
+// /metrics between its death and the next scrape-time snapshot (which no
+// longer includes it).
+func (o *coordObs) zeroNode(name string) {
+	o.queueDepth.With(name).Set(0)
+	o.inflight.With(name).Set(0)
+	o.engQueued.With(name).Set(0)
+	o.engRunning.With(name).Set(0)
+}

@@ -1,0 +1,341 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"os"
+	"sync"
+	"time"
+
+	"rsr/internal/cas"
+	"rsr/internal/engine"
+	"rsr/internal/fault"
+)
+
+// PeerOptions configures a worker peer.
+type PeerOptions struct {
+	// Node is this worker's cluster-unique name ("" = hostname-pid).
+	Node string
+	// Coordinator is the coordinator's base URL, e.g. "http://host:9000".
+	Coordinator string
+	// Engine executes leased jobs locally.
+	Engine *engine.Engine
+	// Pulls is the number of concurrent pull loops — the worker's appetite
+	// (0 = 2). Each loop leases and runs one item at a time, so Pulls bounds
+	// this node's in-flight leases.
+	Pulls int
+	// HeartbeatEvery is the liveness reporting period (0 = 1s). It must be
+	// comfortably under the coordinator's heartbeat timeout.
+	HeartbeatEvery time.Duration
+	// PollEvery is the idle backoff between empty pulls (0 = 250ms).
+	PollEvery time.Duration
+	// Fault optionally injects chaos at the fabric's instrumented site:
+	// a fault.NodeKill firing makes this peer die abruptly — loops stop,
+	// heartbeats cease, leased work is never reported — exactly what a
+	// crashed machine looks like to the coordinator.
+	Fault fault.Injector
+	// Log receives the peer's structured log lines (nil = slog.Default()).
+	Log *slog.Logger
+	// HTTP overrides the transport (nil = 30s-timeout client).
+	HTTP *http.Client
+}
+
+// Peer is a worker participating in a coordinator's sweep fabric: it
+// heartbeats, pulls work, runs it on the local engine, publishes results
+// into the shared content-addressed store, and reports completions.
+type Peer struct {
+	opts PeerOptions
+	hc   *http.Client
+	cas  *cas.Client
+	log  *slog.Logger
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	once   sync.Once
+	wg     sync.WaitGroup
+}
+
+// NewPeer validates options and prepares a peer; Start begins participation.
+func NewPeer(opts PeerOptions) (*Peer, error) {
+	if opts.Coordinator == "" {
+		return nil, fmt.Errorf("cluster: peer needs a coordinator URL")
+	}
+	if opts.Engine == nil {
+		return nil, fmt.Errorf("cluster: peer needs an engine")
+	}
+	if opts.Node == "" {
+		host, _ := os.Hostname()
+		if host == "" {
+			host = "rsrd"
+		}
+		opts.Node = fmt.Sprintf("%s-%d", host, os.Getpid())
+	}
+	if opts.Pulls <= 0 {
+		opts.Pulls = 2
+	}
+	if opts.HeartbeatEvery <= 0 {
+		opts.HeartbeatEvery = time.Second
+	}
+	if opts.PollEvery <= 0 {
+		opts.PollEvery = 250 * time.Millisecond
+	}
+	if opts.Log == nil {
+		opts.Log = slog.Default()
+	}
+	hc := opts.HTTP
+	if hc == nil {
+		hc = &http.Client{Timeout: 30 * time.Second}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	return &Peer{
+		opts:   opts,
+		hc:     hc,
+		cas:    cas.NewClient(hc, opts.Coordinator+"/v1/cas"),
+		log:    opts.Log.With("node", opts.Node),
+		ctx:    ctx,
+		cancel: cancel,
+	}, nil
+}
+
+// Node returns the peer's cluster name.
+func (p *Peer) Node() string { return p.opts.Node }
+
+// Start performs the version handshake and launches the heartbeat and pull
+// loops. A protocol mismatch is an error: mixed-version fleets fail fast
+// rather than corrupt a sweep.
+func (p *Peer) Start() error {
+	v, err := fetchVersion(p.ctx, p.hc, p.opts.Coordinator)
+	if err != nil {
+		return fmt.Errorf("cluster: coordinator handshake: %w", err)
+	}
+	if v.Protocol != ProtocolVersion {
+		return fmt.Errorf("%w: coordinator %d, this worker %d",
+			ErrProtocol, v.Protocol, ProtocolVersion)
+	}
+	// A first heartbeat before any pull loop runs, so the coordinator can
+	// queue work at this node immediately.
+	p.beat()
+	p.wg.Add(1 + p.opts.Pulls)
+	go p.heartbeatLoop()
+	for i := 0; i < p.opts.Pulls; i++ {
+		go p.pullLoop()
+	}
+	p.log.Info("joined cluster", "coordinator", p.opts.Coordinator, "pulls", p.opts.Pulls)
+	return nil
+}
+
+// Close stops the loops and waits for them. The engine is not closed — the
+// caller owns it — and an execution in flight keeps running, its completion
+// report simply never sent (the coordinator requeues it, exactly as for a
+// crashed node).
+func (p *Peer) Close() {
+	p.die("close")
+	p.wg.Wait()
+}
+
+// Killed reports whether the peer has stopped participating (Close or an
+// injected node kill).
+func (p *Peer) Killed() bool {
+	select {
+	case <-p.ctx.Done():
+		return true
+	default:
+		return false
+	}
+}
+
+// die halts all participation abruptly: no goodbye to the coordinator, which
+// must discover the loss through missing heartbeats.
+func (p *Peer) die(why string) {
+	p.once.Do(func() {
+		p.log.Warn("peer stopping", "why", why)
+		p.cancel()
+	})
+}
+
+func (p *Peer) heartbeatLoop() {
+	defer p.wg.Done()
+	tick := time.NewTicker(p.opts.HeartbeatEvery)
+	defer tick.Stop()
+	for {
+		select {
+		case <-p.ctx.Done():
+			return
+		case <-tick.C:
+			p.beat()
+		}
+	}
+}
+
+// beat sends one heartbeat carrying the local engine's queue depth and
+// in-flight count — the coordinator's per-node backpressure signal. A 409
+// means protocol skew (a coordinator upgraded under us): fail fast.
+func (p *Peer) beat() {
+	st := p.opts.Engine.Stats()
+	hb := Heartbeat{
+		Node:       p.opts.Node,
+		Protocol:   ProtocolVersion,
+		QueueDepth: st.Queued,
+		Inflight:   st.Running,
+	}
+	code, _, err := p.postJSON("/v1/peers/heartbeat", hb)
+	if err != nil {
+		p.log.Debug("heartbeat failed", "err", err)
+		return
+	}
+	if code == http.StatusConflict {
+		p.die("protocol mismatch with coordinator")
+	}
+}
+
+func (p *Peer) pullLoop() {
+	defer p.wg.Done()
+	for {
+		select {
+		case <-p.ctx.Done():
+			return
+		default:
+		}
+		it, ok := p.pull()
+		if !ok {
+			select {
+			case <-p.ctx.Done():
+				return
+			case <-time.After(p.opts.PollEvery):
+			}
+			continue
+		}
+		// The chaos point: a firing NodeKill rule kills this peer right
+		// after it leased work — the worst moment for the coordinator,
+		// which must notice via heartbeats and requeue the lease.
+		if d := fault.Check(p.opts.Fault, fault.NodeKill, p.opts.Node); d != nil {
+			p.die("injected node kill")
+			return
+		}
+		p.runItem(it)
+	}
+}
+
+// pull leases one item; ok is false when the coordinator is idle or away.
+func (p *Peer) pull() (*WorkItem, bool) {
+	code, body, err := p.postJSON("/v1/peers/pull", PullRequest{Node: p.opts.Node})
+	if err != nil || code != http.StatusOK {
+		return nil, false
+	}
+	var it WorkItem
+	if err := json.Unmarshal(body, &it); err != nil {
+		p.log.Warn("bad work item", "err", err)
+		return nil, false
+	}
+	return &it, true
+}
+
+// runItem executes one lease on the local engine and reports the outcome.
+// The submitting client's request ID rides along into the engine, so the
+// worker's job events and logs correlate with the coordinator-side request.
+func (p *Peer) runItem(it *WorkItem) {
+	ctx := engine.WithRequestID(p.ctx, it.RequestID)
+	p.log.Info("lease started", "job", short(it.ID), "label", it.Job.Label(),
+		"request_id", it.RequestID, "hedged", it.Hedged)
+	tk, err := p.opts.Engine.Submit(ctx, it.Job)
+	if err != nil {
+		p.complete(CompleteRequest{Node: p.opts.Node, ID: it.ID, Error: err.Error()})
+		return
+	}
+	res, err := tk.Wait(p.ctx)
+	if err != nil {
+		if p.ctx.Err() != nil {
+			return // dying; the coordinator reaps the lease
+		}
+		p.complete(CompleteRequest{Node: p.opts.Node, ID: it.ID,
+			Error: err.Error(), Transient: engine.Transient(err)})
+		return
+	}
+	blob, err := json.Marshal(res)
+	if err != nil {
+		p.complete(CompleteRequest{Node: p.opts.Node, ID: it.ID,
+			Error: fmt.Sprintf("encode result: %v", err)})
+		return
+	}
+	sum, err := p.cas.Put(p.ctx, blob)
+	if err != nil {
+		p.log.Warn("result upload failed", "job", short(it.ID), "err", err)
+		p.complete(CompleteRequest{Node: p.opts.Node, ID: it.ID,
+			Error: fmt.Sprintf("upload result: %v", err), Transient: true})
+		return
+	}
+	p.complete(CompleteRequest{Node: p.opts.Node, ID: it.ID, BlobSum: sum})
+	p.log.Info("lease done", "job", short(it.ID), "blob", short(sum))
+}
+
+// complete reports an outcome, retrying briefly; a 409 (the coordinator
+// could not verify the blob) triggers one re-upload. A report that still
+// cannot land is abandoned — the coordinator hedges or requeues the lease,
+// and determinism makes the duplicate execution byte-identical.
+func (p *Peer) complete(req CompleteRequest) {
+	for attempt := 0; attempt < 3; attempt++ {
+		code, _, err := p.postJSON("/v1/peers/complete", req)
+		switch {
+		case err == nil && (code == http.StatusNoContent || code == http.StatusNotFound):
+			return
+		case err == nil && code == http.StatusConflict && req.BlobSum != "":
+			p.log.Warn("completion refused, blob unverified; re-uploading",
+				"job", short(req.ID))
+			// Best effort: the blob bytes are regenerated from the engine's
+			// cache by rerunning the lease if this fails.
+		}
+		select {
+		case <-p.ctx.Done():
+			return
+		case <-time.After(100 * time.Millisecond << uint(attempt)):
+		}
+	}
+	p.log.Warn("completion abandoned", "job", short(req.ID))
+}
+
+// postJSON posts v to the coordinator path and returns status and body.
+func (p *Peer) postJSON(path string, v any) (int, []byte, error) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return 0, nil, err
+	}
+	req, err := http.NewRequestWithContext(p.ctx, http.MethodPost,
+		p.opts.Coordinator+path, bytes.NewReader(b))
+	if err != nil {
+		return 0, nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := p.hc.Do(req)
+	if err != nil {
+		return 0, nil, err
+	}
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	resp.Body.Close()
+	return resp.StatusCode, body, nil
+}
+
+// fetchVersion GETs a peer's /v1/version.
+func fetchVersion(ctx context.Context, hc *http.Client, base string) (VersionInfo, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/v1/version", nil)
+	if err != nil {
+		return VersionInfo{}, err
+	}
+	resp, err := hc.Do(req)
+	if err != nil {
+		return VersionInfo{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return VersionInfo{}, fmt.Errorf("version endpoint: status %d", resp.StatusCode)
+	}
+	var v VersionInfo
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&v); err != nil {
+		return VersionInfo{}, err
+	}
+	return v, nil
+}

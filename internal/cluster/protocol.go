@@ -1,0 +1,162 @@
+// Package cluster is the distributed sweep fabric: a coordinator (command
+// rsrc) that splits a sweep's jobs across peer-mode rsrd workers, and the
+// worker/client halves that talk to it.
+//
+// # Scheduling model
+//
+// The coordinator keeps one bounded queue per live worker. A submission is
+// placed on the shortest queue; when every queue is full it is refused with
+// 503 + Retry-After, which is the fabric's backpressure signal (clients
+// retry, see Client.Submit). Workers pull work: their own queue first, then
+// the lobby (work that arrived before any worker did), then a steal from the
+// back of the longest sibling queue, and finally — when everything is
+// leased — a hedged duplicate of the oldest item that has been running past
+// the hedge threshold, so one straggler cannot stall a sweep's tail. Workers
+// heartbeat; a node that misses the heartbeat timeout is reaped and its
+// queued and leased work is requeued, bounded by a per-item requeue budget.
+//
+// Because every job is deterministic and content-addressed, all of this
+// movement is safe: duplicate executions (hedges, requeues that raced a slow
+// completion) produce byte-identical results, and the first verified
+// completion wins.
+//
+// # Results and checkpoints
+//
+// Workers do not send results inline: a finished result is PUT into the
+// coordinator's content-addressed store (internal/cas) and the completion
+// report carries only the blob's SHA-256. The coordinator refuses blobs that
+// do not decode to a result of the completed job, so a corrupt or misrouted
+// upload can never complete an item. The same store shares pre-pass
+// checkpoint chains (sampling.CheckpointStore) across nodes: the first
+// worker to shard a given pre-pass publishes the chain, every later run of
+// any job sharing that chain — on any node — skips straight to detailed
+// simulation.
+package cluster
+
+import (
+	"errors"
+	"runtime"
+	"runtime/debug"
+
+	"rsr/internal/engine"
+)
+
+// ProtocolVersion is the fabric's wire-compatibility epoch. A worker whose
+// protocol differs from the coordinator's is refused at handshake and
+// heartbeat (HTTP 409), so mixed-version fleets fail fast instead of
+// corrupting a sweep. Bump on any incompatible change to the wire types
+// below or to job identity semantics.
+const ProtocolVersion = 1
+
+// ErrProtocol reports a protocol-version mismatch between peers.
+var ErrProtocol = errors.New("cluster: protocol version mismatch")
+
+// ErrBusy reports that every worker queue (or, with no workers yet, the
+// lobby) is full: the backpressure signal behind HTTP 503 + Retry-After.
+var ErrBusy = errors.New("cluster: all queues full")
+
+// ErrClosed is returned by coordinator methods after Close.
+var ErrClosed = errors.New("cluster: coordinator closed")
+
+// ErrUnknownJob reports a status poll or completion for an ID the
+// coordinator has never accepted.
+var ErrUnknownJob = errors.New("cluster: unknown job")
+
+// ErrBadBlob reports a completion whose result blob is missing from the
+// store, fails verification, or does not decode to a result of the
+// completed job. The worker should re-upload and retry the completion.
+var ErrBadBlob = errors.New("cluster: result blob invalid")
+
+// VersionInfo is the GET /v1/version payload of both rsrd and rsrc: enough
+// for an operator (or the smoke script) to see at a glance what is running
+// where, and for peers to refuse mixed-version fleets.
+type VersionInfo struct {
+	Protocol  int    `json:"protocol"`
+	GoVersion string `json:"go_version"`
+	Module    string `json:"module,omitempty"`
+	Revision  string `json:"revision,omitempty"`
+	Dirty     bool   `json:"dirty,omitempty"`
+	OS        string `json:"os"`
+	Arch      string `json:"arch"`
+}
+
+// Version reports this binary's build and protocol information.
+func Version() VersionInfo {
+	v := VersionInfo{
+		Protocol:  ProtocolVersion,
+		GoVersion: runtime.Version(),
+		OS:        runtime.GOOS,
+		Arch:      runtime.GOARCH,
+	}
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		v.Module = bi.Main.Path
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				v.Revision = s.Value
+			case "vcs.modified":
+				v.Dirty = s.Value == "true"
+			}
+		}
+	}
+	return v
+}
+
+// Heartbeat is a worker's periodic liveness report. QueueDepth and Inflight
+// are the worker's local engine counters — the coordinator exposes them
+// per-node on /metrics, giving operators the backpressure picture end to
+// end: coordinator queue depth on one side, engine queue depth on the other.
+type Heartbeat struct {
+	Node       string `json:"node"`
+	Protocol   int    `json:"protocol"`
+	QueueDepth int64  `json:"queue_depth"`
+	Inflight   int64  `json:"inflight"`
+}
+
+// PullRequest asks the coordinator for one work item.
+type PullRequest struct {
+	Node string `json:"node"`
+}
+
+// WorkItem is one leased job. RequestID is the submitting client's
+// correlation ID, propagated so the worker's engine events and logs carry
+// the same ID the client saw on its submission.
+type WorkItem struct {
+	ID        string     `json:"id"` // the job's content hash
+	Job       engine.Job `json:"job"`
+	RequestID string     `json:"request_id,omitempty"`
+	// Hedged marks a duplicate lease raced against a straggler. It is
+	// informational (workers run hedged items identically); the coordinator
+	// counts it.
+	Hedged bool `json:"hedged,omitempty"`
+}
+
+// CompleteRequest reports one finished execution. On success BlobSum names
+// the result blob already PUT into the coordinator's CAS; on failure Error
+// carries the message and Transient whether the engine classified the
+// failure as retryable (the coordinator requeues transient failures within
+// the item's requeue budget).
+type CompleteRequest struct {
+	Node      string `json:"node"`
+	ID        string `json:"id"`
+	BlobSum   string `json:"blob_sum,omitempty"`
+	Error     string `json:"error,omitempty"`
+	Transient bool   `json:"transient,omitempty"`
+}
+
+// SweepRequest submits a batch of jobs as one named sweep. Resubmitting a
+// sweep is idempotent: jobs are content-addressed, so already-accepted
+// members coalesce.
+type SweepRequest struct {
+	Jobs []engine.Job `json:"jobs"`
+}
+
+// SweepStatus summarizes a sweep's progress.
+type SweepStatus struct {
+	ID      string   `json:"id"`
+	Total   int      `json:"total"`
+	Done    int      `json:"done"`
+	Failed  int      `json:"failed"`
+	Pending int      `json:"pending"`
+	JobIDs  []string `json:"job_ids"`
+}

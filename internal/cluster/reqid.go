@@ -1,6 +1,7 @@
-package main
+package cluster
 
 import (
+	"context"
 	"crypto/rand"
 	"encoding/hex"
 	"fmt"
@@ -10,28 +11,42 @@ import (
 	"time"
 )
 
-// requestIDs issues daemon-unique request IDs: a random boot prefix plus a
+// RequestIDs issues process-unique request IDs: a random boot prefix plus a
 // counter, so IDs stay grep-able across log shipping without coordination.
-type requestIDs struct {
+// Shared by rsrd and rsrc so every hop in a distributed sweep mints IDs from
+// the same scheme.
+type RequestIDs struct {
 	boot string
 	n    atomic.Uint64
 }
 
-func newRequestIDs() *requestIDs {
+// NewRequestIDs seeds an issuer with a random boot prefix.
+func NewRequestIDs() *RequestIDs {
 	var b [4]byte
 	if _, err := rand.Read(b[:]); err != nil {
 		// Fall back to a fixed prefix; IDs remain unique within the process.
-		return &requestIDs{boot: "rsrd0000"}
+		return &RequestIDs{boot: "rsr00000"}
 	}
-	return &requestIDs{boot: hex.EncodeToString(b[:])}
+	return &RequestIDs{boot: hex.EncodeToString(b[:])}
 }
 
-func (r *requestIDs) next() string {
+// Next returns a fresh ID.
+func (r *RequestIDs) Next() string {
 	return fmt.Sprintf("%s-%06d", r.boot, r.n.Add(1))
 }
 
+// reqIDKey carries the request's correlation ID through its context.
+type reqIDKey struct{}
+
+// RequestIDFrom returns the request-scoped correlation ID stashed by
+// WithRequestLog, or "" outside a wrapped handler.
+func RequestIDFrom(ctx context.Context) string {
+	id, _ := ctx.Value(reqIDKey{}).(string)
+	return id
+}
+
 // statusWriter captures the response status for the request log. It forwards
-// Flush so the ndjson event stream keeps flushing through the wrapper.
+// Flush so ndjson event streams keep flushing through the wrapper.
 type statusWriter struct {
 	http.ResponseWriter
 	status int
@@ -55,16 +70,20 @@ func (sw *statusWriter) Flush() {
 	}
 }
 
-// withRequestLog wraps next so every request gets an ID (a client-supplied
+// WithRequestLog wraps next so every request gets an ID (a client-supplied
 // X-Request-ID is honoured, otherwise one is issued), the ID is echoed on the
-// response, and exactly one structured line is logged on completion.
-func withRequestLog(log *slog.Logger, ids *requestIDs, next http.Handler) http.Handler {
+// response and stashed in the request context (RequestIDFrom), and exactly
+// one structured line is logged on completion. The stashed ID is what lets
+// handlers propagate the caller's correlation ID across node hops — into
+// engine submissions on a worker, or onto coordinator work items.
+func WithRequestLog(log *slog.Logger, ids *RequestIDs, next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		id := r.Header.Get("X-Request-ID")
 		if id == "" {
-			id = ids.next()
+			id = ids.Next()
 		}
 		w.Header().Set("X-Request-ID", id)
+		r = r.WithContext(context.WithValue(r.Context(), reqIDKey{}, id))
 		sw := &statusWriter{ResponseWriter: w}
 		begin := time.Now()
 		next.ServeHTTP(sw, r)

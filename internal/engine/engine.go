@@ -11,6 +11,7 @@ import (
 
 	"rsr/internal/fault"
 	"rsr/internal/obs"
+	"rsr/internal/sampling"
 )
 
 // boolArg renders a boolean as a span annotation value.
@@ -47,6 +48,12 @@ type Options struct {
 	// instrumented sites — cache reads/writes and job runs — for chaos
 	// testing (nil = no injection).
 	Fault fault.Injector
+	// Checkpoints, when non-nil, shares sharded sampled runs' pre-pass
+	// checkpoint chains across jobs (and, via a cluster-backed store,
+	// across nodes): runs differing only in warm-up method reuse one
+	// chain. Execution policy only — results stay byte-identical and the
+	// store never enters job identity.
+	Checkpoints sampling.CheckpointStore
 	// Metrics, when non-nil, exposes the engine through the registry: the
 	// Stats counters re-expressed as metric families (mirrored at scrape
 	// time, so Stats stays the source of truth), a job latency histogram,
@@ -80,9 +87,10 @@ type Engine struct {
 
 // task is the shared execution state behind every Ticket for one job hash.
 type task struct {
-	job  Job
-	hash string
-	ctx  context.Context // the first submitter's context governs the run
+	job   Job
+	hash  string
+	reqID string          // first submitter's correlation ID, echoed on events
+	ctx   context.Context // the first submitter's context governs the run
 
 	done chan struct{} // closed once res/err are set
 	res  *Result
@@ -177,14 +185,14 @@ func (e *Engine) Submit(ctx context.Context, job Job) (*Ticket, error) {
 		e.stats.coalesced.Add(1)
 		return &Ticket{t}, nil
 	}
-	t := &task{job: job, hash: hash, ctx: ctx, done: make(chan struct{})}
+	t := &task{job: job, hash: hash, reqID: RequestIDFrom(ctx), ctx: ctx, done: make(chan struct{})}
 	e.inflight[hash] = t
 	e.queue = append(e.queue, t)
 	e.cond.Signal()
 	e.mu.Unlock()
 
 	e.stats.queued.Add(1)
-	e.bcast.emit(Event{JobHash: hash, Label: job.Label(), State: StateQueued})
+	e.bcast.emit(Event{JobHash: hash, Label: job.Label(), State: StateQueued, RequestID: t.reqID})
 	return &Ticket{t}, nil
 }
 
@@ -318,7 +326,7 @@ func (e *Engine) execute(t *task) {
 		}
 		e.stats.retries.Add(1)
 		e.bcast.emit(Event{JobHash: t.hash, Label: t.job.Label(), State: StateRetrying,
-			Err: err.Error(), Wall: wall, Attempt: attempt})
+			Err: err.Error(), Wall: wall, Attempt: attempt, RequestID: t.reqID})
 		b0 := time.Now()
 		ok := e.backoff(t.ctx, t.hash, attempt)
 		e.obs.span("retry-wait", tid, b0, obs.SpanArg{Key: "attempt", Val: int64(attempt)})
@@ -346,7 +354,7 @@ func (e *Engine) execute(t *task) {
 func (e *Engine) attempt(t *task, attempt int, tid int64) (*Result, time.Duration, error) {
 	e.stats.running.Add(1)
 	defer e.stats.running.Add(-1)
-	e.bcast.emit(Event{JobHash: t.hash, Label: t.job.Label(), State: StateRunning, Attempt: attempt})
+	e.bcast.emit(Event{JobHash: t.hash, Label: t.job.Label(), State: StateRunning, Attempt: attempt, RequestID: t.reqID})
 
 	ctx := t.ctx
 	timeout := t.job.Timeout
@@ -360,7 +368,7 @@ func (e *Engine) attempt(t *task, attempt int, tid int64) (*Result, time.Duratio
 	}
 
 	begin := time.Now()
-	res, err := safeRun(t.job, e.opts.Fault, ctx.Done(), e.obs.samplingInstr(), e.obs.tracer())
+	res, err := safeRun(t.job, e.opts.Fault, ctx.Done(), e.obs.samplingInstr(), e.obs.tracer(), e.opts.Checkpoints)
 	wall := time.Since(begin)
 	e.obs.span("job-run", tid, begin, obs.SpanArg{Key: "attempt", Val: int64(attempt)},
 		obs.SpanArg{Key: "ok", Val: boolArg(err == nil)})
@@ -443,13 +451,13 @@ func (e *Engine) complete(t *task, res *Result, err error, wall time.Duration, c
 	case err != nil:
 		e.stats.failed.Add(1)
 		e.obs.observeJob("failed", wall)
-		e.bcast.emit(Event{JobHash: t.hash, Label: t.job.Label(), State: StateFailed, Err: err.Error(), Wall: wall})
+		e.bcast.emit(Event{JobHash: t.hash, Label: t.job.Label(), State: StateFailed, Err: err.Error(), Wall: wall, RequestID: t.reqID})
 	case cached:
-		e.bcast.emit(Event{JobHash: t.hash, Label: t.job.Label(), State: StateCached})
+		e.bcast.emit(Event{JobHash: t.hash, Label: t.job.Label(), State: StateCached, RequestID: t.reqID})
 	default:
 		e.stats.done.Add(1)
 		e.stats.wallNanos.Add(int64(wall))
 		e.obs.observeJob("done", wall)
-		e.bcast.emit(Event{JobHash: t.hash, Label: t.job.Label(), State: StateDone, Wall: wall})
+		e.bcast.emit(Event{JobHash: t.hash, Label: t.job.Label(), State: StateDone, Wall: wall, RequestID: t.reqID})
 	}
 }

@@ -105,6 +105,42 @@ func (j Job) Hash() string {
 	return hex.EncodeToString(sum[:])
 }
 
+// checkpointIdentity is the canonical hashed form of a sampled job's
+// pre-pass checkpoint chain: exactly the fields the chain is a pure
+// function of. Machine and warm-up method are deliberately absent — the
+// pre-pass is pure functional simulation, so jobs differing only in those
+// share one chain. Shards enters because deltas are captured at shard
+// boundaries.
+type checkpointIdentity struct {
+	Version  int
+	Workload string
+	Total    uint64
+	Regimen  sampling.Regimen
+	Seed     int64
+	Shards   int
+}
+
+const checkpointVersion = 1
+
+// CheckpointKey returns the identity key of the job's pre-pass checkpoint
+// chain, used to share chains across jobs and nodes through a
+// sampling.CheckpointStore. Only meaningful for sharded sampled jobs.
+func (j Job) CheckpointKey() string {
+	b, err := json.Marshal(checkpointIdentity{
+		Version:  checkpointVersion,
+		Workload: j.Workload,
+		Total:    j.Total,
+		Regimen:  j.Regimen,
+		Seed:     j.Seed,
+		Shards:   j.Shards,
+	})
+	if err != nil {
+		panic(fmt.Sprintf("engine: checkpoint key: %v", err))
+	}
+	sum := sha256.Sum256(b)
+	return "ckpt-" + hex.EncodeToString(sum[:])
+}
+
 // Label renders a short human-readable description of the job.
 func (j Job) Label() string {
 	if j.Kind == JobFull {

@@ -1,0 +1,25 @@
+package engine
+
+import "context"
+
+// requestIDKey carries a request-scoped correlation ID through Submit.
+type requestIDKey struct{}
+
+// WithRequestID tags ctx with a correlation ID. When the tagged context is
+// passed to Submit, every progress event the job emits carries the ID, so
+// a single request can be traced from the HTTP edge (X-Request-ID), across
+// cluster hops, into the engine's event stream. The ID is tracing context,
+// not identity: it never enters the job hash, and a coalesced duplicate
+// submission shares the first submitter's ID.
+func WithRequestID(ctx context.Context, id string) context.Context {
+	if id == "" {
+		return ctx
+	}
+	return context.WithValue(ctx, requestIDKey{}, id)
+}
+
+// RequestIDFrom returns the correlation ID tagged on ctx, or "".
+func RequestIDFrom(ctx context.Context) string {
+	id, _ := ctx.Value(requestIDKey{}).(string)
+	return id
+}

@@ -98,6 +98,10 @@ type Event struct {
 	// Attempt is the 1-based execution attempt, set on StateRunning and
 	// StateRetrying (0 on states where it is meaningless).
 	Attempt int `json:",omitempty"`
+	// RequestID is the correlation ID of the submission that started the
+	// job (engine.WithRequestID), empty when the submitter supplied none.
+	// Coalesced duplicates share the first submitter's ID.
+	RequestID string `json:",omitempty"`
 }
 
 // broadcaster fans events out to subscribers. Delivery is best-effort:

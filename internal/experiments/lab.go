@@ -49,7 +49,40 @@ type Config struct {
 	// off and do not perturb results.
 	Metrics *obs.Registry
 	Tracer  *obs.Tracer
+	// Runner, when non-nil, executes the lab's jobs somewhere other than a
+	// local engine — e.g. a cluster coordinator (rsr's -cluster). Every job
+	// is deterministic and content-addressed, so where it runs cannot change
+	// the results; Parallelism, CacheDir, Retries, Metrics, and Tracer apply
+	// to the local engine only and are ignored when a Runner is supplied.
+	Runner Runner
 }
+
+// Waiter is the pending-result half of a Runner submission, satisfied by
+// *engine.Ticket and cluster.RemoteTicket alike.
+type Waiter interface {
+	Wait(ctx context.Context) (*engine.Result, error)
+}
+
+// Runner abstracts where the lab's jobs execute: submissions return a
+// Waiter, identical jobs may coalesce, and results assembled in submission
+// order match a sequential run. Close releases the runner's resources.
+type Runner interface {
+	Submit(ctx context.Context, job engine.Job) (Waiter, error)
+	Close()
+}
+
+// localRunner adapts the in-process engine to the Runner seam.
+type localRunner struct{ eng *engine.Engine }
+
+func (r localRunner) Submit(ctx context.Context, job engine.Job) (Waiter, error) {
+	tk, err := r.eng.Submit(ctx, job)
+	if err != nil {
+		return nil, err
+	}
+	return tk, nil
+}
+
+func (r localRunner) Close() { r.eng.Close() }
 
 // DefaultConfig returns the reference configuration.
 func DefaultConfig() Config { return Config{Scale: 1.0, Seed: 2007} }
@@ -113,34 +146,48 @@ func RegimenFor(name string) sampling.Regimen {
 type Lab struct {
 	cfg     Config
 	machine sampling.MachineConfig
-	eng     *engine.Engine
+	eng     *engine.Engine // nil when cfg.Runner executes jobs elsewhere
+	run     Runner
 }
 
-// NewLab builds a Lab over the paper's machine.
+// NewLab builds a Lab over the paper's machine. With Config.Runner set, no
+// local engine is started: every job goes through the runner instead.
 func NewLab(cfg Config) *Lab {
-	return &Lab{
-		cfg:     cfg,
-		machine: sampling.DefaultMachine(),
-		eng: engine.New(engine.Options{
-			Workers:     cfg.parallelism(),
-			CacheDir:    cfg.CacheDir,
-			MaxAttempts: cfg.Retries + 1,
-			Metrics:     cfg.Metrics,
-			Tracer:      cfg.Tracer,
-		}),
+	l := &Lab{cfg: cfg, machine: sampling.DefaultMachine()}
+	if cfg.Runner != nil {
+		l.run = cfg.Runner
+		return l
 	}
+	l.eng = engine.New(engine.Options{
+		Workers:     cfg.parallelism(),
+		CacheDir:    cfg.CacheDir,
+		MaxAttempts: cfg.Retries + 1,
+		Metrics:     cfg.Metrics,
+		Tracer:      cfg.Tracer,
+	})
+	l.run = localRunner{l.eng}
+	return l
 }
 
 // Config returns the lab's configuration.
 func (l *Lab) Config() Config { return l.cfg }
 
-// Engine returns the lab's scheduler, e.g. for stats reporting or event
-// subscriptions.
+// Engine returns the lab's local scheduler, e.g. for stats reporting or
+// event subscriptions; nil when a Config.Runner executes jobs elsewhere.
 func (l *Lab) Engine() *engine.Engine { return l.eng }
 
-// Close stops the lab's worker pool. A Lab remains usable without ever
-// being closed; Close only releases the idle worker goroutines.
-func (l *Lab) Close() { l.eng.Close() }
+// Close releases the lab's runner (the local worker pool, or the cluster
+// client). A Lab remains usable without ever being closed.
+func (l *Lab) Close() { l.run.Close() }
+
+// runJob submits one job and waits for its result.
+func (l *Lab) runJob(ctx context.Context, job engine.Job) (*engine.Result, error) {
+	w, err := l.run.Submit(ctx, job)
+	if err != nil {
+		return nil, err
+	}
+	return w.Wait(ctx)
+}
 
 // fullJob is the engine job computing a workload's true-IPC baseline.
 func (l *Lab) fullJob(name string) engine.Job {
@@ -164,7 +211,7 @@ func (l *Lab) sampledJob(name string, spec warmup.Spec) engine.Job {
 // Full returns (computing and caching on first use) the full detailed
 // simulation of a workload: the true IPC baseline.
 func (l *Lab) Full(name string) (sampling.FullResult, error) {
-	res, err := l.eng.Run(context.Background(), l.fullJob(name))
+	res, err := l.runJob(context.Background(), l.fullJob(name))
 	if err != nil {
 		return sampling.FullResult{}, fmt.Errorf("experiments: true IPC of %s: %w", name, err)
 	}
@@ -192,7 +239,7 @@ func (l *Lab) Run(name string, spec warmup.Spec) (Cell, error) {
 	if err != nil {
 		return Cell{}, err
 	}
-	res, err := l.eng.Run(context.Background(), l.sampledJob(name, spec))
+	res, err := l.runJob(context.Background(), l.sampledJob(name, spec))
 	if err != nil {
 		return Cell{}, fmt.Errorf("experiments: %s/%s: %w", name, spec.Label(), err)
 	}
@@ -207,18 +254,18 @@ func (l *Lab) Matrix(specs []warmup.Spec) ([]Cell, error) {
 	ctx := context.Background()
 	names := l.cfg.workloadNames()
 
-	fulls := make([]*engine.Ticket, len(names))
+	fulls := make([]Waiter, len(names))
 	for i, name := range names {
-		t, err := l.eng.Submit(ctx, l.fullJob(name))
+		t, err := l.run.Submit(ctx, l.fullJob(name))
 		if err != nil {
 			return nil, fmt.Errorf("experiments: true IPC of %s: %w", name, err)
 		}
 		fulls[i] = t
 	}
-	tickets := make([]*engine.Ticket, 0, len(names)*len(specs))
+	tickets := make([]Waiter, 0, len(names)*len(specs))
 	for _, name := range names {
 		for _, spec := range specs {
-			t, err := l.eng.Submit(ctx, l.sampledJob(name, spec))
+			t, err := l.run.Submit(ctx, l.sampledJob(name, spec))
 			if err != nil {
 				return nil, fmt.Errorf("experiments: %s/%s: %w", name, spec.Label(), err)
 			}

@@ -33,6 +33,11 @@ const (
 	CacheWrite Point = "cache.write"
 	// JobRun is a worker executing a simulation job.
 	JobRun Point = "job.run"
+	// NodeKill is a cluster peer's work-pull loop: a firing rule kills the
+	// node abruptly (heartbeats stop, leased work is never completed), the
+	// way a crashed or partitioned machine looks to the coordinator. The
+	// decision key is the node name.
+	NodeKill Point = "node.kill"
 )
 
 // Kind is what happens when a rule fires.

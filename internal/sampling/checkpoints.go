@@ -1,0 +1,26 @@
+package sampling
+
+import "rsr/internal/funcsim"
+
+// CheckpointStore shares pre-pass checkpoint chains across runs — and,
+// through the cluster fabric's content-addressed store, across nodes. A
+// chain is the sequence of cumulative architectural deltas the parallel
+// pipeline's pre-pass captures at shard boundaries; it is a pure function
+// of its key (workload, total length, regimen, seed, shard count), which
+// makes sharing sound: every producer for a key produces identical deltas,
+// so load/store races and duplicated writes are benign, and a loaded chain
+// seeds shards into exactly the state the local pre-pass would have
+// computed — results stay byte-identical either way.
+//
+// Both methods are best-effort: a store that loses entries or refuses
+// writes costs a recomputed pre-pass, never correctness.
+type CheckpointStore interface {
+	// LoadCheckpoints returns the chain stored under key, or nil when the
+	// store has no (usable) entry.
+	LoadCheckpoints(key string) []*funcsim.Delta
+
+	// StoreCheckpoints persists a freshly captured chain under key. The
+	// chain's deltas must be treated as immutable once handed over: the
+	// caller keeps feeding them to shard goroutines.
+	StoreCheckpoints(key string, chain []*funcsim.Delta)
+}

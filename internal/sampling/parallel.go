@@ -189,8 +189,29 @@ func runParallel(p *prog.Program, reg Regimen, starts []uint64, hier *mem.Hierar
 	// model — the fastest way to learn the architectural state at each
 	// shard boundary. Checkpoints are cumulative deltas; shard s receives
 	// the chain [1..s] and applies it in order onto a fresh simulator.
+	//
+	// When a checkpoint store holds the chain for this run's key — captured
+	// by an earlier run here or on another node — the pre-pass is skipped
+	// entirely and shards seed from the stored deltas. The chain is a pure
+	// function of the key, so the loaded deltas are the ones the local
+	// pre-pass would have captured and results stay byte-identical.
 	go func() {
 		str := newShardTrace(opts.Tracer, "pre-pass")
+		if opts.Checkpoints != nil && opts.CheckpointKey != "" {
+			t0 := time.Now()
+			if chain := opts.Checkpoints.LoadCheckpoints(opts.CheckpointKey); len(chain) == shards-1 {
+				str.span("checkpoint-load", t0, obs.SpanArg{Key: "shards", Val: int64(shards)})
+				for s := 0; s < shards; s++ {
+					c := append([]*funcsim.Delta(nil), chain[:s]...)
+					select {
+					case seeds[s] <- c:
+					case <-done:
+						return
+					}
+				}
+				return
+			}
+		}
 		fs := funcsim.New(p)
 		chain := make([]*funcsim.Delta, 0, shards)
 		for s := 0; s < shards; s++ {
@@ -229,6 +250,12 @@ func runParallel(p *prog.Program, reg Regimen, starts []uint64, hier *mem.Hierar
 			case <-done:
 				return
 			}
+		}
+		// Persist the complete chain so identical runs — here or on other
+		// nodes — skip their pre-pass. Shards only ever read the deltas, so
+		// handing the slice to the store is safe.
+		if opts.Checkpoints != nil && opts.CheckpointKey != "" && len(chain) == shards-1 {
+			opts.Checkpoints.StoreCheckpoints(opts.CheckpointKey, chain)
 		}
 	}()
 

@@ -198,6 +198,15 @@ type Options struct {
 	// warming), which cannot shard. Shards is an execution policy, not part
 	// of a run's identity.
 	Shards int
+	// Checkpoints, when non-nil alongside a non-empty CheckpointKey, lets
+	// the parallel pipeline load its pre-pass checkpoint chain from a
+	// shared store (skipping the pre-pass functional run) and persist a
+	// freshly captured chain for other runs — or other nodes — with the
+	// same key. Chains are pure functions of their key, so reuse preserves
+	// byte-identical results; both fields are execution policy, never part
+	// of a run's identity.
+	Checkpoints   CheckpointStore
+	CheckpointKey string
 	// Instr, when non-nil, streams per-phase instruction counts, durations,
 	// warm-up work deltas, and machine event counters into its registry.
 	// Tracer, when non-nil, records one span per cluster phase (cold-skip,
