@@ -6,7 +6,7 @@
 // Usage:
 //
 //	rsrc [-addr :9900] [-casdir DIR] [-queue N] [-heartbeat-timeout D]
-//	     [-hedge-after D] [-max-requeues N] [-drain-timeout D]
+//	     [-hedge-after D] [-max-requeues N] [-retain D] [-drain-timeout D]
 //
 // API:
 //
@@ -61,6 +61,7 @@ func main() {
 	hbTimeout := flag.Duration("heartbeat-timeout", 5*time.Second, "reap workers silent this long and requeue their work")
 	hedgeAfter := flag.Duration("hedge-after", 30*time.Second, "duplicate a lease running longer than this onto an idle worker (<0 disables)")
 	maxRequeues := flag.Int("max-requeues", 3, "per-item requeue budget across transient failures and node loss")
+	retain := flag.Duration("retain", time.Hour, "prune finished jobs, sweeps, and their result blobs this long after completion (<0 retains forever)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "bound on finishing scheduled work after SIGTERM/SIGINT")
 	logLevel := flag.String("log-level", "info", "log verbosity: debug, info, warn, or error")
 	flag.Parse()
@@ -79,6 +80,7 @@ func main() {
 		HeartbeatTimeout: *hbTimeout,
 		HedgeAfter:       *hedgeAfter,
 		MaxRequeues:      *maxRequeues,
+		RetainFor:        *retain,
 		Store:            cas.NewStore(*casDir),
 		Metrics:          reg,
 		Log:              log,

@@ -199,6 +199,16 @@ func (s *Store) Resolve(key string) (string, error) {
 	return sum, nil
 }
 
+// Evict drops the in-memory copy of a blob. A disk copy (when a directory
+// is configured) is untouched and re-promoted on the next Get, so eviction
+// bounds memory without deleting content; on a memory-only store the blob
+// is gone and a later reader recomputes or refetches it.
+func (s *Store) Evict(sum string) {
+	s.mu.Lock()
+	delete(s.mem, sum)
+	s.mu.Unlock()
+}
+
 // Stats returns the store's counters.
 func (s *Store) Stats() Stats {
 	s.mu.Lock()

@@ -68,6 +68,36 @@ func TestStoreDiskPersistence(t *testing.T) {
 	}
 }
 
+func TestEvictDropsMemoryNotDisk(t *testing.T) {
+	// On a disk-backed store eviction only trims memory: the next Get
+	// re-reads (and re-verifies) the disk copy.
+	dir := t.TempDir()
+	s := NewStore(dir)
+	blob := []byte("evictable")
+	sum, err := s.Put(blob)
+	if err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	s.Evict(sum)
+	if got, err := s.Get(sum); err != nil || !bytes.Equal(got, blob) {
+		t.Fatalf("Get after evict = %q, %v, want the disk copy", got, err)
+	}
+
+	// On a memory-only store eviction removes the blob entirely.
+	m := NewStore("")
+	sum, err = m.Put(blob)
+	if err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	m.Evict(sum)
+	if m.Has(sum) {
+		t.Fatal("Has = true after evicting from a memory-only store")
+	}
+	if _, err := m.Get(sum); err != ErrNotFound {
+		t.Fatalf("Get after evict err = %v, want ErrNotFound", err)
+	}
+}
+
 func TestServerClientRoundTrip(t *testing.T) {
 	store := NewStore(t.TempDir())
 	mux := http.NewServeMux()

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
@@ -10,6 +11,7 @@ import (
 	"net/http/httptest"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -234,6 +236,248 @@ func TestSchedulerRefusesUnverifiableBlobs(t *testing.T) {
 	fakeComplete(t, co, "a", id)
 	if st, _ := co.Status(id); st.Status != "done" {
 		t.Fatalf("status = %s after good blob", st.Status)
+	}
+}
+
+// TestPullSkipsStaleQueueEntries pins that a queue entry whose item stopped
+// being queued while the reference waited (finalized, or re-leased after
+// racing back from a reaped node) is discarded at pull time instead of
+// leased: re-leasing it would regress a terminal item to running, re-execute
+// it, and double-close its done channel on the second completion.
+func TestPullSkipsStaleQueueEntries(t *testing.T) {
+	co := NewCoordinator(CoordinatorOptions{
+		QueuePerWorker: 8, HeartbeatTimeout: time.Hour, Log: testLogger(),
+	})
+	defer co.Close()
+	beat(t, co, "a")
+	id1, err := co.Submit(unitJob(1), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	id2, err := co.Submit(unitJob(2), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Finalize the first item while its reference still sits in a's queue.
+	co.mu.Lock()
+	co.finalize(co.items[id1], nil, "failed elsewhere")
+	co.mu.Unlock()
+
+	if it := co.Pull("a"); it == nil || it.ID != id2 {
+		t.Fatalf("pull = %+v, want the live item %s", it, short(id2))
+	}
+	if again := co.Pull("a"); again != nil {
+		t.Fatalf("second pull = %+v, want nothing (stale entry discarded)", again)
+	}
+	if st, _ := co.Status(id1); st.Status != "failed" {
+		t.Fatalf("finalized item status = %s, want failed (not clobbered)", st.Status)
+	}
+}
+
+// TestCompleteRequiresLease pins the holder check: a completion — success or
+// failure — from a node that holds no lease on the item is dropped, so a
+// stray or stale report can neither fail nor decide work it does not own.
+func TestCompleteRequiresLease(t *testing.T) {
+	reg := obs.NewRegistry()
+	co := NewCoordinator(CoordinatorOptions{
+		QueuePerWorker: 8, HeartbeatTimeout: time.Hour, Log: testLogger(), Metrics: reg,
+	})
+	defer co.Close()
+	beat(t, co, "a")
+	id, err := co.Submit(unitJob(1), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A stray permanent failure for a queued item must not kill it.
+	if err := co.Complete(CompleteRequest{Node: "evil", ID: id, Error: "boom"}); err != nil {
+		t.Fatalf("stray failure: %v", err)
+	}
+	if st, _ := co.Status(id); st.Status != "pending" {
+		t.Fatalf("status after stray failure = %s, want pending", st.Status)
+	}
+	// A stray "success" naming a valid blob is likewise dropped.
+	blob, _ := json.Marshal(engine.Result{JobHash: id, Kind: engine.JobSampled})
+	sum, _ := co.Store().Put(blob)
+	if err := co.Complete(CompleteRequest{Node: "evil", ID: id, BlobSum: sum}); err != nil {
+		t.Fatalf("stray success: %v", err)
+	}
+	if st, _ := co.Status(id); st.Status != "pending" {
+		t.Fatalf("status after stray success = %s, want pending", st.Status)
+	}
+	if got := metricValue(reg, "rsr_cluster_stale_completes_total"); got != 2 {
+		t.Errorf("stale completes metric = %v, want 2", got)
+	}
+	// The real holder still completes it.
+	if it := co.Pull("a"); it == nil || it.ID != id {
+		t.Fatalf("lease = %+v, want %s", it, short(id))
+	}
+	fakeComplete(t, co, "a", id)
+	if st, _ := co.Status(id); st.Status != "done" {
+		t.Fatalf("status = %s, want done", st.Status)
+	}
+}
+
+// TestReapedNodeLateCompletionDoesNotClobberRequeue replays the lease-race
+// scenario end to end: a reaped-but-alive node's late success must not
+// finalize an item that was requeued onto another queue — the requeued copy
+// owns the item — and running the requeued copy to completion must neither
+// regress state nor panic on a double finalize.
+func TestReapedNodeLateCompletionDoesNotClobberRequeue(t *testing.T) {
+	co := NewCoordinator(CoordinatorOptions{
+		QueuePerWorker: 8, HeartbeatTimeout: time.Hour, Log: testLogger(),
+	})
+	defer co.Close()
+	beat(t, co, "a")
+	id, err := co.Submit(unitJob(1), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if it := co.Pull("a"); it == nil || it.ID != id {
+		t.Fatalf("lease = %+v, want %s", it, short(id))
+	}
+	// a goes silent and is reaped: its lease is released and the item
+	// requeued (to the lobby — no other node is live yet).
+	co.mu.Lock()
+	co.nodes["a"].lastBeat = time.Now().Add(-2 * time.Hour)
+	co.mu.Unlock()
+	co.reap(time.Now())
+	// b joins; the requeued item lands on its queue.
+	beat(t, co, "b")
+	// a was alive all along and reports its success late: dropped.
+	blob, _ := json.Marshal(engine.Result{JobHash: id, Kind: engine.JobSampled})
+	sum, _ := co.Store().Put(blob)
+	if err := co.Complete(CompleteRequest{Node: "a", ID: id, BlobSum: sum}); err != nil {
+		t.Fatalf("late success: %v", err)
+	}
+	if st, _ := co.Status(id); st.Status != "pending" {
+		t.Fatalf("status after late success = %s, want pending (requeued copy owns the item)", st.Status)
+	}
+	// b runs the requeued copy to completion; no regression, no panic.
+	if it := co.Pull("b"); it == nil || it.ID != id {
+		t.Fatalf("requeued lease = %+v, want %s", it, short(id))
+	}
+	fakeComplete(t, co, "b", id)
+	if st, _ := co.Status(id); st.Status != "done" {
+		t.Fatalf("final status = %s, want done", st.Status)
+	}
+}
+
+// TestRetentionPrunesFinishedWork pins the coordinator's memory bound:
+// finished items, their sweeps, and their result blobs are pruned after the
+// retention window, and a pruned job resubmitted later simply re-runs.
+func TestRetentionPrunesFinishedWork(t *testing.T) {
+	co := NewCoordinator(CoordinatorOptions{
+		QueuePerWorker: 8, HeartbeatTimeout: time.Hour,
+		RetainFor: 10 * time.Millisecond, Log: testLogger(),
+	})
+	defer co.Close()
+	beat(t, co, "a")
+	sw, err := co.SubmitSweep([]engine.Job{unitJob(1)}, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := sw.JobIDs[0]
+	if it := co.Pull("a"); it == nil || it.ID != id {
+		t.Fatalf("lease = %+v", it)
+	}
+	fakeComplete(t, co, "a", id)
+	co.mu.Lock()
+	blobSum := co.items[id].blobSum
+	co.mu.Unlock()
+	if blobSum == "" || !co.Store().Has(blobSum) {
+		t.Fatalf("result blob %q not resident after completion", short(blobSum))
+	}
+
+	// Within the window everything stays pollable.
+	co.reap(time.Now())
+	if st, ok := co.Status(id); !ok || st.Status != "done" {
+		t.Fatalf("status inside retention window = %+v, %v", st, ok)
+	}
+
+	time.Sleep(20 * time.Millisecond)
+	co.reap(time.Now())
+	if _, ok := co.Status(id); ok {
+		t.Error("finished item still pollable after the retention window")
+	}
+	if _, ok := co.SweepStatus(sw.ID); ok {
+		t.Error("finished sweep still pollable after the retention window")
+	}
+	if co.Store().Has(blobSum) {
+		t.Error("result blob still resident after the retention window")
+	}
+	// Resubmission after pruning is a fresh run of the same content hash.
+	id2, err := co.Submit(unitJob(1), "")
+	if err != nil || id2 != id {
+		t.Fatalf("resubmit after prune: id %s err %v, want %s <nil>", short(id2), err, short(id))
+	}
+	if st, ok := co.Status(id); !ok || st.Status != "pending" {
+		t.Fatalf("resubmitted status = %+v, %v, want pending", st, ok)
+	}
+}
+
+// TestPeerReuploadsBlobOnUnverifiedCompletion pins the worker half of the
+// ErrBadBlob contract: when the coordinator refuses a completion because it
+// cannot verify the result blob (409), the peer re-uploads the bytes it kept
+// in scope and retries — re-sending the identical doomed report would strand
+// the job forever on a single-worker cluster (the node keeps heartbeating,
+// so the lease is never reaped, and holders are excluded from hedging).
+func TestPeerReuploadsBlobOnUnverifiedCompletion(t *testing.T) {
+	reg := obs.NewRegistry()
+	co := NewCoordinator(CoordinatorOptions{
+		HeartbeatTimeout: 2 * time.Second, Log: testLogger(), Metrics: reg,
+	})
+	defer co.Close()
+	inner := NewServer(co, reg, testLogger()).Routes()
+	var sabotaged atomic.Bool
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		// Evict the result blob under the first successful completion
+		// report, so the coordinator cannot verify it and answers 409.
+		if r.URL.Path == "/v1/peers/complete" && !sabotaged.Load() {
+			body, _ := io.ReadAll(r.Body)
+			r.Body = io.NopCloser(bytes.NewReader(body))
+			var req CompleteRequest
+			if json.Unmarshal(body, &req) == nil && req.BlobSum != "" {
+				sabotaged.Store(true)
+				co.Store().Evict(req.BlobSum)
+			}
+		}
+		inner.ServeHTTP(w, r)
+	}))
+	defer ts.Close()
+
+	eng := engine.New(engine.Options{Workers: 2})
+	defer eng.Close()
+	p, err := NewPeer(PeerOptions{
+		Node: "w", Coordinator: ts.URL, Engine: eng, Pulls: 1,
+		HeartbeatEvery: 50 * time.Millisecond, PollEvery: 10 * time.Millisecond,
+		Log: testLogger(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	cl := NewClient(ts.URL, "reupload-req", nil)
+	cl.pollEvery = 10 * time.Millisecond
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	tk, err := cl.Submit(ctx, engine.Job{
+		Kind: engine.JobSampled, Workload: "twolf",
+		Machine: sampling.DefaultMachine(), Total: 400_000,
+		Regimen: sampling.Regimen{ClusterSize: 2000, NumClusters: 10},
+		Seed:    2007,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tk.Wait(ctx); err != nil {
+		t.Fatalf("wait after 409 re-upload: %v", err)
+	}
+	if !sabotaged.Load() {
+		t.Fatal("test never intercepted a successful completion")
 	}
 }
 

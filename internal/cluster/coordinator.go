@@ -29,6 +29,13 @@ type CoordinatorOptions struct {
 	// MaxRequeues bounds how many times one item may be requeued — after
 	// transient failures or node loss — before it fails for good (0 = 3).
 	MaxRequeues int
+	// RetainFor bounds how long a finished item — and its result blob in
+	// the CAS memory layer — stays pollable after completion before being
+	// pruned, so a long-running coordinator serving many sweeps does not
+	// grow without bound (0 = 1h, negative retains forever). A sweep is
+	// pruned once every member has been finished for the window; items
+	// outlive the window while a live sweep still references them.
+	RetainFor time.Duration
 	// Store is the shared content-addressed store for result blobs and
 	// checkpoint chains (nil = a private in-memory store).
 	Store *cas.Store
@@ -62,9 +69,11 @@ type item struct {
 	requeues   int
 	hedged     bool
 
-	res    *engine.Result
-	errMsg string
-	done   chan struct{} // closed on done/failed
+	res        *engine.Result
+	blobSum    string // the accepted result blob, for eviction at prune time
+	errMsg     string
+	finishedAt time.Time     // set by finalize; drives retention pruning
+	done       chan struct{} // closed on done/failed
 }
 
 // node is one live worker.
@@ -118,6 +127,9 @@ func NewCoordinator(opts CoordinatorOptions) *Coordinator {
 	}
 	if opts.MaxRequeues <= 0 {
 		opts.MaxRequeues = 3
+	}
+	if opts.RetainFor == 0 {
+		opts.RetainFor = time.Hour
 	}
 	if opts.Log == nil {
 		opts.Log = slog.Default()
@@ -292,7 +304,14 @@ func (c *Coordinator) SweepStatus(id string) (SweepStatus, bool) {
 func (c *Coordinator) sweepStatusLocked(sw *sweep) SweepStatus {
 	st := SweepStatus{ID: sw.id, Total: len(sw.ids), JobIDs: sw.ids}
 	for _, id := range sw.ids {
-		switch c.items[id].state {
+		it := c.items[id]
+		if it == nil {
+			// Pruned after the retention window; only terminal items are
+			// pruned, so count the member finished.
+			st.Done++
+			continue
+		}
+		switch it.state {
 		case itemDone:
 			st.Done++
 		case itemFailed:
@@ -379,8 +398,11 @@ func (c *Coordinator) touch(name string) *node {
 
 // Pull leases one work item to a worker: its own queue first, then the
 // lobby, then a steal from the back of the longest sibling queue, then a
-// hedged duplicate of the oldest long-running item. Returns nil when there
-// is nothing to do.
+// hedged duplicate of the oldest long-running item. Queue entries are
+// references, and an item can stop being queued while one waits (finalized
+// by Close, or re-leased after racing back from a reaped node); stale
+// entries are discarded at pull time so a lease can never regress a
+// terminal item back to running. Returns nil when there is nothing to do.
 func (c *Coordinator) Pull(nodeName string) *WorkItem {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -392,18 +414,21 @@ func (c *Coordinator) Pull(nodeName string) *WorkItem {
 
 	var it *item
 	var hedged bool
-	switch {
-	case len(n.queue) > 0:
-		it, n.queue = n.queue[0], n.queue[1:]
-	case len(c.lobby) > 0:
-		it, c.lobby = c.lobby[0], c.lobby[1:]
-	default:
-		if victim := c.longestLiveQueue(n, now); victim != nil {
-			it = victim.queue[len(victim.queue)-1]
-			victim.queue = victim.queue[:len(victim.queue)-1]
+	if it = popQueued(&n.queue, false); it == nil {
+		it = popQueued(&c.lobby, false)
+	}
+	for it == nil {
+		victim := c.longestLiveQueue(n, now)
+		if victim == nil {
+			break
+		}
+		if it = popQueued(&victim.queue, true); it != nil {
 			c.obs.steals.With(nodeName).Inc()
 			c.log.Info("stole work", "node", nodeName, "from", victim.name, "job", short(it.id))
-		} else if h := c.hedgeCandidate(nodeName, now); h != nil {
+		}
+	}
+	if it == nil {
+		if h := c.hedgeCandidate(nodeName, now); h != nil {
 			it, hedged = h, true
 			it.hedged = true
 			c.obs.hedges.With(nodeName).Inc()
@@ -421,6 +446,24 @@ func (c *Coordinator) Pull(nodeName string) *WorkItem {
 	}
 	n.leases[it.id] = true
 	return &WorkItem{ID: it.id, Job: it.job, RequestID: it.reqID, Hedged: hedged}
+}
+
+// popQueued pops entries off q — from the front, or the back for steals —
+// discarding stale references (items no longer itemQueued) until it finds
+// live work or empties the queue. Callers hold c.mu.
+func popQueued(q *[]*item, fromBack bool) *item {
+	for len(*q) > 0 {
+		var it *item
+		if fromBack {
+			it, *q = (*q)[len(*q)-1], (*q)[:len(*q)-1]
+		} else {
+			it, *q = (*q)[0], (*q)[1:]
+		}
+		if it.state == itemQueued {
+			return it
+		}
+	}
+	return nil
 }
 
 // hedgeCandidate picks the oldest running item this node does not already
@@ -447,9 +490,14 @@ func (c *Coordinator) hedgeCandidate(nodeName string, now time.Time) *item {
 // Complete records one execution's outcome. Success must name a result blob
 // already in the store; a blob that is missing, corrupt, or decodes to a
 // different job's result is refused with ErrBadBlob (the worker re-uploads
-// and retries). Failures release the node's lease: if another node still
-// holds a hedged lease the item keeps running, otherwise a transient failure
-// is requeued within the item's budget and anything else fails the item.
+// and retries). Only a node that still holds a lease on the item may decide
+// it: a report that raced the reaper — the node was presumed dead, its lease
+// released and the item requeued — is dropped, so a late failure cannot kill
+// work that is queued to run elsewhere, and a stray report (the API is
+// unauthenticated) cannot decide a job it never leased. Failures release the
+// node's lease: if another node still holds a hedged lease the item keeps
+// running, otherwise a transient failure is requeued within the item's
+// budget and anything else fails the item.
 func (c *Coordinator) Complete(req CompleteRequest) error {
 	var res *engine.Result
 	if req.Error == "" {
@@ -476,7 +524,6 @@ func (c *Coordinator) Complete(req CompleteRequest) error {
 	if !ok {
 		return fmt.Errorf("%w: %s", ErrUnknownJob, short(req.ID))
 	}
-	delete(it.holders, req.Node)
 	if n := c.nodes[req.Node]; n != nil {
 		delete(n.leases, req.ID)
 		n.lastBeat = time.Now()
@@ -484,10 +531,24 @@ func (c *Coordinator) Complete(req CompleteRequest) error {
 	if it.state == itemDone || it.state == itemFailed {
 		// A hedge or requeue raced a slow completion; results are
 		// deterministic so the late copy is identical and simply dropped.
+		delete(it.holders, req.Node)
 		c.obs.lateCompletes.Inc()
 		return nil
 	}
+	if !it.holders[req.Node] {
+		// The node does not hold a lease on this item: its lease was reaped
+		// and the item requeued, or the report is a stray POST. The live
+		// copy owns the item now — a late failure must not fail work that
+		// would run fine elsewhere, and a late result is simply recomputed
+		// (determinism makes the re-execution byte-identical).
+		c.obs.staleCompletes.Inc()
+		c.log.Warn("completion from non-holder dropped", "node", req.Node,
+			"job", short(req.ID), "err", req.Error)
+		return nil
+	}
+	delete(it.holders, req.Node)
 	if res != nil {
+		it.blobSum = req.BlobSum
 		c.finalize(it, res, "")
 		return nil
 	}
@@ -517,6 +578,7 @@ func (c *Coordinator) finalize(it *item, res *engine.Result, errMsg string) {
 		it.state, it.errMsg = itemFailed, errMsg
 		c.obs.completed.With("failed").Inc()
 	}
+	it.finishedAt = time.Now()
 	close(it.done)
 }
 
@@ -599,14 +661,69 @@ func (c *Coordinator) reap(now time.Time) {
 			}
 		}
 	}
+	c.pruneLocked(now)
 	c.drainLobbyLocked()
 }
 
-// drainLobbyLocked moves lobby items onto live queues with room. Callers
-// hold c.mu.
+// pruneLocked retires work finished longer than RetainFor ago: expired
+// sweeps first, then terminal items no live sweep references, evicting each
+// pruned item's result blob from the CAS memory layer. This bounds a
+// long-running coordinator's memory; a pruned job resubmitted later simply
+// re-executes (deterministically, to the same bytes). Callers hold c.mu.
+func (c *Coordinator) pruneLocked(now time.Time) {
+	if c.opts.RetainFor < 0 {
+		return
+	}
+	for id, sw := range c.sweeps {
+		expired := true
+		for _, itID := range sw.ids {
+			it := c.items[itID]
+			if it == nil {
+				continue
+			}
+			if (it.state != itemDone && it.state != itemFailed) ||
+				now.Sub(it.finishedAt) <= c.opts.RetainFor {
+				expired = false
+				break
+			}
+		}
+		if expired {
+			delete(c.sweeps, id)
+		}
+	}
+	var referenced map[string]bool
+	for _, sw := range c.sweeps {
+		for _, id := range sw.ids {
+			if referenced == nil {
+				referenced = make(map[string]bool)
+			}
+			referenced[id] = true
+		}
+	}
+	for id, it := range c.items {
+		if it.state != itemDone && it.state != itemFailed {
+			continue
+		}
+		if referenced[id] || now.Sub(it.finishedAt) <= c.opts.RetainFor {
+			continue
+		}
+		delete(c.items, id)
+		if it.blobSum != "" {
+			c.store.Evict(it.blobSum)
+		}
+		c.obs.pruned.Inc()
+	}
+}
+
+// drainLobbyLocked moves lobby items onto live queues with room, dropping
+// stale entries (see Pull). Callers hold c.mu.
 func (c *Coordinator) drainLobbyLocked() {
 	now := time.Now()
 	for len(c.lobby) > 0 {
+		if c.lobby[0].state != itemQueued {
+			c.lobby = c.lobby[1:]
+			continue
+		}
 		n := c.shortestLiveQueue(now)
 		if n == nil {
 			return

@@ -12,9 +12,11 @@ type coordObs struct {
 	submitted     *obs.Counter
 	coalesced     *obs.Counter
 	rejected      *obs.Counter
-	requeues      *obs.Counter
-	lateCompletes *obs.Counter
-	nodesLost     *obs.Counter
+	requeues       *obs.Counter
+	lateCompletes  *obs.Counter
+	staleCompletes *obs.Counter
+	pruned         *obs.Counter
+	nodesLost      *obs.Counter
 	completed     *obs.CounterVec // label: state (done|failed)
 	steals        *obs.CounterVec // label: node (the thief)
 	hedges        *obs.CounterVec // label: node (the hedger)
@@ -65,6 +67,10 @@ func newCoordObs(reg *obs.Registry, c *Coordinator) *coordObs {
 		"Items requeued after transient failures or node loss.")
 	o.lateCompletes = reg.Counter("rsr_cluster_late_completes_total",
 		"Completions that arrived after the item was already terminal (hedge or requeue races; byte-identical results, dropped).")
+	o.staleCompletes = reg.Counter("rsr_cluster_stale_completes_total",
+		"Completion reports dropped because the node no longer held a lease on the item (reaped and requeued, or a stray report).")
+	o.pruned = reg.Counter("rsr_cluster_items_pruned_total",
+		"Finished items retired after the retention window.")
 	o.nodesLost = reg.Counter("rsr_cluster_nodes_lost_total",
 		"Workers reaped after missing the heartbeat timeout.")
 	o.completed = reg.CounterVec("rsr_cluster_items_total",

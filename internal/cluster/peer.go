@@ -244,7 +244,7 @@ func (p *Peer) runItem(it *WorkItem) {
 		"request_id", it.RequestID, "hedged", it.Hedged)
 	tk, err := p.opts.Engine.Submit(ctx, it.Job)
 	if err != nil {
-		p.complete(CompleteRequest{Node: p.opts.Node, ID: it.ID, Error: err.Error()})
+		p.complete(CompleteRequest{Node: p.opts.Node, ID: it.ID, Error: err.Error()}, nil)
 		return
 	}
 	res, err := tk.Wait(p.ctx)
@@ -253,41 +253,46 @@ func (p *Peer) runItem(it *WorkItem) {
 			return // dying; the coordinator reaps the lease
 		}
 		p.complete(CompleteRequest{Node: p.opts.Node, ID: it.ID,
-			Error: err.Error(), Transient: engine.Transient(err)})
+			Error: err.Error(), Transient: engine.Transient(err)}, nil)
 		return
 	}
 	blob, err := json.Marshal(res)
 	if err != nil {
 		p.complete(CompleteRequest{Node: p.opts.Node, ID: it.ID,
-			Error: fmt.Sprintf("encode result: %v", err)})
+			Error: fmt.Sprintf("encode result: %v", err)}, nil)
 		return
 	}
 	sum, err := p.cas.Put(p.ctx, blob)
 	if err != nil {
 		p.log.Warn("result upload failed", "job", short(it.ID), "err", err)
 		p.complete(CompleteRequest{Node: p.opts.Node, ID: it.ID,
-			Error: fmt.Sprintf("upload result: %v", err), Transient: true})
+			Error: fmt.Sprintf("upload result: %v", err), Transient: true}, nil)
 		return
 	}
-	p.complete(CompleteRequest{Node: p.opts.Node, ID: it.ID, BlobSum: sum})
+	p.complete(CompleteRequest{Node: p.opts.Node, ID: it.ID, BlobSum: sum}, blob)
 	p.log.Info("lease done", "job", short(it.ID), "blob", short(sum))
 }
 
-// complete reports an outcome, retrying briefly; a 409 (the coordinator
-// could not verify the blob) triggers one re-upload. A report that still
-// cannot land is abandoned — the coordinator hedges or requeues the lease,
-// and determinism makes the duplicate execution byte-identical.
-func (p *Peer) complete(req CompleteRequest) {
+// complete reports an outcome, retrying briefly. A 409 means the coordinator
+// could not verify the result blob (evicted, corrupt on its disk, torn in
+// transit): the blob bytes kept in scope are re-uploaded before the retry,
+// so the next report can land. A report that still cannot land is
+// abandoned — the coordinator hedges or requeues the lease, and determinism
+// makes the duplicate execution byte-identical.
+func (p *Peer) complete(req CompleteRequest, blob []byte) {
 	for attempt := 0; attempt < 3; attempt++ {
 		code, _, err := p.postJSON("/v1/peers/complete", req)
 		switch {
 		case err == nil && (code == http.StatusNoContent || code == http.StatusNotFound):
 			return
-		case err == nil && code == http.StatusConflict && req.BlobSum != "":
+		case err == nil && code == http.StatusConflict && len(blob) > 0:
 			p.log.Warn("completion refused, blob unverified; re-uploading",
 				"job", short(req.ID))
-			// Best effort: the blob bytes are regenerated from the engine's
-			// cache by rerunning the lease if this fails.
+			if sum, perr := p.cas.Put(p.ctx, blob); perr == nil {
+				req.BlobSum = sum
+			} else {
+				p.log.Warn("result re-upload failed", "job", short(req.ID), "err", perr)
+			}
 		}
 		select {
 		case <-p.ctx.Done():
