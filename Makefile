@@ -8,6 +8,8 @@
 #                    rsr -metrics-out/-trace-out artifacts
 #   make cluster-smoke  sweep-fabric check: 1 rsrc coordinator + 2 peer rsrd
 #                    workers, sweep output diffed against a single-node run
+#   make shard-smoke sharded-pipeline check: race-enabled full-method sweep
+#                    diffed byte-for-byte against the sequential pipeline
 #   make bench       machine-readable benchmark snapshot (BENCH_$(LABEL).json)
 #   make bench-sweep sequential-vs-parallel sweep benchmark at small scale
 #   make all         everything above
@@ -18,9 +20,9 @@
 GO ?= go
 LABEL ?= dev
 
-.PHONY: all build test verify chaos obs-smoke cluster-smoke bench bench-sweep
+.PHONY: all build test verify chaos obs-smoke cluster-smoke shard-smoke bench bench-sweep
 
-all: build test verify chaos obs-smoke cluster-smoke
+all: build test verify chaos obs-smoke cluster-smoke shard-smoke
 
 build:
 	$(GO) build ./...
@@ -63,6 +65,13 @@ obs-smoke: build
 # `rsr -cluster` whose output must be byte-identical to a single-node run.
 cluster-smoke: build
 	./scripts/cluster-smoke.sh
+
+# shard-smoke proves the sharded cluster pipeline end to end with the real
+# CLI: the full warm-up sweep (every method, funcWarm included) run under
+# the race detector at several shard counts must be byte-identical to the
+# sequential pipeline. scripts/shard-smoke.sh diffs the sweep tables.
+shard-smoke:
+	./scripts/shard-smoke.sh
 
 bench:
 	$(GO) run ./cmd/rsrbench -label $(LABEL)

@@ -16,11 +16,18 @@
 //	warmup_<arm>       end-to-end sampled run per warm-up method (runs/s)
 //	shard_sweep_<n>    parallel cluster pipeline at n shards (runs/s);
 //	                   the <n>/1 ratio is the intra-run speedup
+//	shard_sweep_funcwarm_<n>  the same sweep for functional warming (S$BP),
+//	                   which shards through speculative region captures
+//	recon_shardside_<on|off>  reverse reconstruction planned on the shard
+//	                   producers (on, the default) vs scanned on the
+//	                   consumer (off): the serial-fraction ablation
 //	figure7            one end-to-end figure regeneration (runs/s)
 //
 // With -compare, the deltas against a previous snapshot are printed and the
 // exit status is still zero: regression gating policy belongs to CI, not to
-// the measuring tool.
+// the measuring tool. Arms without a counterpart on the other side are
+// printed with a note and skipped — a new arm never breaks comparison
+// against an older snapshot.
 package main
 
 import (
@@ -28,6 +35,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"testing"
@@ -85,7 +93,7 @@ func main() {
 	}
 	for _, m := range measure() {
 		snap.Metrics = append(snap.Metrics, m)
-		fmt.Printf("%-22s %14.0f %-10s (%d iter, %.2f ms/op)\n",
+		fmt.Printf("%-26s %14.0f %-10s (%d iter, %.2f ms/op)\n",
 			m.Name, m.Value, m.Unit, m.Iterations, m.NsPerOp/1e6)
 	}
 
@@ -104,7 +112,7 @@ func main() {
 	fmt.Printf("wrote %s\n", *out)
 
 	if *compare != "" {
-		if err := printComparison(*compare, snap); err != nil {
+		if err := printComparison(os.Stdout, *compare, snap); err != nil {
 			fmt.Fprintln(os.Stderr, "rsrbench: -compare:", err)
 			os.Exit(1)
 		}
@@ -217,6 +225,47 @@ func measure() []Metric {
 		out = append(out, throughput(fmt.Sprintf("shard_sweep_%d", shards), "runs/s", 1, r))
 	}
 
+	// The same sweep for the functional-warming family: producers capture
+	// the would-be warming applications into private region logs and the
+	// consumer replays them in cluster order. On one core the sweep measures
+	// the capture/replay overhead (the honest number); the speedup story is
+	// the multicore model in EXPERIMENTS.md.
+	fwSpec := warmup.Spec{Kind: warmup.KindSMARTS, Cache: true, BPred: true}
+	for _, shards := range []int{1, 2, 4, 8} {
+		shards := shards
+		opts := sampling.Options{Shards: shards}
+		r = testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := sampling.RunSampledOpts(gcc, sampling.DefaultMachine(), reg, 2_000_000, 1, fwSpec, opts); err != nil {
+					fail(err)
+				}
+			}
+		})
+		out = append(out, throughput(fmt.Sprintf("shard_sweep_funcwarm_%d", shards), "runs/s", 1, r))
+	}
+
+	// Reconstruction placement ablation: identical sharded runs with the
+	// reverse scans planned on the producers (on — the default) vs executed
+	// on the consumer at EndSkip (off — the pre-shard-side placement).
+	// Results are byte-identical; on/off is the serial fraction the tentpole
+	// moved off the critical path.
+	abSpec := warmup.Spec{Kind: warmup.KindReverse, Percent: 100, Cache: true, BPred: true}
+	for _, arm := range []struct {
+		name     string
+		consumer bool
+	}{{"on", false}, {"off", true}} {
+		arm := arm
+		opts := sampling.Options{Shards: 2, ConsumerRecon: arm.consumer}
+		r = testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := sampling.RunSampledOpts(gcc, sampling.DefaultMachine(), reg, 2_000_000, 1, abSpec, opts); err != nil {
+					fail(err)
+				}
+			}
+		})
+		out = append(out, throughput("recon_shardside_"+arm.name, "runs/s", 1, r))
+	}
+
 	// One end-to-end figure at reduced scale: exercises the engine, the
 	// sampled paths, and the reconstruction together.
 	r = testing.Benchmark(func(b *testing.B) {
@@ -268,7 +317,11 @@ func loadSnapshot(path string) (*Snapshot, error) {
 	return &base, nil
 }
 
-func printComparison(path string, cur *Snapshot) error {
+// printComparison diffs cur against the snapshot at path. Arms only one
+// side knows — new arms this run, retired arms in the baseline — are noted
+// and skipped rather than erroring, so a snapshot taken after new arms land
+// still compares cleanly against an older baseline.
+func printComparison(w io.Writer, path string, cur *Snapshot) error {
 	base, err := loadSnapshot(path)
 	if err != nil {
 		return err
@@ -277,15 +330,25 @@ func printComparison(path string, cur *Snapshot) error {
 	for _, m := range base.Metrics {
 		prev[m.Name] = m
 	}
-	fmt.Printf("\nvs %s (%s):\n", base.Label, base.Timestamp)
+	fmt.Fprintf(w, "\nvs %s (%s):\n", base.Label, base.Timestamp)
+	seen := make(map[string]bool, len(cur.Metrics))
 	for _, m := range cur.Metrics {
+		seen[m.Name] = true
 		p, ok := prev[m.Name]
-		if !ok || p.Value == 0 {
-			fmt.Printf("%-22s %14.0f %-10s (no baseline)\n", m.Name, m.Value, m.Unit)
-			continue
+		switch {
+		case !ok:
+			fmt.Fprintf(w, "%-26s %14.0f %-10s (new arm, not in baseline — skipped)\n", m.Name, m.Value, m.Unit)
+		case p.Value == 0:
+			fmt.Fprintf(w, "%-26s %14.0f %-10s (baseline value is zero — skipped)\n", m.Name, m.Value, m.Unit)
+		default:
+			fmt.Fprintf(w, "%-26s %14.0f %-10s %+7.1f%% (%.2fx)\n",
+				m.Name, m.Value, m.Unit, 100*(m.Value/p.Value-1), m.Value/p.Value)
 		}
-		fmt.Printf("%-22s %14.0f %-10s %+7.1f%% (%.2fx)\n",
-			m.Name, m.Value, m.Unit, 100*(m.Value/p.Value-1), m.Value/p.Value)
+	}
+	for _, m := range base.Metrics {
+		if !seen[m.Name] {
+			fmt.Fprintf(w, "%-26s %14s %-10s (baseline-only arm, absent from this run — skipped)\n", m.Name, "-", m.Unit)
+		}
 	}
 	return nil
 }

@@ -55,6 +55,37 @@ func TestLoadSnapshotRejectsCorrupt(t *testing.T) {
 	}
 }
 
+// TestCompareSkipsDisjointArms pins the -compare contract for arms only one
+// side knows: new arms in the current run and retired arms in the baseline
+// are noted and skipped, never an error, and shared arms still diff.
+func TestCompareSkipsDisjointArms(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "base.json")
+	base := `{"label":"old","timestamp":"2026-01-01T00:00:00Z","metrics":[
+		{"name":"shared","value":100,"unit":"runs/s"},
+		{"name":"retired_arm","value":5,"unit":"runs/s"}]}`
+	if err := os.WriteFile(path, []byte(base), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cur := &Snapshot{Label: "new", Metrics: []Metric{
+		{Name: "shared", Value: 150, Unit: "runs/s"},
+		{Name: "shard_sweep_funcwarm_4", Value: 7, Unit: "runs/s"},
+	}}
+	var buf strings.Builder
+	if err := printComparison(&buf, path, cur); err != nil {
+		t.Fatalf("comparison with disjoint arms errored: %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"shared", "+50.0%",
+		"shard_sweep_funcwarm_4", "new arm, not in baseline",
+		"retired_arm", "baseline-only arm",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("comparison output missing %q:\n%s", want, out)
+		}
+	}
+}
+
 // TestLoadSnapshotAcceptsCommittedBaseline guards the repo's own pinned
 // baseline: it must always parse.
 func TestLoadSnapshotAcceptsCommittedBaseline(t *testing.T) {

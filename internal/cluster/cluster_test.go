@@ -75,6 +75,38 @@ func beat(t *testing.T, co *Coordinator, node string) {
 	}
 }
 
+// TestHeartbeatShardUtilization pins the shard-telemetry path: a worker's
+// self-reported shard usage and capacity land in the coordinator's node
+// state and are exported per node on /metrics, and a later heartbeat that
+// omits the additive fields (an older worker) zeroes them rather than
+// leaving a stale reading.
+func TestHeartbeatShardUtilization(t *testing.T) {
+	reg := obs.NewRegistry()
+	co := NewCoordinator(CoordinatorOptions{
+		QueuePerWorker: 2, HeartbeatTimeout: time.Hour, Log: testLogger(), Metrics: reg,
+	})
+	defer co.Close()
+
+	if err := co.Heartbeat(Heartbeat{Node: "a", Protocol: ProtocolVersion,
+		ShardsInUse: 6, ShardCapacity: 8}); err != nil {
+		t.Fatal(err)
+	}
+	if got := metricValue(reg, "rsr_cluster_node_shards_inuse"); got != 6 {
+		t.Fatalf("rsr_cluster_node_shards_inuse = %v, want 6", got)
+	}
+	if got := metricValue(reg, "rsr_cluster_node_shard_capacity"); got != 8 {
+		t.Fatalf("rsr_cluster_node_shard_capacity = %v, want 8", got)
+	}
+
+	beat(t, co, "a") // no shard fields: an older worker's heartbeat
+	if got := metricValue(reg, "rsr_cluster_node_shards_inuse"); got != 0 {
+		t.Fatalf("shards_inuse after field-less heartbeat = %v, want 0", got)
+	}
+	if got := metricValue(reg, "rsr_cluster_node_shard_capacity"); got != 0 {
+		t.Fatalf("shard_capacity after field-less heartbeat = %v, want 0", got)
+	}
+}
+
 func TestSchedulerBackpressure(t *testing.T) {
 	co := NewCoordinator(CoordinatorOptions{
 		QueuePerWorker: 2, HeartbeatTimeout: time.Hour, Log: testLogger(),

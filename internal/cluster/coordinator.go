@@ -85,6 +85,11 @@ type node struct {
 	// engQueued/engRunning are the worker's self-reported engine counters,
 	// surfaced per node on the coordinator's /metrics.
 	engQueued, engRunning int64
+	// shardsInUse/shardCapacity are the worker's self-reported shard
+	// utilization (heartbeat payload): shard goroutines occupied by executing
+	// jobs vs the node's GOMAXPROCS. Older workers omit them (zero).
+	shardsInUse   int64
+	shardCapacity int
 }
 
 // sweep tracks a named batch of job IDs.
@@ -379,6 +384,7 @@ func (c *Coordinator) Heartbeat(hb Heartbeat) error {
 	}
 	n := c.touch(hb.Node)
 	n.engQueued, n.engRunning = hb.QueueDepth, hb.Inflight
+	n.shardsInUse, n.shardCapacity = hb.ShardsInUse, hb.ShardCapacity
 	c.drainLobbyLocked()
 	return nil
 }

@@ -27,6 +27,8 @@ type coordObs struct {
 	inflight   *obs.GaugeVec // label: node
 	engQueued  *obs.GaugeVec // label: node
 	engRunning *obs.GaugeVec // label: node
+	shardsUsed *obs.GaugeVec // label: node
+	shardCap   *obs.GaugeVec // label: node
 }
 
 // nodeSnap is one worker's scrape-time view for the per-node gauges.
@@ -34,6 +36,8 @@ type nodeSnap struct {
 	name                  string
 	queue, leases         int
 	engQueued, engRunning int64
+	shardsInUse           int64
+	shardCapacity         int
 }
 
 // snapshotNodes reads the scheduler state for the metrics collector.
@@ -42,11 +46,13 @@ func (c *Coordinator) snapshotNodes() (ns []nodeSnap, lobby int) {
 	defer c.mu.Unlock()
 	for _, n := range c.sortedNodes() {
 		ns = append(ns, nodeSnap{
-			name:       n.name,
-			queue:      len(n.queue),
-			leases:     len(n.leases),
-			engQueued:  n.engQueued,
-			engRunning: n.engRunning,
+			name:          n.name,
+			queue:         len(n.queue),
+			leases:        len(n.leases),
+			engQueued:     n.engQueued,
+			engRunning:    n.engRunning,
+			shardsInUse:   n.shardsInUse,
+			shardCapacity: n.shardCapacity,
 		})
 	}
 	return ns, len(c.lobby)
@@ -91,6 +97,10 @@ func newCoordObs(reg *obs.Registry, c *Coordinator) *coordObs {
 		"Worker-reported local engine queue depth (heartbeat payload).", "node")
 	o.engRunning = reg.GaugeVec("rsr_cluster_node_engine_running",
 		"Worker-reported local engine running jobs (heartbeat payload).", "node")
+	o.shardsUsed = reg.GaugeVec("rsr_cluster_node_shards_inuse",
+		"Worker-reported shard goroutines occupied by executing jobs (heartbeat payload).", "node")
+	o.shardCap = reg.GaugeVec("rsr_cluster_node_shard_capacity",
+		"Worker-reported shard capacity, its GOMAXPROCS (heartbeat payload).", "node")
 	reg.RegisterCollector(func() {
 		ns, lobby := c.snapshotNodes()
 		o.workers.Set(int64(len(ns)))
@@ -100,6 +110,8 @@ func newCoordObs(reg *obs.Registry, c *Coordinator) *coordObs {
 			o.inflight.With(n.name).Set(int64(n.leases))
 			o.engQueued.With(n.name).Set(n.engQueued)
 			o.engRunning.With(n.name).Set(n.engRunning)
+			o.shardsUsed.With(n.name).Set(n.shardsInUse)
+			o.shardCap.With(n.name).Set(int64(n.shardCapacity))
 		}
 	})
 	return o
@@ -113,4 +125,6 @@ func (o *coordObs) zeroNode(name string) {
 	o.inflight.With(name).Set(0)
 	o.engQueued.With(name).Set(0)
 	o.engRunning.With(name).Set(0)
+	o.shardsUsed.With(name).Set(0)
+	o.shardCap.With(name).Set(0)
 }

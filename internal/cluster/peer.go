@@ -9,6 +9,7 @@ import (
 	"log/slog"
 	"net/http"
 	"os"
+	"runtime"
 	"sync"
 	"time"
 
@@ -172,16 +173,19 @@ func (p *Peer) heartbeatLoop() {
 	}
 }
 
-// beat sends one heartbeat carrying the local engine's queue depth and
-// in-flight count — the coordinator's per-node backpressure signal. A 409
-// means protocol skew (a coordinator upgraded under us): fail fast.
+// beat sends one heartbeat carrying the local engine's queue depth,
+// in-flight count, and shard utilization — the coordinator's per-node
+// backpressure signal. A 409 means protocol skew (a coordinator upgraded
+// under us): fail fast.
 func (p *Peer) beat() {
 	st := p.opts.Engine.Stats()
 	hb := Heartbeat{
-		Node:       p.opts.Node,
-		Protocol:   ProtocolVersion,
-		QueueDepth: st.Queued,
-		Inflight:   st.Running,
+		Node:          p.opts.Node,
+		Protocol:      ProtocolVersion,
+		QueueDepth:    st.Queued,
+		Inflight:      st.Running,
+		ShardsInUse:   st.ShardsInUse,
+		ShardCapacity: runtime.GOMAXPROCS(0),
 	}
 	code, _, err := p.postJSON("/v1/peers/heartbeat", hb)
 	if err != nil {

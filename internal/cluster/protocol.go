@@ -102,15 +102,23 @@ func Version() VersionInfo {
 	return v
 }
 
-// Heartbeat is a worker's periodic liveness report. QueueDepth and Inflight
-// are the worker's local engine counters — the coordinator exposes them
-// per-node on /metrics, giving operators the backpressure picture end to
-// end: coordinator queue depth on one side, engine queue depth on the other.
+// Heartbeat is a worker's periodic liveness report. QueueDepth, Inflight,
+// and the shard fields are the worker's local engine counters — the
+// coordinator exposes them per-node on /metrics, giving operators the
+// backpressure picture end to end: coordinator queue depth on one side,
+// engine queue depth and shard utilization on the other. The shard fields
+// are additive (older workers simply omit them), so they do not bump
+// ProtocolVersion.
 type Heartbeat struct {
 	Node       string `json:"node"`
 	Protocol   int    `json:"protocol"`
 	QueueDepth int64  `json:"queue_depth"`
 	Inflight   int64  `json:"inflight"`
+	// ShardsInUse sums the shard counts of the jobs executing on the node
+	// right now (engine.Stats.ShardsInUse); ShardCapacity is the node's
+	// GOMAXPROCS. InUse/Capacity is the node's shard utilization.
+	ShardsInUse   int64 `json:"shards_in_use,omitempty"`
+	ShardCapacity int   `json:"shard_capacity,omitempty"`
 }
 
 // PullRequest asks the coordinator for one work item.

@@ -354,6 +354,9 @@ func (e *Engine) execute(t *task) {
 func (e *Engine) attempt(t *task, attempt int, tid int64) (*Result, time.Duration, error) {
 	e.stats.running.Add(1)
 	defer e.stats.running.Add(-1)
+	slots := t.job.ShardSlots()
+	e.stats.shardsInUse.Add(slots)
+	defer e.stats.shardsInUse.Add(-slots)
 	e.bcast.emit(Event{JobHash: t.hash, Label: t.job.Label(), State: StateRunning, Attempt: attempt, RequestID: t.reqID})
 
 	ctx := t.ctx

@@ -141,6 +141,16 @@ func (j Job) CheckpointKey() string {
 	return "ckpt-" + hex.EncodeToString(sum[:])
 }
 
+// ShardSlots reports how many shard goroutines an execution of this job
+// occupies: its shard count for a parallel sampled job, 1 for sequential
+// and full runs. It is the unit of the engine's ShardsInUse gauge.
+func (j Job) ShardSlots() int64 {
+	if j.Kind == JobSampled && j.Shards > 1 {
+		return int64(j.Shards)
+	}
+	return 1
+}
+
 // Label renders a short human-readable description of the job.
 func (j Job) Label() string {
 	if j.Kind == JobFull {

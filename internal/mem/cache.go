@@ -61,7 +61,13 @@ type line struct {
 	stamp uint64 // larger = more recently used
 	valid bool
 	dirty bool
-	recon bool // reconstructed during the current RSR pass
+	// reconAt stamps the reconstruction pass (Cache.reconEpoch) that last
+	// touched this block. The block counts as reconstructed exactly when
+	// reconAt equals the cache's current epoch, which lets
+	// BeginReconstruction invalidate every mark in O(1) by bumping the epoch
+	// instead of clearing a bit per line — the consumer-side reset cost in
+	// the parallel pipeline. Zero is never a live epoch.
+	reconAt uint64
 }
 
 // Stats counts cache events. Updates counts every state-mutating operation —
@@ -91,6 +97,7 @@ type Cache struct {
 	// Reconstruction pass state (see Reconstruct* methods).
 	reconLeft  []int32 // stale ways remaining per set
 	reconBase  uint64  // stamp floor for the current pass
+	reconEpoch uint64  // current pass number; line.reconAt == reconEpoch ⇒ reconstructed
 	reconStats ReconStats
 }
 
@@ -271,7 +278,8 @@ func (c *Cache) SetView(s int) []LineView {
 	set := c.set(s)
 	out := make([]LineView, len(set))
 	for i := range set {
-		out[i] = LineView{Tag: set[i].tag, Valid: set[i].valid, Dirty: set[i].dirty, Recon: set[i].recon}
+		out[i] = LineView{Tag: set[i].tag, Valid: set[i].valid, Dirty: set[i].dirty,
+			Recon: set[i].reconAt != 0 && set[i].reconAt == c.reconEpoch}
 	}
 	// Rank valid ways by stamp, descending.
 	for i := range set {

@@ -15,14 +15,15 @@ type ReconStats struct {
 	Applied uint64
 }
 
-// BeginReconstruction clears every reconstructed bit and reserves a stamp
-// range above all existing (stale) stamps so that every block reconstructed
-// in this pass ranks as more recently used than every stale block, while
-// stale blocks keep their prior relative order.
+// BeginReconstruction invalidates every reconstructed mark and reserves a
+// stamp range above all existing (stale) stamps so that every block
+// reconstructed in this pass ranks as more recently used than every stale
+// block, while stale blocks keep their prior relative order. Invalidation is
+// an epoch bump — no per-line work — so the pass-start cost is O(sets), which
+// is what keeps the parallel consumer's per-region reset off the serial
+// critical path.
 func (c *Cache) BeginReconstruction() {
-	for i := range c.lines {
-		c.lines[i].recon = false
-	}
+	c.reconEpoch++
 	for s := range c.reconLeft {
 		c.reconLeft[s] = int32(c.assoc)
 	}
@@ -58,10 +59,10 @@ func (c *Cache) ReconstructRef(addr uint64, isWrite bool) bool {
 	stamp := c.reconBase + uint64(c.assoc-rank)
 
 	if w := find(set, tag); w >= 0 {
-		if set[w].recon {
+		if set[w].reconAt == c.reconEpoch {
 			return false // redundant: effect already processed
 		}
-		set[w].recon = true
+		set[w].reconAt = c.reconEpoch
 		set[w].stamp = stamp
 		if isWrite && c.cfg.Policy == WBWA {
 			set[w].dirty = true
@@ -75,7 +76,7 @@ func (c *Cache) ReconstructRef(addr uint64, isWrite bool) bool {
 	// Absent: place into the least-recently-used stale block.
 	v := -1
 	for i := range set {
-		if set[i].recon {
+		if set[i].reconAt == c.reconEpoch {
 			continue
 		}
 		if !set[i].valid {
@@ -99,11 +100,11 @@ func (c *Cache) ReconstructRef(addr uint64, isWrite bool) bool {
 		}
 	}
 	set[v] = line{
-		tag:   tag,
-		stamp: stamp,
-		valid: true,
-		dirty: isWrite && c.cfg.Policy == WBWA,
-		recon: true,
+		tag:     tag,
+		stamp:   stamp,
+		valid:   true,
+		dirty:   isWrite && c.cfg.Policy == WBWA,
+		reconAt: c.reconEpoch,
 	}
 	c.reconLeft[setIdx] = left - 1
 	c.stats.Updates++

@@ -15,10 +15,20 @@ type CacheState struct {
 	counter uint64
 }
 
-// State copies the cache's content.
+// State copies the cache's content. Reconstructed marks are normalized to an
+// epoch-independent form (reconAt 1 = marked in the most recent pass, 0 =
+// stale), so a snapshot means the same thing whatever pass number the source
+// or destination cache has reached.
 func (c *Cache) State() CacheState {
 	s := CacheState{lines: make([]line, len(c.lines)), counter: c.counter}
 	copy(s.lines, c.lines)
+	for i := range s.lines {
+		if s.lines[i].reconAt == c.reconEpoch && s.lines[i].reconAt != 0 {
+			s.lines[i].reconAt = 1
+		} else {
+			s.lines[i].reconAt = 0
+		}
+	}
 	return s
 }
 
@@ -30,6 +40,17 @@ func (c *Cache) SetState(s CacheState) {
 	}
 	copy(c.lines, s.lines)
 	c.counter = s.counter
+	// Map the snapshot's normalized marks into this cache's current epoch
+	// (see State). Epoch 0 is reserved for "no pass yet", so restoring marked
+	// lines forces the cache onto a live epoch first.
+	if c.reconEpoch == 0 {
+		c.reconEpoch = 1
+	}
+	for i := range c.lines {
+		if c.lines[i].reconAt != 0 {
+			c.lines[i].reconAt = c.reconEpoch
+		}
+	}
 }
 
 // MarshalBinary implements encoding.BinaryMarshaler so checkpoints can be
@@ -53,7 +74,7 @@ func (s CacheState) MarshalBinary() ([]byte, error) {
 		if l.dirty {
 			flags |= 2
 		}
-		if l.recon {
+		if l.reconAt != 0 {
 			flags |= 4
 		}
 		out = append(out, flags)
@@ -79,7 +100,9 @@ func (s *CacheState) UnmarshalBinary(data []byte) error {
 		flags := data[16]
 		s.lines[i].valid = flags&1 != 0
 		s.lines[i].dirty = flags&2 != 0
-		s.lines[i].recon = flags&4 != 0
+		if flags&4 != 0 {
+			s.lines[i].reconAt = 1
+		}
 		data = data[17:]
 	}
 	return nil

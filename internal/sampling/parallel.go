@@ -1,13 +1,18 @@
 // Parallel cluster simulation: the RSR observation that between-cluster
 // state is reconstructible from region-local logs makes the expensive parts
-// of a sampled run — cold functional execution and skip-log capture —
-// independent per cluster. runParallel fans those parts out over shard
-// goroutines seeded from architectural checkpoints, while everything that
-// touches shared microarchitectural state (cache warm-up carry-over,
-// reconstruction, detailed simulation) is replayed by a single consumer in
-// strict cluster order. Results are therefore byte-identical to the
-// sequential path by construction; see DESIGN.md "Parallel cluster
-// simulation" for the full determinism argument.
+// of a sampled run — cold functional execution, skip-log capture, and the
+// reverse scan that plans reconstruction — independent per cluster.
+// runParallel fans those parts out over shard goroutines seeded from
+// architectural checkpoints; each producer also seals its capture, running
+// the backward scan over its private log and materializing a warm-apply
+// plan. Only what genuinely touches shared microarchitectural state —
+// applying the plan and detailed simulation — runs on the single consumer,
+// in strict cluster order, with an ordered prefetcher keeping the next
+// region staged so the consumer's only idle time is true starvation (and is
+// measured as such). Results are byte-identical to the sequential path by
+// construction; see DESIGN.md "Parallel cluster simulation" for the full
+// determinism argument and for why the consumer's remaining work cannot
+// overlap itself.
 
 package sampling
 
@@ -58,7 +63,8 @@ type regionProduct struct {
 	dw      uint64 // detailed-warm-up length (min(opts.DetailedWarmup, skip))
 	coldRan uint64 // instructions actually cold-skipped
 	coldDur time.Duration
-	err     error // cold-phase failure (fault or premature halt)
+	sealDur time.Duration // shard-side reverse-scan planning time (0 if unsealed)
+	err     error         // cold-phase failure (fault or premature halt)
 
 	capture warmup.RegionCapture
 	records []trace.DynInst // committed dw+hot stream, in order
@@ -127,9 +133,8 @@ func (s *shardTrace) span(name string, t0 time.Time, args ...obs.SpanArg) {
 }
 
 // runParallel executes the sharded sampled run. starts are the cluster
-// positions; robs is the run's warm-up method, which has already proven
-// (by implementing warmup.RegionObserver) that its skip observation is
-// region-local.
+// positions; method is the run's warm-up method. Region capture is part of
+// the Method contract, so any method shards.
 //
 // Pipeline shape: one pre-pass goroutine runs pure functional simulation
 // ahead of everything, capturing an architectural checkpoint (registers +
@@ -138,14 +143,16 @@ func (s *shardTrace) span(name string, t0 time.Time, args ...obs.SpanArg) {
 // s/shards of the pre-pass rather than all of it. Each shard goroutine then
 // seeds a private functional simulator from its chain and walks its
 // contiguous region range: cold-skip with observation into a RegionCapture,
-// then materialization of the detailed-warm-up + hot record stream. The
-// consumer (this goroutine) walks regions in cluster order, adopting each
-// capture into the shared method, reconstructing, and replaying the
-// materialized records through the shared timing model.
-func runParallel(p *prog.Program, reg Regimen, starts []uint64, hier *mem.Hierarchy, unit *bpred.Unit, robs warmup.RegionObserver, sim *ooo.Sim, shards int, opts Options) (*RunResult, error) {
-	method := warmup.Method(robs)
+// sealing (the shard-side reverse scan that turns the capture's log into a
+// warm-apply plan), then materialization of the detailed-warm-up + hot
+// record stream. A prefetcher merges the shard outputs into cluster order
+// one region ahead of the consumer, and the consumer (this goroutine)
+// adopts each capture into the shared method, applies its plan, and replays
+// the materialized records through the shared timing model.
+func runParallel(p *prog.Program, reg Regimen, starts []uint64, hier *mem.Hierarchy, unit *bpred.Unit, method warmup.Method, sim *ooo.Sim, shards int, opts Options) (*RunResult, error) {
 	res := &RunResult{Method: method.Name()}
 	ro := newRunObs(opts.Instr, opts.Tracer, method.Name(), method.Name())
+	ro.setParallel()
 	begin := time.Now()
 
 	firstOf := func(s int) int { return s * len(starts) / shards }
@@ -278,14 +285,19 @@ func runParallel(p *prog.Program, reg Regimen, starts []uint64, hier *mem.Hierar
 			}
 			buf := make([]trace.DynInst, funcsim.BatchSize)
 			for i := first; i < last; i++ {
-				prod := produceRegion(fs, buf, starts[i], reg.ClusterSize, robs, &opts, stopped)
+				prod := produceRegion(fs, buf, i, starts[i], reg.ClusterSize, method, &opts, stopped)
 				if prod == nil {
 					return // canceled
 				}
-				str.span(PhaseColdSkip, time.Now().Add(-prod.coldDur),
+				str.span(PhaseColdSkip, time.Now().Add(-prod.coldDur-prod.sealDur),
 					obs.SpanArg{Key: "cluster", Val: int64(i)},
 					obs.SpanArg{Key: "shard", Val: int64(s)},
 					obs.SpanArg{Key: "instructions", Val: int64(prod.coldRan)})
+				if prod.sealDur > 0 {
+					str.span(PhaseReverseScan, time.Now().Add(-prod.sealDur),
+						obs.SpanArg{Key: "cluster", Val: int64(i)},
+						obs.SpanArg{Key: "shard", Val: int64(s)})
+				}
 				select {
 				case outs[s] <- prod:
 				case <-done:
@@ -298,55 +310,98 @@ func runParallel(p *prog.Program, reg Regimen, starts []uint64, hier *mem.Hierar
 		}(s, firstOf(s), firstOf(s+1))
 	}
 
+	// Ordered prefetcher: merge the shard outputs into cluster order one
+	// region ahead of the consumer. Holding the next product in a buffered
+	// channel frees the producing shard's window slot a region early, and —
+	// more importantly — lets the consumer's blocking receive measure true
+	// starvation rather than shard-merge bookkeeping. After forwarding an
+	// errored product it stops, exactly like the producer that made it.
+	ready := make(chan *regionProduct, 1)
+	go func() {
+		defer close(ready)
+		for s := 0; s < shards; s++ {
+			for ci := firstOf(s); ci < firstOf(s+1); ci++ {
+				var prod *regionProduct
+				select {
+				case prod = <-outs[s]:
+				case <-done:
+					return
+				}
+				select {
+				case ready <- prod:
+				case <-done:
+					return
+				}
+				if prod.err != nil || prod.recErr != nil {
+					return
+				}
+			}
+		}
+	}()
+
 	// Consumer: all shared-state mutation, in strict cluster order. This
 	// loop is the sequential loop of runSampled with the cold work replaced
-	// by adoption of the shard's capture and the functional stream replaced
-	// by replay of the shard's materialized records.
-	for s := 0; s < shards; s++ {
-		for ci := firstOf(s); ci < firstOf(s+1); ci++ {
+	// by adoption of the shard's capture (and its sealed plan) and the
+	// functional stream replaced by replay of the shard's materialized
+	// records. The receive from the prefetcher is the only place the
+	// consumer can idle, so its blocking time is the pipeline's measured
+	// starvation.
+	for ci := 0; ci < len(starts); ci++ {
+		if opts.canceled() {
+			return nil, ErrCanceled
+		}
+		tw := ro.begin()
+		var prod *regionProduct
+		var ok bool
+		select {
+		case prod, ok = <-ready:
+		case <-opts.Cancel: // nil channel blocks; products always arrive
+			return nil, ErrCanceled
+		}
+		if !ok {
+			// The prefetcher closed without a product for this region: a
+			// producer stopped on a failure that earlier regions absorbed
+			// cleanly, or cancellation raced the receive.
 			if opts.canceled() {
 				return nil, ErrCanceled
 			}
-			var prod *regionProduct
-			select {
-			case prod = <-outs[s]:
-			case <-opts.Cancel: // nil channel blocks; products always arrive
-				return nil, ErrCanceled
-			}
-
-			method.BeginSkip(prod.cold)
-			if prod.err != nil {
-				return nil, prod.err
-			}
-			robs.AdoptRegion(prod.capture)
-			res.FuncInstructions += prod.coldRan
-			ro.coldAdopted(prod.coldDur, prod.coldRan, method.Work())
-
-			t0 := ro.begin()
-			method.EndSkip()
-			ro.reconDone(t0, ci, method.Work())
-
-			rp := &replaySource{records: prod.records, final: prod.recErr, opts: &opts}
-			if prod.dw > 0 {
-				t0 = ro.begin()
-				w := sim.SimulateSource(prod.dw, rp)
-				if rp.err != nil {
-					return nil, fmt.Errorf("sampling: detailed warm-up: %w", rp.err)
-				}
-				res.FuncInstructions += w.Instructions
-				ro.warmDone(t0, ci, w.Instructions)
-			}
-
-			t0 = ro.begin()
-			r := sim.SimulateSource(reg.ClusterSize, rp)
-			if rp.err != nil {
-				return nil, fmt.Errorf("sampling: hot phase: %w", rp.err)
-			}
-			res.FuncInstructions += r.Instructions
-			res.HotInstructions += r.Instructions
-			res.Clusters = append(res.Clusters, ClusterStat{Start: starts[ci], Result: r})
-			ro.hotDone(t0, ci, r.Instructions, method.Work())
+			return nil, fmt.Errorf("sampling: shard pipeline ended before cluster %d", ci)
 		}
+		ro.waitDone(tw, ci)
+
+		method.BeginSkip(prod.cold)
+		if prod.err != nil {
+			return nil, prod.err
+		}
+		ta := ro.begin()
+		method.AdoptRegion(prod.capture)
+		res.FuncInstructions += prod.coldRan
+		ro.coldAdopted(prod.coldDur, prod.sealDur, ta, prod.coldRan, method.Work())
+
+		t0 := ro.begin()
+		method.EndSkip()
+		ro.reconDone(t0, ci, method.Work())
+
+		rp := &replaySource{records: prod.records, final: prod.recErr, opts: &opts}
+		if prod.dw > 0 {
+			t0 = ro.begin()
+			w := sim.SimulateSource(prod.dw, rp)
+			if rp.err != nil {
+				return nil, fmt.Errorf("sampling: detailed warm-up: %w", rp.err)
+			}
+			res.FuncInstructions += w.Instructions
+			ro.warmDone(t0, ci, w.Instructions)
+		}
+
+		t0 = ro.begin()
+		r := sim.SimulateSource(reg.ClusterSize, rp)
+		if rp.err != nil {
+			return nil, fmt.Errorf("sampling: hot phase: %w", rp.err)
+		}
+		res.FuncInstructions += r.Instructions
+		res.HotInstructions += r.Instructions
+		res.Clusters = append(res.Clusters, ClusterStat{Start: starts[ci], Result: r})
+		ro.hotDone(t0, ci, r.Instructions, method.Work())
 	}
 	res.Elapsed = time.Since(begin)
 	res.Work = method.Work()
@@ -356,10 +411,12 @@ func runParallel(p *prog.Program, reg Regimen, starts []uint64, hier *mem.Hierar
 
 // produceRegion runs one region's shard-side work on a private functional
 // simulator: cold-skip the region with observation into a fresh capture,
-// then materialize the committed records of the detailed-warm-up and hot
-// phases. It mirrors the sequential controller's cold loop exactly —
-// including its failure modes — and returns nil only when canceled.
-func produceRegion(fs *funcsim.Sim, buf []trace.DynInst, start, clusterSize uint64, robs warmup.RegionObserver, opts *Options, stopped func() bool) *regionProduct {
+// seal the capture (running the reverse scan and planning reconstruction on
+// this shard, off the consumer's critical path), then materialize the
+// committed records of the detailed-warm-up and hot phases. It mirrors the
+// sequential controller's cold loop exactly — including its failure modes —
+// and returns nil only when canceled.
+func produceRegion(fs *funcsim.Sim, buf []trace.DynInst, region int, start, clusterSize uint64, method warmup.Method, opts *Options, stopped func() bool) *regionProduct {
 	pos := fs.Seq()
 	skip := start - pos
 	dw := opts.DetailedWarmup
@@ -369,7 +426,7 @@ func produceRegion(fs *funcsim.Sim, buf []trace.DynInst, start, clusterSize uint
 	cold := skip - dw
 
 	prod := &regionProduct{cold: cold, dw: dw}
-	capture := robs.NewRegionCapture(cold)
+	capture := method.NewRegionCapture(region, cold)
 	t0 := time.Now()
 	var ran uint64
 	for ran < cold {
@@ -400,6 +457,11 @@ func produceRegion(fs *funcsim.Sim, buf []trace.DynInst, start, clusterSize uint
 		return prod
 	}
 	prod.capture = capture
+	if !opts.ConsumerRecon {
+		t0 = time.Now()
+		capture.Seal()
+		prod.sealDur = time.Since(t0)
+	}
 
 	// Materialize the committed dw+hot stream. The timing model's result
 	// depends only on the record sequence, never on Fill chunk sizes, so

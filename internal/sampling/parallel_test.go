@@ -6,6 +6,12 @@ import (
 	"testing"
 	"time"
 
+	"rsr/internal/bpred"
+	"rsr/internal/funcsim"
+	"rsr/internal/isa"
+	"rsr/internal/mem"
+	"rsr/internal/prog"
+	"rsr/internal/trace"
 	"rsr/internal/warmup"
 	"rsr/internal/workload"
 )
@@ -20,56 +26,53 @@ func normalize(r *RunResult) *RunResult {
 }
 
 // TestParallelByteIdenticalToSequential is the tentpole contract: for every
-// shard count, RunSampledParallel must produce results deeply equal to the
-// sequential path — cluster stats, work counters, and instruction accounting
-// alike — across seeds, workloads, warm-up methods, and detailed warm-up.
+// method in the paper's matrix and every shard count, RunSampledParallel
+// must produce results deeply equal to the sequential path — cluster stats,
+// work counters, and instruction accounting alike. Region capture is part of
+// the Method contract, so there is no fallback left to hide behind: the
+// functional-warming family (SMARTS, fixed-period) shards through its
+// speculative captures just like reverse.
 func TestParallelByteIdenticalToSequential(t *testing.T) {
 	reg := Regimen{ClusterSize: 2000, NumClusters: 10}
 	const total = 400_000
-	specs := []string{"None", "R$BP (20%)", "R$BP (100%)", "RBP"}
-	for _, name := range []string{"twolf", "parser"} {
-		w, err := workload.ByName(name)
-		if err != nil {
-			t.Fatal(err)
-		}
-		p := w.Build()
-		for _, label := range specs {
-			spec, err := warmup.SpecByLabel(label)
-			if err != nil {
-				t.Fatal(err)
-			}
-			for _, seed := range []int64{1, 2007} {
-				for _, dw := range []uint64{0, 500} {
-					seq, err := RunSampledOpts(p, DefaultMachine(), reg, total, seed, spec,
-						Options{DetailedWarmup: dw})
+	w, err := workload.ByName("twolf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := w.Build()
+	for _, spec := range warmup.Matrix() {
+		spec := spec
+		t.Run(spec.Label(), func(t *testing.T) {
+			for _, dw := range []uint64{0, 500} {
+				seq, err := RunSampledOpts(p, DefaultMachine(), reg, total, 2007, spec,
+					Options{DetailedWarmup: dw})
+				if err != nil {
+					t.Fatalf("seq dw=%d: %v", dw, err)
+				}
+				for _, shards := range []int{1, 2, 4, 7} {
+					par, err := RunSampledParallel(p, DefaultMachine(), reg, total, 2007, spec,
+						Options{DetailedWarmup: dw, Shards: shards})
 					if err != nil {
-						t.Fatalf("%s/%s seq: %v", name, label, err)
+						t.Fatalf("dw=%d shards=%d: %v", dw, shards, err)
 					}
-					for _, shards := range []int{1, 2, 4, 7} {
-						par, err := RunSampledParallel(p, DefaultMachine(), reg, total, seed, spec,
-							Options{DetailedWarmup: dw, Shards: shards})
-						if err != nil {
-							t.Fatalf("%s/%s shards=%d: %v", name, label, shards, err)
-						}
-						if !reflect.DeepEqual(normalize(seq), normalize(par)) {
-							t.Errorf("%s/%s seed=%d dw=%d shards=%d: parallel result differs from sequential",
-								name, label, seed, dw, shards)
-						}
+					if !reflect.DeepEqual(normalize(seq), normalize(par)) {
+						t.Errorf("dw=%d shards=%d: parallel result differs from sequential", dw, shards)
 					}
 				}
 			}
-		}
+		})
 	}
 }
 
-// TestParallelAllWorkloadsIdentical covers the acceptance matrix: every
-// workload, sharded at 4, must match the sequential run byte for byte.
+// TestParallelAllWorkloadsIdentical covers the acceptance matrix's workload
+// axis: every workload × one method per family arm, sharded at 4, must match
+// the sequential run byte for byte.
 func TestParallelAllWorkloadsIdentical(t *testing.T) {
 	reg := Regimen{ClusterSize: 2000, NumClusters: 10}
 	const total = 400_000
-	spec, err := warmup.SpecByLabel("R$BP (20%)")
-	if err != nil {
-		t.Fatal(err)
+	labels := []string{
+		"None", "S$", "SBP", "S$BP", "FP (20%)", "FP (80%)",
+		"R$ (20%)", "RBP", "R$BP (20%)", "R$BP (100%)",
 	}
 	for _, name := range workload.Names() {
 		w, err := workload.ByName(name)
@@ -77,42 +80,191 @@ func TestParallelAllWorkloadsIdentical(t *testing.T) {
 			t.Fatal(err)
 		}
 		p := w.Build()
-		seq, err := RunSampledOpts(p, DefaultMachine(), reg, total, 2007, spec, Options{})
-		if err != nil {
-			t.Fatalf("%s seq: %v", name, err)
-		}
-		par, err := RunSampledParallel(p, DefaultMachine(), reg, total, 2007, spec, Options{Shards: 4})
-		if err != nil {
-			t.Fatalf("%s parallel: %v", name, err)
-		}
-		if !reflect.DeepEqual(normalize(seq), normalize(par)) {
-			t.Errorf("%s: parallel result differs from sequential", name)
+		for _, label := range labels {
+			spec, err := warmup.SpecByLabel(label)
+			if err != nil {
+				t.Fatal(err)
+			}
+			seq, err := RunSampledOpts(p, DefaultMachine(), reg, total, 1, spec, Options{})
+			if err != nil {
+				t.Fatalf("%s/%s seq: %v", name, label, err)
+			}
+			par, err := RunSampledParallel(p, DefaultMachine(), reg, total, 1, spec, Options{Shards: 4})
+			if err != nil {
+				t.Fatalf("%s/%s parallel: %v", name, label, err)
+			}
+			if !reflect.DeepEqual(normalize(seq), normalize(par)) {
+				t.Errorf("%s/%s: parallel result differs from sequential", name, label)
+			}
 		}
 	}
 }
 
-// TestParallelFuncWarmFallsBack pins the documented fallback: methods whose
-// observation mutates shared machine state (SMARTS functional warming) do
-// not implement warmup.RegionObserver, so a sharded request silently runs
-// the sequential path and still matches it exactly.
-func TestParallelFuncWarmFallsBack(t *testing.T) {
+// TestParallelWindowedIdentical covers the profiled-window (MRRL/BLRL)
+// family, which is built through NewWindowed rather than a Spec: producers
+// request captures by explicit region index, so the out-of-order shard walk
+// must still pick each region's own warm window.
+func TestParallelWindowedIdentical(t *testing.T) {
 	w, err := workload.ByName("twolf")
 	if err != nil {
 		t.Fatal(err)
 	}
 	p := w.Build()
 	reg := Regimen{ClusterSize: 2000, NumClusters: 10}
-	spec := warmup.Spec{Kind: warmup.KindSMARTS, Cache: true, BPred: true}
-	seq, err := RunSampledOpts(p, DefaultMachine(), reg, 400_000, 2007, spec, Options{})
+	// Mixed per-region windows: none, partial, odd, oversize.
+	windows := []uint64{0, 500, 12_345, 1 << 20, 3000, 0, 7, 40_000, 2_000, 999}
+	mk := func(h *mem.Hierarchy, u *bpred.Unit) warmup.Method {
+		return warmup.NewWindowed("MRRL (90%)", h, u, windows)
+	}
+	seq, err := runSampled(p, DefaultMachine(), reg, 400_000, 2007, mk, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	par, err := RunSampledParallel(p, DefaultMachine(), reg, 400_000, 2007, spec, Options{Shards: 4})
+	for _, shards := range []int{2, 4, 7} {
+		par, err := runSampled(p, DefaultMachine(), reg, 400_000, 2007, mk, Options{Shards: shards})
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		if !reflect.DeepEqual(normalize(seq), normalize(par)) {
+			t.Errorf("shards=%d: windowed parallel result differs from sequential", shards)
+		}
+	}
+}
+
+// TestParallelConsumerReconIdentical pins the recon-placement ablation:
+// sealing captures on the producers (the default) and deferring the reverse
+// scan to the consumer (Options.ConsumerRecon) are the same computation in
+// different places, so both must match the sequential run exactly.
+func TestParallelConsumerReconIdentical(t *testing.T) {
+	w, err := workload.ByName("twolf")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !reflect.DeepEqual(normalize(seq), normalize(par)) {
-		t.Error("S$BP sharded request diverged from sequential")
+	p := w.Build()
+	reg := Regimen{ClusterSize: 2000, NumClusters: 10}
+	for _, label := range []string{"R$BP (20%)", "S$BP"} {
+		spec, err := warmup.SpecByLabel(label)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seq, err := RunSampledOpts(p, DefaultMachine(), reg, 400_000, 2007, spec, Options{})
+		if err != nil {
+			t.Fatalf("%s seq: %v", label, err)
+		}
+		for _, shards := range []int{2, 4} {
+			for _, consumer := range []bool{false, true} {
+				par, err := RunSampledParallel(p, DefaultMachine(), reg, 400_000, 2007, spec,
+					Options{Shards: shards, ConsumerRecon: consumer})
+				if err != nil {
+					t.Fatalf("%s shards=%d consumerRecon=%v: %v", label, shards, consumer, err)
+				}
+				if !reflect.DeepEqual(normalize(seq), normalize(par)) {
+					t.Errorf("%s shards=%d consumerRecon=%v: result differs from sequential",
+						label, shards, consumer)
+				}
+			}
+		}
+	}
+}
+
+// pcAtDynIndex runs p functionally and returns the PC of the committed
+// dynamic instruction at index target.
+func pcAtDynIndex(t *testing.T, p *prog.Program, target uint64) uint64 {
+	t.Helper()
+	fs := funcsim.New(p)
+	buf := make([]trace.DynInst, funcsim.BatchSize)
+	var seen uint64
+	for seen <= target {
+		b := buf
+		if rem := target + 1 - seen; rem < uint64(len(b)) {
+			b = b[:rem]
+		}
+		k, err := fs.RunBatch(b)
+		if err != nil {
+			t.Fatalf("probe run faulted: %v", err)
+		}
+		if k == 0 {
+			t.Fatalf("probe run halted after %d instructions", seen)
+		}
+		seen += uint64(k)
+		if seen > target {
+			return b[k-int(seen-target)].PC
+		}
+	}
+	panic("unreachable")
+}
+
+// faultAt returns a copy of p whose static instruction at the PC executed at
+// dynamic index target is replaced with an invalid opcode. The fault fires
+// deterministically at the first dynamic execution of that static
+// instruction — at or before target — identically for any execution
+// strategy.
+func faultAt(t *testing.T, p *prog.Program, target uint64) *prog.Program {
+	t.Helper()
+	pc := pcAtDynIndex(t, p, target)
+	idx, ok := p.IndexOf(pc)
+	if !ok {
+		t.Fatalf("probe pc %#x outside code segment", pc)
+	}
+	insts := append([]isa.Inst(nil), p.Insts...)
+	insts[idx] = isa.Inst{Op: isa.Op(250)}
+	return &prog.Program{Name: p.Name + "-faulty", Insts: insts, Data: p.Data, Entry: p.Entry}
+}
+
+// TestParallelFaultIdentical is the chaos variant of the byte-identity
+// property: a workload that faults mid-run (invalid opcode planted in its
+// instruction stream) must fail the sharded run with exactly the sequential
+// run's error — same phase attribution, same PC — and leak no partial
+// result, for faults landing in cold skip and in measured clusters alike.
+func TestParallelFaultIdentical(t *testing.T) {
+	w, err := workload.ByName("twolf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := w.Build()
+	reg := Regimen{ClusterSize: 2000, NumClusters: 10}
+	const total = 400_000
+	starts, err := Positions(total, reg, 2007)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One fault aimed inside a late cold region, one inside a measured
+	// cluster; loops may pull the first execution earlier, which both paths
+	// see identically.
+	targets := []uint64{
+		(starts[6] + starts[7]) / 2,
+		starts[8] + reg.ClusterSize/2,
+	}
+	for _, label := range []string{"R$BP (20%)", "S$BP"} {
+		spec, err := warmup.SpecByLabel(label)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, target := range targets {
+			fp := faultAt(t, p, target)
+			seqRes, seqErr := RunSampledOpts(fp, DefaultMachine(), reg, total, 2007, spec, Options{})
+			if seqErr == nil {
+				t.Fatalf("%s target=%d: sequential run did not fault", label, target)
+			}
+			if seqRes != nil {
+				t.Fatalf("%s target=%d: partial state escaped a faulted sequential run", label, target)
+			}
+			for _, shards := range []int{2, 4} {
+				parRes, parErr := RunSampledParallel(fp, DefaultMachine(), reg, total, 2007, spec,
+					Options{Shards: shards})
+				if parErr == nil {
+					t.Fatalf("%s target=%d shards=%d: parallel run did not fault", label, target, shards)
+				}
+				if parRes != nil {
+					t.Fatalf("%s target=%d shards=%d: partial state escaped a faulted parallel run",
+						label, target, shards)
+				}
+				if parErr.Error() != seqErr.Error() {
+					t.Errorf("%s target=%d shards=%d: error diverged:\nparallel:   %v\nsequential: %v",
+						label, target, shards, parErr, seqErr)
+				}
+			}
+		}
 	}
 }
 
@@ -136,28 +288,32 @@ func TestParallelCancelPreClosed(t *testing.T) {
 	}
 }
 
-// TestParallelCancelMidRun fires cancellation while shards are mid-flight:
-// both paths must return ErrCanceled with no partial result, and every
-// pipeline goroutine must exit (the race detector guards the teardown).
+// TestParallelCancelMidRun fires cancellation while shards are mid-flight,
+// for both a reverse method and a functional-warming method (whose captures
+// the producers seal): both must return ErrCanceled with no partial result,
+// and every pipeline goroutine must exit (the race detector guards the
+// teardown).
 func TestParallelCancelMidRun(t *testing.T) {
 	w, err := workload.ByName("twolf")
 	if err != nil {
 		t.Fatal(err)
 	}
 	p := w.Build()
-	spec, _ := warmup.SpecByLabel("R$BP (20%)")
 	reg := Regimen{ClusterSize: 2000, NumClusters: 20}
-	cancel := make(chan struct{})
-	go func() {
-		time.Sleep(2 * time.Millisecond)
-		close(cancel)
-	}()
-	res, err := RunSampledParallel(p, DefaultMachine(), reg, 2_000_000, 2007, spec,
-		Options{Shards: 4, Cancel: cancel})
-	if !errors.Is(err, ErrCanceled) {
-		t.Fatalf("err = %v, want ErrCanceled", err)
-	}
-	if res != nil {
-		t.Errorf("partial state escaped a canceled parallel run: %+v", res)
+	for _, label := range []string{"R$BP (20%)", "S$BP"} {
+		spec, _ := warmup.SpecByLabel(label)
+		cancel := make(chan struct{})
+		go func() {
+			time.Sleep(2 * time.Millisecond)
+			close(cancel)
+		}()
+		res, err := RunSampledParallel(p, DefaultMachine(), reg, 2_000_000, 2007, spec,
+			Options{Shards: 4, Cancel: cancel})
+		if !errors.Is(err, ErrCanceled) {
+			t.Fatalf("%s: err = %v, want ErrCanceled", label, err)
+		}
+		if res != nil {
+			t.Errorf("%s: partial state escaped a canceled parallel run: %+v", label, res)
+		}
 	}
 }

@@ -189,15 +189,22 @@ type Options struct {
 	// unaffected.
 	Cancel <-chan struct{}
 	// Shards, when > 1, runs the sampled simulation through the parallel
-	// cluster pipeline (RunSampledParallel): cold functional execution and
-	// skip-log capture fan out over shard goroutines seeded from
-	// architectural checkpoints, while microarchitectural state advances
-	// sequentially in cluster order, so results stay byte-identical to the
-	// sequential run. 0 or 1 selects the sequential path, as do warm-up
-	// methods that mutate machine state while observing (functional
-	// warming), which cannot shard. Shards is an execution policy, not part
-	// of a run's identity.
+	// cluster pipeline (RunSampledParallel): cold functional execution,
+	// skip observation into private region captures, and producer-side
+	// reconstruction planning fan out over shard goroutines seeded from
+	// architectural checkpoints, while shared microarchitectural state
+	// advances sequentially in cluster order, so results stay byte-identical
+	// to the sequential run. Every warm-up method shards — functional
+	// warming captures its would-be applications and replays them at
+	// adoption. 0 or 1 selects the sequential path. Shards is an execution
+	// policy, not part of a run's identity.
 	Shards int
+	// ConsumerRecon, when set alongside Shards > 1, skips producer-side
+	// capture sealing so the reverse scans run on the consumer at EndSkip
+	// (the pre-shard-side placement). Results are byte-identical either way
+	// (TestParallelConsumerReconIdentical); the flag exists for the rsrbench
+	// recon_shardside ablation and costs nothing when unset.
+	ConsumerRecon bool
 	// Checkpoints, when non-nil alongside a non-empty CheckpointKey, lets
 	// the parallel pipeline load its pre-pass checkpoint chain from a
 	// shared store (skipping the pre-pass functional run) and persist a
@@ -242,13 +249,12 @@ func RunSampledOpts(p *prog.Program, m MachineConfig, reg Regimen, total uint64,
 // opts.Shards goroutines (defaulting to GOMAXPROCS when unset) divide the
 // clusters into contiguous shards, a fast functional pre-pass seeds each
 // shard with an architectural checkpoint (registers plus dirty-page deltas)
-// at its boundary, and the shards execute their cold phases and capture
-// their skip logs concurrently while microarchitectural state — caches,
-// predictor, reconstruction — advances strictly in cluster order. The
-// result is byte-identical to the sequential run (see DESIGN.md "Parallel
-// cluster simulation" for the determinism argument); warm-up methods whose
-// observation mutates shared machine state (functional warming) run
-// sequentially regardless of Shards.
+// at its boundary, and the shards execute their cold phases, capture their
+// skip observations, and materialize reconstruction plans concurrently
+// while shared microarchitectural state — caches, predictor — advances
+// strictly in cluster order. The result is byte-identical to the sequential
+// run for every warm-up method (see DESIGN.md "Parallel cluster simulation"
+// for the determinism argument).
 func RunSampledParallel(p *prog.Program, m MachineConfig, reg Regimen, total uint64, seed int64, spec warmup.Spec, opts Options) (*RunResult, error) {
 	if opts.Shards == 0 {
 		opts.Shards = runtime.GOMAXPROCS(0)
@@ -305,12 +311,10 @@ func runSampled(p *prog.Program, m MachineConfig, reg Regimen, total uint64, see
 	sim := ooo.New(m.CPU, hier, method.Predictor())
 
 	if shards := shardCount(opts.Shards, len(starts)); shards > 1 {
-		// Only methods with region-local observation can shard; functional
-		// warming mutates the shared machine while observing and falls back
-		// to the sequential path below.
-		if robs, ok := method.(warmup.RegionObserver); ok {
-			return runParallel(p, reg, starts, hier, unit, robs, sim, shards, opts)
-		}
+		// Every method supports region captures (part of the Method
+		// contract), so a sharded request never falls back to the
+		// sequential path.
+		return runParallel(p, reg, starts, hier, unit, method, sim, shards, opts)
 	}
 
 	fs := funcsim.New(p)

@@ -30,6 +30,15 @@ import (
 // line tracking and log appends flattened) and TestBatchScalarEquivalence
 // pins the contract. ObserveSkipScalar adapts implementations that only
 // have a scalar observer.
+//
+// Every method also supports region captures (NewRegionCapture/AdoptRegion),
+// the contract the parallel cluster pipeline builds on: a region's skip
+// observation runs on a producer goroutine against a private capture, and
+// the consumer adopts captures in strict cluster order. Methods that log
+// (reverse) capture the log directly; methods that functionally warm shared
+// state (SMARTS, fixed-period, windowed) capture the would-be warming
+// references and AdoptRegion replays them in order, so no method ever falls
+// back to sequential execution under sharding.
 type Method interface {
 	Name() string
 	BeginSkip(expectedLen uint64)
@@ -38,6 +47,18 @@ type Method interface {
 	EndSkip()
 	Predictor() bpred.Predictor
 	Work() Work
+
+	// NewRegionCapture returns a capture for the region-indexed skip phase
+	// with the given expected length. It must be safe for concurrent use and
+	// may read only immutable method configuration; the returned capture is
+	// confined to one goroutine until it is handed to AdoptRegion.
+	NewRegionCapture(region int, expectedLen uint64) RegionCapture
+	// AdoptRegion installs a fed-and-sealed capture as if the method had
+	// observed the region's stream itself. It must be called between
+	// BeginSkip and EndSkip in place of the method's own ObserveSkip calls
+	// for that region, and leaves the method in exactly the state direct
+	// observation would.
+	AdoptRegion(c RegionCapture)
 }
 
 // ObserveSkipScalar feeds each record of ds to observe in order: the shared
@@ -51,29 +72,19 @@ func ObserveSkipScalar(ds []trace.DynInst, observe func(*trace.DynInst)) {
 // RegionCapture accumulates one skip region's observation product away from
 // the method's shared state, so a region can be observed on a goroutine of
 // its own while earlier regions are still being consumed. Feeding a capture
-// the region's batches and adopting it is equivalent to feeding the method
-// directly between BeginSkip and EndSkip.
+// the region's batches, sealing it, and adopting it is equivalent to feeding
+// the method directly between BeginSkip and EndSkip.
+//
+// Seal finalizes the capture after its last batch, still on the producer
+// goroutine: work that is a pure function of the captured stream — for the
+// reverse method, the backward scan that materializes the cache and
+// predictor warm-apply plans — runs here, off the consumer's critical path.
+// Seal is optional (an unsealed capture makes AdoptRegion's consumer do that
+// work itself, byte-identically) and must be called at most once, after the
+// final ObserveSkipBatch.
 type RegionCapture interface {
 	ObserveSkipBatch(ds []trace.DynInst)
-}
-
-// RegionObserver is implemented by methods whose skip observation is
-// region-local: BeginSkip discards all observation state from earlier
-// regions, so a region's observation product depends only on that region's
-// instruction stream. Such methods can have their cold phases captured out
-// of order (sampling.RunSampledParallel relies on this); methods that mutate
-// shared machine state while observing (functional warming) cannot implement
-// it and fall back to the sequential path.
-//
-// NewRegionCapture must be safe for concurrent use; the returned capture is
-// confined to one goroutine until it is handed to AdoptRegion. AdoptRegion
-// must be called between BeginSkip and EndSkip in place of the method's own
-// ObserveSkip calls for that region, and leaves the method in exactly the
-// state direct observation of the same stream would.
-type RegionObserver interface {
-	Method
-	NewRegionCapture(expectedLen uint64) RegionCapture
-	AdoptRegion(c RegionCapture)
+	Seal()
 }
 
 // Work counts warm-up effort in state operations, the deterministic analogue
@@ -258,9 +269,10 @@ func (n *none) Work() Work                       { return Work{} }
 type noneCapture struct{}
 
 func (noneCapture) ObserveSkipBatch([]trace.DynInst) {}
+func (noneCapture) Seal()                            {}
 
-func (n *none) NewRegionCapture(uint64) RegionCapture { return noneCapture{} }
-func (n *none) AdoptRegion(RegionCapture)             {}
+func (n *none) NewRegionCapture(int, uint64) RegionCapture { return noneCapture{} }
+func (n *none) AdoptRegion(RegionCapture)                  {}
 
 // --- shared functional-warming machinery (SMARTS and fixed-period) ---
 
@@ -270,16 +282,21 @@ type funcWarm struct {
 	cache bool
 	bp    bool
 	label string
-	lines lineTracker
-	work  Work
+	// lineMask is the immutable L1I line mask; NewRegionCapture reads it from
+	// concurrent producer goroutines while the mutable lines tracker advances
+	// on the consumer, so the two must be separate fields.
+	lineMask uint64
+	lines    lineTracker
+	work     Work
 }
 
 // newFuncWarm builds the shared functional-warming state with the line
 // tracker initialized up front (as newReverse does), keeping the
 // per-instruction apply path free of construction checks.
 func newFuncWarm(h *mem.Hierarchy, u *bpred.Unit, s Spec) funcWarm {
+	lt := newLineTracker(h.Config().L1I.LineBytes)
 	return funcWarm{h: h, u: u, cache: s.Cache, bp: s.BPred, label: s.Label(),
-		lines: newLineTracker(h.Config().L1I.LineBytes)}
+		lineMask: lt.lineMask, lines: lt}
 }
 
 func (f *funcWarm) apply(d *trace.DynInst) {
@@ -351,6 +368,67 @@ func tail(seen *uint64, threshold uint64, ds []trace.DynInst) []trace.DynInst {
 	return nil
 }
 
+// funcWarmCapture is the functional-warming family's region capture: instead
+// of mutating the shared hierarchy and predictor from a producer goroutine,
+// it logs exactly the references the method would have applied — the
+// post-threshold suffix, with instruction fetches collapsed per line by the
+// same appendSkipRecords kernel the reverse method uses — and AdoptRegion
+// replays that log against the shared state in order. One log record
+// corresponds to one functional application, so the capture's record count
+// is the region's WarmOps delta.
+type funcWarmCapture struct {
+	cache     bool
+	bp        bool
+	threshold uint64
+	seen      uint64
+	log       trace.SkipLog
+	lines     lineTracker
+	logged    uint64
+}
+
+func (c *funcWarmCapture) ObserveSkipBatch(ds []trace.DynInst) {
+	if warm := tail(&c.seen, c.threshold, ds); len(warm) > 0 {
+		c.logged += appendSkipRecords(&c.log, &c.lines, c.cache, c.bp, warm)
+	}
+}
+
+// Seal is a no-op: functional warming has no producer-side scan to
+// materialize — the capture's log already is the warm-apply plan.
+func (c *funcWarmCapture) Seal() {}
+
+// newCapture builds a capture applying everything past threshold. Only
+// immutable configuration is read, so captures may be created concurrently.
+func (f *funcWarm) newCapture(threshold uint64) *funcWarmCapture {
+	return &funcWarmCapture{cache: f.cache, bp: f.bp, threshold: threshold,
+		lines: lineTracker{lineMask: f.lineMask}}
+}
+
+// adoptCapture replays a captured region's warming references against the
+// shared machine in captured order. Cache and predictor state are
+// independent structures (the applyBatch argument), so the two-pass replay
+// leaves exactly the state direct per-batch observation would, and the line
+// tracker is restored to the capture's final state just as direct
+// observation would leave it.
+func (f *funcWarm) adoptCapture(c *funcWarmCapture) {
+	if f.cache {
+		for i := range c.log.Mem {
+			r := &c.log.Mem[i]
+			if r.IsInstr {
+				f.h.WarmInst(r.Addr)
+			} else {
+				f.h.WarmData(r.Addr, r.IsStore)
+			}
+		}
+		f.lines.last, f.lines.have = c.lines.last, c.lines.have
+	}
+	if f.bp {
+		for i := range c.log.Branches {
+			f.u.Update(c.log.Branches[i])
+		}
+	}
+	f.work.WarmOps += c.logged
+}
+
 // --- SMARTS: full functional warming of the whole skip region ---
 
 type smarts struct{ funcWarm }
@@ -362,6 +440,11 @@ func (s *smarts) ObserveSkipBatch(ds []trace.DynInst) { s.applyBatch(ds) }
 func (s *smarts) EndSkip()                            {}
 func (s *smarts) Predictor() bpred.Predictor          { return s.u }
 func (s *smarts) Work() Work                          { return s.work }
+
+// NewRegionCapture captures the whole region (threshold 0): SMARTS warms
+// every skipped instruction.
+func (s *smarts) NewRegionCapture(int, uint64) RegionCapture { return s.newCapture(0) }
+func (s *smarts) AdoptRegion(c RegionCapture)                { s.adoptCapture(c.(*funcWarmCapture)) }
 
 // --- Fixed period: functional warming of the trailing percent only ---
 
@@ -396,6 +479,17 @@ func (f *fixedPeriod) ObserveSkipBatch(ds []trace.DynInst) {
 func (f *fixedPeriod) EndSkip()                   {}
 func (f *fixedPeriod) Predictor() bpred.Predictor { return f.u }
 func (f *fixedPeriod) Work() Work                 { return f.work }
+
+// NewRegionCapture derives the region's threshold exactly as BeginSkip does.
+func (f *fixedPeriod) NewRegionCapture(_ int, expectedLen uint64) RegionCapture {
+	return f.newCapture(expectedLen - expectedLen*uint64(f.percent)/100)
+}
+
+func (f *fixedPeriod) AdoptRegion(c RegionCapture) {
+	cc := c.(*funcWarmCapture)
+	f.adoptCapture(cc)
+	f.seen = cc.seen
+}
 
 // --- Profiled-window warming (MRRL / BLRL) ---
 
@@ -454,6 +548,28 @@ func (w *windowed) EndSkip()                   {}
 func (w *windowed) Predictor() bpred.Predictor { return w.u }
 func (w *windowed) Work() Work                 { return w.work }
 
+// NewRegionCapture selects the profiled window for the explicit region index
+// (producers run regions out of order, so the method's own region cursor —
+// advanced by the consumer's BeginSkip — cannot be used) and clamps it
+// exactly as BeginSkip does. The windows slice is immutable after
+// construction, so concurrent reads are safe.
+func (w *windowed) NewRegionCapture(region int, expectedLen uint64) RegionCapture {
+	win := uint64(0)
+	if region < len(w.windows) {
+		win = w.windows[region]
+	}
+	if win > expectedLen {
+		win = expectedLen
+	}
+	return w.newCapture(expectedLen - win)
+}
+
+func (w *windowed) AdoptRegion(c RegionCapture) {
+	cc := c.(*funcWarmCapture)
+	w.adoptCapture(cc)
+	w.seen = cc.seen
+}
+
 // --- Reverse State Reconstruction ---
 
 type reverse struct {
@@ -465,20 +581,30 @@ type reverse struct {
 	// lineMask is the immutable L1I line mask; NewRegionCapture reads it
 	// from concurrent producer goroutines while AdoptRegion overwrites the
 	// mutable lines tracker, so the two must be separate fields.
-	lineMask      uint64
+	lineMask uint64
+	// hcfg and geom are immutable geometry snapshots read by capture Seal on
+	// producer goroutines, so planning never touches the shared machine.
+	hcfg          mem.HierarchyConfig
+	geom          core.PredGeom
 	log           trace.SkipLog
 	lines         lineTracker
 	work          Work
 	lastPredStats core.PredReconStats
+
+	// Plans staged by AdoptRegion for the next EndSkip; nil when the region
+	// was observed directly (sequential path) or the capture was not sealed.
+	cachePlan *core.CacheReconPlan
+	predPlan  *core.PredReconPlan
 }
 
 func newReverse(h *mem.Hierarchy, u *bpred.Unit, s Spec) *reverse {
 	lt := newLineTracker(h.Config().L1I.LineBytes)
 	r := &reverse{h: h, u: u, spec: s, label: s.Label(),
-		lineMask: lt.lineMask, lines: lt}
+		lineMask: lt.lineMask, lines: lt, hcfg: h.Config()}
 	if s.BPred {
 		r.rp = core.NewReconPredictor(u)
 		r.rp.SetNoInference(s.NoCounterInference)
+		r.geom = core.PredGeomOf(u)
 	}
 	return r
 }
@@ -491,6 +617,7 @@ func (r *reverse) BeginSkip(uint64) {
 	r.collectPredWork()
 	r.log.Reset()
 	r.lines.reset()
+	r.cachePlan, r.predPlan = nil, nil
 }
 
 func (r *reverse) ObserveSkip(d *trace.DynInst) {
@@ -566,45 +693,82 @@ func (r *reverse) ObserveSkipBatch(ds []trace.DynInst) {
 // reverseCapture is the reverse method's region capture: a private log and
 // line tracker fed by the same kernel as direct observation. BeginSkip
 // discards the previous region's log, so starting from an empty log and a
-// reset tracker reproduces the method's region-start state exactly.
+// reset tracker reproduces the method's region-start state exactly. Seal
+// runs the backward scans over the private log, materializing the cache and
+// predictor warm-apply plans that shrink the consumer's EndSkip to
+// O(applied) work.
 type reverseCapture struct {
-	cache  bool
-	bp     bool
-	log    trace.SkipLog
-	lines  lineTracker
-	logged uint64
+	cache   bool
+	bp      bool
+	percent int
+	hcfg    mem.HierarchyConfig
+	geom    core.PredGeom
+	log     trace.SkipLog
+	lines   lineTracker
+	logged  uint64
+
+	cachePlan *core.CacheReconPlan
+	predPlan  *core.PredReconPlan
 }
 
 func (c *reverseCapture) ObserveSkipBatch(ds []trace.DynInst) {
 	c.logged += appendSkipRecords(&c.log, &c.lines, c.cache, c.bp, ds)
 }
 
+// Seal moves the reverse scans producer-side: the apply/skip decisions of
+// both reconstruction passes are pure functions of the captured log (plus,
+// for the predictor, a stale GHR prefix the plan carries as fixups), so the
+// plans are exact and EndSkip only replays their mutating subset.
+func (c *reverseCapture) Seal() {
+	if c.cache {
+		c.cachePlan = core.PlanCacheRecon(c.hcfg, c.log.Mem, c.percent)
+	}
+	if c.bp {
+		c.predPlan = core.PlanPredRecon(c.geom, c.log.Branches, c.percent)
+	}
+}
+
 // NewRegionCapture returns a capture for one skip region. Only immutable
 // configuration is read, so captures may be created concurrently.
-func (r *reverse) NewRegionCapture(expectedLen uint64) RegionCapture {
+func (r *reverse) NewRegionCapture(int, uint64) RegionCapture {
 	return &reverseCapture{cache: r.spec.Cache, bp: r.spec.BPred,
+		percent: r.spec.Percent, hcfg: r.hcfg, geom: r.geom,
 		lines: lineTracker{lineMask: r.lineMask}}
 }
 
-// AdoptRegion installs a captured region log as if the method had observed
-// the region itself. The caller has already run BeginSkip for the region
-// (which folded predictor work and discarded the previous log), so adopting
-// replaces the empty log wholesale.
+// AdoptRegion installs a captured region log — and, when the capture was
+// sealed, its materialized plans — as if the method had observed the region
+// itself. The caller has already run BeginSkip for the region (which folded
+// predictor work and discarded the previous log), so adopting replaces the
+// empty log wholesale.
 func (r *reverse) AdoptRegion(c RegionCapture) {
 	cc := c.(*reverseCapture)
 	r.log = cc.log
 	r.lines = cc.lines
 	r.work.LoggedRecords += cc.logged
+	r.cachePlan = cc.cachePlan
+	r.predPlan = cc.predPlan
 }
 
 func (r *reverse) EndSkip() {
 	if r.spec.Cache {
-		st := core.ReconstructCaches(r.h, r.log.Mem, r.spec.Percent)
+		var st core.CacheReconStats
+		if r.cachePlan != nil {
+			st = core.ApplyCacheRecon(r.h, r.cachePlan)
+			r.cachePlan = nil
+		} else {
+			st = core.ReconstructCaches(r.h, r.log.Mem, r.spec.Percent)
+		}
 		r.work.ReconScanned += st.ScannedRefs
 		r.work.ReconApplied += st.Applied
 	}
 	if r.spec.BPred {
-		r.rp.BeginRegion(r.log.Branches, r.spec.Percent)
+		if r.predPlan != nil {
+			r.rp.BeginRegionPlan(r.predPlan)
+			r.predPlan = nil
+		} else {
+			r.rp.BeginRegion(r.log.Branches, r.spec.Percent)
+		}
 		st := r.rp.Stats()
 		r.lastPredStats = st
 		r.work.ReconApplied += st.BTBInstalled + st.RASInstalled
