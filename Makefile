@@ -10,6 +10,9 @@
 #                    workers, sweep output diffed against a single-node run
 #   make shard-smoke sharded-pipeline check: race-enabled full-method sweep
 #                    diffed byte-for-byte against the sequential pipeline
+#   make recovery-smoke  crash-recovery check: SIGKILL the coordinator
+#                    mid-sweep, restart it on the same journal, diff the
+#                    sweep against a single-node run
 #   make bench       machine-readable benchmark snapshot (BENCH_$(LABEL).json)
 #   make bench-sweep sequential-vs-parallel sweep benchmark at small scale
 #   make all         everything above
@@ -20,9 +23,9 @@
 GO ?= go
 LABEL ?= dev
 
-.PHONY: all build test verify chaos obs-smoke cluster-smoke shard-smoke bench bench-sweep
+.PHONY: all build test verify chaos obs-smoke cluster-smoke shard-smoke recovery-smoke bench bench-sweep
 
-all: build test verify chaos obs-smoke cluster-smoke shard-smoke
+all: build test verify chaos obs-smoke cluster-smoke shard-smoke recovery-smoke
 
 build:
 	$(GO) build ./...
@@ -65,6 +68,14 @@ obs-smoke: build
 # `rsr -cluster` whose output must be byte-identical to a single-node run.
 cluster-smoke: build
 	./scripts/cluster-smoke.sh
+
+# recovery-smoke proves coordinator crash recovery end to end with real
+# processes: a journaled rsrc is SIGKILLed the moment a lease is journaled,
+# restarted on the same journal + CAS directories after the workers' failure
+# threshold, and the sweep must still come out byte-identical to a
+# single-node run, with replay and reconnect metrics as evidence.
+recovery-smoke: build
+	./scripts/recovery-smoke.sh
 
 # shard-smoke proves the sharded cluster pipeline end to end with the real
 # CLI: the full warm-up sweep (every method, funcWarm included) run under

@@ -5,8 +5,9 @@
 //
 // Usage:
 //
-//	rsrc [-addr :9900] [-casdir DIR] [-queue N] [-heartbeat-timeout D]
-//	     [-hedge-after D] [-max-requeues N] [-retain D] [-drain-timeout D]
+//	rsrc [-addr :9900] [-casdir DIR] [-journal DIR] [-readopt-window D]
+//	     [-queue N] [-heartbeat-timeout D] [-hedge-after D] [-max-requeues N]
+//	     [-retain D] [-drain-timeout D]
 //
 // API:
 //
@@ -28,6 +29,13 @@
 // requeue on node loss; every job is deterministic and content-addressed,
 // so a sweep's results are byte-identical to a single-node run no matter
 // how the fabric moves the work (see internal/cluster).
+//
+// With -journal, every scheduling decision is fsync'd to an append-only
+// write-ahead log before it takes effect, and a restarted coordinator
+// replays the log to resume its sweeps: finished jobs are served from their
+// CAS result blobs (pair -journal with -casdir, or replayed results are
+// recomputed), and live workers re-attach in-flight leases during the
+// -readopt-window, so a crash or redeploy neither loses nor re-runs work.
 //
 // Start workers with:
 //
@@ -57,6 +65,8 @@ import (
 func main() {
 	addr := flag.String("addr", ":9900", "listen address")
 	casDir := flag.String("casdir", "", "content-addressed store directory (empty = memory-only)")
+	journalDir := flag.String("journal", "", "write-ahead journal directory; a restart replays it and resumes sweeps (empty = in-memory scheduling only)")
+	readoptWindow := flag.Duration("readopt-window", 0, "post-restart window for workers to re-attach journal-recovered leases (0 = 2x heartbeat-timeout, <0 requeues immediately)")
 	queue := flag.Int("queue", 0, "per-worker queue bound (0 = 32); full queues refuse submissions with 503")
 	hbTimeout := flag.Duration("heartbeat-timeout", 5*time.Second, "reap workers silent this long and requeue their work")
 	hedgeAfter := flag.Duration("hedge-after", 30*time.Second, "duplicate a lease running longer than this onto an idle worker (<0 disables)")
@@ -75,12 +85,23 @@ func main() {
 	slog.SetDefault(log)
 
 	reg := obs.NewRegistry()
+	var journal *cluster.Journal
+	if *journalDir != "" {
+		j, err := cluster.OpenJournal(*journalDir, log)
+		if err != nil {
+			log.Error("journal open failed", "dir", *journalDir, "err", err)
+			os.Exit(1)
+		}
+		journal = j
+	}
 	co := cluster.NewCoordinator(cluster.CoordinatorOptions{
 		QueuePerWorker:   *queue,
 		HeartbeatTimeout: *hbTimeout,
 		HedgeAfter:       *hedgeAfter,
 		MaxRequeues:      *maxRequeues,
 		RetainFor:        *retain,
+		Journal:          journal,
+		ReadoptWindow:    *readoptWindow,
 		Store:            cas.NewStore(*casDir),
 		Metrics:          reg,
 		Log:              log,
@@ -94,7 +115,7 @@ func main() {
 
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- hs.ListenAndServe() }()
-	log.Info("coordinating", "addr", *addr, "cas", *casDir,
+	log.Info("coordinating", "addr", *addr, "cas", *casDir, "journal", *journalDir,
 		"queue_per_worker", *queue, "heartbeat_timeout", *hbTimeout,
 		"hedge_after", *hedgeAfter, "protocol", cluster.ProtocolVersion)
 

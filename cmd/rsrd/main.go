@@ -128,6 +128,7 @@ func main() {
 			Coordinator: *coordinator,
 			Engine:      eng,
 			Pulls:       *pulls,
+			Metrics:     reg,
 			Log:         log,
 		})
 		if err == nil {
@@ -139,6 +140,7 @@ func main() {
 			os.Exit(1)
 		}
 		peer = p
+		srv.setPeer(p)
 	}
 
 	select {

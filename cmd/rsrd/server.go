@@ -40,9 +40,19 @@ type server struct {
 	// stream keep working so clients can collect in-flight results.
 	draining atomic.Bool
 
+	// peer, set in peer mode, folds the fabric relationship into readiness:
+	// a worker whose coordinator is unreachable reports not-ready, so fleet
+	// health rollups show the partition instead of a green worker doing
+	// nothing.
+	peer atomic.Pointer[cluster.Peer]
+
 	mu      sync.Mutex
 	tickets map[string]*engine.Ticket
 }
+
+// setPeer attaches the fabric peer whose connectivity readiness should
+// reflect.
+func (s *server) setPeer(p *cluster.Peer) { s.peer.Store(p) }
 
 func newServer(eng *engine.Engine, reg *obs.Registry, log *slog.Logger, drainWindow time.Duration) *server {
 	if log == nil {
@@ -178,6 +188,11 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 func (s *server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	if s.draining.Load() {
 		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	if p := s.peer.Load(); p != nil && !p.Connected() {
+		writeJSON(w, http.StatusServiceUnavailable,
+			map[string]string{"status": "coordinator unreachable"})
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})

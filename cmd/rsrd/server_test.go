@@ -9,6 +9,7 @@ import (
 	"testing"
 	"time"
 
+	"rsr/internal/cluster"
 	"rsr/internal/engine"
 )
 
@@ -161,6 +162,64 @@ func TestDaemonDrainGraceful(t *testing.T) {
 	st := getStatus(t, ts, id)
 	if st.Status != "done" || st.Result == nil {
 		t.Fatalf("in-flight job after drain: status=%s err=%q", st.Status, st.Error)
+	}
+}
+
+// TestDaemonReadyzReflectsPeerConnectivity pins peer-mode readiness: a
+// worker whose coordinator relationship is healthy reports ready, and one
+// whose coordinator became unreachable reports 503 — so fleet health rollups
+// show the partition instead of a green worker pulling nothing.
+func TestDaemonReadyzReflectsPeerConnectivity(t *testing.T) {
+	co := cluster.NewCoordinator(cluster.CoordinatorOptions{
+		HeartbeatTimeout: time.Hour, Log: testLogger(),
+	})
+	defer co.Close()
+	cts := httptest.NewServer(cluster.NewServer(co, nil, testLogger()).Routes())
+
+	eng := engine.New(engine.Options{Workers: 1})
+	defer eng.Close()
+	p, err := cluster.NewPeer(cluster.PeerOptions{
+		Node: "w1", Coordinator: cts.URL, Engine: eng,
+		HeartbeatEvery: 20 * time.Millisecond, PollEvery: 10 * time.Millisecond,
+		Log: testLogger(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	s := newServer(eng, nil, testLogger(), 30*time.Second)
+	s.setPeer(p)
+	ts := httptest.NewServer(s.routes())
+	defer ts.Close()
+
+	statusOf := func() int {
+		resp, err := http.Get(ts.URL + "/readyz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if c := statusOf(); c != http.StatusOK {
+		t.Fatalf("readyz with healthy coordinator = %d, want 200", c)
+	}
+
+	// The coordinator vanishes; after enough failed heartbeats the peer flips
+	// to its reconnect machine and readiness follows.
+	cts.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for statusOf() != http.StatusServiceUnavailable {
+		if time.Now().After(deadline) {
+			t.Fatal("readyz never flipped to 503 while the coordinator was unreachable")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if p.Connected() {
+		t.Error("peer still reports connected to a dead coordinator")
 	}
 }
 

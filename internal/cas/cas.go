@@ -243,6 +243,15 @@ func (s *Store) quarantine(sum string) {
 // writeFile writes atomically: temp file + fsync + rename, so a reader
 // never observes a torn entry from a real crash.
 func (s *Store) writeFile(path string, b []byte) error {
+	return WriteFileAtomic(path, b)
+}
+
+// WriteFileAtomic writes b to path with the store's crash discipline — temp
+// file in the same directory, fsync, rename — creating parent directories as
+// needed. A reader (or a restart) never observes a torn entry; it sees the
+// old content or the new, nothing in between. Shared by the cluster
+// coordinator's journal snapshots, which need exactly this guarantee.
+func WriteFileAtomic(path string, b []byte) error {
 	dir := filepath.Dir(path)
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err

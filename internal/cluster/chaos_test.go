@@ -2,10 +2,13 @@ package cluster
 
 import (
 	"context"
+	"net/http"
 	"net/http/httptest"
+	"sync/atomic"
 	"testing"
 	"time"
 
+	"rsr/internal/cas"
 	"rsr/internal/engine"
 	"rsr/internal/fault"
 	"rsr/internal/obs"
@@ -115,6 +118,188 @@ func TestChaosNodeKillMidSweepByteIdentical(t *testing.T) {
 		}
 		if got := canon(t, res); got != remote[i] {
 			t.Errorf("%s: post-recovery result differs from single-node", j.Label())
+		}
+	}
+}
+
+// TestChaosCoordKillMidSweepByteIdentical proves the tentpole recovery
+// contract from the other side: the COORDINATOR is killed mid-sweep (via the
+// coord-kill fault point, which crashes it the instant a completion arrives
+// — after real work finished, before its outcome was journaled) while live
+// workers hold leases. A replacement coordinator opened on the same journal
+// and store replays the sweep, the workers ride out the outage (heartbeat
+// failures flip them to the reconnect machine; completion reports retry
+// until the restarted coordinator accepts them; advertised leases are
+// re-adopted), and the sweep finishes byte-identical to a single-node run —
+// with every job executed exactly once across the fabric: nothing whose
+// result reached the CAS is re-run.
+func TestChaosCoordKillMidSweepByteIdentical(t *testing.T) {
+	dir := t.TempDir()
+	st := cas.NewStore("")
+	j1, err := OpenJournal(dir, testLogger())
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg1 := obs.NewRegistry()
+	co1 := NewCoordinator(CoordinatorOptions{
+		QueuePerWorker:   16,
+		HeartbeatTimeout: 300 * time.Millisecond,
+		HedgeAfter:       -1, // a hedge is a legitimate duplicate run; exclude it
+		Journal:          j1,
+		Store:            st,
+		Fault:            fault.New(11, fault.Rule{Point: fault.CoordKill, Kind: fault.KindError, Prob: 1, Count: 1}),
+		Metrics:          reg1,
+		Log:              testLogger(),
+	})
+	defer co1.Crash()
+
+	// The HTTP endpoint outlives the coordinator behind it, like a fixed
+	// host:port across a process restart: the handler is swapped to the
+	// replacement coordinator once it is up. In between, the crashed
+	// coordinator's 503s are the outage the workers experience.
+	var handler atomic.Pointer[http.Handler]
+	h1 := NewServer(co1, reg1, testLogger()).Routes()
+	handler.Store(&h1)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		(*handler.Load()).ServeHTTP(w, r)
+	}))
+	defer ts.Close()
+
+	// The whole sweep is submitted into the lobby before any worker joins, so
+	// the armed kill (which fires at the first completion, after workers
+	// start) always lands mid-sweep with every job already journaled.
+	cl := NewClient(ts.URL, "coord-kill-req", nil)
+	cl.pollEvery = 20 * time.Millisecond
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	jobs := sweepJobs(t)
+	tickets := make([]*RemoteTicket, len(jobs))
+	for i, j := range jobs {
+		tk, err := cl.Submit(ctx, j)
+		if err != nil {
+			t.Fatalf("submit %s: %v", j.Label(), err)
+		}
+		tickets[i] = tk
+	}
+
+	engines := make([]*engine.Engine, 2)
+	peerRegs := make([]*obs.Registry, 2)
+	peers := make([]*Peer, 2)
+	for i, name := range []string{"peer-a", "peer-b"} {
+		engines[i] = engine.New(engine.Options{Workers: 2})
+		defer engines[i].Close()
+		peerRegs[i] = obs.NewRegistry()
+		p, err := NewPeer(PeerOptions{
+			Node: name, Coordinator: ts.URL, Engine: engines[i],
+			Pulls: 2, HeartbeatEvery: 50 * time.Millisecond, PollEvery: 10 * time.Millisecond,
+			Metrics: peerRegs[i], Log: testLogger(),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Start(); err != nil {
+			t.Fatal(err)
+		}
+		defer p.Close()
+		peers[i] = p
+	}
+
+	// The armed fault crashes the coordinator at the first completion.
+	crashed := func() bool {
+		co1.mu.Lock()
+		defer co1.mu.Unlock()
+		return co1.closed
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for !crashed() {
+		if time.Now().After(deadline) {
+			t.Fatal("coordinator was never killed")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// Leave the fabric headless long enough for every worker to cross the
+	// heartbeat-failure threshold and enter its reconnect machine — the
+	// realistic restart, not an instant flicker.
+	deadline = time.Now().Add(10 * time.Second)
+	for peers[0].Connected() || peers[1].Connected() {
+		if time.Now().After(deadline) {
+			t.Fatal("peers never noticed the coordinator outage")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// Restart: a fresh coordinator on the same journal and store.
+	j2, err := OpenJournal(dir, testLogger())
+	if err != nil {
+		t.Fatalf("reopen journal: %v", err)
+	}
+	reg2 := obs.NewRegistry()
+	co2 := NewCoordinator(CoordinatorOptions{
+		QueuePerWorker:   16,
+		HeartbeatTimeout: 300 * time.Millisecond,
+		HedgeAfter:       -1,
+		ReadoptWindow:    5 * time.Second,
+		Journal:          j2,
+		Store:            st,
+		Metrics:          reg2,
+		Log:              testLogger(),
+	})
+	defer co2.Close()
+	h2 := NewServer(co2, reg2, testLogger()).Routes()
+	handler.Store(&h2)
+
+	// Both workers find the replacement and re-advertise their leases.
+	deadline = time.Now().Add(10 * time.Second)
+	for !peers[0].Connected() || !peers[1].Connected() {
+		if time.Now().After(deadline) {
+			t.Fatal("peers never reconnected to the restarted coordinator")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	remote := make([]string, len(jobs))
+	for i, tk := range tickets {
+		res, err := tk.Wait(ctx)
+		if err != nil {
+			t.Fatalf("wait %s across coordinator restart: %v", jobs[i].Label(), err)
+		}
+		remote[i] = canon(t, res)
+	}
+
+	// Exactly one execution per job across the whole fabric: the completion
+	// that was in flight at the crash was retried and accepted, not redone,
+	// and re-adopted leases kept running instead of being requeued.
+	var executed int64
+	for _, e := range engines {
+		executed += e.Stats().Done
+	}
+	if executed != int64(len(jobs)) {
+		t.Errorf("fabric executed %d jobs, want exactly %d (a re-run slipped through)",
+			executed, len(jobs))
+	}
+
+	// The replacement really was rebuilt from the journal, and the workers
+	// really did reconnect rather than rejoin fresh.
+	if got := metricValue(reg2, "rsr_cluster_replay_items_total"); got < 1 {
+		t.Errorf("replayed items = %v, want >= 1", got)
+	}
+	for i, reg := range peerRegs {
+		if got := metricValue(reg, "rsr_peer_reconnects_total"); got < 1 {
+			t.Errorf("peer %d reconnects = %v, want >= 1", i, got)
+		}
+	}
+
+	// The restart must not change a single byte of the results.
+	local := engine.New(engine.Options{Workers: 4})
+	defer local.Close()
+	for i, j := range jobs {
+		res, err := local.Run(ctx, j)
+		if err != nil {
+			t.Fatalf("local %s: %v", j.Label(), err)
+		}
+		if got := canon(t, res); got != remote[i] {
+			t.Errorf("%s: post-restart result differs from single-node", j.Label())
 		}
 	}
 }

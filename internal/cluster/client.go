@@ -17,7 +17,12 @@ import (
 // the engine's Submit/Wait so callers (the lab's Runner seam) cannot tell
 // local from distributed execution. Backpressure is handled here: a 503 +
 // Retry-After submission is retried until it lands or the context dies, so
-// callers that submit a whole sweep up front just work.
+// callers that submit a whole sweep up front just work. A coordinator
+// restart is absorbed the same way: transient connection errors are retried
+// with a capped growing delay, and a poll that comes back 404 — the
+// coordinator came back without this job (no journal, or pruned) —
+// resubmits the kept job body idempotently; content hashing plus CAS dedup
+// make the resubmit free.
 type Client struct {
 	base  string
 	hc    *http.Client
@@ -52,66 +57,132 @@ func (c *Client) Handshake(ctx context.Context) (VersionInfo, error) {
 	return v, nil
 }
 
-// RemoteTicket is a handle to a submitted job, polled via Wait.
+// RemoteTicket is a handle to a submitted job, polled via Wait. It keeps the
+// marshaled job so a post-restart 404 can be answered by an idempotent
+// resubmission.
 type RemoteTicket struct {
-	c  *Client
-	id string
+	c    *Client
+	id   string
+	body []byte
 }
 
 // Hash returns the job's content address.
 func (t *RemoteTicket) Hash() string { return t.id }
 
-// Submit sends one job, absorbing backpressure: a 503 response is retried
-// after its Retry-After delay (capped at 2s) until accepted or ctx is done.
+// transientAttempts bounds how many consecutive transport failures the
+// client absorbs — about 25s at the capped delay, comfortably past a
+// coordinator restart — before concluding the coordinator is gone for good.
+const transientAttempts = 15
+
+// transientDelay is the capped growing delay between transport-error
+// retries: 100ms doubling to a 2s ceiling.
+func transientDelay(attempt int) time.Duration {
+	d := 100 * time.Millisecond << uint(attempt-1)
+	if d > 2*time.Second || d <= 0 {
+		d = 2 * time.Second
+	}
+	return d
+}
+
+// Submit sends one job, absorbing backpressure and outages: a 503 response
+// is retried after its Retry-After delay (capped at 2s), and transient
+// connection errors — a coordinator restarting under the client — are
+// retried with a capped growing delay, until accepted, the transient budget
+// runs out, or ctx is done.
 func (c *Client) Submit(ctx context.Context, job engine.Job) (*RemoteTicket, error) {
 	body, err := json.Marshal(job)
 	if err != nil {
 		return nil, err
 	}
+	id, err := c.submitBody(ctx, body)
+	if err != nil {
+		return nil, err
+	}
+	return &RemoteTicket{c: c, id: id, body: body}, nil
+}
+
+// submitBody posts one marshaled job until it is accepted, shared by Submit
+// and Wait's post-restart resubmission.
+func (c *Client) submitBody(ctx context.Context, body []byte) (string, error) {
+	fails := 0
 	for {
 		code, resp, header, err := c.post(ctx, "/v1/jobs", body)
 		if err != nil {
-			return nil, err
+			if fails++; fails >= transientAttempts {
+				return "", fmt.Errorf("cluster: submit: coordinator unreachable after %d attempts: %w", fails, err)
+			}
+			select {
+			case <-ctx.Done():
+				return "", ctx.Err()
+			case <-time.After(transientDelay(fails)):
+			}
+			continue
 		}
+		fails = 0
 		switch code {
 		case http.StatusAccepted:
 			var out struct {
 				ID string `json:"id"`
 			}
 			if err := json.Unmarshal(resp, &out); err != nil || out.ID == "" {
-				return nil, fmt.Errorf("cluster: bad submit response: %q", resp)
+				return "", fmt.Errorf("cluster: bad submit response: %q", resp)
 			}
-			return &RemoteTicket{c: c, id: out.ID}, nil
+			return out.ID, nil
 		case http.StatusServiceUnavailable:
 			delay := retryAfter(header, 2*time.Second)
 			select {
 			case <-ctx.Done():
-				return nil, ctx.Err()
+				return "", ctx.Err()
 			case <-time.After(delay):
 			}
 		default:
-			return nil, fmt.Errorf("cluster: submit refused: status %d: %s", code, errBody(resp))
+			return "", fmt.Errorf("cluster: submit refused: status %d: %s", code, errBody(resp))
 		}
 	}
 }
 
 // Wait polls the job until it finishes or ctx is done, returning the result
-// exactly as an engine.Ticket would.
+// exactly as an engine.Ticket would. Two recoveries keep a poll loop alive
+// across a coordinator restart: transient connection errors are retried
+// within the same budget as Submit, and a 404 — the coordinator came back
+// without this job — resubmits the kept body and keeps polling (the job is
+// content-addressed, so the resubmission either coalesces onto replayed
+// state or re-runs to byte-identical results).
 func (t *RemoteTicket) Wait(ctx context.Context) (*engine.Result, error) {
 	delay := t.c.pollEvery
+	fails := 0
 	for {
-		st, err := t.c.status(ctx, t.id)
-		if err != nil {
-			return nil, err
-		}
-		switch st.Status {
-		case "done":
-			if st.Result == nil {
-				return nil, fmt.Errorf("cluster: job %s done without a result", short(t.id))
+		st, code, err := t.c.status(ctx, t.id)
+		switch {
+		case err != nil && code == http.StatusNotFound:
+			id, rerr := t.c.submitBody(ctx, t.body)
+			if rerr != nil {
+				return nil, fmt.Errorf("cluster: job %s lost by coordinator and resubmit failed: %w",
+					short(t.id), rerr)
 			}
-			return st.Result, nil
-		case "failed":
-			return nil, fmt.Errorf("cluster: job %s failed: %s", short(t.id), st.Error)
+			if id != t.id {
+				return nil, fmt.Errorf("cluster: resubmission of job %s came back as %s",
+					short(t.id), short(id))
+			}
+			fails = 0
+		case err != nil && code == 0:
+			if fails++; fails >= transientAttempts {
+				return nil, fmt.Errorf("cluster: job %s: coordinator unreachable after %d attempts: %w",
+					short(t.id), fails, err)
+			}
+		case err != nil:
+			return nil, err
+		default:
+			fails = 0
+			switch st.Status {
+			case "done":
+				if st.Result == nil {
+					return nil, fmt.Errorf("cluster: job %s done without a result", short(t.id))
+				}
+				return st.Result, nil
+			case "failed":
+				return nil, fmt.Errorf("cluster: job %s failed: %s", short(t.id), st.Error)
+			}
 		}
 		select {
 		case <-ctx.Done():
@@ -124,28 +195,30 @@ func (t *RemoteTicket) Wait(ctx context.Context) (*engine.Result, error) {
 	}
 }
 
-// status GETs one job's state.
-func (c *Client) status(ctx context.Context, id string) (JobStatus, error) {
+// status GETs one job's state, returning the HTTP status code alongside any
+// error so Wait can tell a 404 (resubmit) from a transport failure (code 0,
+// retry) from a hard refusal.
+func (c *Client) status(ctx context.Context, id string) (JobStatus, int, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/jobs/"+id, nil)
 	if err != nil {
-		return JobStatus{}, err
+		return JobStatus{}, 0, err
 	}
 	c.setHeaders(req)
 	resp, err := c.hc.Do(req)
 	if err != nil {
-		return JobStatus{}, err
+		return JobStatus{}, 0, err
 	}
 	body, _ := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return JobStatus{}, fmt.Errorf("cluster: job %s: status %d: %s",
+		return JobStatus{}, resp.StatusCode, fmt.Errorf("cluster: job %s: status %d: %s",
 			short(id), resp.StatusCode, errBody(body))
 	}
 	var st JobStatus
 	if err := json.Unmarshal(body, &st); err != nil {
-		return JobStatus{}, fmt.Errorf("cluster: job %s: decode: %w", short(id), err)
+		return JobStatus{}, resp.StatusCode, fmt.Errorf("cluster: job %s: decode: %w", short(id), err)
 	}
-	return st, nil
+	return st, resp.StatusCode, nil
 }
 
 // post sends a JSON body and returns status, body, and headers.

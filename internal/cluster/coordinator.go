@@ -11,6 +11,7 @@ import (
 
 	"rsr/internal/cas"
 	"rsr/internal/engine"
+	"rsr/internal/fault"
 	"rsr/internal/obs"
 )
 
@@ -36,6 +37,21 @@ type CoordinatorOptions struct {
 	// pruned once every member has been finished for the window; items
 	// outlive the window while a live sweep still references them.
 	RetainFor time.Duration
+	// Journal, when non-nil, is the coordinator's write-ahead log (see
+	// OpenJournal): every scheduling mutation is fsync'd to it before taking
+	// effect, and the replay it carries is adopted at construction, so a
+	// restarted coordinator resumes its sweeps instead of losing them.
+	Journal *Journal
+	// ReadoptWindow is how long after a journal-recovered start workers may
+	// re-attach the leases they were already running — heartbeats carry each
+	// peer's in-flight lease IDs — before unclaimed recovered leases are
+	// requeued (0 = 2× HeartbeatTimeout, negative = requeue immediately).
+	// Without recovered running items the window never opens.
+	ReadoptWindow time.Duration
+	// Fault optionally injects chaos at the coordinator's instrumented
+	// site: a fault.CoordKill firing makes the coordinator crash abruptly
+	// (see Crash) — the journal's moment of truth.
+	Fault fault.Injector
 	// Store is the shared content-addressed store for result blobs and
 	// checkpoint chains (nil = a private in-memory store).
 	Store *cas.Store
@@ -68,6 +84,11 @@ type item struct {
 	firstStart time.Time       // zero until first leased; reset on requeue
 	requeues   int
 	hedged     bool
+	// recovered marks a running item replayed from the journal whose lease
+	// has not yet been confirmed by a live worker: during the re-adoption
+	// window a heartbeat advertising the lease re-attaches it; at window end
+	// unconfirmed recovered items are requeued.
+	recovered bool
 
 	res        *engine.Result
 	blobSum    string // the accepted result blob, for eviction at prune time
@@ -114,6 +135,11 @@ type Coordinator struct {
 	sweepSeq int
 	closed   bool
 	draining bool
+	// journal is the write-ahead log (nil = memory-only coordinator);
+	// readoptUntil bounds the post-recovery lease re-adoption window (zero =
+	// no window open).
+	journal      *Journal
+	readoptUntil time.Time
 
 	stop chan struct{}
 	wg   sync.WaitGroup
@@ -136,6 +162,9 @@ func NewCoordinator(opts CoordinatorOptions) *Coordinator {
 	if opts.RetainFor == 0 {
 		opts.RetainFor = time.Hour
 	}
+	if opts.ReadoptWindow == 0 {
+		opts.ReadoptWindow = 2 * opts.HeartbeatTimeout
+	}
 	if opts.Log == nil {
 		opts.Log = slog.Default()
 	}
@@ -153,9 +182,91 @@ func NewCoordinator(opts CoordinatorOptions) *Coordinator {
 		stop:   make(chan struct{}),
 	}
 	c.obs = newCoordObs(opts.Metrics, c)
+	if opts.Journal != nil {
+		c.journal = opts.Journal
+		c.journal.instrument(c.obs.journalFsync, c.obs.journalRecords)
+		c.adoptReplay(c.journal.Replay())
+	}
 	c.wg.Add(1)
 	go c.reapLoop()
 	return c
+}
+
+// adoptReplay rebuilds the scheduler from journal-reconstructed state:
+// finished items are served straight from their CAS result blobs, queued
+// items land in the lobby (drained to workers as they heartbeat), and
+// running items enter the re-adoption window keeping their journaled
+// holders, so live workers re-attach in-flight leases instead of having
+// them reaped and redone. Runs before the reaper starts; no lock needed.
+func (c *Coordinator) adoptReplay(rp *Replay) {
+	now := time.Now()
+	recovering := 0
+	for _, ri := range rp.Items {
+		it := &item{
+			id:      ri.ID,
+			job:     ri.Job,
+			reqID:   ri.ReqID,
+			holders: make(map[string]bool),
+			done:    make(chan struct{}),
+		}
+		it.requeues = ri.Requeues
+		state := ri.State
+		if state == "done" {
+			res := new(engine.Result)
+			b, err := c.store.Get(ri.BlobSum)
+			if err == nil {
+				err = json.Unmarshal(b, res)
+			}
+			if err != nil || res.JobHash != ri.ID {
+				// The journal promised a result the store can no longer
+				// produce (memory-only store, evicted disk, corruption):
+				// recompute — determinism makes the re-run byte-identical.
+				c.log.Warn("replayed result blob unavailable; requeued",
+					"job", short(ri.ID), "blob", short(ri.BlobSum), "err", err)
+				state = "blob-missing"
+			} else {
+				it.state, it.res, it.blobSum = itemDone, res, ri.BlobSum
+				it.finishedAt = now
+				close(it.done)
+			}
+		}
+		switch state {
+		case "done": // adopted above
+		case "failed":
+			it.state, it.errMsg = itemFailed, ri.ErrMsg
+			it.finishedAt = now
+			close(it.done)
+		case "running":
+			it.state = itemRunning
+			it.recovered = true
+			it.firstStart = now
+			for _, h := range ri.Holders {
+				it.holders[h] = true
+			}
+			recovering++
+		default: // queued, blob-missing
+			it.state = itemQueued
+			c.lobby = append(c.lobby, it)
+		}
+		c.items[ri.ID] = it
+		c.obs.replayed.With(state).Inc()
+	}
+	c.sweepSeq = rp.SweepSeq
+	for id, ids := range rp.Sweeps {
+		c.sweeps[id] = &sweep{id: id, ids: ids}
+	}
+	if recovering > 0 {
+		window := c.opts.ReadoptWindow
+		if window < 0 {
+			window = 0
+		}
+		c.readoptUntil = now.Add(window)
+		c.log.Info("re-adoption window open",
+			"recovered_leases", recovering, "window", window)
+	}
+	c.log.Info("journal replayed",
+		"items", len(rp.Items), "sweeps", len(rp.Sweeps),
+		"records", rp.Records, "quarantined_tail_bytes", rp.Quarantined)
 }
 
 // Store returns the coordinator's content-addressed store (mounted under
@@ -173,6 +284,17 @@ func (c *Coordinator) Close() {
 	}
 	c.closed = true
 	close(c.stop)
+	// A graceful close keeps the journal's promise: compact the full live
+	// state — pending items stay durably queued/running for the next start —
+	// and detach before the finalization below, which exists only to unblock
+	// in-process pollers and must not be recorded as real failures.
+	if c.journal != nil {
+		if err := c.journal.compact(c.snapshotLocked()); err != nil {
+			c.log.Error("final journal compaction failed", "err", err)
+		}
+		c.journal.close()
+		c.journal = nil
+	}
 	var pending []*item
 	for _, it := range c.items {
 		if it.state == itemQueued || it.state == itemRunning {
@@ -185,6 +307,82 @@ func (c *Coordinator) Close() {
 	c.lobby = nil
 	c.mu.Unlock()
 	c.wg.Wait()
+}
+
+// Crash simulates kill -9 for crash-recovery tests: all participation stops
+// abruptly — no drain, no final compaction, no finalization of pending
+// items, no further journal appends — exactly the state a dying coordinator
+// process leaves behind. The journal directory can immediately be re-opened
+// by a fresh coordinator. In-process Done waiters are not unblocked (a dead
+// process would not have answered them either); HTTP tests emulate the
+// connection loss at their own layer.
+func (c *Coordinator) Crash() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		c.wg.Wait()
+		return
+	}
+	c.closed = true
+	close(c.stop)
+	if c.journal != nil {
+		c.journal.close()
+		c.journal = nil
+	}
+	c.mu.Unlock()
+	c.wg.Wait()
+}
+
+// CompactJournal folds the journal into a fresh snapshot now, regardless of
+// the periodic threshold. A no-op without a journal.
+func (c *Coordinator) CompactJournal() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.journal == nil {
+		return nil
+	}
+	return c.journal.compact(c.snapshotLocked())
+}
+
+// snapshotLocked renders the full scheduler state for compaction. Node
+// registrations are deliberately absent: workers re-register through
+// heartbeats within one timeout of a restart. Callers hold c.mu.
+func (c *Coordinator) snapshotLocked() snapshot {
+	snap := snapshot{SweepSeq: c.sweepSeq, Sweeps: make(map[string][]string)}
+	for id, sw := range c.sweeps {
+		snap.Sweeps[id] = sw.ids
+	}
+	for _, id := range c.sortedItemIDs() {
+		it := c.items[id]
+		si := snapItem{ID: id, Job: it.job, ReqID: it.reqID, Requeues: it.requeues}
+		switch it.state {
+		case itemQueued:
+			si.State = "queued"
+		case itemRunning:
+			si.State = "running"
+			for h := range it.holders {
+				si.Holders = append(si.Holders, h)
+			}
+			sort.Strings(si.Holders)
+		case itemDone:
+			si.State, si.BlobSum = "done", it.blobSum
+		case itemFailed:
+			si.State, si.Error = "failed", it.errMsg
+		}
+		snap.Items = append(snap.Items, si)
+	}
+	return snap
+}
+
+// sortedItemIDs returns item IDs in order, for deterministic snapshots.
+// Callers hold c.mu.
+func (c *Coordinator) sortedItemIDs() []string {
+	ids := make([]string, 0, len(c.items))
+	for id := range c.items {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
 }
 
 // BeginDrain stops accepting new submissions; scheduled work continues so
@@ -258,13 +456,19 @@ func (c *Coordinator) Submit(job engine.Job, reqID string) (string, error) {
 		holders: make(map[string]bool),
 		done:    make(chan struct{}),
 	}
-	if n := c.shortestLiveQueue(time.Now()); n != nil {
-		n.queue = append(n.queue, it)
-	} else if !c.anyLive(time.Now()) && len(c.lobby) < c.opts.QueuePerWorker {
-		c.lobby = append(c.lobby, it)
-	} else {
+	// Decide placement before journaling, so a refused submission leaves no
+	// record; journal before mutating, so an accepted one is durable before
+	// the client's 202.
+	n := c.shortestLiveQueue(time.Now())
+	if n == nil && (c.anyLive(time.Now()) || len(c.lobby) >= c.opts.QueuePerWorker) {
 		c.obs.rejected.Inc()
 		return "", ErrBusy
+	}
+	c.journal.append(journalRecord{Kind: recSubmit, ID: id, Job: &job, ReqID: reqID})
+	if n != nil {
+		n.queue = append(n.queue, it)
+	} else {
+		c.lobby = append(c.lobby, it)
 	}
 	c.items[id] = it
 	c.obs.submitted.Inc()
@@ -291,6 +495,7 @@ func (c *Coordinator) SubmitSweep(jobs []engine.Job, reqID string) (SweepStatus,
 	}
 	c.sweepSeq++
 	sw := &sweep{id: fmt.Sprintf("sweep-%d", c.sweepSeq), ids: ids}
+	c.journal.append(journalRecord{Kind: recSweep, ID: sw.id, JobIDs: ids, Seq: c.sweepSeq})
 	c.sweeps[sw.id] = sw
 	return c.sweepStatusLocked(sw), nil
 }
@@ -385,8 +590,69 @@ func (c *Coordinator) Heartbeat(hb Heartbeat) error {
 	n := c.touch(hb.Node)
 	n.engQueued, n.engRunning = hb.QueueDepth, hb.Inflight
 	n.shardsInUse, n.shardCapacity = hb.ShardsInUse, hb.ShardCapacity
+	c.readoptLocked(n, hb.Leases)
 	c.drainLobbyLocked()
 	return nil
+}
+
+// readoptLocked re-attaches journal-recovered leases a worker advertises in
+// its heartbeat: the worker kept running the job across the coordinator's
+// restart, so instead of reaping and redoing the work the lease is restored
+// under the node, which then completes (or fails) it exactly as if nothing
+// happened. Only items in the recovered state accept advertisements — during
+// normal operation the lease table is authoritative and a claim for an item
+// the coordinator did not record is just noise. Callers hold c.mu.
+func (c *Coordinator) readoptLocked(n *node, leases []string) {
+	if len(leases) == 0 {
+		return
+	}
+	for _, id := range leases {
+		it := c.items[id]
+		if it == nil || it.state != itemRunning || !it.recovered {
+			continue
+		}
+		if n.leases[id] {
+			continue
+		}
+		it.holders[n.name] = true
+		n.leases[id] = true
+		c.obs.readopted.Inc()
+		c.log.Info("lease re-adopted", "node", n.name, "job", short(id))
+	}
+}
+
+// finishReadoptLocked closes the re-adoption window once it expires:
+// recovered running items keep only holders confirmed by a live worker's
+// advertisement; items nobody re-claimed are requeued (the worker died with
+// the old coordinator, or finished and gave up reporting). Callers hold
+// c.mu.
+func (c *Coordinator) finishReadoptLocked(now time.Time) {
+	if c.readoptUntil.IsZero() || now.Before(c.readoptUntil) {
+		return
+	}
+	c.readoptUntil = time.Time{}
+	for _, it := range c.items {
+		if it.state != itemRunning || !it.recovered {
+			continue
+		}
+		it.recovered = false
+		// Journaled holders that never re-registered are ghosts: drop them
+		// so a later failure report cannot be outvoted by a dead node.
+		for h := range it.holders {
+			n := c.nodes[h]
+			if n == nil || !n.leases[it.id] {
+				delete(it.holders, h)
+			}
+		}
+		if len(it.holders) == 0 {
+			if it.requeues < c.opts.MaxRequeues {
+				c.requeueLocked(it, "lease not re-adopted after restart")
+			} else {
+				c.finalize(it, nil, fmt.Sprintf(
+					"cluster: lease lost across coordinator restart after %d requeues", it.requeues))
+			}
+		}
+	}
 }
 
 // touch returns the named node, creating it on first contact, and refreshes
@@ -445,6 +711,7 @@ func (c *Coordinator) Pull(nodeName string) *WorkItem {
 	if it == nil {
 		return nil
 	}
+	c.journal.append(journalRecord{Kind: recLease, ID: it.id, Node: nodeName})
 	it.state = itemRunning
 	it.holders[nodeName] = true
 	if it.firstStart.IsZero() {
@@ -505,6 +772,16 @@ func (c *Coordinator) hedgeCandidate(nodeName string, now time.Time) *item {
 // running, otherwise a transient failure is requeued within the item's
 // budget and anything else fails the item.
 func (c *Coordinator) Complete(req CompleteRequest) error {
+	// The chaos point: a firing CoordKill rule crashes the coordinator as a
+	// completion arrives — after real work has finished, before the outcome
+	// is journaled — the worst moment for the write-ahead log, which must
+	// recover the sweep with the completion lost in flight (the worker
+	// retries it against the restarted coordinator).
+	if d := fault.Check(c.opts.Fault, fault.CoordKill, req.ID); d != nil {
+		c.log.Warn("injected coordinator kill", "job", short(req.ID))
+		c.Crash()
+		return ErrClosed
+	}
 	var res *engine.Result
 	if req.Error == "" {
 		b, err := c.store.Get(req.BlobSum)
@@ -578,12 +855,15 @@ func (c *Coordinator) finalize(it *item, res *engine.Result, errMsg string) {
 		return
 	}
 	if res != nil {
+		c.journal.append(journalRecord{Kind: recComplete, ID: it.id, BlobSum: it.blobSum})
 		it.state, it.res = itemDone, res
 		c.obs.completed.With("done").Inc()
 	} else {
+		c.journal.append(journalRecord{Kind: recComplete, ID: it.id, Error: errMsg})
 		it.state, it.errMsg = itemFailed, errMsg
 		c.obs.completed.With("failed").Inc()
 	}
+	it.recovered = false
 	it.finishedAt = time.Now()
 	close(it.done)
 }
@@ -592,8 +872,10 @@ func (c *Coordinator) finalize(it *item, res *engine.Result, errMsg string) {
 // shortest live queue (capacity is not enforced for requeues — the work was
 // already accepted) or the lobby when no worker is live. Callers hold c.mu.
 func (c *Coordinator) requeueLocked(it *item, why string) {
+	c.journal.append(journalRecord{Kind: recRequeue, ID: it.id})
 	it.state = itemQueued
 	it.firstStart = time.Time{}
+	it.recovered = false
 	it.requeues++
 	c.obs.requeues.Inc()
 	c.log.Warn("requeued", "job", short(it.id), "attempt", it.requeues, "why", why)
@@ -636,6 +918,7 @@ func (c *Coordinator) reap(now time.Time) {
 		c.log.Warn("worker lost", "node", name,
 			"queued", len(n.queue), "leased", len(n.leases),
 			"silent_for", now.Sub(n.lastBeat).Round(time.Millisecond))
+		c.journal.append(journalRecord{Kind: recReap, Node: name})
 		delete(c.nodes, name)
 		c.obs.nodesLost.Inc()
 		c.obs.zeroNode(name)
@@ -667,8 +950,14 @@ func (c *Coordinator) reap(now time.Time) {
 			}
 		}
 	}
+	c.finishReadoptLocked(now)
 	c.pruneLocked(now)
 	c.drainLobbyLocked()
+	if c.journal != nil && c.journal.shouldCompact() {
+		if err := c.journal.compact(c.snapshotLocked()); err != nil {
+			c.log.Error("journal compaction failed", "err", err)
+		}
+	}
 }
 
 // pruneLocked retires work finished longer than RetainFor ago: expired

@@ -1,0 +1,370 @@
+package cluster
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"rsr/internal/cas"
+	"rsr/internal/engine"
+	"rsr/internal/obs"
+)
+
+// journaledCoordinator builds a coordinator whose scheduling survives Crash:
+// a journal in dir, a caller-shared store so replayed result blobs resolve,
+// retention disabled so pruning (which is deliberately not journaled) cannot
+// desynchronize live state from replayed state mid-test.
+func journaledCoordinator(t *testing.T, dir string, st *cas.Store, reg *obs.Registry) *Coordinator {
+	t.Helper()
+	j, err := OpenJournal(dir, testLogger())
+	if err != nil {
+		t.Fatalf("open journal: %v", err)
+	}
+	return NewCoordinator(CoordinatorOptions{
+		QueuePerWorker:   8,
+		HeartbeatTimeout: time.Hour,
+		HedgeAfter:       -1,
+		RetainFor:        -1,
+		ReadoptWindow:    time.Hour,
+		Journal:          j,
+		Store:            st,
+		Metrics:          reg,
+		Log:              testLogger(),
+	})
+}
+
+// liveSnapshot reads the coordinator's full scheduler state, the comparand
+// for replay equivalence.
+func liveSnapshot(co *Coordinator) snapshot {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	return co.snapshotLocked()
+}
+
+// TestJournalPropertyRandomOpsReplayMatchesLiveState is the journal's
+// property test: drive a journaled coordinator through seeded random
+// interleavings of every journaled verb — submit, sweep, lease (pull),
+// complete (success, transient failure, permanent failure), requeue, and
+// reap — then crash it and assert the coordinator rebuilt from the journal
+// renders exactly the same scheduler snapshot (states, holders, requeue
+// counts, error messages, sweeps) as the live one did at the moment of the
+// crash.
+func TestJournalPropertyRandomOpsReplayMatchesLiveState(t *testing.T) {
+	nodes := []string{"a", "b", "c"}
+	for _, seed := range []int64{1, 7, 42, 1337} {
+		rng := rand.New(rand.NewSource(seed))
+		dir := t.TempDir()
+		st := cas.NewStore("")
+		co := journaledCoordinator(t, dir, st, nil)
+
+		type lease struct{ node, id string }
+		var leases []lease
+		nextJob := int64(0)
+		for op := 0; op < 200; op++ {
+			switch rng.Intn(10) {
+			case 0, 1: // submit one job
+				nextJob++
+				co.Submit(unitJob(nextJob), "prop")
+			case 2: // submit a two-job sweep
+				co.SubmitSweep([]engine.Job{unitJob(nextJob + 1), unitJob(nextJob + 2)}, "prop")
+				nextJob += 2
+			case 3, 4: // heartbeat a node (registers it, drains the lobby)
+				beat(t, co, nodes[rng.Intn(len(nodes))])
+			case 5, 6: // pull a lease
+				n := nodes[rng.Intn(len(nodes))]
+				beat(t, co, n)
+				if it := co.Pull(n); it != nil {
+					leases = append(leases, lease{n, it.ID})
+				}
+			case 7: // complete a lease successfully
+				if len(leases) == 0 {
+					continue
+				}
+				i := rng.Intn(len(leases))
+				l := leases[i]
+				leases = append(leases[:i], leases[i+1:]...)
+				fakeComplete(t, co, l.node, l.id)
+			case 8: // fail a lease (transient half the time: requeue path)
+				if len(leases) == 0 {
+					continue
+				}
+				i := rng.Intn(len(leases))
+				l := leases[i]
+				leases = append(leases[:i], leases[i+1:]...)
+				if err := co.Complete(CompleteRequest{Node: l.node, ID: l.id,
+					Error: "injected", Transient: rng.Intn(2) == 0}); err != nil {
+					t.Fatalf("seed %d: fail complete: %v", seed, err)
+				}
+			case 9: // reap every node: leased work requeues, queued work moves
+				co.reap(time.Now().Add(2 * time.Hour))
+				leases = leases[:0]
+			}
+		}
+
+		want := liveSnapshot(co)
+		co.Crash()
+
+		re := journaledCoordinator(t, dir, st, nil)
+		got := liveSnapshot(re)
+		re.Crash()
+		if !reflect.DeepEqual(want, got) {
+			t.Errorf("seed %d: replayed snapshot differs from live state\nlive:     %+v\nreplayed: %+v",
+				seed, want, got)
+		}
+	}
+}
+
+// TestJournalCompactionRoundTrip pins snapshot compaction: folding the log
+// into snapshot.json truncates the record file, and a coordinator restarted
+// on the compacted directory — plus records appended after the compaction —
+// rebuilds the same state as one that replayed the full log.
+func TestJournalCompactionRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	st := cas.NewStore("")
+	co := journaledCoordinator(t, dir, st, nil)
+	beat(t, co, "a")
+	id1, err := co.Submit(unitJob(1), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if it := co.Pull("a"); it == nil || it.ID != id1 {
+		t.Fatalf("lease = %+v", it)
+	}
+	fakeComplete(t, co, "a", id1)
+
+	if err := co.CompactJournal(); err != nil {
+		t.Fatalf("compact: %v", err)
+	}
+	fi, err := os.Stat(filepath.Join(dir, journalFile))
+	if err != nil {
+		t.Fatalf("stat journal: %v", err)
+	}
+	if fi.Size() != 0 {
+		t.Fatalf("journal size after compaction = %d, want 0", fi.Size())
+	}
+	if _, err := os.Stat(filepath.Join(dir, snapshotFile)); err != nil {
+		t.Fatalf("snapshot after compaction: %v", err)
+	}
+
+	// Post-compaction records layer on top of the snapshot.
+	id2, err := co.Submit(unitJob(2), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := liveSnapshot(co)
+	co.Crash()
+
+	re := journaledCoordinator(t, dir, st, nil)
+	defer re.Crash()
+	got := liveSnapshot(re)
+	if !reflect.DeepEqual(want, got) {
+		t.Errorf("snapshot+journal replay differs\nlive:     %+v\nreplayed: %+v", want, got)
+	}
+	if stj, _ := re.Status(id1); stj.Status != "done" || stj.Result == nil {
+		t.Errorf("compacted done item = %+v, want done with result", stj)
+	}
+	if stj, _ := re.Status(id2); stj.Status != "pending" {
+		t.Errorf("post-compaction item = %+v, want pending", stj)
+	}
+}
+
+// TestJournalQuarantinesCorruptTail pins crash-safety of the log itself: a
+// torn or scribbled final write must not poison recovery. Replay stops at
+// the last valid record, the bad tail is preserved in a quarantine file, and
+// the truncated journal reopens cleanly with the pre-corruption state.
+func TestJournalQuarantinesCorruptTail(t *testing.T) {
+	dir := t.TempDir()
+	st := cas.NewStore("")
+	co := journaledCoordinator(t, dir, st, nil)
+	beat(t, co, "a")
+	id, err := co.Submit(unitJob(1), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if it := co.Pull("a"); it == nil {
+		t.Fatal("no lease")
+	}
+	fakeComplete(t, co, "a", id)
+	want := liveSnapshot(co)
+	co.Crash()
+
+	// A torn final record: valid JSON prefix cut mid-write, no newline.
+	tail := `{"kind":"lease","id":"deadbeef","no`
+	f, err := os.OpenFile(filepath.Join(dir, journalFile), os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(tail); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	j, err := OpenJournal(dir, testLogger())
+	if err != nil {
+		t.Fatalf("open after corruption: %v", err)
+	}
+	if j.Replay().Quarantined != len(tail) {
+		t.Errorf("quarantined = %d bytes, want %d", j.Replay().Quarantined, len(tail))
+	}
+	q, err := os.ReadFile(filepath.Join(dir, "tail-quarantine-0"))
+	if err != nil || string(q) != tail {
+		t.Errorf("quarantine file = %q, %v; want the cut tail", q, err)
+	}
+	re := NewCoordinator(CoordinatorOptions{
+		HeartbeatTimeout: time.Hour, HedgeAfter: -1, RetainFor: -1,
+		Journal: j, Store: st, Log: testLogger(),
+	})
+	got := liveSnapshot(re)
+	re.Crash()
+	if !reflect.DeepEqual(want, got) {
+		t.Errorf("post-quarantine replay differs\nwant: %+v\ngot:  %+v", want, got)
+	}
+
+	// The truncated journal is clean: a third open quarantines nothing new.
+	j2, err := OpenJournal(dir, testLogger())
+	if err != nil {
+		t.Fatalf("reopen after truncation: %v", err)
+	}
+	defer j2.close()
+	if j2.Replay().Quarantined != 0 {
+		t.Errorf("second open quarantined %d bytes, want 0", j2.Replay().Quarantined)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "tail-quarantine-1")); !os.IsNotExist(err) {
+		t.Error("second open created another quarantine file")
+	}
+}
+
+// TestJournalReplayServesDoneFromCAS pins the crash-recovery payoff: a job
+// completed before the crash is served straight from its CAS result blob —
+// pollable immediately, no worker involved — while the same journal replayed
+// against a store that lost the blob downgrades the item to queued (a
+// deterministic re-run), never to a wrong answer.
+func TestJournalReplayServesDoneFromCAS(t *testing.T) {
+	dir := t.TempDir()
+	st := cas.NewStore("")
+	co := journaledCoordinator(t, dir, st, nil)
+	beat(t, co, "a")
+	id, err := co.Submit(unitJob(1), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if it := co.Pull("a"); it == nil {
+		t.Fatal("no lease")
+	}
+	fakeComplete(t, co, "a", id)
+	co.Crash()
+
+	reg := obs.NewRegistry()
+	re := journaledCoordinator(t, dir, st, reg)
+	if stj, ok := re.Status(id); !ok || stj.Status != "done" || stj.Result == nil {
+		t.Fatalf("replayed done item = %+v, %v; want done with result", stj, ok)
+	}
+	if got := metricValue(reg, "rsr_cluster_replay_items_total"); got != 1 {
+		t.Errorf("replay metric = %v, want 1", got)
+	}
+	re.Crash()
+
+	// Same journal, fresh store: the promised blob is gone, so the item must
+	// re-run rather than report a result the store cannot back.
+	reg2 := obs.NewRegistry()
+	re2 := journaledCoordinator(t, dir, cas.NewStore(""), reg2)
+	defer re2.Close()
+	if stj, ok := re2.Status(id); !ok || stj.Status != "pending" {
+		t.Fatalf("blob-missing item = %+v, %v; want pending (requeued)", stj, ok)
+	}
+	beat(t, re2, "b")
+	if it := re2.Pull("b"); it == nil || it.ID != id {
+		t.Fatalf("blob-missing pull = %+v, want requeued %s", it, short(id))
+	}
+}
+
+// TestLeaseReadoptionAcrossRestart pins the re-adoption handshake: a lease
+// running through a coordinator crash is replayed as recovered, a heartbeat
+// advertising the lease ID re-attaches it to the live worker, and that
+// worker's completion is accepted exactly as if the restart never happened.
+// A heartbeat advertising IDs the journal never leased is ignored.
+func TestLeaseReadoptionAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	st := cas.NewStore("")
+	co := journaledCoordinator(t, dir, st, nil)
+	beat(t, co, "a")
+	id, err := co.Submit(unitJob(1), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if it := co.Pull("a"); it == nil || it.ID != id {
+		t.Fatalf("lease = %+v", it)
+	}
+	co.Crash()
+
+	reg := obs.NewRegistry()
+	re := journaledCoordinator(t, dir, st, reg)
+	defer re.Close()
+	if stj, _ := re.Status(id); stj.Status != "pending" {
+		t.Fatalf("recovered lease status = %s, want pending", stj.Status)
+	}
+	// A rogue advertisement for an ID the journal never leased is noise.
+	if err := re.Heartbeat(Heartbeat{Node: "b", Protocol: ProtocolVersion,
+		Leases: []string{"feedface"}}); err != nil {
+		t.Fatal(err)
+	}
+	if got := metricValue(reg, "rsr_cluster_leases_readopted_total"); got != 0 {
+		t.Fatalf("rogue advertisement re-adopted %v leases", got)
+	}
+	// The real worker's heartbeat re-attaches its lease.
+	if err := re.Heartbeat(Heartbeat{Node: "a", Protocol: ProtocolVersion,
+		Leases: []string{id}}); err != nil {
+		t.Fatal(err)
+	}
+	if got := metricValue(reg, "rsr_cluster_leases_readopted_total"); got != 1 {
+		t.Fatalf("readopted metric = %v, want 1", got)
+	}
+	// The re-adopted holder completes the item; no re-run, no stale drop.
+	fakeComplete(t, re, "a", id)
+	if stj, _ := re.Status(id); stj.Status != "done" {
+		t.Fatalf("status after re-adopted completion = %s, want done", stj.Status)
+	}
+}
+
+// TestReadoptWindowExpiryRequeues pins the other half of re-adoption: a
+// recovered lease nobody re-claims — its worker died with the old
+// coordinator — is requeued when the window closes, so the work still
+// finishes, just on a different node.
+func TestReadoptWindowExpiryRequeues(t *testing.T) {
+	dir := t.TempDir()
+	st := cas.NewStore("")
+	co := journaledCoordinator(t, dir, st, nil)
+	beat(t, co, "a")
+	id, err := co.Submit(unitJob(1), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if it := co.Pull("a"); it == nil {
+		t.Fatal("no lease")
+	}
+	co.Crash()
+
+	j, err := OpenJournal(dir, testLogger())
+	if err != nil {
+		t.Fatal(err)
+	}
+	re := NewCoordinator(CoordinatorOptions{
+		HeartbeatTimeout: time.Hour, HedgeAfter: -1, RetainFor: -1,
+		ReadoptWindow: -1, // close the window at the first reap tick
+		Journal:       j, Store: st, Log: testLogger(),
+	})
+	defer re.Close()
+	re.reap(time.Now())
+	// Worker a never came back; the lease requeues and a survivor runs it.
+	beat(t, re, "b")
+	if it := re.Pull("b"); it == nil || it.ID != id {
+		t.Fatalf("post-window pull = %+v, want requeued %s", it, short(id))
+	}
+	fakeComplete(t, re, "b", id)
+	if stj, _ := re.Status(id); stj.Status != "done" {
+		t.Fatalf("status = %s, want done", stj.Status)
+	}
+}

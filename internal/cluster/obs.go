@@ -9,17 +9,21 @@ import "rsr/internal/obs"
 // With a nil registry every instrument is nil, which the obs package turns
 // into no-ops.
 type coordObs struct {
-	submitted     *obs.Counter
-	coalesced     *obs.Counter
-	rejected      *obs.Counter
+	submitted      *obs.Counter
+	coalesced      *obs.Counter
+	rejected       *obs.Counter
 	requeues       *obs.Counter
 	lateCompletes  *obs.Counter
 	staleCompletes *obs.Counter
 	pruned         *obs.Counter
 	nodesLost      *obs.Counter
-	completed     *obs.CounterVec // label: state (done|failed)
-	steals        *obs.CounterVec // label: node (the thief)
-	hedges        *obs.CounterVec // label: node (the hedger)
+	readopted      *obs.Counter
+	completed      *obs.CounterVec // label: state (done|failed)
+	steals         *obs.CounterVec // label: node (the thief)
+	hedges         *obs.CounterVec // label: node (the hedger)
+	replayed       *obs.CounterVec // label: state (queued|running|done|failed|blob-missing)
+	journalRecords *obs.CounterVec // label: kind (submit|sweep|lease|complete|requeue|reap)
+	journalFsync   *obs.Histogram
 
 	workers    *obs.Gauge
 	lobby      *obs.Gauge
@@ -79,8 +83,17 @@ func newCoordObs(reg *obs.Registry, c *Coordinator) *coordObs {
 		"Finished items retired after the retention window.")
 	o.nodesLost = reg.Counter("rsr_cluster_nodes_lost_total",
 		"Workers reaped after missing the heartbeat timeout.")
+	o.readopted = reg.Counter("rsr_cluster_leases_readopted_total",
+		"Journal-recovered leases re-attached by a live worker's heartbeat advertisement after a coordinator restart.")
 	o.completed = reg.CounterVec("rsr_cluster_items_total",
 		"Items finished, by terminal state.", "state")
+	o.replayed = reg.CounterVec("rsr_cluster_replay_items_total",
+		"Items rebuilt from the write-ahead journal at startup, by replayed state (blob-missing counts done items whose result blob was gone and were requeued).", "state")
+	o.journalRecords = reg.CounterVec("rsr_cluster_journal_records_total",
+		"Write-ahead journal records appended, by kind.", "kind")
+	o.journalFsync = reg.Histogram("rsr_cluster_journal_fsync_seconds",
+		"Latency of one journal append (write + fsync).",
+		[]float64{.0001, .00025, .0005, .001, .0025, .005, .01, .025, .05, .1, .25, .5, 1})
 	o.steals = reg.CounterVec("rsr_cluster_steals_total",
 		"Work items stolen from a sibling's queue, by the stealing node.", "node")
 	o.hedges = reg.CounterVec("rsr_cluster_hedges_total",

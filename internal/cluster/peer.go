@@ -5,17 +5,21 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"hash/fnv"
 	"io"
 	"log/slog"
 	"net/http"
 	"os"
 	"runtime"
+	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"rsr/internal/cas"
 	"rsr/internal/engine"
 	"rsr/internal/fault"
+	"rsr/internal/obs"
 )
 
 // PeerOptions configures a worker peer.
@@ -40,10 +44,57 @@ type PeerOptions struct {
 	// heartbeats cease, leased work is never reported — exactly what a
 	// crashed machine looks like to the coordinator.
 	Fault fault.Injector
+	// Metrics, when non-nil, exposes the peer's reconnect and pull-failure
+	// counters on the worker's /metrics.
+	Metrics *obs.Registry
 	// Log receives the peer's structured log lines (nil = slog.Default()).
 	Log *slog.Logger
 	// HTTP overrides the transport (nil = 30s-timeout client).
 	HTTP *http.Client
+}
+
+// heartbeatFailThreshold is how many consecutive heartbeat failures the peer
+// tolerates (each Debug-logged) before concluding the coordinator is gone:
+// the failure is escalated to Warn, the peer reports itself not ready, and
+// the reconnect state machine takes over.
+const heartbeatFailThreshold = 3
+
+// reconnectCap bounds the reconnect backoff window.
+const reconnectCap = 5 * time.Second
+
+// reconnectDelay maps (node, attempt) to the attempt's backoff before the
+// next reconnect probe: uniform over [0, HeartbeatEvery*2^(attempt-1)] capped
+// at reconnectCap, drawn by FNV-1a in the style of the engine's retry jitter —
+// allocation-free, deterministic, and independent of the global math/rand
+// stream, so a fleet of workers orphaned by one coordinator restart spreads
+// its probes instead of stampeding in lockstep.
+func reconnectDelay(node string, attempt int, base time.Duration) time.Duration {
+	window := base << uint(attempt-1)
+	if window > reconnectCap || window <= 0 {
+		window = reconnectCap
+	}
+	h := fnv.New64a()
+	fmt.Fprintf(h, "reconnect|%s|%d", node, attempt)
+	return time.Duration(h.Sum64() % uint64(window+1))
+}
+
+// peerObs is the worker-side metric surface of the fabric. With a nil
+// registry every instrument is nil, which the obs package turns into no-ops.
+type peerObs struct {
+	reconnects   *obs.Counter
+	pullFailures *obs.Counter
+}
+
+func newPeerObs(reg *obs.Registry) *peerObs {
+	o := &peerObs{}
+	if reg == nil {
+		return o
+	}
+	o.reconnects = reg.Counter("rsr_peer_reconnects_total",
+		"Times this peer lost the coordinator and successfully re-attached (re-handshake plus a landed heartbeat).")
+	o.pullFailures = reg.Counter("rsr_peer_pull_failures_total",
+		"Work pulls that failed for transient reasons (transport errors, unexpected statuses); idle 204s are not failures.")
+	return o
 }
 
 // Peer is a worker participating in a coordinator's sweep fabric: it
@@ -54,6 +105,18 @@ type Peer struct {
 	hc   *http.Client
 	cas  *cas.Client
 	log  *slog.Logger
+	obs  *peerObs
+
+	// connected is false while the coordinator is unreachable (the reconnect
+	// state machine owns it); pull loops idle and /readyz reports not-ready
+	// until it is restored.
+	connected atomic.Bool
+
+	// mu guards leases: the job IDs this peer is executing right now,
+	// advertised in every heartbeat so a journal-recovered coordinator can
+	// re-adopt them instead of requeuing the work.
+	mu     sync.Mutex
+	leases map[string]bool
 
 	ctx    context.Context
 	cancel context.CancelFunc
@@ -98,6 +161,8 @@ func NewPeer(opts PeerOptions) (*Peer, error) {
 		hc:     hc,
 		cas:    cas.NewClient(hc, opts.Coordinator+"/v1/cas"),
 		log:    opts.Log.With("node", opts.Node),
+		obs:    newPeerObs(opts.Metrics),
+		leases: make(map[string]bool),
 		ctx:    ctx,
 		cancel: cancel,
 	}, nil
@@ -105,6 +170,43 @@ func NewPeer(opts PeerOptions) (*Peer, error) {
 
 // Node returns the peer's cluster name.
 func (p *Peer) Node() string { return p.opts.Node }
+
+// Connected reports whether the coordinator was reachable at the last
+// heartbeat. rsrd's peer-mode /readyz reports not-ready while this is false:
+// a worker that cannot reach its coordinator is not doing useful work, and
+// the fleet's health rollup should say so.
+func (p *Peer) Connected() bool { return p.connected.Load() }
+
+// trackLease records a leased job as executing; untrackLease removes it when
+// the completion report has landed (or been abandoned). Between the two,
+// heartbeats advertise the lease.
+func (p *Peer) trackLease(id string) {
+	p.mu.Lock()
+	p.leases[id] = true
+	p.mu.Unlock()
+}
+
+func (p *Peer) untrackLease(id string) {
+	p.mu.Lock()
+	delete(p.leases, id)
+	p.mu.Unlock()
+}
+
+// inflightLeases snapshots the advertised lease IDs, sorted for
+// deterministic heartbeat payloads.
+func (p *Peer) inflightLeases() []string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(p.leases) == 0 {
+		return nil
+	}
+	ids := make([]string, 0, len(p.leases))
+	for id := range p.leases {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
 
 // Start performs the version handshake and launches the heartbeat and pull
 // loops. A protocol mismatch is an error: mixed-version fleets fail fast
@@ -120,6 +222,7 @@ func (p *Peer) Start() error {
 	}
 	// A first heartbeat before any pull loop runs, so the coordinator can
 	// queue work at this node immediately.
+	p.connected.Store(true)
 	p.beat()
 	p.wg.Add(1 + p.opts.Pulls)
 	go p.heartbeatLoop()
@@ -159,25 +262,82 @@ func (p *Peer) die(why string) {
 	})
 }
 
+// heartbeatLoop keeps the coordinator's liveness view fresh, and is also the
+// peer's failure detector: consecutive heartbeat failures past the threshold
+// escalate from Debug to Warn, flip the peer to not-connected (pull loops
+// idle, /readyz goes 503), and hand control to the reconnect state machine
+// until the coordinator answers again.
 func (p *Peer) heartbeatLoop() {
 	defer p.wg.Done()
 	tick := time.NewTicker(p.opts.HeartbeatEvery)
 	defer tick.Stop()
+	fails := 0
 	for {
 		select {
 		case <-p.ctx.Done():
 			return
 		case <-tick.C:
-			p.beat()
 		}
+		if p.beat() {
+			fails = 0
+			continue
+		}
+		fails++
+		if fails < heartbeatFailThreshold {
+			continue
+		}
+		p.connected.Store(false)
+		p.log.Warn("coordinator unreachable; reconnecting",
+			"consecutive_failures", fails)
+		if !p.reconnect() {
+			return
+		}
+		fails = 0
 	}
 }
 
-// beat sends one heartbeat carrying the local engine's queue depth,
-// in-flight count, and shard utilization — the coordinator's per-node
-// backpressure signal. A 409 means protocol skew (a coordinator upgraded
-// under us): fail fast.
-func (p *Peer) beat() {
+// reconnect probes the coordinator with bounded, jittered exponential
+// backoff until a handshake and heartbeat both land, then restores the
+// connected state. The re-handshake matters: the coordinator that comes back
+// may be an upgraded binary, and a protocol mismatch must kill this worker
+// exactly as the initial Start would have. The heartbeat that completes the
+// reconnect re-advertises every in-flight lease, so a journal-recovered
+// coordinator re-adopts this node's running work inside its re-adoption
+// window. Returns false when the peer died (ctx canceled or protocol skew).
+func (p *Peer) reconnect() bool {
+	for attempt := 1; ; attempt++ {
+		select {
+		case <-p.ctx.Done():
+			return false
+		case <-time.After(reconnectDelay(p.opts.Node, attempt, p.opts.HeartbeatEvery)):
+		}
+		v, err := fetchVersion(p.ctx, p.hc, p.opts.Coordinator)
+		if err != nil {
+			p.log.Debug("reconnect probe failed", "attempt", attempt, "err", err)
+			continue
+		}
+		if v.Protocol != ProtocolVersion {
+			p.die("protocol mismatch after coordinator restart")
+			return false
+		}
+		if !p.beat() {
+			continue
+		}
+		p.connected.Store(true)
+		p.obs.reconnects.Inc()
+		p.log.Info("coordinator reconnected",
+			"attempts", attempt, "leases_advertised", len(p.inflightLeases()))
+		return true
+	}
+}
+
+// beat sends one heartbeat carrying the local engine's queue depth, in-flight
+// count, shard utilization, and the IDs of every lease this peer is
+// executing — the coordinator's per-node backpressure signal and, after a
+// coordinator restart, the evidence it needs to re-adopt running leases. A
+// 409 means protocol skew (a coordinator upgraded under us): fail fast.
+// Reports whether the heartbeat landed.
+func (p *Peer) beat() bool {
 	st := p.opts.Engine.Stats()
 	hb := Heartbeat{
 		Node:          p.opts.Node,
@@ -186,15 +346,18 @@ func (p *Peer) beat() {
 		Inflight:      st.Running,
 		ShardsInUse:   st.ShardsInUse,
 		ShardCapacity: runtime.GOMAXPROCS(0),
+		Leases:        p.inflightLeases(),
 	}
 	code, _, err := p.postJSON("/v1/peers/heartbeat", hb)
 	if err != nil {
 		p.log.Debug("heartbeat failed", "err", err)
-		return
+		return false
 	}
 	if code == http.StatusConflict {
 		p.die("protocol mismatch with coordinator")
+		return false
 	}
+	return code == http.StatusNoContent
 }
 
 func (p *Peer) pullLoop() {
@@ -204,6 +367,16 @@ func (p *Peer) pullLoop() {
 		case <-p.ctx.Done():
 			return
 		default:
+		}
+		// While the reconnect machine owns the coordinator relationship,
+		// pulling would only generate failed requests; idle until it is done.
+		if !p.connected.Load() {
+			select {
+			case <-p.ctx.Done():
+				return
+			case <-time.After(p.opts.PollEvery):
+			}
+			continue
 		}
 		it, ok := p.pull()
 		if !ok {
@@ -221,18 +394,41 @@ func (p *Peer) pullLoop() {
 			p.die("injected node kill")
 			return
 		}
+		p.trackLease(it.ID)
 		p.runItem(it)
+		p.untrackLease(it.ID)
 	}
 }
 
-// pull leases one item; ok is false when the coordinator is idle or away.
+// pull leases one item; ok is false when there is nothing to run. The
+// non-200 statuses are not one condition: 204 is the coordinator saying
+// "idle" and costs nothing, a 409 is protocol skew and kills the worker the
+// same way a heartbeat 409 does (a lease negotiated across a version
+// mismatch could corrupt a sweep), and anything else — transport errors,
+// 5xx — is a transient fault that is counted and retried after the poll
+// backoff.
 func (p *Peer) pull() (*WorkItem, bool) {
 	code, body, err := p.postJSON("/v1/peers/pull", PullRequest{Node: p.opts.Node})
-	if err != nil || code != http.StatusOK {
+	if err != nil {
+		p.obs.pullFailures.Inc()
+		p.log.Debug("pull failed", "err", err)
+		return nil, false
+	}
+	switch code {
+	case http.StatusOK:
+	case http.StatusNoContent:
+		return nil, false // idle, not a failure
+	case http.StatusConflict:
+		p.die("protocol mismatch with coordinator")
+		return nil, false
+	default:
+		p.obs.pullFailures.Inc()
+		p.log.Debug("pull refused", "status", code)
 		return nil, false
 	}
 	var it WorkItem
 	if err := json.Unmarshal(body, &it); err != nil {
+		p.obs.pullFailures.Inc()
 		p.log.Warn("bad work item", "err", err)
 		return nil, false
 	}
@@ -277,19 +473,35 @@ func (p *Peer) runItem(it *WorkItem) {
 	p.log.Info("lease done", "job", short(it.ID), "blob", short(sum))
 }
 
-// complete reports an outcome, retrying briefly. A 409 means the coordinator
-// could not verify the result blob (evicted, corrupt on its disk, torn in
-// transit): the blob bytes kept in scope are re-uploaded before the retry,
-// so the next report can land. A report that still cannot land is
-// abandoned — the coordinator hedges or requeues the lease, and determinism
-// makes the duplicate execution byte-identical.
+// complete reports an outcome. The work is already done, so the report is
+// worth waiting out a coordinator outage for: transport errors and 503s
+// (a restarting or draining coordinator) are retried for as long as the peer
+// lives, with the same capped FNV-jittered backoff as reconnect probes —
+// the lease stays advertised in heartbeats the whole time, so a
+// journal-recovered coordinator re-adopts it and then accepts this very
+// report. A 409 means the coordinator could not verify the result blob
+// (evicted, corrupt on its disk, torn in transit): the blob bytes kept in
+// scope are re-uploaded before the retry; repeated 409s mean something is
+// systematically wrong with the blob path and the report is abandoned — the
+// coordinator hedges or requeues the lease, and determinism makes the
+// duplicate execution byte-identical.
 func (p *Peer) complete(req CompleteRequest, blob []byte) {
-	for attempt := 0; attempt < 3; attempt++ {
+	conflicts := 0
+	for attempt := 1; ; attempt++ {
 		code, _, err := p.postJSON("/v1/peers/complete", req)
 		switch {
 		case err == nil && (code == http.StatusNoContent || code == http.StatusNotFound):
+			// Landed — or the coordinator no longer knows the job (restarted
+			// without this journal, or the item was pruned); either way there
+			// is nothing left to report.
 			return
 		case err == nil && code == http.StatusConflict && len(blob) > 0:
+			conflicts++
+			if conflicts > 3 {
+				p.log.Warn("completion abandoned after repeated blob refusals",
+					"job", short(req.ID))
+				return
+			}
 			p.log.Warn("completion refused, blob unverified; re-uploading",
 				"job", short(req.ID))
 			if sum, perr := p.cas.Put(p.ctx, blob); perr == nil {
@@ -297,14 +509,22 @@ func (p *Peer) complete(req CompleteRequest, blob []byte) {
 			} else {
 				p.log.Warn("result re-upload failed", "job", short(req.ID), "err", perr)
 			}
+		case err != nil || code == http.StatusServiceUnavailable:
+			if attempt == heartbeatFailThreshold {
+				p.log.Warn("completion delayed, coordinator unreachable",
+					"job", short(req.ID), "attempts", attempt)
+			}
+		default:
+			// 4xx the coordinator will never change its mind about.
+			p.log.Warn("completion rejected", "job", short(req.ID), "status", code)
+			return
 		}
 		select {
 		case <-p.ctx.Done():
 			return
-		case <-time.After(100 * time.Millisecond << uint(attempt)):
+		case <-time.After(reconnectDelay(req.ID, attempt, 100*time.Millisecond)):
 		}
 	}
-	p.log.Warn("completion abandoned", "job", short(req.ID))
 }
 
 // postJSON posts v to the coordinator path and returns status and body.

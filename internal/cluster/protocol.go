@@ -119,6 +119,12 @@ type Heartbeat struct {
 	// GOMAXPROCS. InUse/Capacity is the node's shard utilization.
 	ShardsInUse   int64 `json:"shards_in_use,omitempty"`
 	ShardCapacity int   `json:"shard_capacity,omitempty"`
+	// Leases lists the job IDs this worker is executing right now. A
+	// journal-recovered coordinator uses them during its re-adoption window to
+	// re-attach in-flight leases instead of reaping and redoing the work; a
+	// coordinator with no recovered state ignores them. Additive, like the
+	// shard fields, so no ProtocolVersion bump.
+	Leases []string `json:"leases,omitempty"`
 }
 
 // PullRequest asks the coordinator for one work item.

@@ -38,6 +38,12 @@ const (
 	// way a crashed or partitioned machine looks to the coordinator. The
 	// decision key is the node name.
 	NodeKill Point = "node.kill"
+	// CoordKill is the cluster coordinator's completion handler: a firing
+	// rule crashes the coordinator abruptly (kill -9 semantics — no drain, no
+	// final journal compaction) just as a worker reports a finished job, the
+	// worst moment for the write-ahead journal. The decision key is the job
+	// ID being completed.
+	CoordKill Point = "coord.kill"
 )
 
 // Kind is what happens when a rule fires.

@@ -1,0 +1,130 @@
+#!/usr/bin/env sh
+# Coordinator crash-recovery smoke test, run by `make recovery-smoke` and CI.
+#
+# Launches one journaled rsrc coordinator and two peer-mode rsrd workers,
+# starts a sweep through the fabric, SIGKILLs the coordinator as soon as its
+# write-ahead journal records a lease (work is in flight), leaves the fabric
+# headless long enough for both workers to cross their heartbeat-failure
+# threshold, restarts the coordinator on the same journal and CAS directory,
+# and fails unless the sweep output is byte-identical to a single-node run.
+# Also checks that the restarted coordinator's /metrics shows journal replay
+# and that both workers reconnected rather than rejoining fresh.
+set -eu
+
+WORKDIR="$(mktemp -d)"
+RSRC_PID=""
+trap 'kill "$RSRC_PID" "$RSRD_A_PID" "$RSRD_B_PID" 2>/dev/null || true; rm -rf "$WORKDIR"' EXIT
+
+GO="${GO:-go}"
+COORD="127.0.0.1:19910"
+WORKER_A="127.0.0.1:18756"
+WORKER_B="127.0.0.1:18757"
+JOURNAL="$WORKDIR/journal"
+CAS="$WORKDIR/cas"
+
+"$GO" build -o "$WORKDIR/rsrc" ./cmd/rsrc
+"$GO" build -o "$WORKDIR/rsrd" ./cmd/rsrd
+"$GO" build -o "$WORKDIR/rsr" ./cmd/rsr
+
+start_rsrc() {
+    "$WORKDIR/rsrc" -addr "$COORD" -casdir "$CAS" -journal "$JOURNAL" \
+        >>"$WORKDIR/rsrc.log" 2>&1 &
+    RSRC_PID=$!
+}
+
+wait_ready() {
+    i=0
+    until curl -fsS "http://$1/readyz" >/dev/null 2>&1; do
+        i=$((i + 1))
+        if [ "$i" -gt 50 ]; then
+            echo "recovery-smoke: $2 did not become ready" >&2
+            cat "$WORKDIR/$2.log" >&2
+            exit 1
+        fi
+        sleep 0.2
+    done
+}
+
+start_rsrc
+wait_ready "$COORD" rsrc
+
+"$WORKDIR/rsrd" -addr "$WORKER_A" -parallel 2 -peer \
+    -coordinator "http://$COORD" -node worker-a \
+    >"$WORKDIR/worker-a.log" 2>&1 &
+RSRD_A_PID=$!
+"$WORKDIR/rsrd" -addr "$WORKER_B" -parallel 2 -peer \
+    -coordinator "http://$COORD" -node worker-b \
+    >"$WORKDIR/worker-b.log" 2>&1 &
+RSRD_B_PID=$!
+wait_ready "$WORKER_A" worker-a
+wait_ready "$WORKER_B" worker-b
+
+# The sweep runs in the background; the client absorbs the restart (transient
+# retries + idempotent resubmission), so it must finish on its own.
+"$WORKDIR/rsr" -cluster "http://$COORD" -scale 0.02 -workload twolf sweep \
+    >"$WORKDIR/cluster.txt" 2>"$WORKDIR/rsr.log" &
+RSR_PID=$!
+
+# Kill -9 the coordinator the moment its journal shows a lease: real work is
+# in flight on the workers, the worst moment to die.
+i=0
+until grep -q '"kind":"lease"' "$JOURNAL/journal.jsonl" 2>/dev/null; do
+    i=$((i + 1))
+    if [ "$i" -gt 150 ]; then
+        echo "recovery-smoke: no lease was ever journaled" >&2
+        cat "$WORKDIR/rsrc.log" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+kill -9 "$RSRC_PID"
+echo "recovery-smoke: coordinator SIGKILLed mid-sweep"
+
+# Stay down past the workers' heartbeat-failure threshold (3 beats at 1s):
+# both must flip to their reconnect machine, not ride out a blip.
+sleep 4
+
+start_rsrc
+wait_ready "$COORD" rsrc
+echo "recovery-smoke: coordinator restarted on the same journal"
+
+if ! wait "$RSR_PID"; then
+    echo "recovery-smoke: sweep did not survive the coordinator restart" >&2
+    cat "$WORKDIR/rsr.log" "$WORKDIR/rsrc.log" \
+        "$WORKDIR/worker-a.log" "$WORKDIR/worker-b.log" >&2
+    exit 1
+fi
+
+# Crash recovery must not change a single byte of the results.
+"$WORKDIR/rsr" -scale 0.02 -workload twolf sweep >"$WORKDIR/local.txt"
+if ! diff -u "$WORKDIR/local.txt" "$WORKDIR/cluster.txt"; then
+    echo "recovery-smoke: post-restart sweep differs from single-node run" >&2
+    exit 1
+fi
+
+# The restarted coordinator really was rebuilt from the journal.
+METRICS="$WORKDIR/metrics.txt"
+curl -fsS "http://$COORD/metrics" >"$METRICS"
+for PATTERN in \
+    'rsr_cluster_replay_items_total' \
+    'rsr_cluster_journal_records_total' \
+    'rsr_cluster_journal_fsync_seconds'
+do
+    if ! grep -Fq "$PATTERN" "$METRICS"; then
+        echo "recovery-smoke: coordinator /metrics is missing: $PATTERN" >&2
+        cat "$METRICS" >&2
+        exit 1
+    fi
+done
+
+# Both workers rode out the outage through the reconnect machine.
+for W in "$WORKER_A" "$WORKER_B"; do
+    RECONNECTS=$(curl -fsS "http://$W/metrics" |
+        awk '$1 == "rsr_peer_reconnects_total" {print $2}')
+    if [ "${RECONNECTS:-0}" -lt 1 ]; then
+        echo "recovery-smoke: worker $W never reconnected (rsr_peer_reconnects_total=${RECONNECTS:-absent})" >&2
+        exit 1
+    fi
+done
+
+echo "recovery-smoke: ok (sweep survived SIGKILL + journal replay, byte-identical to single node)"
