@@ -8,6 +8,9 @@
 #                    rsr -metrics-out/-trace-out artifacts
 #   make cluster-smoke  sweep-fabric check: 1 rsrc coordinator + 2 peer rsrd
 #                    workers, sweep output diffed against a single-node run
+#   make trace-smoke fabric observability check: merged Chrome trace of a
+#                    3-process sweep (coordinator + both worker lanes, sweep
+#                    tags, clock rebase), federated /metrics, /v1/status
 #   make shard-smoke sharded-pipeline check: race-enabled full-method sweep
 #                    diffed byte-for-byte against the sequential pipeline
 #   make recovery-smoke  crash-recovery check: SIGKILL the coordinator
@@ -23,9 +26,9 @@
 GO ?= go
 LABEL ?= dev
 
-.PHONY: all build test verify chaos obs-smoke cluster-smoke shard-smoke recovery-smoke bench bench-sweep
+.PHONY: all build test verify chaos obs-smoke cluster-smoke trace-smoke shard-smoke recovery-smoke bench bench-sweep
 
-all: build test verify chaos obs-smoke cluster-smoke shard-smoke recovery-smoke
+all: build test verify chaos obs-smoke cluster-smoke trace-smoke shard-smoke recovery-smoke
 
 build:
 	$(GO) build ./...
@@ -68,6 +71,14 @@ obs-smoke: build
 # `rsr -cluster` whose output must be byte-identical to a single-node run.
 cluster-smoke: build
 	./scripts/cluster-smoke.sh
+
+# trace-smoke proves fabric-wide observability end to end with real
+# processes: a sweep through 1 coordinator + 2 workers captured with
+# `rsr -cluster -trace-out` must yield one merged Chrome trace with a
+# process lane per node, every span sweep-tagged and clock-rebased, and the
+# coordinator's /metrics must federate worker families under a node label.
+trace-smoke: build
+	./scripts/trace-smoke.sh
 
 # recovery-smoke proves coordinator crash recovery end to end with real
 # processes: a journaled rsrc is SIGKILLed the moment a lease is journaled,

@@ -22,6 +22,9 @@
 //	report     self-contained HTML report with charts (use -out)
 //	all        every table and figure, in order
 //	run        one sampled run (use -workload and -method)
+//	top        live cluster status view (requires -cluster): queue depths,
+//	           in-flight leases, shard utilization, stragglers, journal
+//	           fsync latency, refreshed every second until interrupted
 //
 // Flags:
 //
@@ -42,7 +45,9 @@
 //	-memprofile f  write an allocation profile to f on exit
 //	-metrics-out f write a JSON metrics snapshot to f on exit
 //	-trace-out f   write a Chrome trace (chrome://tracing, ui.perfetto.dev)
-//	               of every run's per-cluster phases to f on exit
+//	               of every run's per-cluster phases to f on exit; with
+//	               -cluster, the coordinator's merged fabric trace — one
+//	               process lane per node, clock-rebased — is fetched instead
 package main
 
 import (
@@ -189,24 +194,54 @@ func main() {
 	if *workloadsFlag != "" {
 		cfg.Workloads = strings.Split(*workloadsFlag, ",")
 	}
+	var clusterClient *cluster.Client
 	if *clusterAddr != "" {
 		// One request ID for the whole invocation: the coordinator and every
 		// worker tag their logs and engine events with it, so a sweep is
-		// traceable end to end from this process's submissions.
+		// traceable end to end from this process's submissions. The sweep tag
+		// rides the same way (X-Sweep-ID): the coordinator groups every job
+		// of this invocation into one traceable sweep, and -trace-out below
+		// fetches its merged fabric trace.
 		reqID := cluster.NewRequestIDs().Next()
 		cl := cluster.NewClient(*clusterAddr, reqID, nil)
+		cl.SetSweep("rsr-" + reqID)
 		if _, err := cl.Handshake(context.Background()); err != nil {
 			fmt.Fprintln(os.Stderr, "rsr: -cluster:", err)
 			os.Exit(1)
 		}
 		cfg.Runner = clusterRunner{cl}
+		clusterClient = cl
 	}
 
 	cmd := flag.Arg(0)
 	if cmd == "" {
 		cmd = "all"
 	}
+	if cmd == "top" {
+		if clusterClient == nil {
+			fmt.Fprintln(os.Stderr, "rsr: top requires -cluster URL")
+			os.Exit(2)
+		}
+		if err := runTop(clusterClient, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "rsr:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	err := dispatch(cmd, cfg, *workloadFlag, *methodFlag, *format, *out, *stats)
+
+	// In cluster mode the spans live on the fabric, not in this process:
+	// -trace-out captures the coordinator's merged fabric trace (coordinator
+	// lane plus one lane per worker, clock-rebased) for this invocation's
+	// sweep tag. A fetch failure falls back to the (likely empty) local ring
+	// so the flag still produces a parseable file.
+	if clusterClient != nil && tracer != nil && err == nil {
+		if terr := writeFabricTrace(clusterClient, *traceOut); terr != nil {
+			fmt.Fprintln(os.Stderr, "rsr: -trace-out: fabric trace:", terr)
+		} else {
+			tracer = nil // flushed; skip the local writeTrace
+		}
+	}
 
 	flush()
 	if err == nil {
@@ -244,6 +279,18 @@ func writeMetrics(reg *obs.Registry, path string) error {
 		err = cerr
 	}
 	return err
+}
+
+// writeFabricTrace downloads the coordinator's merged fabric trace for this
+// invocation's sweep tag and writes it to path.
+func writeFabricTrace(cl *cluster.Client, path string) error {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	trace, err := cl.FetchSweepTrace(ctx, cl.Sweep())
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, trace, 0o644)
 }
 
 // writeTrace dumps the span ring as Chrome trace-event JSON.

@@ -16,12 +16,18 @@
 //	GET  /v1/jobs/{id}       job status, and the result once finished
 //	POST /v1/sweeps          submit a batch (idempotent on retry)
 //	GET  /v1/sweeps/{id}     sweep progress
+//	GET  /v1/sweeps/{id}/trace merged fabric Chrome trace for a tagged sweep:
+//	                         every participating node's span ring, clock-
+//	                         rebased onto the coordinator's timeline, one
+//	                         process lane per node
+//	GET  /v1/status          live cluster status snapshot (feeds `rsr top`)
 //	POST /v1/peers/heartbeat worker liveness + engine depth (409 on skew)
 //	POST /v1/peers/pull      lease one work item (204 when idle)
 //	POST /v1/peers/complete  report an execution outcome
 //	/v1/cas/...              the shared content-addressed store
 //	GET  /v1/version         build info + cluster protocol version
-//	GET  /metrics            per-node queue/in-flight/steal/hedge gauges
+//	GET  /metrics            coordinator gauges plus federated worker
+//	                         families re-exported with a node label
 //	GET  /healthz, /readyz   liveness / readiness
 //
 // Scheduling is pull-based with bounded per-worker queues, work stealing
@@ -95,6 +101,7 @@ func main() {
 		journal = j
 	}
 	co := cluster.NewCoordinator(cluster.CoordinatorOptions{
+		Tracer:           obs.NewTracer(0),
 		QueuePerWorker:   *queue,
 		HeartbeatTimeout: *hbTimeout,
 		HedgeAfter:       *hedgeAfter,

@@ -52,6 +52,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -59,6 +60,21 @@ import (
 	"rsr/internal/engine"
 	"rsr/internal/obs"
 )
+
+// advertiseURL resolves the base URL this worker advertises to the
+// coordinator for trace/metrics pulls: the -advertise flag verbatim when
+// set, otherwise derived from -addr (a bare ":port" becomes loopback, which
+// is right for the single-host topologies of tests and smoke scripts;
+// multi-host fleets should set -advertise explicitly).
+func advertiseURL(advertise, addr string) string {
+	if advertise != "" {
+		return advertise
+	}
+	if strings.HasPrefix(addr, ":") {
+		return "http://127.0.0.1" + addr
+	}
+	return "http://" + addr
+}
 
 func main() {
 	addr := flag.String("addr", ":8745", "listen address")
@@ -73,6 +89,8 @@ func main() {
 	coordinator := flag.String("coordinator", "", "coordinator base URL for -peer, e.g. http://host:9900")
 	nodeName := flag.String("node", "", "cluster-unique worker name for -peer (default hostname-pid)")
 	pulls := flag.Int("pulls", 0, "concurrent work-pull loops in -peer mode (0 = 2)")
+	advertise := flag.String("advertise", "", "externally reachable base URL advertised to the coordinator for trace/metrics aggregation (default derived from -addr)")
+	traceCap := flag.Int("trace-spans", 0, "span ring capacity for /v1/trace (0 = default)")
 	flag.Parse()
 	if *jobTimeout == 0 {
 		*jobTimeout = *timeoutAlias
@@ -92,12 +110,17 @@ func main() {
 	}
 
 	reg := obs.NewRegistry()
+	// The span ring is always on: it is a fixed-size in-memory buffer whose
+	// recording cost is only paid per span, and serving it at /v1/trace is
+	// what lets a coordinator assemble fabric-wide sweep traces on demand.
+	tracer := obs.NewTracer(*traceCap)
 	engOpts := engine.Options{
 		Workers:        *parallel,
 		CacheDir:       *cacheDir,
 		DefaultTimeout: *jobTimeout,
 		MaxAttempts:    *retries + 1,
 		Metrics:        reg,
+		Tracer:         tracer,
 	}
 	if *peerMode {
 		// Share pre-pass checkpoint chains through the coordinator's CAS:
@@ -108,7 +131,7 @@ func main() {
 	}
 	eng := engine.New(engOpts)
 
-	srv := newServer(eng, reg, log, *drainTimeout)
+	srv := newServer(eng, reg, tracer, log, *drainTimeout)
 	hs := &http.Server{Addr: *addr, Handler: srv.routes()}
 
 	// First signal begins the drain; stop() below restores default handling
@@ -126,6 +149,7 @@ func main() {
 		p, err := cluster.NewPeer(cluster.PeerOptions{
 			Node:        *nodeName,
 			Coordinator: *coordinator,
+			Advertise:   advertiseURL(*advertise, *addr),
 			Engine:      eng,
 			Pulls:       *pulls,
 			Metrics:     reg,

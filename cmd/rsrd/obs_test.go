@@ -26,7 +26,7 @@ func metricsServer(t *testing.T) (*httptest.Server, func()) {
 	t.Helper()
 	reg := obs.NewRegistry()
 	eng := engine.New(engine.Options{Workers: 2, Metrics: reg})
-	ts := httptest.NewServer(newServer(eng, reg, testLogger(), 30*time.Second).routes())
+	ts := httptest.NewServer(newServer(eng, reg, nil, testLogger(), 30*time.Second).routes())
 	return ts, func() { ts.Close(); eng.Close() }
 }
 

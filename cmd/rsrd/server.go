@@ -26,6 +26,7 @@ import (
 type server struct {
 	eng *engine.Engine
 	reg *obs.Registry // scraped by GET /metrics; nil disables the endpoint
+	tr  *obs.Tracer   // span ring served at GET /v1/trace; nil disables it
 	log *slog.Logger
 	ids *cluster.RequestIDs
 
@@ -54,11 +55,11 @@ type server struct {
 // reflect.
 func (s *server) setPeer(p *cluster.Peer) { s.peer.Store(p) }
 
-func newServer(eng *engine.Engine, reg *obs.Registry, log *slog.Logger, drainWindow time.Duration) *server {
+func newServer(eng *engine.Engine, reg *obs.Registry, tr *obs.Tracer, log *slog.Logger, drainWindow time.Duration) *server {
 	if log == nil {
 		log = slog.Default()
 	}
-	return &server{eng: eng, reg: reg, log: log, ids: cluster.NewRequestIDs(),
+	return &server{eng: eng, reg: reg, tr: tr, log: log, ids: cluster.NewRequestIDs(),
 		retryAfter: retryAfterValue(drainWindow),
 		tickets:    make(map[string]*engine.Ticket)}
 }
@@ -96,6 +97,11 @@ func (s *server) routes() http.Handler {
 	mux.HandleFunc("/readyz", s.handleReadyz)
 	// Prometheus text exposition of the engine's metric registry.
 	mux.HandleFunc("/metrics", s.handleMetrics)
+	// Fabric observability pulls: the coordinator fetches this node's span
+	// ring when aggregating a sweep trace, and its registry snapshot when
+	// federating worker metrics onto the coordinator's /metrics.
+	mux.HandleFunc("/v1/trace", s.handleTrace)
+	mux.HandleFunc("/v1/metricsnap", s.handleMetricSnap)
 	// Live profiling of a running daemon (the default-mux registration in
 	// net/http/pprof does not apply to a private mux, so mount explicitly).
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -123,6 +129,28 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if err := s.reg.WritePrometheus(w); err != nil {
 		s.log.Error("metrics write failed", "err", err)
 	}
+}
+
+// handleTrace serves the node's span ring as JSON ([]obs.SpanDump), filtered
+// to one sweep tag when ?sweep= is given. Timestamps are this node's own
+// clock in unix nanoseconds; the coordinator-side aggregator rebases them
+// using the heartbeat-estimated clock offset.
+func (s *server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	if s.tr == nil {
+		httpError(w, http.StatusNotFound, "tracing disabled")
+		return
+	}
+	writeJSON(w, http.StatusOK, s.tr.Dump(r.URL.Query().Get("sweep")))
+}
+
+// handleMetricSnap serves the registry's snapshot as JSON
+// ([]obs.MetricSnapshot) for the coordinator's metrics federation.
+func (s *server) handleMetricSnap(w http.ResponseWriter, r *http.Request) {
+	if s.reg == nil {
+		httpError(w, http.StatusNotFound, "metrics disabled")
+		return
+	}
+	writeJSON(w, http.StatusOK, s.reg.Snapshot())
 }
 
 // jobRequest is the POST /v1/jobs body. Unset fields take the reproduction
@@ -223,6 +251,7 @@ func (s *server) handleJobs(w http.ResponseWriter, r *http.Request) {
 	// ID rides along so the job's engine events carry the same X-Request-ID
 	// the client saw.
 	ctx := engine.WithRequestID(context.Background(), cluster.RequestIDFrom(r.Context()))
+	ctx = engine.WithSweep(ctx, cluster.SweepIDFrom(r.Context()))
 	tk, err := s.eng.Submit(ctx, job)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "%v", err)

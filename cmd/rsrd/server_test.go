@@ -52,7 +52,7 @@ func getStatus(t *testing.T, ts *httptest.Server, id string) jobStatus {
 func TestDaemonJobLifecycle(t *testing.T) {
 	eng := engine.New(engine.Options{Workers: 2})
 	defer eng.Close()
-	ts := httptest.NewServer(newServer(eng, nil, testLogger(), 30*time.Second).routes())
+	ts := httptest.NewServer(newServer(eng, nil, nil, testLogger(), 30*time.Second).routes())
 	defer ts.Close()
 
 	id := postJob(t, ts, `{"workload": "twolf", "method": "None",
@@ -107,7 +107,7 @@ func TestDaemonJobLifecycle(t *testing.T) {
 func TestDaemonDrainGraceful(t *testing.T) {
 	eng := engine.New(engine.Options{Workers: 1})
 	defer eng.Close()
-	s := newServer(eng, nil, testLogger(), 42*time.Second)
+	s := newServer(eng, nil, nil, testLogger(), 42*time.Second)
 	ts := httptest.NewServer(s.routes())
 	defer ts.Close()
 
@@ -191,7 +191,7 @@ func TestDaemonReadyzReflectsPeerConnectivity(t *testing.T) {
 	}
 	defer p.Close()
 
-	s := newServer(eng, nil, testLogger(), 30*time.Second)
+	s := newServer(eng, nil, nil, testLogger(), 30*time.Second)
 	s.setPeer(p)
 	ts := httptest.NewServer(s.routes())
 	defer ts.Close()
@@ -226,7 +226,7 @@ func TestDaemonReadyzReflectsPeerConnectivity(t *testing.T) {
 func TestDaemonRejectsBadJobs(t *testing.T) {
 	eng := engine.New(engine.Options{Workers: 1})
 	defer eng.Close()
-	ts := httptest.NewServer(newServer(eng, nil, testLogger(), 30*time.Second).routes())
+	ts := httptest.NewServer(newServer(eng, nil, nil, testLogger(), 30*time.Second).routes())
 	defer ts.Close()
 
 	for _, body := range []string{

@@ -18,7 +18,7 @@ import (
 func TestVersionEndpoint(t *testing.T) {
 	eng := engine.New(engine.Options{Workers: 1})
 	defer eng.Close()
-	ts := httptest.NewServer(newServer(eng, nil, testLogger(), time.Second).routes())
+	ts := httptest.NewServer(newServer(eng, nil, nil, testLogger(), time.Second).routes())
 	defer ts.Close()
 
 	resp, err := http.Get(ts.URL + "/v1/version")
@@ -47,7 +47,7 @@ func TestVersionEndpoint(t *testing.T) {
 func TestRequestIDReachesJobEvents(t *testing.T) {
 	eng := engine.New(engine.Options{Workers: 2})
 	defer eng.Close()
-	ts := httptest.NewServer(newServer(eng, nil, testLogger(), time.Second).routes())
+	ts := httptest.NewServer(newServer(eng, nil, nil, testLogger(), time.Second).routes())
 	defer ts.Close()
 
 	events, cancel := eng.Subscribe(256)

@@ -27,6 +27,9 @@ type Client struct {
 	base  string
 	hc    *http.Client
 	reqID string
+	// sweep, when non-empty, is sent as X-Sweep-ID on every call so the
+	// coordinator tags the whole submission as one traceable sweep.
+	sweep string
 	// pollEvery is the initial result-poll interval (grows 1.5x to a 1s
 	// cap); tests shorten it.
 	pollEvery time.Duration
@@ -242,6 +245,64 @@ func (c *Client) setHeaders(req *http.Request) {
 	if c.reqID != "" {
 		req.Header.Set("X-Request-ID", c.reqID)
 	}
+	if c.sweep != "" {
+		req.Header.Set("X-Sweep-ID", c.sweep)
+	}
+}
+
+// SetSweep sets the sweep trace tag sent as X-Sweep-ID on subsequent calls.
+// Call it before submitting; the tag groups every job of the run into one
+// coordinator-side sweep whose merged fabric trace FetchSweepTrace retrieves.
+func (c *Client) SetSweep(sweep string) { c.sweep = sweep }
+
+// Sweep returns the client's sweep trace tag, or "".
+func (c *Client) Sweep() string { return c.sweep }
+
+// FetchSweepTrace downloads the coordinator's merged fabric trace for the
+// given sweep tag — one Chrome trace with a process lane per participating
+// node, span timestamps rebased onto the coordinator's clock.
+func (c *Client) FetchSweepTrace(ctx context.Context, sweep string) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		c.base+"/v1/sweeps/"+sweep+"/trace", nil)
+	if err != nil {
+		return nil, err
+	}
+	c.setHeaders(req)
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 256<<20))
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("cluster: sweep trace %s: status %d: %s",
+			sweep, resp.StatusCode, errBody(body))
+	}
+	return body, nil
+}
+
+// FetchStatus downloads the coordinator's live cluster status snapshot
+// (GET /v1/status) — the payload behind `rsr top`.
+func (c *Client) FetchStatus(ctx context.Context) (ClusterStatus, error) {
+	var st ClusterStatus
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/status", nil)
+	if err != nil {
+		return st, err
+	}
+	c.setHeaders(req)
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return st, err
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+	if resp.StatusCode != http.StatusOK {
+		return st, fmt.Errorf("cluster: status: %d: %s", resp.StatusCode, errBody(body))
+	}
+	if err := json.Unmarshal(body, &st); err != nil {
+		return st, fmt.Errorf("cluster: status decode: %w", err)
+	}
+	return st, nil
 }
 
 // retryAfter parses a Retry-After header in seconds, capped.

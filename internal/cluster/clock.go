@@ -1,0 +1,73 @@
+package cluster
+
+// Clock-offset estimation for fabric-wide trace merging. Workers and the
+// coordinator run on different machines with unsynchronized clocks; merging
+// their span rings into one trace needs each worker's offset relative to
+// the coordinator. The heartbeat channel already provides a request/response
+// pair per second, which is exactly an NTP-style sample: the worker stamps
+// the send (t0) and receive (t1) of a beat, the coordinator stamps its own
+// clock (tc) while handling it, and the RTT midpoint assumption — the
+// request and response legs take equal time — yields
+//
+//	offset = worker_clock - coord_clock = midpoint(t0, t1) - tc
+//
+// with an error bounded by RTT/2. Samples with small RTT are tighter, so
+// the tracker prefers the minimum-RTT sample over a sliding window; the
+// window (rather than an all-time minimum) lets the estimate follow real
+// drift mid-sweep.
+
+// offsetSample is one heartbeat-derived (offset, rtt) measurement.
+type offsetSample struct {
+	offsetNS int64
+	rttNS    int64
+}
+
+// offsetWindow is how many recent samples an OffsetTracker keeps. At one
+// heartbeat per second this is about half a minute of history: long enough
+// to ride out transient network jitter, short enough to track drift.
+const offsetWindow = 32
+
+// EstimateOffset computes one clock-offset sample from a heartbeat
+// round-trip: t0 and t1 are the worker's local send and receive times and
+// coordNS the coordinator's clock during handling, all in unix nanoseconds.
+// The returned offset satisfies worker_clock = coord_clock + offset; rtt is
+// the error bound (the true offset lies within ±rtt/2).
+func EstimateOffset(t0, t1, coordNS int64) (offsetNS, rttNS int64) {
+	mid := t0 + (t1-t0)/2
+	return mid - coordNS, t1 - t0
+}
+
+// OffsetTracker folds heartbeat samples into a current best offset
+// estimate: the minimum-RTT sample over a bounded sliding window. The zero
+// value is ready to use. Not safe for concurrent use; the peer's heartbeat
+// loop is its only caller.
+type OffsetTracker struct {
+	samples [offsetWindow]offsetSample
+	n       int // total samples ever added; n % offsetWindow is the write slot
+}
+
+// Add records one (offset, rtt) sample. Non-positive RTTs (clock steps
+// mid-measurement) are discarded.
+func (ot *OffsetTracker) Add(offsetNS, rttNS int64) {
+	if rttNS <= 0 {
+		return
+	}
+	ot.samples[ot.n%offsetWindow] = offsetSample{offsetNS: offsetNS, rttNS: rttNS}
+	ot.n++
+}
+
+// Best returns the offset of the minimum-RTT sample in the window and that
+// sample's RTT. ok is false until at least one sample has been added.
+func (ot *OffsetTracker) Best() (offsetNS, rttNS int64, ok bool) {
+	held := ot.n
+	if held > offsetWindow {
+		held = offsetWindow
+	}
+	for i := 0; i < held; i++ {
+		s := ot.samples[i]
+		if !ok || s.rttNS < rttNS {
+			offsetNS, rttNS, ok = s.offsetNS, s.rttNS, true
+		}
+	}
+	return offsetNS, rttNS, ok
+}

@@ -1,0 +1,140 @@
+package cluster
+
+import (
+	"sort"
+	"testing"
+
+	"rsr/internal/obs"
+)
+
+func TestEstimateOffsetSymmetricRTT(t *testing.T) {
+	// Worker clock = coord clock + 5ms, 2ms symmetric RTT: the request
+	// leaves at worker time 1000ms, arrives at coord time 996ms (1ms leg),
+	// the reply lands at worker time 1002ms.
+	const ms = int64(1e6)
+	t0 := 1000 * ms
+	t1 := 1002 * ms
+	coord := 996 * ms
+	off, rtt := EstimateOffset(t0, t1, coord)
+	if want := 5 * ms; off != want {
+		t.Errorf("offset = %d, want %d", off, want)
+	}
+	if rtt != 2*ms {
+		t.Errorf("rtt = %d, want %d", rtt, 2*ms)
+	}
+}
+
+func TestEstimateOffsetSkewedClocks(t *testing.T) {
+	const ms = int64(1e6)
+	cases := []struct {
+		name           string
+		skewNS         int64 // true worker-minus-coord offset
+		reqLeg, rspLeg int64 // one-way delays
+	}{
+		{"worker ahead", 250 * ms, ms, ms},
+		{"worker behind", -250 * ms, ms, ms},
+		{"huge skew", 3_600_000 * ms, 2 * ms, 2 * ms},
+		{"asymmetric legs", 10 * ms, ms, 3 * ms},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			// Simulate: at worker time t0 the request departs; coord time at
+			// that instant is t0 - skew; the coordinator stamps after reqLeg.
+			t0 := 5_000 * ms
+			coord := t0 - c.skewNS + c.reqLeg
+			t1 := t0 + c.reqLeg + c.rspLeg
+			off, rtt := EstimateOffset(t0, t1, coord)
+			if rtt != c.reqLeg+c.rspLeg {
+				t.Errorf("rtt = %d, want %d", rtt, c.reqLeg+c.rspLeg)
+			}
+			// The midpoint method is exact for symmetric legs and off by at
+			// most rtt/2 otherwise.
+			err := off - c.skewNS
+			if err < 0 {
+				err = -err
+			}
+			if err > rtt/2 {
+				t.Errorf("offset error %d exceeds rtt/2 = %d", err, rtt/2)
+			}
+			if c.reqLeg == c.rspLeg && off != c.skewNS {
+				t.Errorf("symmetric legs: offset = %d, want exact %d", off, c.skewNS)
+			}
+		})
+	}
+}
+
+func TestOffsetTrackerPrefersMinRTT(t *testing.T) {
+	var ot OffsetTracker
+	if _, _, ok := ot.Best(); ok {
+		t.Fatal("empty tracker reported a sample")
+	}
+	ot.Add(100, 50) // loose sample
+	ot.Add(42, 10)  // tight sample — should win
+	ot.Add(90, 40)
+	off, rtt, ok := ot.Best()
+	if !ok || off != 42 || rtt != 10 {
+		t.Errorf("Best() = (%d, %d, %v), want (42, 10, true)", off, rtt, ok)
+	}
+	// Non-positive RTTs are discarded.
+	ot.Add(7, 0)
+	ot.Add(7, -3)
+	if off, _, _ := ot.Best(); off != 42 {
+		t.Errorf("bogus RTT samples changed the estimate to %d", off)
+	}
+}
+
+func TestOffsetTrackerFollowsDriftMidSweep(t *testing.T) {
+	// A clock that drifts mid-sweep: early samples say offset 0, later ones
+	// say 5ms. Once the window slides past the old samples the estimate must
+	// follow, even though the old samples had the tighter RTT.
+	var ot OffsetTracker
+	ot.Add(0, 1_000) // tight early sample
+	for i := 0; i < offsetWindow; i++ {
+		ot.Add(5_000_000, 2_000)
+	}
+	off, _, ok := ot.Best()
+	if !ok || off != 5_000_000 {
+		t.Errorf("after drift, Best() offset = %d, want 5000000", off)
+	}
+}
+
+// TestRebasedSpansStayOrderedWithinLane drives the full rebase path: spans
+// recorded against a skewed worker clock, rebased with the estimated offset,
+// must come out in their true order within the node's lane.
+func TestRebasedSpansStayOrderedWithinLane(t *testing.T) {
+	const ms = int64(1e6)
+	skew := 250 * ms // worker clock runs 250ms ahead of the coordinator
+
+	// The worker records three back-to-back spans at true coordinator times
+	// 10ms, 20ms, 30ms; its local clock stamps them skewed.
+	trueStarts := []int64{10 * ms, 20 * ms, 30 * ms}
+	var spans []obs.SpanDump
+	for i, s := range trueStarts {
+		spans = append(spans, obs.SpanDump{
+			Name: "phase", Cat: "engine", TID: int64(i + 1),
+			Start: s + skew, Dur: 5 * ms,
+		})
+	}
+
+	// Offset estimated from a symmetric heartbeat round-trip.
+	t0 := 1_000*ms + skew
+	coord := 1_001 * ms
+	t1 := 1_002*ms + skew
+	off, _ := EstimateOffset(t0, t1, coord)
+	if off != skew {
+		t.Fatalf("estimated offset %d, want %d", off, skew)
+	}
+
+	rebased := make([]int64, len(spans))
+	for i, s := range spans {
+		rebased[i] = s.Start - off
+	}
+	if !sort.SliceIsSorted(rebased, func(i, j int) bool { return rebased[i] < rebased[j] }) {
+		t.Fatalf("rebased starts out of order: %v", rebased)
+	}
+	for i, r := range rebased {
+		if r != trueStarts[i] {
+			t.Errorf("span %d rebased to %d, want %d", i, r, trueStarts[i])
+		}
+	}
+}

@@ -58,6 +58,11 @@ type CoordinatorOptions struct {
 	// Metrics, when non-nil, exposes the fabric's per-node gauges and
 	// scheduling counters for the coordinator's /metrics.
 	Metrics *obs.Registry
+	// Tracer, when non-nil, records the coordinator's own scheduling spans —
+	// one per item (lease to terminal state) and one per finished sweep — so
+	// a merged fabric trace shows the coordinator's lane alongside the
+	// workers'.
+	Tracer *obs.Tracer
 	// Log receives scheduling decisions worth an operator's attention
 	// (nil = slog.Default()).
 	Log *slog.Logger
@@ -78,12 +83,19 @@ type item struct {
 	id    string
 	job   engine.Job
 	reqID string
+	// sweepID is the distributed trace tag of the sweep that submitted the
+	// item ("" outside a traced sweep): propagated to workers on WorkItem so
+	// their engine spans carry it, and stamped on the coordinator's own
+	// per-item span.
+	sweepID string
+	tid     int64 // coordinator trace lane for this item's span
 
-	state      itemState
-	holders    map[string]bool // nodes currently leasing this item
-	firstStart time.Time       // zero until first leased; reset on requeue
-	requeues   int
-	hedged     bool
+	state       itemState
+	holders     map[string]bool // nodes currently leasing this item
+	submittedAt time.Time
+	firstStart  time.Time // zero until first leased; reset on requeue
+	requeues    int
+	hedged      bool
 	// recovered marks a running item replayed from the journal whose lease
 	// has not yet been confirmed by a live worker: during the re-adoption
 	// window a heartbeat advertising the lease re-attaches it; at window end
@@ -103,6 +115,10 @@ type node struct {
 	lastBeat time.Time
 	queue    []*item         // assigned, not yet pulled
 	leases   map[string]bool // item IDs pulled and executing
+	// addr is the worker's advertised HTTP base URL (heartbeat payload),
+	// used for trace and metrics aggregation fan-out; "" when the worker
+	// advertises nothing.
+	addr string
 	// engQueued/engRunning are the worker's self-reported engine counters,
 	// surfaced per node on the coordinator's /metrics.
 	engQueued, engRunning int64
@@ -111,12 +127,29 @@ type node struct {
 	// jobs vs the node's GOMAXPROCS. Older workers omit them (zero).
 	shardsInUse   int64
 	shardCapacity int
+	// clockOffsetNS/clockRTTNS are the worker's self-estimated clock offset
+	// relative to this coordinator and the RTT bounding it (heartbeat
+	// payload; see EstimateOffset). Used to rebase the node's span
+	// timestamps in merged fabric traces.
+	clockOffsetNS, clockRTTNS int64
 }
 
 // sweep tracks a named batch of job IDs.
 type sweep struct {
 	id  string
 	ids []string
+	// tag is the distributed trace ID the submitting client stamped on the
+	// sweep (X-Sweep-ID), "" for untraced sweeps. The trace endpoint
+	// resolves a sweep by id or tag.
+	tag       string
+	startedAt time.Time
+	// participants maps node name → advertised addr for every node that
+	// leased one of the sweep's items; the trace aggregation fan-out target
+	// set. Addresses are captured at lease time so a node reaped later can
+	// still be polled (best effort).
+	participants map[string]string
+	// durationObserved guards the one-shot sweep-duration observation.
+	durationObserved bool
 }
 
 // Coordinator schedules a sweep's jobs across peer workers. All methods are
@@ -126,6 +159,7 @@ type Coordinator struct {
 	store *cas.Store
 	log   *slog.Logger
 	obs   *coordObs
+	tr    *obs.Tracer // nil-safe; scheduling spans for the fabric trace
 
 	mu       sync.Mutex
 	nodes    map[string]*node
@@ -176,6 +210,7 @@ func NewCoordinator(opts CoordinatorOptions) *Coordinator {
 		opts:   opts,
 		store:  st,
 		log:    opts.Log,
+		tr:     opts.Tracer,
 		nodes:  make(map[string]*node),
 		items:  make(map[string]*item),
 		sweeps: make(map[string]*sweep),
@@ -203,11 +238,14 @@ func (c *Coordinator) adoptReplay(rp *Replay) {
 	recovering := 0
 	for _, ri := range rp.Items {
 		it := &item{
-			id:      ri.ID,
-			job:     ri.Job,
-			reqID:   ri.ReqID,
-			holders: make(map[string]bool),
-			done:    make(chan struct{}),
+			id:          ri.ID,
+			job:         ri.Job,
+			reqID:       ri.ReqID,
+			sweepID:     ri.Sweep,
+			tid:         c.tr.NextTID(),
+			holders:     make(map[string]bool),
+			submittedAt: now,
+			done:        make(chan struct{}),
 		}
 		it.requeues = ri.Requeues
 		state := ri.State
@@ -253,7 +291,8 @@ func (c *Coordinator) adoptReplay(rp *Replay) {
 	}
 	c.sweepSeq = rp.SweepSeq
 	for id, ids := range rp.Sweeps {
-		c.sweeps[id] = &sweep{id: id, ids: ids}
+		c.sweeps[id] = &sweep{id: id, ids: ids, tag: rp.SweepTags[id],
+			startedAt: now, participants: make(map[string]string)}
 	}
 	if recovering > 0 {
 		window := c.opts.ReadoptWindow
@@ -351,10 +390,16 @@ func (c *Coordinator) snapshotLocked() snapshot {
 	snap := snapshot{SweepSeq: c.sweepSeq, Sweeps: make(map[string][]string)}
 	for id, sw := range c.sweeps {
 		snap.Sweeps[id] = sw.ids
+		if sw.tag != "" {
+			if snap.SweepTags == nil {
+				snap.SweepTags = make(map[string]string)
+			}
+			snap.SweepTags[id] = sw.tag
+		}
 	}
 	for _, id := range c.sortedItemIDs() {
 		it := c.items[id]
-		si := snapItem{ID: id, Job: it.job, ReqID: it.reqID, Requeues: it.requeues}
+		si := snapItem{ID: id, Job: it.job, ReqID: it.reqID, Sweep: it.sweepID, Requeues: it.requeues}
 		switch it.state {
 		case itemQueued:
 			si.State = "queued"
@@ -432,6 +477,14 @@ func (c *Coordinator) Draining() bool {
 // item. ErrBusy signals backpressure: every live worker's queue (or, with no
 // workers yet, the lobby) is full and the client should retry after a delay.
 func (c *Coordinator) Submit(job engine.Job, reqID string) (string, error) {
+	return c.SubmitTraced(job, reqID, "")
+}
+
+// SubmitTraced is Submit with a distributed sweep tag: the tag is stored on
+// the item, handed to the leasing worker on its WorkItem (which scopes the
+// worker's engine spans), and stamped on the coordinator's own per-item
+// span. An empty sweepID is plain Submit.
+func (c *Coordinator) SubmitTraced(job engine.Job, reqID, sweepID string) (string, error) {
 	if err := job.Validate(); err != nil {
 		return "", err
 	}
@@ -445,16 +498,27 @@ func (c *Coordinator) Submit(job engine.Job, reqID string) (string, error) {
 	if c.draining {
 		return "", ErrBusy
 	}
-	if _, ok := c.items[id]; ok {
+	if it, ok := c.items[id]; ok {
+		if it.sweepID == "" {
+			// A coalesced resubmission may carry the trace tag the original
+			// lacked (e.g. a retry after the sweep header was added).
+			it.sweepID = sweepID
+		}
+		if sweepID != "" {
+			c.tagSweepLocked(sweepID, id)
+		}
 		c.obs.coalesced.Inc()
 		return id, nil
 	}
 	it := &item{
-		id:      id,
-		job:     job,
-		reqID:   reqID,
-		holders: make(map[string]bool),
-		done:    make(chan struct{}),
+		id:          id,
+		job:         job,
+		reqID:       reqID,
+		sweepID:     sweepID,
+		tid:         c.tr.NextTID(),
+		holders:     make(map[string]bool),
+		submittedAt: time.Now(),
+		done:        make(chan struct{}),
 	}
 	// Decide placement before journaling, so a refused submission leaves no
 	// record; journal before mutating, so an accepted one is durable before
@@ -464,7 +528,7 @@ func (c *Coordinator) Submit(job engine.Job, reqID string) (string, error) {
 		c.obs.rejected.Inc()
 		return "", ErrBusy
 	}
-	c.journal.append(journalRecord{Kind: recSubmit, ID: id, Job: &job, ReqID: reqID})
+	c.journal.append(journalRecord{Kind: recSubmit, ID: id, Job: &job, ReqID: reqID, Sweep: sweepID})
 	if n != nil {
 		n.queue = append(n.queue, it)
 	} else {
@@ -472,7 +536,41 @@ func (c *Coordinator) Submit(job engine.Job, reqID string) (string, error) {
 	}
 	c.items[id] = it
 	c.obs.submitted.Inc()
+	if sweepID != "" {
+		c.tagSweepLocked(sweepID, id)
+	}
 	return id, nil
+}
+
+// tagSweepLocked folds one tagged submission into the sweep object for its
+// trace tag, creating it on first use. Jobs submitted individually under a
+// shared X-Sweep-ID thereby become one observable sweep — resolvable by tag
+// for fabric trace aggregation, measured by the sweep-duration histogram,
+// counted in the sweep-jobs gauges — exactly as if they had arrived as one
+// POST /v1/sweeps batch. Membership is re-journaled cumulatively on each
+// append (the last sweep record wins at replay), so recovery reconstructs
+// the full member set. Callers hold c.mu.
+func (c *Coordinator) tagSweepLocked(tag, itemID string) {
+	var sw *sweep
+	for _, s := range c.sweeps {
+		if s.tag == tag {
+			sw = s
+			break
+		}
+	}
+	if sw == nil {
+		c.sweepSeq++
+		sw = &sweep{id: fmt.Sprintf("sweep-%d", c.sweepSeq), tag: tag,
+			startedAt: time.Now(), participants: make(map[string]string)}
+		c.sweeps[sw.id] = sw
+	}
+	for _, id := range sw.ids {
+		if id == itemID {
+			return
+		}
+	}
+	sw.ids = append(sw.ids, itemID)
+	c.journal.append(journalRecord{Kind: recSweep, ID: sw.id, JobIDs: sw.ids, Seq: c.sweepSeq, Sweep: tag})
 }
 
 // SubmitSweep accepts a batch of jobs as one sweep. On backpressure the
@@ -480,9 +578,17 @@ func (c *Coordinator) Submit(job engine.Job, reqID string) (string, error) {
 // status so far; resubmitting the same batch is idempotent (accepted members
 // coalesce), so clients simply retry the whole sweep.
 func (c *Coordinator) SubmitSweep(jobs []engine.Job, reqID string) (SweepStatus, error) {
+	return c.SubmitSweepTraced(jobs, reqID, "")
+}
+
+// SubmitSweepTraced is SubmitSweep with a distributed sweep tag (the
+// client's X-Sweep-ID): every member item carries the tag, and the sweep can
+// later be resolved by the tag as well as its coordinator-assigned ID when
+// fetching the merged fabric trace.
+func (c *Coordinator) SubmitSweepTraced(jobs []engine.Job, reqID, tag string) (SweepStatus, error) {
 	ids := make([]string, 0, len(jobs))
 	for _, j := range jobs {
-		id, err := c.Submit(j, reqID)
+		id, err := c.SubmitTraced(j, reqID, tag)
 		if err != nil {
 			return SweepStatus{JobIDs: ids, Total: len(ids)}, err
 		}
@@ -493,9 +599,20 @@ func (c *Coordinator) SubmitSweep(jobs []engine.Job, reqID string) (SweepStatus,
 	if c.closed {
 		return SweepStatus{}, ErrClosed
 	}
+	if tag != "" {
+		// The per-job submissions above already folded every member into the
+		// tag's sweep object (tagSweepLocked); a second object would shadow
+		// it under the same tag.
+		for _, sw := range c.sweeps {
+			if sw.tag == tag {
+				return c.sweepStatusLocked(sw), nil
+			}
+		}
+	}
 	c.sweepSeq++
-	sw := &sweep{id: fmt.Sprintf("sweep-%d", c.sweepSeq), ids: ids}
-	c.journal.append(journalRecord{Kind: recSweep, ID: sw.id, JobIDs: ids, Seq: c.sweepSeq})
+	sw := &sweep{id: fmt.Sprintf("sweep-%d", c.sweepSeq), ids: ids, tag: tag,
+		startedAt: time.Now(), participants: make(map[string]string)}
+	c.journal.append(journalRecord{Kind: recSweep, ID: sw.id, JobIDs: ids, Seq: c.sweepSeq, Sweep: tag})
 	c.sweeps[sw.id] = sw
 	return c.sweepStatusLocked(sw), nil
 }
@@ -590,6 +707,10 @@ func (c *Coordinator) Heartbeat(hb Heartbeat) error {
 	n := c.touch(hb.Node)
 	n.engQueued, n.engRunning = hb.QueueDepth, hb.Inflight
 	n.shardsInUse, n.shardCapacity = hb.ShardsInUse, hb.ShardCapacity
+	if hb.Addr != "" {
+		n.addr = hb.Addr
+	}
+	n.clockOffsetNS, n.clockRTTNS = hb.ClockOffsetNS, hb.ClockRTTNS
 	c.readoptLocked(n, hb.Leases)
 	c.drainLobbyLocked()
 	return nil
@@ -718,7 +839,16 @@ func (c *Coordinator) Pull(nodeName string) *WorkItem {
 		it.firstStart = now
 	}
 	n.leases[it.id] = true
-	return &WorkItem{ID: it.id, Job: it.job, RequestID: it.reqID, Hedged: hedged}
+	if it.sweepID != "" {
+		// Remember which nodes ran this sweep's work (and where to reach
+		// them) for the trace aggregation fan-out.
+		for _, sw := range c.sweeps {
+			if sw.tag == it.sweepID {
+				sw.participants[nodeName] = n.addr
+			}
+		}
+	}
+	return &WorkItem{ID: it.id, Job: it.job, RequestID: it.reqID, Hedged: hedged, SweepID: it.sweepID}
 }
 
 // popQueued pops entries off q — from the front, or the back for steals —
@@ -865,7 +995,54 @@ func (c *Coordinator) finalize(it *item, res *engine.Result, errMsg string) {
 	}
 	it.recovered = false
 	it.finishedAt = time.Now()
+	// One coordinator span per item, covering its whole scheduled life
+	// (submission to terminal state), on the item's own lane.
+	start := it.firstStart
+	if start.IsZero() {
+		start = it.submittedAt
+	}
+	if !start.IsZero() {
+		c.tr.Scoped(it.sweepID).Record("job", "coord", it.tid,
+			start, it.finishedAt.Sub(start),
+			obs.SpanArg{Key: "requeues", Val: int64(it.requeues)})
+	}
+	c.sweepFinishedLocked(it)
 	close(it.done)
+}
+
+// sweepFinishedLocked observes sweep-level completion after an item turned
+// terminal: any sweep whose members are now all done/failed gets its
+// duration histogram observation and (when traced) a sweep-wide span, once.
+// Callers hold c.mu.
+func (c *Coordinator) sweepFinishedLocked(it *item) {
+	now := it.finishedAt
+	for _, sw := range c.sweeps {
+		if sw.durationObserved || sw.startedAt.IsZero() {
+			continue
+		}
+		member := false
+		finished := true
+		for _, id := range sw.ids {
+			m := c.items[id]
+			if m == it {
+				member = true
+			}
+			if m != nil && m.state != itemDone && m.state != itemFailed {
+				finished = false
+				break
+			}
+		}
+		if !member || !finished {
+			continue
+		}
+		sw.durationObserved = true
+		dur := now.Sub(sw.startedAt)
+		c.obs.sweepDur.Observe(dur.Seconds())
+		c.tr.Scoped(sw.tag).Record("sweep", "coord", 0, sw.startedAt, dur,
+			obs.SpanArg{Key: "jobs", Val: int64(len(sw.ids))})
+		c.log.Info("sweep finished", "sweep", sw.id, "jobs", len(sw.ids),
+			"duration", dur.Round(time.Millisecond))
+	}
 }
 
 // requeueLocked puts a running or assigned item back in line: on the
@@ -1100,6 +1277,143 @@ func (c *Coordinator) anyLive(now time.Time) bool {
 		}
 	}
 	return false
+}
+
+// Tracer returns the coordinator's span tracer (nil when untraced), for the
+// HTTP layer to include the coordinator's own lane in merged fabric traces.
+func (c *Coordinator) Tracer() *obs.Tracer { return c.tr }
+
+// SweepTraceInfo resolves a sweep by its coordinator-assigned ID or its
+// client trace tag, returning the tag that scoped its spans and the
+// participating nodes (name → advertised addr; "" when the node never
+// advertised one). The HTTP layer fans trace pulls out to the participants.
+func (c *Coordinator) SweepTraceInfo(idOrTag string) (tag string, participants map[string]string, ok bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	sw := c.sweeps[idOrTag]
+	if sw == nil {
+		for _, s := range c.sweeps {
+			if s.tag != "" && s.tag == idOrTag {
+				sw = s
+				break
+			}
+		}
+	}
+	if sw == nil {
+		return "", nil, false
+	}
+	participants = make(map[string]string, len(sw.participants))
+	for name, addr := range sw.participants {
+		if addr == "" {
+			// The node's addr may have arrived on a later heartbeat.
+			if n := c.nodes[name]; n != nil {
+				addr = n.addr
+			}
+		}
+		participants[name] = addr
+	}
+	return sw.tag, participants, true
+}
+
+// NodeClockOffset reports a live node's current clock-offset estimate
+// (worker_clock = coord_clock + offset) for trace rebasing; zero for
+// unknown nodes.
+func (c *Coordinator) NodeClockOffset(name string) int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if n := c.nodes[name]; n != nil {
+		return n.clockOffsetNS
+	}
+	return 0
+}
+
+// LiveNodes returns the advertised addresses of every worker inside its
+// heartbeat window (name → addr, addr-less nodes included with "") — the
+// metrics-federation fan-out set.
+func (c *Coordinator) LiveNodes() map[string]string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := time.Now()
+	out := make(map[string]string)
+	for name, n := range c.nodes {
+		if now.Sub(n.lastBeat) <= c.opts.HeartbeatTimeout {
+			out[name] = n.addr
+		}
+	}
+	return out
+}
+
+// StatusSnapshot assembles the live fabric view served at GET /v1/status.
+func (c *Coordinator) StatusSnapshot() ClusterStatus {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := time.Now()
+	st := ClusterStatus{Draining: c.draining, Sweeps: len(c.sweeps)}
+	for _, it := range c.lobby {
+		if it.state == itemQueued {
+			st.Lobby++
+		}
+	}
+	for _, it := range c.items {
+		switch it.state {
+		case itemQueued:
+			st.Queued++
+		case itemRunning:
+			st.Running++
+		case itemDone:
+			st.Done++
+		case itemFailed:
+			st.Failed++
+		}
+	}
+	for _, n := range c.sortedNodes() {
+		ns := NodeStatus{
+			Node:          n.name,
+			Addr:          n.addr,
+			BeatAgeMS:     now.Sub(n.lastBeat).Milliseconds(),
+			QueueDepth:    len(n.queue),
+			Inflight:      len(n.leases),
+			EngQueued:     n.engQueued,
+			EngRunning:    n.engRunning,
+			ShardsInUse:   n.shardsInUse,
+			ShardCapacity: n.shardCapacity,
+			ClockOffsetNS: n.clockOffsetNS,
+			ClockRTTNS:    n.clockRTTNS,
+		}
+		for id := range n.leases {
+			it := c.items[id]
+			if it == nil || it.state != itemRunning || it.firstStart.IsZero() {
+				continue
+			}
+			if age := now.Sub(it.firstStart).Milliseconds(); age > ns.OldestLeaseAgeMS {
+				ns.OldestLeaseAgeMS, ns.OldestLeaseJob = age, short(id)
+			}
+		}
+		st.Nodes = append(st.Nodes, ns)
+	}
+	if snap := c.obs.journalFsync.Snapshot(); snap.Count > 0 {
+		st.JournalFsyncs = snap.Count
+		st.JournalFsyncMeanMS = snap.Sum / float64(snap.Count) * 1e3
+		st.JournalFsyncP99MS = histQuantileUpperMS(snap, 0.99)
+	}
+	return st
+}
+
+// histQuantileUpperMS returns an upper bound (in milliseconds) on the given
+// quantile of a seconds-histogram: the bound of the first bucket whose
+// cumulative count covers it, or the largest finite bound for the overflow
+// bucket.
+func histQuantileUpperMS(snap obs.HistogramSnapshot, q float64) float64 {
+	if snap.Count == 0 || len(snap.Bounds) == 0 {
+		return 0
+	}
+	target := uint64(q * float64(snap.Count))
+	for i, cum := range snap.Cumulative {
+		if cum >= target && i < len(snap.Bounds) {
+			return snap.Bounds[i] * 1e3
+		}
+	}
+	return snap.Bounds[len(snap.Bounds)-1] * 1e3
 }
 
 // short abbreviates a content hash for logs.

@@ -4,9 +4,13 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"log/slog"
 	"net/http"
+	"net/url"
+	"sort"
 	"strings"
+	"time"
 
 	"rsr/internal/cas"
 	"rsr/internal/engine"
@@ -20,12 +24,19 @@ import (
 //	GET  /v1/jobs/{id}       job status, and the result once finished
 //	POST /v1/sweeps          submit a batch; idempotent on retry
 //	GET  /v1/sweeps/{id}     sweep progress
-//	POST /v1/peers/heartbeat worker liveness + engine depth (409 on skew)
+//	POST /v1/peers/heartbeat worker liveness + engine depth (409 on skew);
+//	                         replies 200 + HeartbeatReply with the
+//	                         coordinator clock for offset estimation
 //	POST /v1/peers/pull      lease one work item (204 when idle)
 //	POST /v1/peers/complete  report an execution outcome
 //	/v1/cas/...              the shared content-addressed store
+//	GET  /v1/sweeps/{id}/trace  merged fabric trace for one sweep (Chrome
+//	                         trace JSON; one process lane per node,
+//	                         clock-rebased)
+//	GET  /v1/status          live fabric snapshot (ClusterStatus), for rsr top
 //	GET  /v1/version         build info + protocol version
-//	GET  /metrics            Prometheus text exposition
+//	GET  /metrics            Prometheus text exposition, coordinator families
+//	                         plus federated per-node worker families
 //	GET  /healthz, /readyz   liveness / readiness (503 while draining)
 type Server struct {
 	co  *Coordinator
@@ -33,6 +44,8 @@ type Server struct {
 	log *slog.Logger
 	ids *RequestIDs
 	cas *cas.Server
+	fed *Federator
+	hc  *http.Client // trace-aggregation fan-out
 }
 
 // NewServer wraps a coordinator for serving.
@@ -41,7 +54,9 @@ func NewServer(co *Coordinator, reg *obs.Registry, log *slog.Logger) *Server {
 		log = slog.Default()
 	}
 	return &Server{co: co, reg: reg, log: log, ids: NewRequestIDs(),
-		cas: cas.NewServer(co.Store(), "/v1/cas")}
+		cas: cas.NewServer(co.Store(), "/v1/cas"),
+		fed: NewFederator(co, log),
+		hc:  &http.Client{Timeout: 5 * time.Second}}
 }
 
 // Routes returns the wrapped handler tree.
@@ -55,6 +70,7 @@ func (s *Server) Routes() http.Handler {
 	mux.HandleFunc("/v1/peers/pull", s.handlePull)
 	mux.HandleFunc("/v1/peers/complete", s.handleComplete)
 	mux.Handle("/v1/cas/", s.cas)
+	mux.HandleFunc("/v1/status", s.handleStatus)
 	mux.HandleFunc("/v1/version", s.handleVersion)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -82,7 +98,17 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	if err := s.reg.WritePrometheus(w); err != nil {
 		s.log.Error("metrics write failed", "err", err)
+		return
 	}
+	// Federated section: each live worker's key families under a `node`
+	// label, refreshed at most every federateMaxAge.
+	if err := s.fed.Write(w); err != nil {
+		s.log.Error("federated metrics write failed", "err", err)
+	}
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.co.StatusSnapshot())
 }
 
 func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
@@ -95,7 +121,7 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "bad job body: %v", err)
 		return
 	}
-	id, err := s.co.Submit(job, RequestIDFrom(r.Context()))
+	id, err := s.co.SubmitTraced(job, RequestIDFrom(r.Context()), SweepIDFrom(r.Context()))
 	switch {
 	case errors.Is(err, ErrBusy), errors.Is(err, ErrClosed):
 		w.Header().Set("Retry-After", "1")
@@ -128,7 +154,7 @@ func (s *Server) handleSweeps(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "bad sweep body: %v", err)
 		return
 	}
-	st, err := s.co.SubmitSweep(req.Jobs, RequestIDFrom(r.Context()))
+	st, err := s.co.SubmitSweepTraced(req.Jobs, RequestIDFrom(r.Context()), SweepIDFrom(r.Context()))
 	switch {
 	case errors.Is(err, ErrBusy), errors.Is(err, ErrClosed):
 		// Partial acceptance: the client retries the whole sweep; accepted
@@ -145,12 +171,87 @@ func (s *Server) handleSweeps(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	id := strings.TrimPrefix(r.URL.Path, "/v1/sweeps/")
+	if rest, ok := strings.CutSuffix(id, "/trace"); ok {
+		s.handleSweepTrace(w, r, rest)
+		return
+	}
 	st, ok := s.co.SweepStatus(id)
 	if !ok {
 		httpError(w, http.StatusNotFound, "unknown sweep %q", id)
 		return
 	}
 	writeJSON(w, http.StatusOK, st)
+}
+
+// handleSweepTrace assembles the merged fabric trace for one sweep: the
+// coordinator's own scheduling spans plus every participating worker's span
+// ring (GET addr/v1/trace?sweep=tag), each rebased onto the coordinator
+// clock with that node's heartbeat-estimated offset, rendered as one Chrome
+// trace with a process lane per node. A worker that cannot be reached is
+// skipped with a warning — a partial fabric trace beats none.
+func (s *Server) handleSweepTrace(w http.ResponseWriter, r *http.Request, id string) {
+	tag, participants, ok := s.co.SweepTraceInfo(id)
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown sweep %q", id)
+		return
+	}
+	if tag == "" {
+		httpError(w, http.StatusNotFound,
+			"sweep %q was submitted without an X-Sweep-ID trace tag", id)
+		return
+	}
+	dumps := []obs.TraceDump{{
+		Node:  "coordinator",
+		Spans: s.co.Tracer().Dump(tag),
+	}}
+	for _, name := range sortedKeys(participants) {
+		addr := participants[name]
+		if addr == "" {
+			s.log.Warn("trace pull skipped: node never advertised an address", "node", name)
+			continue
+		}
+		spans, err := s.fetchTrace(addr, tag)
+		if err != nil {
+			s.log.Warn("trace pull failed", "node", name, "addr", addr, "err", err)
+			continue
+		}
+		dumps = append(dumps, obs.TraceDump{
+			Node:          name,
+			ClockOffsetNS: s.co.NodeClockOffset(name),
+			Spans:         spans,
+		})
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := obs.WriteMergedChromeTrace(w, dumps); err != nil {
+		s.log.Error("merged trace write failed", "sweep", id, "err", err)
+	}
+}
+
+// fetchTrace pulls one worker's sweep-filtered span dump.
+func (s *Server) fetchTrace(addr, tag string) ([]obs.SpanDump, error) {
+	resp, err := s.hc.Get(addr + "/v1/trace?sweep=" + url.QueryEscape(tag))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("status %d", resp.StatusCode)
+	}
+	var spans []obs.SpanDump
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 64<<20)).Decode(&spans); err != nil {
+		return nil, err
+	}
+	return spans, nil
+}
+
+// sortedKeys returns a map's keys in order, for deterministic lane layout.
+func sortedKeys(m map[string]string) []string {
+	ks := make([]string, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
 }
 
 func (s *Server) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
@@ -167,7 +268,9 @@ func (s *Server) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
 	case err != nil:
 		httpError(w, http.StatusBadRequest, "%v", err)
 	default:
-		w.WriteHeader(http.StatusNoContent)
+		// The reply carries the coordinator's clock so the worker can fold
+		// an RTT-midpoint offset sample (see EstimateOffset).
+		writeJSON(w, http.StatusOK, HeartbeatReply{CoordTimeNS: time.Now().UnixNano()})
 	}
 }
 

@@ -82,6 +82,10 @@ type journalRecord struct {
 	// BlobSum (success) or Error (failure) rides on complete records.
 	BlobSum string `json:"blob_sum,omitempty"`
 	Error   string `json:"error,omitempty"`
+	// Sweep is the distributed trace tag: the item's tag on submit records,
+	// the sweep's client tag on sweep records. Additive — older journals
+	// simply replay untagged.
+	Sweep string `json:"sweep,omitempty"`
 }
 
 // snapItem is one item's durable state inside a snapshot.
@@ -89,6 +93,7 @@ type snapItem struct {
 	ID       string     `json:"id"`
 	Job      engine.Job `json:"job"`
 	ReqID    string     `json:"req_id,omitempty"`
+	Sweep    string     `json:"sweep,omitempty"`
 	State    string     `json:"state"` // queued, running, done, failed
 	Requeues int        `json:"requeues,omitempty"`
 	Holders  []string   `json:"holders,omitempty"` // running only
@@ -98,9 +103,10 @@ type snapItem struct {
 
 // snapshot is the compacted scheduler state.
 type snapshot struct {
-	SweepSeq int                 `json:"sweep_seq"`
-	Sweeps   map[string][]string `json:"sweeps,omitempty"`
-	Items    []snapItem          `json:"items,omitempty"`
+	SweepSeq  int                 `json:"sweep_seq"`
+	Sweeps    map[string][]string `json:"sweeps,omitempty"`
+	SweepTags map[string]string   `json:"sweep_tags,omitempty"`
+	Items     []snapItem          `json:"items,omitempty"`
 }
 
 // ReplayItem is one item's state as reconstructed from the journal, handed
@@ -109,6 +115,7 @@ type ReplayItem struct {
 	ID       string
 	Job      engine.Job
 	ReqID    string
+	Sweep    string // distributed trace tag, "" when untraced
 	State    string // queued, running, done, failed
 	Requeues int
 	Holders  []string // nodes that held a lease at crash time (running only)
@@ -118,9 +125,10 @@ type ReplayItem struct {
 
 // Replay is the scheduler state reconstructed by OpenJournal.
 type Replay struct {
-	SweepSeq int
-	Sweeps   map[string][]string
-	Items    []ReplayItem
+	SweepSeq  int
+	Sweeps    map[string][]string
+	SweepTags map[string]string
+	Items     []ReplayItem
 	// Quarantined is the number of tail bytes cut off and preserved because
 	// they did not parse (a torn final write, or corruption).
 	Quarantined int
@@ -264,7 +272,7 @@ func (j *Journal) close() {
 // an unparseable tail.
 func (j *Journal) load() error {
 	items := make(map[string]*ReplayItem)
-	rp := &Replay{Sweeps: make(map[string][]string)}
+	rp := &Replay{Sweeps: make(map[string][]string), SweepTags: make(map[string]string)}
 
 	if b, err := os.ReadFile(filepath.Join(j.dir, snapshotFile)); err == nil {
 		var snap snapshot
@@ -278,10 +286,13 @@ func (j *Journal) load() error {
 		for id, ids := range snap.Sweeps {
 			rp.Sweeps[id] = ids
 		}
+		for id, tag := range snap.SweepTags {
+			rp.SweepTags[id] = tag
+		}
 		for _, si := range snap.Items {
 			it := &ReplayItem{
-				ID: si.ID, Job: si.Job, ReqID: si.ReqID, State: si.State,
-				Requeues: si.Requeues, Holders: si.Holders,
+				ID: si.ID, Job: si.Job, ReqID: si.ReqID, Sweep: si.Sweep,
+				State: si.State, Requeues: si.Requeues, Holders: si.Holders,
 				BlobSum: si.BlobSum, ErrMsg: si.Error,
 			}
 			items[si.ID] = it
@@ -340,12 +351,16 @@ func (j *Journal) fold(items map[string]*ReplayItem, rp *Replay, rec journalReco
 		}
 		if _, ok := items[rec.ID]; !ok {
 			items[rec.ID] = &ReplayItem{
-				ID: rec.ID, Job: *rec.Job, ReqID: rec.ReqID, State: "queued",
+				ID: rec.ID, Job: *rec.Job, ReqID: rec.ReqID, Sweep: rec.Sweep,
+				State: "queued",
 			}
 		}
 	case recSweep:
 		if rec.ID != "" {
 			rp.Sweeps[rec.ID] = rec.JobIDs
+			if rec.Sweep != "" {
+				rp.SweepTags[rec.ID] = rec.Sweep
+			}
 		}
 		if rec.Seq > rp.SweepSeq {
 			rp.SweepSeq = rec.Seq

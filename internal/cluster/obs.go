@@ -1,6 +1,10 @@
 package cluster
 
-import "rsr/internal/obs"
+import (
+	"time"
+
+	"rsr/internal/obs"
+)
 
 // coordObs is the coordinator's metric surface. Scheduling counters are
 // incremented at decision time; per-node gauges are mirrored from a
@@ -24,15 +28,19 @@ type coordObs struct {
 	replayed       *obs.CounterVec // label: state (queued|running|done|failed|blob-missing)
 	journalRecords *obs.CounterVec // label: kind (submit|sweep|lease|complete|requeue|reap)
 	journalFsync   *obs.Histogram
+	sweepDur       *obs.Histogram
 
-	workers    *obs.Gauge
-	lobby      *obs.Gauge
-	queueDepth *obs.GaugeVec // label: node
-	inflight   *obs.GaugeVec // label: node
-	engQueued  *obs.GaugeVec // label: node
-	engRunning *obs.GaugeVec // label: node
-	shardsUsed *obs.GaugeVec // label: node
-	shardCap   *obs.GaugeVec // label: node
+	workers     *obs.Gauge
+	lobby       *obs.Gauge
+	queueDepth  *obs.GaugeVec // label: node
+	inflight    *obs.GaugeVec // label: node
+	engQueued   *obs.GaugeVec // label: node
+	engRunning  *obs.GaugeVec // label: node
+	shardsUsed  *obs.GaugeVec // label: node
+	shardCap    *obs.GaugeVec // label: node
+	oldestLease *obs.GaugeVec // label: node
+	clockOffset *obs.GaugeVec // label: node
+	sweepJobs   *obs.GaugeVec // label: state (pending|running|done|failed)
 }
 
 // nodeSnap is one worker's scrape-time view for the per-node gauges.
@@ -42,14 +50,22 @@ type nodeSnap struct {
 	engQueued, engRunning int64
 	shardsInUse           int64
 	shardCapacity         int
+	oldestLeaseMS         int64 // age of the node's slowest in-flight lease
+	clockOffsetNS         int64
+}
+
+// sweepJobsSnap tallies live sweeps' members by state for the sweep gauges.
+type sweepJobsSnap struct {
+	pending, running, done, failed int
 }
 
 // snapshotNodes reads the scheduler state for the metrics collector.
-func (c *Coordinator) snapshotNodes() (ns []nodeSnap, lobby int) {
+func (c *Coordinator) snapshotNodes() (ns []nodeSnap, lobby int, sj sweepJobsSnap) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	now := time.Now()
 	for _, n := range c.sortedNodes() {
-		ns = append(ns, nodeSnap{
+		snap := nodeSnap{
 			name:          n.name,
 			queue:         len(n.queue),
 			leases:        len(n.leases),
@@ -57,9 +73,39 @@ func (c *Coordinator) snapshotNodes() (ns []nodeSnap, lobby int) {
 			engRunning:    n.engRunning,
 			shardsInUse:   n.shardsInUse,
 			shardCapacity: n.shardCapacity,
-		})
+			clockOffsetNS: n.clockOffsetNS,
+		}
+		for id := range n.leases {
+			it := c.items[id]
+			if it == nil || it.state != itemRunning || it.firstStart.IsZero() {
+				continue
+			}
+			if age := now.Sub(it.firstStart).Milliseconds(); age > snap.oldestLeaseMS {
+				snap.oldestLeaseMS = age
+			}
+		}
+		ns = append(ns, snap)
 	}
-	return ns, len(c.lobby)
+	for _, sw := range c.sweeps {
+		for _, id := range sw.ids {
+			it := c.items[id]
+			if it == nil {
+				sj.done++ // pruned members are terminal by definition
+				continue
+			}
+			switch it.state {
+			case itemQueued:
+				sj.pending++
+			case itemRunning:
+				sj.running++
+			case itemDone:
+				sj.done++
+			case itemFailed:
+				sj.failed++
+			}
+		}
+	}
+	return ns, len(c.lobby), sj
 }
 
 func newCoordObs(reg *obs.Registry, c *Coordinator) *coordObs {
@@ -114,8 +160,17 @@ func newCoordObs(reg *obs.Registry, c *Coordinator) *coordObs {
 		"Worker-reported shard goroutines occupied by executing jobs (heartbeat payload).", "node")
 	o.shardCap = reg.GaugeVec("rsr_cluster_node_shard_capacity",
 		"Worker-reported shard capacity, its GOMAXPROCS (heartbeat payload).", "node")
+	o.oldestLease = reg.GaugeVec("rsr_cluster_node_oldest_lease_age_ms",
+		"Age in milliseconds of the node's slowest in-flight lease — the straggler signal.", "node")
+	o.clockOffset = reg.GaugeVec("rsr_cluster_node_clock_offset_ns",
+		"Worker-estimated clock offset relative to the coordinator in nanoseconds (heartbeat payload; worker_clock = coord_clock + offset).", "node")
+	o.sweepDur = reg.Histogram("rsr_cluster_sweep_duration_seconds",
+		"Wall-clock duration of a sweep, submission to last member terminal.",
+		[]float64{.1, .25, .5, 1, 2.5, 5, 10, 25, 50, 100, 250, 500, 1000, 2500})
+	o.sweepJobs = reg.GaugeVec("rsr_cluster_sweep_jobs",
+		"Members of live sweeps by state.", "state")
 	reg.RegisterCollector(func() {
-		ns, lobby := c.snapshotNodes()
+		ns, lobby, sj := c.snapshotNodes()
 		o.workers.Set(int64(len(ns)))
 		o.lobby.Set(int64(lobby))
 		for _, n := range ns {
@@ -125,7 +180,13 @@ func newCoordObs(reg *obs.Registry, c *Coordinator) *coordObs {
 			o.engRunning.With(n.name).Set(n.engRunning)
 			o.shardsUsed.With(n.name).Set(n.shardsInUse)
 			o.shardCap.With(n.name).Set(int64(n.shardCapacity))
+			o.oldestLease.With(n.name).Set(n.oldestLeaseMS)
+			o.clockOffset.With(n.name).Set(n.clockOffsetNS)
 		}
+		o.sweepJobs.With("pending").Set(int64(sj.pending))
+		o.sweepJobs.With("running").Set(int64(sj.running))
+		o.sweepJobs.With("done").Set(int64(sj.done))
+		o.sweepJobs.With("failed").Set(int64(sj.failed))
 	})
 	return o
 }
@@ -140,4 +201,6 @@ func (o *coordObs) zeroNode(name string) {
 	o.engRunning.With(name).Set(0)
 	o.shardsUsed.With(name).Set(0)
 	o.shardCap.With(name).Set(0)
+	o.oldestLease.With(name).Set(0)
+	o.clockOffset.With(name).Set(0)
 }

@@ -28,6 +28,13 @@ type PeerOptions struct {
 	Node string
 	// Coordinator is the coordinator's base URL, e.g. "http://host:9000".
 	Coordinator string
+	// Advertise is this worker's externally reachable base URL, e.g.
+	// "http://host:9800". It rides in every heartbeat so the coordinator can
+	// pull the worker's span ring (/v1/trace) and metric snapshot
+	// (/v1/metricsnap) when aggregating a fabric-wide trace or federating
+	// /metrics. Empty means the worker is not aggregatable and is simply
+	// skipped by both.
+	Advertise string
 	// Engine executes leased jobs locally.
 	Engine *engine.Engine
 	// Pulls is the number of concurrent pull loops — the worker's appetite
@@ -117,6 +124,12 @@ type Peer struct {
 	// re-adopt them instead of requeuing the work.
 	mu     sync.Mutex
 	leases map[string]bool
+
+	// offsets accumulates NTP-style clock samples from heartbeat round-trips.
+	// Touched only by the heartbeat goroutine (beat is also called from Start
+	// and reconnect, but never concurrently), matching OffsetTracker's
+	// single-caller contract.
+	offsets OffsetTracker
 
 	ctx    context.Context
 	cancel context.CancelFunc
@@ -336,19 +349,29 @@ func (p *Peer) reconnect() bool {
 // executing — the coordinator's per-node backpressure signal and, after a
 // coordinator restart, the evidence it needs to re-adopt running leases. A
 // 409 means protocol skew (a coordinator upgraded under us): fail fast.
+// The round-trip doubles as an NTP-style clock sample: the coordinator's
+// reply carries its clock, and the worker's send/receive stamps bracket it;
+// the resulting best offset estimate rides in the *next* heartbeat so the
+// coordinator can rebase this worker's span timestamps when merging traces.
 // Reports whether the heartbeat landed.
 func (p *Peer) beat() bool {
 	st := p.opts.Engine.Stats()
 	hb := Heartbeat{
 		Node:          p.opts.Node,
 		Protocol:      ProtocolVersion,
+		Addr:          p.opts.Advertise,
 		QueueDepth:    st.Queued,
 		Inflight:      st.Running,
 		ShardsInUse:   st.ShardsInUse,
 		ShardCapacity: runtime.GOMAXPROCS(0),
 		Leases:        p.inflightLeases(),
 	}
-	code, _, err := p.postJSON("/v1/peers/heartbeat", hb)
+	if off, rtt, ok := p.offsets.Best(); ok {
+		hb.ClockOffsetNS, hb.ClockRTTNS = off, rtt
+	}
+	t0 := time.Now().UnixNano()
+	code, body, err := p.postJSON("/v1/peers/heartbeat", hb)
+	t1 := time.Now().UnixNano()
 	if err != nil {
 		p.log.Debug("heartbeat failed", "err", err)
 		return false
@@ -357,7 +380,14 @@ func (p *Peer) beat() bool {
 		p.die("protocol mismatch with coordinator")
 		return false
 	}
-	return code == http.StatusNoContent
+	if code != http.StatusOK {
+		return false
+	}
+	var reply HeartbeatReply
+	if json.Unmarshal(body, &reply) == nil && reply.CoordTimeNS != 0 {
+		p.offsets.Add(EstimateOffset(t0, t1, reply.CoordTimeNS))
+	}
+	return true
 }
 
 func (p *Peer) pullLoop() {
@@ -440,6 +470,7 @@ func (p *Peer) pull() (*WorkItem, bool) {
 // worker's job events and logs correlate with the coordinator-side request.
 func (p *Peer) runItem(it *WorkItem) {
 	ctx := engine.WithRequestID(p.ctx, it.RequestID)
+	ctx = engine.WithSweep(ctx, it.SweepID)
 	p.log.Info("lease started", "job", short(it.ID), "label", it.Job.Label(),
 		"request_id", it.RequestID, "hedged", it.Hedged)
 	tk, err := p.opts.Engine.Submit(ctx, it.Job)

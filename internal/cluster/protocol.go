@@ -46,7 +46,11 @@ import (
 // heartbeat (HTTP 409), so mixed-version fleets fail fast instead of
 // corrupting a sweep. Bump on any incompatible change to the wire types
 // below or to job identity semantics.
-const ProtocolVersion = 1
+//
+// Version 2: the heartbeat response changed from 204 No Content to
+// 200 + HeartbeatReply carrying the coordinator's clock, which version-1
+// workers would misread as a failed beat.
+const ProtocolVersion = 2
 
 // ErrProtocol reports a protocol-version mismatch between peers.
 var ErrProtocol = errors.New("cluster: protocol version mismatch")
@@ -125,6 +129,27 @@ type Heartbeat struct {
 	// coordinator with no recovered state ignores them. Additive, like the
 	// shard fields, so no ProtocolVersion bump.
 	Leases []string `json:"leases,omitempty"`
+	// Addr is the worker's advertised HTTP base URL (e.g. http://host:8745),
+	// the address the coordinator uses to pull the node's span ring and
+	// metrics snapshot for fabric-wide aggregation. Empty when the worker has
+	// nothing to advertise; aggregation then simply skips the node.
+	Addr string `json:"addr,omitempty"`
+	// ClockOffsetNS and ClockRTTNS are the worker's current estimate of its
+	// clock relative to the coordinator (worker_clock = coord_clock + offset),
+	// derived from heartbeat send/receive timestamps by the RTT-midpoint
+	// method (see EstimateOffset). The coordinator records them per node and
+	// uses the offset to rebase that node's span timestamps when merging a
+	// fabric trace. RTT bounds the estimate's error.
+	ClockOffsetNS int64 `json:"clock_offset_ns,omitempty"`
+	ClockRTTNS    int64 `json:"clock_rtt_ns,omitempty"`
+}
+
+// HeartbeatReply is the coordinator's response to a heartbeat: its own
+// clock reading taken while handling the request. The worker combines it
+// with its local send/receive timestamps to estimate the clock offset it
+// reports on the next beat.
+type HeartbeatReply struct {
+	CoordTimeNS int64 `json:"coord_time_ns"`
 }
 
 // PullRequest asks the coordinator for one work item.
@@ -143,6 +168,11 @@ type WorkItem struct {
 	// informational (workers run hedged items identically); the coordinator
 	// counts it.
 	Hedged bool `json:"hedged,omitempty"`
+	// SweepID tags the item with the distributed sweep that submitted it, so
+	// every span the worker records while executing it carries the sweep and
+	// the coordinator can later pull one sweep's spans out of every node's
+	// ring. Empty for items submitted outside a sweep.
+	SweepID string `json:"sweep_id,omitempty"`
 }
 
 // CompleteRequest reports one finished execution. On success BlobSum names
@@ -173,4 +203,45 @@ type SweepStatus struct {
 	Failed  int      `json:"failed"`
 	Pending int      `json:"pending"`
 	JobIDs  []string `json:"job_ids"`
+}
+
+// NodeStatus is one worker's row in ClusterStatus: the coordinator's
+// lease-table view joined with the worker's self-reported heartbeat
+// counters. Age fields are relative to the coordinator clock at snapshot
+// time.
+type NodeStatus struct {
+	Node          string `json:"node"`
+	Addr          string `json:"addr,omitempty"`
+	BeatAgeMS     int64  `json:"beat_age_ms"`
+	QueueDepth    int    `json:"queue_depth"`
+	Inflight      int    `json:"inflight"`
+	EngQueued     int64  `json:"eng_queued"`
+	EngRunning    int64  `json:"eng_running"`
+	ShardsInUse   int64  `json:"shards_in_use"`
+	ShardCapacity int    `json:"shard_capacity"`
+	ClockOffsetNS int64  `json:"clock_offset_ns,omitempty"`
+	ClockRTTNS    int64  `json:"clock_rtt_ns,omitempty"`
+	// OldestLeaseAgeMS / OldestLeaseJob identify the node's slowest
+	// in-flight job — the straggler signal `rsr top` sorts by.
+	OldestLeaseAgeMS int64  `json:"oldest_lease_age_ms,omitempty"`
+	OldestLeaseJob   string `json:"oldest_lease_job,omitempty"`
+}
+
+// ClusterStatus is the GET /v1/status payload: one federated snapshot of
+// the whole fabric, polled by `rsr top`.
+type ClusterStatus struct {
+	Draining bool `json:"draining"`
+	Lobby    int  `json:"lobby"`
+	Queued   int  `json:"queued"`
+	Running  int  `json:"running"`
+	Done     int  `json:"done"`
+	Failed   int  `json:"failed"`
+	Sweeps   int  `json:"sweeps"`
+	// Journal fsync latency summary (zero when the coordinator runs without
+	// a journal): count of fsyncs, their mean, and an upper bound on the
+	// 99th percentile from the histogram's bucket layout.
+	JournalFsyncs      uint64  `json:"journal_fsyncs,omitempty"`
+	JournalFsyncMeanMS float64 `json:"journal_fsync_mean_ms,omitempty"`
+	JournalFsyncP99MS  float64 `json:"journal_fsync_p99_ms,omitempty"`
+	Nodes              []NodeStatus `json:"nodes"`
 }

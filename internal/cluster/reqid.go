@@ -45,6 +45,17 @@ func RequestIDFrom(ctx context.Context) string {
 	return id
 }
 
+// sweepIDKey carries the distributed sweep ID through a request's context.
+type sweepIDKey struct{}
+
+// SweepIDFrom returns the sweep ID carried by the request's X-Sweep-ID
+// header (stashed by WithRequestLog), or "" when the request is not part of
+// a distributed sweep.
+func SweepIDFrom(ctx context.Context) string {
+	id, _ := ctx.Value(sweepIDKey{}).(string)
+	return id
+}
+
 // statusWriter captures the response status for the request log. It forwards
 // Flush so ndjson event streams keep flushing through the wrapper.
 type statusWriter struct {
@@ -75,7 +86,9 @@ func (sw *statusWriter) Flush() {
 // response and stashed in the request context (RequestIDFrom), and exactly
 // one structured line is logged on completion. The stashed ID is what lets
 // handlers propagate the caller's correlation ID across node hops — into
-// engine submissions on a worker, or onto coordinator work items.
+// engine submissions on a worker, or onto coordinator work items. A sweep ID
+// arriving as X-Sweep-ID rides along the same way (SweepIDFrom) and appears
+// in the log line when present.
 func WithRequestLog(log *slog.Logger, ids *RequestIDs, next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		id := r.Header.Get("X-Request-ID")
@@ -83,19 +96,29 @@ func WithRequestLog(log *slog.Logger, ids *RequestIDs, next http.Handler) http.H
 			id = ids.Next()
 		}
 		w.Header().Set("X-Request-ID", id)
-		r = r.WithContext(context.WithValue(r.Context(), reqIDKey{}, id))
+		ctx := context.WithValue(r.Context(), reqIDKey{}, id)
+		sweep := r.Header.Get("X-Sweep-ID")
+		if sweep != "" {
+			ctx = context.WithValue(ctx, sweepIDKey{}, sweep)
+		}
+		r = r.WithContext(ctx)
 		sw := &statusWriter{ResponseWriter: w}
 		begin := time.Now()
 		next.ServeHTTP(sw, r)
 		if sw.status == 0 {
 			sw.status = http.StatusOK
 		}
-		log.Info("request",
+		attrs := []any{
 			"id", id,
 			"method", r.Method,
 			"path", r.URL.Path,
 			"status", sw.status,
 			"duration", time.Since(begin).Round(time.Microsecond),
-			"remote", r.RemoteAddr)
+			"remote", r.RemoteAddr,
+		}
+		if sweep != "" {
+			attrs = append(attrs, "sweep", sweep)
+		}
+		log.Info("request", attrs...)
 	})
 }

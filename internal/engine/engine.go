@@ -90,6 +90,7 @@ type task struct {
 	job   Job
 	hash  string
 	reqID string          // first submitter's correlation ID, echoed on events
+	sweep string          // first submitter's sweep trace tag, stamped on spans
 	ctx   context.Context // the first submitter's context governs the run
 
 	done chan struct{} // closed once res/err are set
@@ -185,7 +186,7 @@ func (e *Engine) Submit(ctx context.Context, job Job) (*Ticket, error) {
 		e.stats.coalesced.Add(1)
 		return &Ticket{t}, nil
 	}
-	t := &task{job: job, hash: hash, reqID: RequestIDFrom(ctx), ctx: ctx, done: make(chan struct{})}
+	t := &task{job: job, hash: hash, reqID: RequestIDFrom(ctx), sweep: SweepFrom(ctx), ctx: ctx, done: make(chan struct{})}
 	e.inflight[hash] = t
 	e.queue = append(e.queue, t)
 	e.cond.Signal()
@@ -295,7 +296,7 @@ func (e *Engine) execute(t *task) {
 	}
 	c0 := time.Now()
 	r, class := e.cache.get(t.hash)
-	e.obs.span("cache-load", tid, c0, obs.SpanArg{Key: "hit", Val: int64(class)})
+	e.obs.span(t.sweep, "cache-load", tid, c0, obs.SpanArg{Key: "hit", Val: int64(class)})
 	if class != hitMiss {
 		e.stats.cacheHits.Add(1)
 		if class == hitDisk {
@@ -329,7 +330,7 @@ func (e *Engine) execute(t *task) {
 			Err: err.Error(), Wall: wall, Attempt: attempt, RequestID: t.reqID})
 		b0 := time.Now()
 		ok := e.backoff(t.ctx, t.hash, attempt)
-		e.obs.span("retry-wait", tid, b0, obs.SpanArg{Key: "attempt", Val: int64(attempt)})
+		e.obs.span(t.sweep, "retry-wait", tid, b0, obs.SpanArg{Key: "attempt", Val: int64(attempt)})
 		if !ok {
 			if ctxErr := t.ctx.Err(); ctxErr != nil {
 				err = fmt.Errorf("engine: %s: %w", t.job.Label(), ctxErr)
@@ -371,9 +372,9 @@ func (e *Engine) attempt(t *task, attempt int, tid int64) (*Result, time.Duratio
 	}
 
 	begin := time.Now()
-	res, err := safeRun(t.job, e.opts.Fault, ctx.Done(), e.obs.samplingInstr(), e.obs.tracer(), e.opts.Checkpoints)
+	res, err := safeRun(t.job, e.opts.Fault, ctx.Done(), e.obs.samplingInstr(), e.obs.tracer(t.sweep), e.opts.Checkpoints)
 	wall := time.Since(begin)
-	e.obs.span("job-run", tid, begin, obs.SpanArg{Key: "attempt", Val: int64(attempt)},
+	e.obs.span(t.sweep, "job-run", tid, begin, obs.SpanArg{Key: "attempt", Val: int64(attempt)},
 		obs.SpanArg{Key: "ok", Val: boolArg(err == nil)})
 	if err != nil {
 		var pe *PanicError

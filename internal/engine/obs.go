@@ -85,12 +85,13 @@ func (eo *engineObs) jobTID() int64 {
 	return eo.tr.NextTID()
 }
 
-// span records one completed engine-side span for a task.
-func (eo *engineObs) span(name string, tid int64, t0 time.Time, args ...obs.SpanArg) {
+// span records one completed engine-side span for a task, stamped with the
+// task's sweep tag (when any) so a fabric trace aggregator can filter it.
+func (eo *engineObs) span(sweep, name string, tid int64, t0 time.Time, args ...obs.SpanArg) {
 	if eo == nil || eo.tr == nil {
 		return
 	}
-	eo.tr.Record(name, "engine", tid, t0, time.Since(t0), args...)
+	eo.tr.Scoped(sweep).Record(name, "engine", tid, t0, time.Since(t0), args...)
 }
 
 // observeJob feeds the latency histogram for one finished execution.
@@ -111,10 +112,10 @@ func (eo *engineObs) samplingInstr() *sampling.Instruments {
 }
 
 // tracer returns the span sink jobs should record into (nil when tracing is
-// off).
-func (eo *engineObs) tracer() *obs.Tracer {
+// off), scoped to the task's sweep tag so in-run sampling spans inherit it.
+func (eo *engineObs) tracer(sweep string) *obs.Tracer {
 	if eo == nil {
 		return nil
 	}
-	return eo.tr
+	return eo.tr.Scoped(sweep)
 }

@@ -28,6 +28,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 )
@@ -223,8 +224,19 @@ func NewRegistry() *Registry {
 
 // lookup returns the family, creating it on first use. Re-registering an
 // existing name with a different kind, label set, or bucket layout panics:
-// metric names are a program-wide contract and a mismatch is a bug.
+// metric names are a program-wide contract and a mismatch is a bug. Names
+// are validated against the Prometheus grammar at this single choke point
+// so a typo'd metric fails at registration, not when a scraper rejects the
+// exposition.
 func (r *Registry) lookup(name, help, kind string, labels []string, bounds []float64) *family {
+	if !ValidMetricName(name) {
+		panic(fmt.Sprintf("obs: invalid metric name %q", name))
+	}
+	for _, l := range labels {
+		if !ValidLabelName(l) {
+			panic(fmt.Sprintf("obs: metric %q has invalid label name %q", name, l))
+		}
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if f, ok := r.families[name]; ok {
@@ -238,6 +250,43 @@ func (r *Registry) lookup(name, help, kind string, labels []string, bounds []flo
 	r.families[name] = f
 	r.order = append(r.order, f)
 	return f
+}
+
+// ValidMetricName reports whether name matches the Prometheus metric-name
+// grammar [a-zA-Z_:][a-zA-Z0-9_:]*.
+func ValidMetricName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		ok := c == '_' || c == ':' ||
+			('a' <= c && c <= 'z') || ('A' <= c && c <= 'Z') ||
+			(i > 0 && '0' <= c && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// ValidLabelName reports whether name matches the Prometheus label-name
+// grammar [a-zA-Z_][a-zA-Z0-9_]*. Double-underscore prefixes are reserved
+// for internal use by Prometheus itself and rejected here.
+func ValidLabelName(name string) bool {
+	if name == "" || strings.HasPrefix(name, "__") {
+		return false
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		ok := c == '_' ||
+			('a' <= c && c <= 'z') || ('A' <= c && c <= 'Z') ||
+			(i > 0 && '0' <= c && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
 }
 
 // get returns the series for the given label values, creating it on demand.

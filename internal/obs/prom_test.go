@@ -1,0 +1,118 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestEscapeLabelTable(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"plain", "plain"},
+		{"", ""},
+		{`back\slash`, `back\\slash`},
+		{`quo"te`, `quo\"te`},
+		{"new\nline", `new\nline`},
+		{"all\\three\"\n", `all\\three\"\n`},
+		{`R$BP (20%)`, `R$BP (20%)`}, // method labels pass through untouched
+	}
+	for _, c := range cases {
+		if got := escapeLabel(c.in); got != c.want {
+			t.Errorf("escapeLabel(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestEscapeHelpTable(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"plain help", "plain help"},
+		{`a\b`, `a\\b`},
+		{"two\nlines", `two\nlines`},
+		{`quotes "stay"`, `quotes "stay"`}, // HELP text does not escape quotes
+	}
+	for _, c := range cases {
+		if got := escapeHelp(c.in); got != c.want {
+			t.Errorf("escapeHelp(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestValidMetricName(t *testing.T) {
+	cases := []struct {
+		name string
+		ok   bool
+	}{
+		{"rsr_engine_jobs_total", true},
+		{"a", true},
+		{"_hidden", true},
+		{"ns:sub:metric", true},
+		{"UPPER_Case9", true},
+		{"", false},
+		{"9leading_digit", false},
+		{"has-dash", false},
+		{"has space", false},
+		{"unicode_µ", false},
+	}
+	for _, c := range cases {
+		if got := ValidMetricName(c.name); got != c.ok {
+			t.Errorf("ValidMetricName(%q) = %v, want %v", c.name, got, c.ok)
+		}
+	}
+}
+
+func TestValidLabelName(t *testing.T) {
+	cases := []struct {
+		name string
+		ok   bool
+	}{
+		{"node", true},
+		{"work_load", true},
+		{"_internalish", true},
+		{"l9", true},
+		{"", false},
+		{"__reserved", false},
+		{"9bad", false},
+		{"colon:bad", false}, // colons are metric-name only
+		{"bad-dash", false},
+	}
+	for _, c := range cases {
+		if got := ValidLabelName(c.name); got != c.ok {
+			t.Errorf("ValidLabelName(%q) = %v, want %v", c.name, got, c.ok)
+		}
+	}
+}
+
+func TestRegistryRejectsInvalidNames(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		fn()
+	}
+	r := NewRegistry()
+	mustPanic("bad metric name", func() { r.Counter("bad-name", "") })
+	mustPanic("bad label name", func() { r.CounterVec("ok_name", "", "bad-label") })
+	mustPanic("reserved label", func() { r.GaugeVec("ok_name2", "", "__name__") })
+}
+
+func TestPrometheusEscapedLabelValues(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("rsr_test_total", "help with\nnewline", "method")
+	v.With(`R"B\P` + "\n").Inc()
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	wantSample := `rsr_test_total{method="R\"B\\P\n"} 1`
+	if !strings.Contains(out, wantSample) {
+		t.Errorf("exposition missing escaped sample %q:\n%s", wantSample, out)
+	}
+	wantHelp := `# HELP rsr_test_total help with\nnewline`
+	if !strings.Contains(out, wantHelp) {
+		t.Errorf("exposition missing escaped help %q:\n%s", wantHelp, out)
+	}
+}

@@ -14,8 +14,8 @@ import (
 // indices, applied-reference counts). Fixed-size args keep span recording
 // allocation-free.
 type SpanArg struct {
-	Key string
-	Val int64
+	Key string `json:"key"`
+	Val int64  `json:"val"`
 }
 
 // maxSpanArgs bounds annotations per span; extra Arg calls are dropped.
@@ -25,11 +25,25 @@ const maxSpanArgs = 4
 type spanRecord struct {
 	name  string
 	cat   string
+	sweep string // distributed sweep tag; "" outside a scoped tracer
 	tid   int64
 	start time.Duration // since the tracer epoch
 	dur   time.Duration
 	args  [maxSpanArgs]SpanArg
 	nargs int
+}
+
+// tracerState is the shared mutable half of a Tracer: the span ring and the
+// track-ID counter. Every Scoped view of one tracer records into the same
+// state, so a process keeps a single ring no matter how many sweeps flow
+// through it.
+type tracerState struct {
+	nextTID atomic.Int64
+
+	mu      sync.Mutex
+	ring    []spanRecord
+	next    uint64 // total spans recorded; next % len(ring) is the write slot
+	dropped uint64 // spans overwritten after the ring wrapped
 }
 
 // Tracer records named phase spans into a fixed-capacity ring buffer and
@@ -38,16 +52,18 @@ type spanRecord struct {
 // overwritten: a long run keeps its most recent history, which is the
 // window being debugged. A nil *Tracer discards all spans at the cost of
 // one branch. All methods are safe for concurrent use.
+//
+// A Tracer is a view over shared state: Scoped returns a second view that
+// stamps every span it records with a distributed sweep ID, while writing
+// into the same ring. The sweep tag is what lets a coordinator pull one
+// sweep's spans out of a worker's ring that is concurrently serving other
+// traffic.
 type Tracer struct {
 	epoch time.Time
 	now   func() time.Time // test seam; time.Now by default
+	sweep string           // stamped on every span this view records
 
-	nextTID atomic.Int64
-
-	mu      sync.Mutex
-	ring    []spanRecord
-	next    uint64 // total spans recorded; next % len(ring) is the write slot
-	dropped uint64 // spans overwritten after the ring wrapped
+	state *tracerState
 }
 
 // DefaultTraceCapacity is the span ring size used when NewTracer is given a
@@ -60,7 +76,29 @@ func NewTracer(capacity int) *Tracer {
 	if capacity <= 0 {
 		capacity = DefaultTraceCapacity
 	}
-	return &Tracer{epoch: time.Now(), now: time.Now, ring: make([]spanRecord, 0, capacity)}
+	return &Tracer{epoch: time.Now(), now: time.Now,
+		state: &tracerState{ring: make([]spanRecord, 0, capacity)}}
+}
+
+// Scoped returns a view of the same tracer that stamps sweep onto every span
+// it records (Begin/End and Record alike). Views share the ring, the track-ID
+// counter, and the epoch, so scoped spans interleave naturally with unscoped
+// ones. A nil tracer scopes to nil; an empty sweep returns the receiver.
+func (t *Tracer) Scoped(sweep string) *Tracer {
+	if t == nil || sweep == "" || sweep == t.sweep {
+		return t
+	}
+	v := *t
+	v.sweep = sweep
+	return &v
+}
+
+// Sweep returns the sweep ID this view stamps, "" for the root view.
+func (t *Tracer) Sweep() string {
+	if t == nil {
+		return ""
+	}
+	return t.sweep
 }
 
 // NextTID hands out a fresh logical track ID. Chrome's trace viewer nests
@@ -70,7 +108,7 @@ func (t *Tracer) NextTID() int64 {
 	if t == nil {
 		return 0
 	}
-	return t.nextTID.Add(1)
+	return t.state.nextTID.Add(1)
 }
 
 // Span is an in-progress phase measurement returned by Begin. It is a value
@@ -112,7 +150,7 @@ func (s Span) End() {
 		return
 	}
 	end := t.now().Sub(t.epoch)
-	t.commit(spanRecord{name: s.name, cat: s.cat, tid: s.tid,
+	t.commit(spanRecord{name: s.name, cat: s.cat, sweep: t.sweep, tid: s.tid,
 		start: s.start, dur: end - s.start, args: s.args, nargs: s.nargs})
 }
 
@@ -125,7 +163,8 @@ func (t *Tracer) Record(name, cat string, tid int64, start time.Time, dur time.D
 	if t == nil {
 		return
 	}
-	rec := spanRecord{name: name, cat: cat, tid: tid, start: start.Sub(t.epoch), dur: dur}
+	rec := spanRecord{name: name, cat: cat, sweep: t.sweep, tid: tid,
+		start: start.Sub(t.epoch), dur: dur}
 	rec.nargs = copy(rec.args[:], args)
 	t.commit(rec)
 }
@@ -133,15 +172,16 @@ func (t *Tracer) Record(name, cat string, tid int64, start time.Time, dur time.D
 // commit appends one completed span, overwriting the oldest once the ring
 // is full.
 func (t *Tracer) commit(rec spanRecord) {
-	t.mu.Lock()
-	if len(t.ring) < cap(t.ring) {
-		t.ring = append(t.ring, spanRecord{})
+	st := t.state
+	st.mu.Lock()
+	if len(st.ring) < cap(st.ring) {
+		st.ring = append(st.ring, spanRecord{})
 	} else {
-		t.dropped++
+		st.dropped++
 	}
-	t.ring[t.next%uint64(cap(t.ring))] = rec
-	t.next++
-	t.mu.Unlock()
+	st.ring[st.next%uint64(cap(st.ring))] = rec
+	st.next++
+	st.mu.Unlock()
 }
 
 // Len reports how many spans are currently held (at most the capacity).
@@ -149,9 +189,9 @@ func (t *Tracer) Len() int {
 	if t == nil {
 		return 0
 	}
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return len(t.ring)
+	t.state.mu.Lock()
+	defer t.state.mu.Unlock()
+	return len(t.state.ring)
 }
 
 // Dropped reports how many spans were overwritten after the ring wrapped.
@@ -159,9 +199,58 @@ func (t *Tracer) Dropped() uint64 {
 	if t == nil {
 		return 0
 	}
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return t.dropped
+	t.state.mu.Lock()
+	defer t.state.mu.Unlock()
+	return t.state.dropped
+}
+
+// snapshotRing copies the held spans out under the lock.
+func (t *Tracer) snapshotRing() []spanRecord {
+	if t == nil {
+		return nil
+	}
+	t.state.mu.Lock()
+	defer t.state.mu.Unlock()
+	return append([]spanRecord(nil), t.state.ring...)
+}
+
+// SpanDump is one completed span in wire form: absolute unix-nano timestamps
+// instead of epoch-relative offsets, so rings from different processes can be
+// merged (after clock rebase) into one trace. Serialized by a worker's
+// GET /v1/trace and consumed by the coordinator's sweep-trace aggregation.
+type SpanDump struct {
+	Name  string    `json:"name"`
+	Cat   string    `json:"cat"`
+	Sweep string    `json:"sweep,omitempty"`
+	TID   int64     `json:"tid"`
+	Start int64     `json:"start_unix_ns"`
+	Dur   int64     `json:"dur_ns"`
+	Args  []SpanArg `json:"args,omitempty"`
+}
+
+// Dump exports the held spans with absolute timestamps, keeping only those
+// stamped with the given sweep ID (sweep "" keeps everything).
+func (t *Tracer) Dump(sweep string) []SpanDump {
+	var out []SpanDump
+	for _, r := range t.snapshotRing() {
+		if sweep != "" && r.sweep != sweep {
+			continue
+		}
+		d := SpanDump{
+			Name:  r.name,
+			Cat:   r.cat,
+			Sweep: r.sweep,
+			TID:   r.tid,
+			Start: t.epoch.Add(r.start).UnixNano(),
+			Dur:   r.dur.Nanoseconds(),
+		}
+		if r.nargs > 0 {
+			d.Args = append(d.Args, r.args[:r.nargs]...)
+		}
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Start < out[j].Start })
+	return out
 }
 
 // WriteChromeTrace renders the held spans as Chrome trace-event JSON:
@@ -169,12 +258,7 @@ func (t *Tracer) Dropped() uint64 {
 // timestamps and durations in microseconds since the tracer epoch, sorted
 // by start time. Load the file via chrome://tracing or ui.perfetto.dev.
 func (t *Tracer) WriteChromeTrace(w io.Writer) error {
-	var spans []spanRecord
-	if t != nil {
-		t.mu.Lock()
-		spans = append(spans, t.ring...)
-		t.mu.Unlock()
-	}
+	spans := t.snapshotRing()
 	sort.Slice(spans, func(i, j int) bool { return spans[i].start < spans[j].start })
 
 	bw := bufio.NewWriter(w)
@@ -183,7 +267,7 @@ func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 		if i > 0 {
 			bw.WriteByte(',')
 		}
-		writeTraceEvent(bw, &spans[i])
+		writeTraceEvent(bw, &spans[i], 1)
 	}
 	bw.WriteString("]}\n")
 	return bw.Flush()
@@ -192,26 +276,37 @@ func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 // writeTraceEvent emits one complete-event JSON object. Span names and
 // categories are identifier-like in this codebase, but method labels (e.g.
 // `R$BP (20%)`) flow into cat, so strings are escaped.
-func writeTraceEvent(bw *bufio.Writer, r *spanRecord) {
+func writeTraceEvent(bw *bufio.Writer, r *spanRecord, pid int) {
 	bw.WriteString(`{"name":`)
 	writeJSONString(bw, r.name)
 	bw.WriteString(`,"cat":`)
 	writeJSONString(bw, r.cat)
-	bw.WriteString(`,"ph":"X","pid":1,"tid":`)
+	bw.WriteString(`,"ph":"X","pid":`)
+	bw.WriteString(strconv.Itoa(pid))
+	bw.WriteString(`,"tid":`)
 	bw.WriteString(strconv.FormatInt(r.tid, 10))
 	bw.WriteString(`,"ts":`)
 	writeMicros(bw, r.start)
 	bw.WriteString(`,"dur":`)
 	writeMicros(bw, r.dur)
-	if r.nargs > 0 {
+	if r.nargs > 0 || r.sweep != "" {
 		bw.WriteString(`,"args":{`)
+		first := true
 		for i := 0; i < r.nargs; i++ {
-			if i > 0 {
+			if !first {
 				bw.WriteByte(',')
 			}
+			first = false
 			writeJSONString(bw, r.args[i].Key)
 			bw.WriteByte(':')
 			bw.WriteString(strconv.FormatInt(r.args[i].Val, 10))
+		}
+		if r.sweep != "" {
+			if !first {
+				bw.WriteByte(',')
+			}
+			bw.WriteString(`"sweep":`)
+			writeJSONString(bw, r.sweep)
 		}
 		bw.WriteByte('}')
 	}

@@ -1,0 +1,120 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// TraceDump is one node's contribution to a fabric-wide trace: the spans it
+// recorded for a sweep (absolute unix-nano timestamps from Tracer.Dump) plus
+// the coordinator's estimate of that node's clock offset. Offset follows the
+// NTP convention used by cluster.EstimateOffset: remote_clock = coord_clock
+// + offset, so rebasing a remote timestamp onto the coordinator clock is
+// ts - offset.
+type TraceDump struct {
+	Node          string     `json:"node"`
+	ClockOffsetNS int64      `json:"clock_offset_ns"`
+	Spans         []SpanDump `json:"spans"`
+}
+
+// WriteMergedChromeTrace renders dumps from several nodes as one Chrome
+// trace: each node gets its own process lane (pid), named via process_name
+// metadata, and every span's timestamp is rebased onto the coordinator
+// clock using the node's offset. The time origin is the earliest rebased
+// span start, so ts values stay small enough for trace viewers.
+func WriteMergedChromeTrace(w io.Writer, dumps []TraceDump) error {
+	type ev struct {
+		d   *SpanDump
+		pid int
+		ts  int64 // rebased, unix ns on the coordinator clock
+	}
+	var evs []ev
+	for i := range dumps {
+		pid := i + 1
+		for j := range dumps[i].Spans {
+			s := &dumps[i].Spans[j]
+			evs = append(evs, ev{d: s, pid: pid, ts: s.Start - dumps[i].ClockOffsetNS})
+		}
+	}
+	sort.Slice(evs, func(i, j int) bool { return evs[i].ts < evs[j].ts })
+
+	var origin int64
+	if len(evs) > 0 {
+		origin = evs[0].ts
+	}
+
+	bw := bufio.NewWriter(w)
+	bw.WriteString(`{"traceEvents":[`)
+	first := true
+	for i := range dumps {
+		if !first {
+			bw.WriteByte(',')
+		}
+		first = false
+		writeProcessName(bw, i+1, dumps[i].Node)
+	}
+	for i := range evs {
+		if !first {
+			bw.WriteByte(',')
+		}
+		first = false
+		writeDumpEvent(bw, evs[i].d, evs[i].pid, evs[i].ts-origin)
+	}
+	bw.WriteString("]}\n")
+	return bw.Flush()
+}
+
+// writeProcessName emits the metadata event that labels a pid lane.
+func writeProcessName(bw *bufio.Writer, pid int, name string) {
+	bw.WriteString(`{"name":"process_name","ph":"M","pid":`)
+	bw.WriteString(strconv.Itoa(pid))
+	bw.WriteString(`,"args":{"name":`)
+	writeJSONString(bw, name)
+	bw.WriteString(`}}`)
+}
+
+// writeDumpEvent emits one complete event from a SpanDump with the given
+// rebased nanosecond timestamp (relative to the merged-trace origin).
+func writeDumpEvent(bw *bufio.Writer, d *SpanDump, pid int, tsNS int64) {
+	bw.WriteString(`{"name":`)
+	writeJSONString(bw, d.Name)
+	bw.WriteString(`,"cat":`)
+	writeJSONString(bw, d.Cat)
+	bw.WriteString(`,"ph":"X","pid":`)
+	bw.WriteString(strconv.Itoa(pid))
+	bw.WriteString(`,"tid":`)
+	bw.WriteString(strconv.FormatInt(d.TID, 10))
+	bw.WriteString(`,"ts":`)
+	writeNanosAsMicros(bw, tsNS)
+	bw.WriteString(`,"dur":`)
+	writeNanosAsMicros(bw, d.Dur)
+	if len(d.Args) > 0 || d.Sweep != "" {
+		bw.WriteString(`,"args":{`)
+		first := true
+		for _, a := range d.Args {
+			if !first {
+				bw.WriteByte(',')
+			}
+			first = false
+			writeJSONString(bw, a.Key)
+			bw.WriteByte(':')
+			bw.WriteString(strconv.FormatInt(a.Val, 10))
+		}
+		if d.Sweep != "" {
+			if !first {
+				bw.WriteByte(',')
+			}
+			bw.WriteString(`"sweep":`)
+			writeJSONString(bw, d.Sweep)
+		}
+		bw.WriteByte('}')
+	}
+	bw.WriteByte('}')
+}
+
+// writeNanosAsMicros renders a nanosecond count as fractional microseconds.
+func writeNanosAsMicros(bw *bufio.Writer, ns int64) {
+	bw.WriteString(strconv.FormatFloat(float64(ns)/1e3, 'f', 3, 64))
+}
