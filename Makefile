@@ -13,6 +13,9 @@
 #                    tags, clock rebase), federated /metrics, /v1/status
 #   make shard-smoke sharded-pipeline check: race-enabled full-method sweep
 #                    diffed byte-for-byte against the sequential pipeline
+#   make regimen-smoke  sampling-strategy check: `-regimen stratified-uniform`
+#                    diffed byte-for-byte against the legacy run path, then
+#                    every registered strategy run end to end
 #   make recovery-smoke  crash-recovery check: SIGKILL the coordinator
 #                    mid-sweep, restart it on the same journal, diff the
 #                    sweep against a single-node run
@@ -26,9 +29,9 @@
 GO ?= go
 LABEL ?= dev
 
-.PHONY: all build test verify chaos obs-smoke cluster-smoke trace-smoke shard-smoke recovery-smoke bench bench-sweep
+.PHONY: all build test verify chaos obs-smoke cluster-smoke trace-smoke shard-smoke recovery-smoke regimen-smoke bench bench-sweep
 
-all: build test verify chaos obs-smoke cluster-smoke trace-smoke shard-smoke recovery-smoke
+all: build test verify chaos obs-smoke cluster-smoke trace-smoke shard-smoke recovery-smoke regimen-smoke
 
 build:
 	$(GO) build ./...
@@ -43,11 +46,13 @@ test: build
 # sharded cluster pipeline (parallel_test.go's byte-identity and
 # cancellation tests run under -race here). The cluster and cas packages
 # carry the distributed scheduler and the shared content-addressed store,
-# both all-mutex-and-goroutine code.
+# both all-mutex-and-goroutine code. The regimen package's strategies drive
+# the sharded pipeline and cancellation channel, so its byte-identity and
+# cancellation tests run under -race too.
 verify:
 	$(GO) vet ./...
 	$(GO) test -race ./internal/obs/... ./internal/engine/... ./internal/sampling/... \
-		./internal/cluster/... ./internal/cas/... ./cmd/rsrd/...
+		./internal/regimen/... ./internal/cluster/... ./internal/cas/... ./cmd/rsrd/...
 
 # chaos drives the deterministic fault injector through the engine's real
 # cache and run paths under the race detector: injected disk errors, torn
@@ -94,6 +99,13 @@ recovery-smoke: build
 # sequential pipeline. scripts/shard-smoke.sh diffs the sweep tables.
 shard-smoke:
 	./scripts/shard-smoke.sh
+
+# regimen-smoke proves the sampling-strategy seam end to end with the real
+# CLI: `-regimen stratified-uniform` must be byte-identical to the legacy
+# run path (only the wall-clock `time` line is filtered), and every strategy
+# listed by `rsr regimens` must complete a run under the race detector.
+regimen-smoke:
+	./scripts/regimen-smoke.sh
 
 bench:
 	$(GO) run ./cmd/rsrbench -label $(LABEL)

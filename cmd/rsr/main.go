@@ -21,7 +21,11 @@
 //	sweep      warm-up percentage sweep on one workload (use -workload)
 //	report     self-contained HTML report with charts (use -out)
 //	all        every table and figure, in order
-//	run        one sampled run (use -workload and -method)
+//	run        one sampled run (use -workload, -method, and optionally
+//	           -regimen to pick the sampling strategy)
+//	regimens   list the pluggable sampling strategies
+//	strategies sampling-strategy head-to-head: every registered strategy on
+//	           the lab's workloads, scored against the true IPC
 //	top        live cluster status view (requires -cluster): queue depths,
 //	           in-flight leases, shard utilization, stragglers, journal
 //	           fsync latency, refreshed every second until interrupted
@@ -41,6 +45,10 @@
 //	-stats         print engine scheduler/cache statistics to stderr when done
 //	-workload s    workload for `run`
 //	-method s      method label for `run` (e.g. "R$BP (20%)", "S$BP", "None")
+//	-regimen s     sampling strategy for `run` (see `rsr regimens`); empty
+//	               runs the legacy engine path, which is byte-identical to
+//	               "stratified-uniform". Like every flag, it must precede
+//	               the command: `rsr -regimen ranked-set run`
 //	-cpuprofile f  write a CPU profile to f
 //	-memprofile f  write an allocation profile to f on exit
 //	-metrics-out f write a JSON metrics snapshot to f on exit
@@ -68,7 +76,10 @@ import (
 	"rsr/internal/engine"
 	"rsr/internal/experiments"
 	"rsr/internal/obs"
+	"rsr/internal/regimen"
 	"rsr/internal/report"
+	"rsr/internal/sampling"
+	"rsr/internal/stats"
 	"rsr/internal/warmup"
 	"rsr/internal/workload"
 )
@@ -101,6 +112,7 @@ func main() {
 	out := flag.String("out", "rsr-report.html", "output path for `report`")
 	workloadFlag := flag.String("workload", "twolf", "workload for `run`")
 	methodFlag := flag.String("method", "R$BP (20%)", "warm-up method label for `run`")
+	regimenFlag := flag.String("regimen", "", "sampling strategy for `run` (empty = legacy engine path, identical to stratified-uniform; see `rsr regimens`)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to `file`")
 	memProfile := flag.String("memprofile", "", "write an allocation profile to `file` on exit")
 	metricsOut := flag.String("metrics-out", "", "write a JSON metrics snapshot (engine, phase, warm-up families) to `file` on exit")
@@ -228,7 +240,7 @@ func main() {
 		}
 		return
 	}
-	err := dispatch(cmd, cfg, *workloadFlag, *methodFlag, *format, *out, *stats)
+	err := dispatch(cmd, cfg, *workloadFlag, *methodFlag, *regimenFlag, *format, *out, *stats)
 
 	// In cluster mode the spans live on the fabric, not in this process:
 	// -trace-out captures the coordinator's merged fabric trace (coordinator
@@ -309,7 +321,7 @@ func writeTrace(tr *obs.Tracer, path string) error {
 	return err
 }
 
-func dispatch(cmd string, cfg experiments.Config, wl, method, format, out string, stats bool) error {
+func dispatch(cmd string, cfg experiments.Config, wl, method, regimenName, format, out string, stats bool) error {
 	lab := experiments.NewLab(cfg)
 	defer lab.Close()
 	if stats && lab.Engine() != nil {
@@ -459,7 +471,32 @@ func dispatch(cmd string, cfg experiments.Config, wl, method, format, out string
 			fmt.Printf("%-10s %12.4f %12.4f %8.2fx\n", r.Workload, r.IPCBaseline, r.IPCPrefetch, r.Speedup)
 		}
 		return nil
+	case "regimens":
+		fmt.Println("sampling strategies (rsr -regimen <name> run; flags precede the command):")
+		for _, s := range regimen.All() {
+			fmt.Printf("  %-22s %s\n", s.Name(), s.Describe())
+		}
+		return nil
+	case "strategies":
+		cells, err := lab.StrategyHeadToHead()
+		if err != nil {
+			return err
+		}
+		switch format {
+		case "csv":
+			return experiments.WriteStrategiesCSV(os.Stdout, cells)
+		case "json":
+			return experiments.WriteJSON(os.Stdout, cells)
+		default:
+			fmt.Print(experiments.RenderStrategies(cells))
+		}
+		return nil
 	case "sweep":
+		// The workload name is user input: fail on a typo instead of
+		// silently sweeping under the default regimen.
+		if _, err := experiments.RegimenForStrict(wl); err != nil {
+			return err
+		}
 		rev, fp, err := lab.Sweep(wl, nil)
 		if err != nil {
 			return err
@@ -478,6 +515,15 @@ func dispatch(cmd string, cfg experiments.Config, wl, method, format, out string
 		if err != nil {
 			return fmt.Errorf("%w (see `rsr list`)", err)
 		}
+		// The workload name is user input: fail on a typo instead of
+		// silently running the default regimen.
+		reg, err := experiments.RegimenForStrict(wl)
+		if err != nil {
+			return err
+		}
+		if regimenName != "" {
+			return runStrategy(lab, cfg, wl, regimenName, reg, spec)
+		}
 		cell, err := lab.Run(wl, spec)
 		if err != nil {
 			return err
@@ -487,8 +533,51 @@ func dispatch(cmd string, cfg experiments.Config, wl, method, format, out string
 			cell.Confident, cell.Elapsed, cell.Work)
 		return nil
 	default:
-		return fmt.Errorf("unknown command %q (try: list, table1, table2, fig5..fig9, appendix, all, run)", cmd)
+		return fmt.Errorf("unknown command %q (try: list, table1, table2, fig5..fig9, appendix, all, regimens, strategies, run)", cmd)
 	}
+}
+
+// runStrategy executes one run through a named sampling strategy, scored
+// against the engine-cached true IPC. The output fields match the legacy
+// `run` path exactly (only wall-clock `time` differs run to run), so
+// `-regimen stratified-uniform` diffs clean against the pre-strategy path —
+// the regimen-smoke CI target relies on this.
+func runStrategy(lab *experiments.Lab, cfg experiments.Config, wl, name string, reg sampling.Regimen, spec warmup.Spec) error {
+	strat, err := regimen.ByName(name)
+	if err != nil {
+		return fmt.Errorf("%w (see `rsr regimens`)", err)
+	}
+	full, err := lab.Full(wl)
+	if err != nil {
+		return err
+	}
+	trueIPC := full.Result.IPC()
+	w, err := workload.ByName(wl)
+	if err != nil {
+		return err
+	}
+	shards := cfg.Shards
+	out, err := strat.Run(regimen.Params{
+		Program: w.Build(),
+		Machine: sampling.DefaultMachine(),
+		Regimen: reg,
+		Total:   cfg.Total(),
+		Seed:    cfg.Seed,
+		Warmup:  spec,
+		Shards:  shards,
+		Instr:   regimen.NewInstruments(cfg.Metrics),
+	})
+	if err != nil {
+		return err
+	}
+	rel := stats.RelErr(out.Estimate.IPC, trueIPC)
+	fmt.Printf("workload   %s\nmethod     %s\ntrue IPC   %.4f\nestimate   %.4f\nrel error  %.4f\nconfident  %v\ntime       %v\nwork       %+v\n",
+		wl, spec.Label(), trueIPC, out.Estimate.IPC, rel,
+		out.Estimate.Confident(trueIPC), out.Elapsed, out.Work)
+	if out.Plan.ProfileInstructions > 0 {
+		fmt.Printf("profile    %d instructions\n", out.Plan.ProfileInstructions)
+	}
+	return nil
 }
 
 // writeReport renders the full HTML report (Table 1, Figures 5-9).

@@ -45,6 +45,7 @@ import (
 	"rsr/internal/experiments"
 	"rsr/internal/funcsim"
 	"rsr/internal/mem"
+	"rsr/internal/regimen"
 	"rsr/internal/sampling"
 	"rsr/internal/trace"
 	"rsr/internal/warmup"
@@ -264,6 +265,32 @@ func measure() []Metric {
 			}
 		})
 		out = append(out, throughput("recon_shardside_"+arm.name, "runs/s", 1, r))
+	}
+
+	// Sampling-strategy arms: one end-to-end run per registered regimen on
+	// the same workload, budget, and warm-up. The stratified-uniform arm is
+	// the pre-refactor warmup_R$BP (20%) path through the strategy seam
+	// (byte-identical results); the others price their selection passes
+	// (sketch-cache scoring, BBV profiling) against the fixed design.
+	stratSpec := warmup.Spec{Kind: warmup.KindReverse, Percent: 20, Cache: true, BPred: true}
+	for _, strat := range regimen.All() {
+		strat := strat
+		p := regimen.Params{
+			Program: gcc,
+			Machine: sampling.DefaultMachine(),
+			Regimen: reg,
+			Total:   2_000_000,
+			Seed:    1,
+			Warmup:  stratSpec,
+		}
+		r = testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := strat.Run(p); err != nil {
+					fail(err)
+				}
+			}
+		})
+		out = append(out, throughput("regimen_"+strat.Name(), "runs/s", 1, r))
 	}
 
 	// One end-to-end figure at reduced scale: exercises the engine, the

@@ -193,9 +193,17 @@ func (r jobRequest) toJob() (engine.Job, error) {
 		j.Seed = *r.Seed
 	}
 	if j.Kind == engine.JobSampled {
-		j.Regimen = experiments.RegimenFor(r.Workload)
 		if r.Regimen != nil {
 			j.Regimen = *r.Regimen
+		} else {
+			// The workload name is user input: an unknown name must fail
+			// here (400) rather than silently simulate under the default
+			// design.
+			reg, err := experiments.RegimenForStrict(r.Workload)
+			if err != nil {
+				return engine.Job{}, err
+			}
+			j.Regimen = reg
 		}
 		spec, err := warmup.SpecByLabel(r.Method)
 		if err != nil {

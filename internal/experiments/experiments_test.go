@@ -25,6 +25,24 @@ func TestRegimenForKnownAndDefault(t *testing.T) {
 	if def.ClusterSize == 0 || def.NumClusters == 0 {
 		t.Error("default regimen must be usable")
 	}
+	if def != DefaultRegimen() {
+		t.Error("fallback must be DefaultRegimen")
+	}
+}
+
+func TestRegimenForStrict(t *testing.T) {
+	r, err := RegimenForStrict("mcf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r != RegimenFor("mcf") {
+		t.Errorf("strict lookup diverged: %+v vs %+v", r, RegimenFor("mcf"))
+	}
+	if _, err := RegimenForStrict("unknown"); err == nil {
+		t.Fatal("unknown workload must error")
+	} else if !strings.Contains(err.Error(), "unknown workload") {
+		t.Fatalf("unhelpful error: %v", err)
+	}
 }
 
 func TestTable1(t *testing.T) {
@@ -186,5 +204,53 @@ func TestSweep(t *testing.T) {
 	// at this workload's scale).
 	if rev[1].Cell.RelErr > rev[0].Cell.RelErr+0.01 {
 		t.Fatalf("reverse RE degraded: %v -> %v", rev[0].Cell.RelErr, rev[1].Cell.RelErr)
+	}
+}
+
+func TestStrategyHeadToHead(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Scale = 0.02 // 400K instructions: every strategy runs in well under a second
+	cfg.Workloads = []string{"twolf"}
+	lab := NewLab(cfg)
+	defer lab.Close()
+	cells, err := lab.StrategyHeadToHead()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 5 {
+		t.Fatalf("cells = %d, want one per registered strategy", len(cells))
+	}
+	seen := map[string]bool{}
+	for _, c := range cells {
+		if seen[c.Strategy] {
+			t.Fatalf("duplicate strategy %s", c.Strategy)
+		}
+		seen[c.Strategy] = true
+		if c.TrueIPC <= 0 || c.Estimate <= 0 {
+			t.Fatalf("%s: degenerate cell %+v", c.Strategy, c)
+		}
+		if c.RelErr > 1 {
+			t.Fatalf("%s: relative error %.2f implausible even at tiny scale", c.Strategy, c.RelErr)
+		}
+		if c.HotInstructions == 0 {
+			t.Fatalf("%s: no detailed work recorded", c.Strategy)
+		}
+	}
+	avgs := AverageByStrategy(cells)
+	if len(avgs) != 5 {
+		t.Fatalf("averages = %d", len(avgs))
+	}
+	text := RenderStrategies(cells)
+	for name := range seen {
+		if !strings.Contains(text, name) {
+			t.Fatalf("render missing %s", name)
+		}
+	}
+	var csvOut strings.Builder
+	if err := WriteStrategiesCSV(&csvOut, cells); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(csvOut.String(), "\n"); got != len(cells)+1 {
+		t.Fatalf("csv lines = %d, want %d", got, len(cells)+1)
 	}
 }

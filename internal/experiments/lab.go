@@ -130,12 +130,36 @@ var regimens = map[string]sampling.Regimen{
 	"vpr":    {ClusterSize: 12000, NumClusters: 50},
 }
 
-// RegimenFor returns the sampling regimen used for a workload.
+// DefaultRegimen is the design used when a workload has no tuned entry in
+// the regimen table.
+func DefaultRegimen() sampling.Regimen {
+	return sampling.Regimen{ClusterSize: 2000, NumClusters: 50}
+}
+
+// RegimenFor returns the sampling regimen used for a workload, falling back
+// to DefaultRegimen for names outside the table. The fallback is for
+// internal callers iterating the known workload list; anything handling
+// user-supplied names must use RegimenForStrict so a typo cannot silently
+// run the wrong design.
 func RegimenFor(name string) sampling.Regimen {
 	if r, ok := regimens[name]; ok {
 		return r
 	}
-	return sampling.Regimen{ClusterSize: 2000, NumClusters: 50}
+	return DefaultRegimen()
+}
+
+// RegimenForStrict is RegimenFor without the silent fallback: unknown
+// workload names error so callers passing user input (CLI flags, API
+// requests) surface the mistake instead of simulating under a default
+// design the user never asked for.
+func RegimenForStrict(name string) (sampling.Regimen, error) {
+	if r, ok := regimens[name]; ok {
+		return r, nil
+	}
+	if _, err := workload.ByName(name); err != nil {
+		return sampling.Regimen{}, fmt.Errorf("experiments: no regimen for unknown workload %q: %w", name, err)
+	}
+	return sampling.Regimen{}, fmt.Errorf("experiments: workload %q has no tuned regimen (use an explicit regimen or DefaultRegimen)", name)
 }
 
 // Lab runs simulations with a shared cache of true-IPC baselines. All runs

@@ -1,0 +1,236 @@
+// Package regimen turns the sampling design into a pluggable strategy: a
+// Strategy owns region selection (which parts of the workload are simulated
+// in detail, and from what profiling signal), the warm-up policy applied
+// between them, and the IPC estimator that turns the measurements into a
+// point estimate with a confidence interval.
+//
+// Five strategies are registered:
+//
+//   - stratified-uniform: the paper's design — stratified-uniform placement,
+//     mean-cluster-CPI estimator. It delegates to sampling.RunSampledOpts, so
+//     its results are byte-identical to the pre-strategy code path (pinned by
+//     TestStratifiedUniformByteIdentical).
+//   - simpoint: the SimPoint baseline — BBV profiling, k-means selection,
+//     weighted-IPC estimate. Delegates to simpoint.Estimate (byte-identity
+//     pinned by TestSimPointByteIdentical).
+//   - ranked-set: ranked-set sampling (arXiv 2603.22598). A cheap functional
+//     pass scores m*n candidate regions with a sketch-cache miss count; each
+//     consecutive group of m candidates contributes the member holding a
+//     rotating order statistic, spreading the n detailed regions across the
+//     statistic's distribution.
+//   - repeated-subsampling: interpenetrating subsamples (arXiv 2603.22598).
+//     The n clusters are placed exactly like stratified-uniform but split
+//     round-robin into R interleaved draws; the estimate is the mean of draw
+//     means and the confidence interval comes from the spread *between*
+//     draws, which stays honest when within-draw samples correlate.
+//   - two-phase-stratified: two-phase stratified sampling (arXiv
+//     2603.22605). BBV profiling + k-means stratify the workload by phase; a
+//     proportional pilot measures per-stratum variance, and the second-phase
+//     budget is allocated by Neyman allocation (n_h ∝ W_h·S_h) before the
+//     stratified estimator combines both phases.
+//
+// Every strategy is deterministic in (program, machine, regimen, total,
+// seed, warmup): like the sampling package, running one is a pure function
+// of its inputs.
+package regimen
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"rsr/internal/ooo"
+	"rsr/internal/prog"
+	"rsr/internal/sampling"
+	"rsr/internal/stats"
+	"rsr/internal/warmup"
+)
+
+// Params carries the inputs shared by every strategy. Regimen doubles as the
+// detailed-simulation budget: ClusterSize instructions per region,
+// NumClusters regions in total — so every strategy spends the same hot
+// budget as the paper's design and comparisons are work-for-work.
+type Params struct {
+	Program *prog.Program
+	Machine sampling.MachineConfig
+	Regimen sampling.Regimen
+	Total   uint64
+	Seed    int64
+	Warmup  warmup.Spec
+	// Cancel, when non-nil, aborts the run with sampling.ErrCanceled once
+	// closed; strategies poll it at batch granularity like the sampling
+	// package does.
+	Cancel <-chan struct{}
+	// Shards forwards intra-run cluster parallelism to strategies that
+	// execute through the sampling pipeline (currently stratified-uniform;
+	// the others run their measurement passes sequentially).
+	Shards int
+	// Instr, when non-nil, records per-strategy selection and allocation
+	// metrics. Nil disables recording; results are identical either way.
+	Instr *Instruments
+}
+
+// Region is one detailed-simulation region a strategy selected.
+type Region struct {
+	// Start is the dynamic instruction index where detailed simulation
+	// begins; Size is its length in instructions.
+	Start, Size uint64
+	// Weight is the region's estimator weight (1 when the estimator weighs
+	// regions equally).
+	Weight float64
+	// Stratum is the phase/stratum id the region was drawn from, or -1 when
+	// the strategy does not stratify.
+	Stratum int
+	// Draw is the subsample the region belongs to, or -1 when the strategy
+	// does not subsample.
+	Draw int
+}
+
+// Plan is a strategy's selection decision: the regions to simulate in
+// detail, in execution order.
+type Plan struct {
+	Regions []Region
+	// Candidates is how many regions selection considered (equal to
+	// len(Regions) for strategies that place rather than choose).
+	Candidates int
+	// Strata is the number of strata the plan draws from (0 = unstratified).
+	Strata int
+	// ProfileInstructions counts the functional instructions the cheap
+	// selection pass executed (0 for strategies that select without
+	// profiling).
+	ProfileInstructions uint64
+}
+
+// Estimate is a strategy's IPC estimate with its confidence interval.
+type Estimate struct {
+	// IPC is the point estimate.
+	IPC float64
+	// CI is the 95% confidence interval in Space.
+	CI stats.Interval
+	// Space names the space the interval lives in: "CPI" for strategies
+	// that aggregate cycles-per-instruction (the unbiased estimator for
+	// equal-size regions), "IPC" for weighted-IPC estimators like SimPoint.
+	Space string
+}
+
+// Confident reports whether the interval covers the true IPC, evaluated in
+// the estimate's own space.
+func (e Estimate) Confident(trueIPC float64) bool {
+	switch e.Space {
+	case "CPI":
+		if trueIPC == 0 {
+			return false
+		}
+		return e.CI.Contains(1 / trueIPC)
+	default:
+		return e.CI.Contains(trueIPC)
+	}
+}
+
+// Outcome is one finished strategy run.
+type Outcome struct {
+	Strategy string
+	Estimate Estimate
+	// Regions are the simulated regions with their measurements, in
+	// execution order across all passes.
+	Regions []Measured
+	// Plan echoes the selection decision (candidates, strata, profile cost).
+	Plan Plan
+	// Elapsed is the wall-clock duration of the whole run, selection pass
+	// included.
+	Elapsed time.Duration
+	// Work is the warm-up methods' accumulated state-operation count.
+	Work warmup.Work
+	// FuncInstructions counts functionally executed instructions across all
+	// measurement passes (profiling passes count under
+	// Plan.ProfileInstructions instead, mirroring how the SimPoint baseline
+	// reports its offline profile separately).
+	FuncInstructions uint64
+	// HotInstructions counts instructions retired by the timing model.
+	HotInstructions uint64
+}
+
+// Strategy is a complete sampling regimen.
+type Strategy interface {
+	// Name is the strategy's registry key (also its CLI spelling).
+	Name() string
+	// Describe is a one-line human summary for listings.
+	Describe() string
+	// Select plans the detailed-simulation regions without running them.
+	// Strategies whose selection needs a profiling pass execute it here.
+	Select(p Params) (*Plan, error)
+	// Run executes the full strategy: selection, measurement with warm-up,
+	// and estimation.
+	Run(p Params) (*Outcome, error)
+}
+
+// Measured pairs a region with its detailed-simulation result.
+type Measured struct {
+	Region Region
+	Result ooo.Result
+}
+
+// CPI returns the region's measured cycles-per-instruction (0 when the
+// region retired nothing).
+func (m Measured) CPI() float64 {
+	if m.Result.Instructions == 0 {
+		return 0
+	}
+	return float64(m.Result.Cycles) / float64(m.Result.Instructions)
+}
+
+// registry holds the built-in strategies in presentation order.
+var registry = []Strategy{
+	StratifiedUniform{},
+	SimPoint{},
+	RankedSet{},
+	RepeatedSubsampling{},
+	TwoPhaseStratified{},
+}
+
+// All returns the registered strategies in presentation order.
+func All() []Strategy { return append([]Strategy(nil), registry...) }
+
+// Names returns the registered strategy names in presentation order.
+func Names() []string {
+	out := make([]string, len(registry))
+	for i, s := range registry {
+		out[i] = s.Name()
+	}
+	return out
+}
+
+// ByName resolves a strategy by its registry name.
+func ByName(name string) (Strategy, error) {
+	for _, s := range registry {
+		if s.Name() == name {
+			return s, nil
+		}
+	}
+	return nil, fmt.Errorf("regimen: unknown strategy %q (have %v)", name, Names())
+}
+
+// ValidateRegions checks a plan's execution-order invariants: regions are
+// sorted by start, non-overlapping, positively sized, and end within total.
+func ValidateRegions(regions []Region, total uint64) error {
+	var pos uint64
+	for i, r := range regions {
+		if r.Size == 0 {
+			return fmt.Errorf("regimen: region %d has zero size", i)
+		}
+		if r.Start < pos {
+			return fmt.Errorf("regimen: region %d starts at %d, overlapping the previous region ending at %d", i, r.Start, pos)
+		}
+		if r.Start+r.Size > total {
+			return fmt.Errorf("regimen: region %d [%d,%d) runs past the workload length %d", i, r.Start, r.Start+r.Size, total)
+		}
+		pos = r.Start + r.Size
+	}
+	return nil
+}
+
+// sortRegions orders regions by start (stable, so equal starts keep their
+// selection order — ValidateRegions rejects such plans anyway).
+func sortRegions(regions []Region) {
+	sort.SliceStable(regions, func(i, j int) bool { return regions[i].Start < regions[j].Start })
+}

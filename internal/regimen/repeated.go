@@ -1,0 +1,110 @@
+package regimen
+
+import (
+	"time"
+
+	"rsr/internal/sampling"
+	"rsr/internal/stats"
+)
+
+// rssDraws is the number of interpenetrating subsamples R. More draws give
+// the between-draw variance estimator more degrees of freedom but shrink
+// each draw; 5 keeps ≥ 6 clusters per draw under the default 30–50-cluster
+// regimens.
+const rssDraws = 5
+
+// RepeatedSubsampling implements interpenetrating (replicated) subsampling:
+// the detailed budget is placed exactly like stratified-uniform — same
+// positions, same total hot work — but split round-robin into R interleaved
+// draws, each of which is itself a systematic stratified subsample of the
+// workload. The point estimate is the mean of the R draw means, and the
+// confidence interval is computed *between* draws (Mahalanobis's classic
+// estimator): it stays honest under intra-draw correlation, where the
+// per-cluster SRS interval of the baseline design goes over-tight.
+type RepeatedSubsampling struct{}
+
+// Name implements Strategy.
+func (RepeatedSubsampling) Name() string { return "repeated-subsampling" }
+
+// Describe implements Strategy.
+func (RepeatedSubsampling) Describe() string {
+	return "repeated subsampling: R interleaved draws, CI from between-draw spread"
+}
+
+// draws returns the usable draw count: at least 2 clusters per draw, at
+// least 2 draws (below that there is no between-draw variance to estimate
+// and the strategy degenerates to stratified-uniform with a zero-width CI).
+func (RepeatedSubsampling) draws(p Params) int {
+	r := rssDraws
+	for r > 1 && p.Regimen.NumClusters/r < 2 {
+		r--
+	}
+	return r
+}
+
+// Select implements Strategy: stratified-uniform placement (byte-identical
+// positions to the baseline design for the same seed), draw = index mod R.
+func (s RepeatedSubsampling) Select(p Params) (*Plan, error) {
+	starts, err := sampling.Positions(p.Total, p.Regimen, p.Seed)
+	if err != nil {
+		return nil, err
+	}
+	r := s.draws(p)
+	regions := make([]Region, len(starts))
+	for i, start := range starts {
+		regions[i] = Region{
+			Start:   start,
+			Size:    p.Regimen.ClusterSize,
+			Weight:  1,
+			Stratum: i,
+			Draw:    i % r,
+		}
+	}
+	return &Plan{Regions: regions, Candidates: len(regions), Strata: len(regions)}, nil
+}
+
+// Run implements Strategy.
+func (s RepeatedSubsampling) Run(p Params) (*Outcome, error) {
+	begin := time.Now()
+	plan, err := s.Select(p)
+	if err != nil {
+		return nil, err
+	}
+	pr, err := measureRegions(p, plan.Regions)
+	if err != nil {
+		return nil, err
+	}
+	ms := measured(plan.Regions, pr)
+
+	// Per-draw mean CPI; a draw whose every region retired nothing (possible
+	// only on truncated workloads) contributes no mean.
+	r := s.draws(p)
+	sums := make([]float64, r)
+	counts := make([]int, r)
+	for _, m := range ms {
+		if m.Result.Instructions == 0 {
+			continue
+		}
+		sums[m.Region.Draw] += m.CPI()
+		counts[m.Region.Draw]++
+	}
+	means := make([]float64, 0, r)
+	for d := 0; d < r; d++ {
+		if counts[d] > 0 {
+			means = append(means, sums[d]/float64(counts[d]))
+		}
+	}
+
+	out := &Outcome{
+		Strategy:         s.Name(),
+		Estimate:         ipcFromCPI(stats.CI95(means)),
+		Regions:          ms,
+		Plan:             *plan,
+		Elapsed:          time.Since(begin),
+		Work:             pr.Work,
+		FuncInstructions: pr.FuncInstructions,
+		HotInstructions:  pr.HotInstructions,
+	}
+	p.Instr.record(out)
+	return out, nil
+}

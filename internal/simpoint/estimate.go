@@ -2,6 +2,7 @@ package simpoint
 
 import (
 	"fmt"
+	"math"
 	"time"
 
 	"rsr/internal/bpred"
@@ -36,6 +37,10 @@ type Result struct {
 	// ProfileElapsed is the offline BBV profiling cost (not counted as
 	// simulation time, matching the paper's comparison).
 	ProfileElapsed time.Duration
+	// ProfileInstructions is the instruction count the BBV profile actually
+	// covers: Profile drops the trailing partial interval, so this may be
+	// less than the requested total.
+	ProfileInstructions uint64
 	// SimElapsed is the simulation cost: fast-forward plus hot intervals.
 	SimElapsed time.Duration
 	// HotInstructions is the number of cycle-accurately simulated
@@ -47,12 +52,28 @@ type Result struct {
 // produce a weighted IPC estimate.
 func Estimate(p *prog.Program, m sampling.MachineConfig, total uint64, cfg Config) (*Result, error) {
 	profileStart := time.Now()
-	intervals, err := Profile(p, total, cfg.IntervalSize)
+	intervals, covered, err := Profile(p, total, cfg.IntervalSize)
 	if err != nil {
 		return nil, err
 	}
 	points := Pick(intervals, cfg.MaxPoints, cfg.Seed)
-	res := &Result{Points: points, ProfileElapsed: time.Since(profileStart)}
+	res, err := SimulatePoints(p, m, cfg, points)
+	if err != nil {
+		return nil, err
+	}
+	res.ProfileElapsed = time.Since(profileStart)
+	res.ProfileInstructions = covered
+	return res, nil
+}
+
+// SimulatePoints fast-forwards between the given simulation points and
+// simulates each one cycle-accurately, returning the weighted IPC estimate.
+// Points must be sorted ascending by interval index and distinct — an
+// interval whose start lies before the simulator's position (overlapping or
+// out-of-order points) is rejected with an error rather than wrapping the
+// uint64 skip distance into a multi-exabyte fast-forward.
+func SimulatePoints(p *prog.Program, m sampling.MachineConfig, cfg Config, points []Point) (*Result, error) {
+	res := &Result{Points: points}
 	if len(points) == 0 {
 		return nil, fmt.Errorf("simpoint: no simulation points selected")
 	}
@@ -70,6 +91,10 @@ func Estimate(p *prog.Program, m sampling.MachineConfig, total uint64, cfg Confi
 	var weighted, wsum float64
 	for _, pt := range points {
 		start := uint64(pt.IntervalIndex) * cfg.IntervalSize
+		if start < pos {
+			return nil, fmt.Errorf("simpoint: point at interval %d starts at %d, behind the simulated position %d (points must be sorted and non-overlapping)",
+				pt.IntervalIndex, start, pos)
+		}
 		skip := start - pos
 		method.BeginSkip(skip)
 		ran, err := fs.RunBatches(skip, buf, method.ObserveSkipBatch)
@@ -86,8 +111,14 @@ func Estimate(p *prog.Program, m sampling.MachineConfig, total uint64, cfg Confi
 			return nil, fmt.Errorf("simpoint: hot interval: %w", err)
 		}
 		res.HotInstructions += r.Instructions
-		weighted += pt.Weight * r.IPC()
-		wsum += pt.Weight
+		// A hot interval that retires nothing (the workload halted at its
+		// start) carries no IPC information: folding its weight in would
+		// drag the weighted mean toward zero, and a NaN ratio would poison
+		// it outright. Drop the point from the estimate instead.
+		if ipc := r.IPC(); r.Instructions > 0 && !math.IsNaN(ipc) {
+			weighted += pt.Weight * ipc
+			wsum += pt.Weight
+		}
 		pos = start + r.Instructions
 	}
 	res.SimElapsed = time.Since(simStart)

@@ -30,16 +30,23 @@ type Interval struct {
 // recording a normalized basic-block vector for every window of
 // intervalSize instructions. A basic block begins at the target (or
 // fall-through) of every control transfer.
-func Profile(p *prog.Program, total, intervalSize uint64) ([]Interval, error) {
+//
+// Only whole windows are profiled: the trailing partial interval of
+// total%intervalSize instructions is never executed and appears in no
+// vector. The second return value is the covered instruction count —
+// the instructions actually profiled, n*intervalSize for the n returned
+// intervals — so estimators can account for the dropped tail instead of
+// silently assuming the profile spans `total`.
+func Profile(p *prog.Program, total, intervalSize uint64) ([]Interval, uint64, error) {
 	if intervalSize == 0 || total < intervalSize {
-		return nil, errors.New("simpoint: interval size must be positive and at most the total length")
+		return nil, 0, errors.New("simpoint: interval size must be positive and at most the total length")
 	}
 	fs := funcsim.New(p)
 	n := int(total / intervalSize)
 	intervals := make([]Interval, 0, n)
 	counts := make(map[uint64]uint64)
 	leader := p.Entry
-	var inInterval uint64
+	var covered uint64
 
 	flush := func() {
 		v := make(map[uint64]float64, len(counts))
@@ -56,17 +63,17 @@ func Profile(p *prog.Program, total, intervalSize uint64) ([]Interval, error) {
 			if d.IsBranch() {
 				leader = d.NextPC
 			}
-			inInterval++
+			covered++
 		})
 		if err != nil {
-			return nil, fmt.Errorf("simpoint: profiling: %w", err)
+			return nil, covered, fmt.Errorf("simpoint: profiling: %w", err)
 		}
 		if ran != intervalSize {
-			return nil, fmt.Errorf("simpoint: workload halted during profiling interval %d", i)
+			return nil, covered, fmt.Errorf("simpoint: workload halted during profiling interval %d", i)
 		}
 		flush()
 	}
-	return intervals, nil
+	return intervals, covered, nil
 }
 
 // Point is one chosen simulation point.
@@ -81,25 +88,79 @@ type Point struct {
 // per non-empty cluster, sorted by interval index. k is clamped to the
 // number of intervals.
 func Pick(intervals []Interval, k int, seed int64) []Point {
+	_, points := Clusters(intervals, k, seed)
+	return points
+}
+
+// Clusters is the k-means machinery behind Pick, additionally exposing the
+// per-interval cluster assignment (assign[i] is interval i's cluster id in
+// [0,k)) so phase-aware regimens can stratify by BBV cluster. The points are
+// exactly what Pick returns for the same inputs.
+func Clusters(intervals []Interval, k int, seed int64) (assign []int, points []Point) {
 	if len(intervals) == 0 || k <= 0 {
-		return nil
+		return nil, nil
 	}
 	if k > len(intervals) {
 		k = len(intervals)
 	}
 	rng := rand.New(rand.NewSource(seed))
 
+	// Index every basic-block leader once and hold each interval as a
+	// sorted sparse vector over that dictionary, with centroids dense. A
+	// distance then costs O(nnz) adds in fixed index order instead of
+	// O(nnz) hash probes in random map order — both the k-means hot loop
+	// (intervals × k × iterations distance calls) and the determinism
+	// contract depend on this: float addition is not associative, so
+	// accumulating over `range` of a map would make distances (and, on
+	// near-ties, assignments) vary run to run.
+	seen := map[uint64]struct{}{}
+	for _, iv := range intervals {
+		for pc := range iv.Vector {
+			seen[pc] = struct{}{}
+		}
+	}
+	keys := make([]uint64, 0, len(seen))
+	for pc := range seen {
+		keys = append(keys, pc)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	index := make(map[uint64]int, len(keys))
+	for i, pc := range keys {
+		index[pc] = i
+	}
+	dim := len(keys)
+
+	vecs := make([]sparseVec, len(intervals))
+	for i, iv := range intervals {
+		pcs := make([]uint64, 0, len(iv.Vector))
+		for pc := range iv.Vector {
+			pcs = append(pcs, pc)
+		}
+		sort.Slice(pcs, func(a, b int) bool { return pcs[a] < pcs[b] })
+		s := sparseVec{idx: make([]int32, len(pcs)), val: make([]float64, len(pcs))}
+		for j, pc := range pcs {
+			s.idx[j] = int32(index[pc])
+			s.val[j] = iv.Vector[pc]
+		}
+		vecs[i] = s
+	}
+
 	// k-means++ initialization.
-	centroids := make([]map[uint64]float64, 0, k)
-	first := intervals[rng.Intn(len(intervals))]
-	centroids = append(centroids, cloneVec(first.Vector))
+	centroids := make([][]float64, 0, k)
+	norms := make([]float64, 0, k)
+	addCentroid := func(i int) {
+		c := vecs[i].dense(dim)
+		centroids = append(centroids, c)
+		norms = append(norms, norm2(c))
+	}
+	addCentroid(rng.Intn(len(intervals)))
 	d2 := make([]float64, len(intervals))
 	for len(centroids) < k {
 		var sum float64
-		for i, iv := range intervals {
+		for i := range intervals {
 			best := math.Inf(1)
-			for _, c := range centroids {
-				if d := dist2(iv.Vector, c); d < best {
+			for ci, c := range centroids {
+				if d := distSD(vecs[i], c, norms[ci]); d < best {
 					best = d
 				}
 			}
@@ -108,7 +169,7 @@ func Pick(intervals []Interval, k int, seed int64) []Point {
 		}
 		if sum == 0 {
 			// All remaining points coincide with centroids; duplicate one.
-			centroids = append(centroids, cloneVec(intervals[rng.Intn(len(intervals))].Vector))
+			addCentroid(rng.Intn(len(intervals)))
 			continue
 		}
 		r := rng.Float64() * sum
@@ -120,16 +181,16 @@ func Pick(intervals []Interval, k int, seed int64) []Point {
 				break
 			}
 		}
-		centroids = append(centroids, cloneVec(intervals[idx].Vector))
+		addCentroid(idx)
 	}
 
-	assign := make([]int, len(intervals))
+	assign = make([]int, len(intervals))
 	for iter := 0; iter < 25; iter++ {
 		changed := false
-		for i, iv := range intervals {
+		for i := range intervals {
 			best, bestD := 0, math.Inf(1)
 			for ci, c := range centroids {
-				if d := dist2(iv.Vector, c); d < bestD {
+				if d := distSD(vecs[i], c, norms[ci]); d < bestD {
 					best, bestD = ci, d
 				}
 			}
@@ -142,26 +203,29 @@ func Pick(intervals []Interval, k int, seed int64) []Point {
 			break
 		}
 		// Recompute centroids.
-		sums := make([]map[uint64]float64, k)
+		sums := make([][]float64, k)
 		ns := make([]int, k)
-		for i := range sums {
-			sums[i] = make(map[uint64]float64)
-		}
-		for i, iv := range intervals {
+		for i := range vecs {
 			c := assign[i]
 			ns[c]++
-			for pc, v := range iv.Vector {
-				sums[c][pc] += v
+			if sums[c] == nil {
+				sums[c] = make([]float64, dim)
+			}
+			s := vecs[i]
+			for j, ix := range s.idx {
+				sums[c][ix] += s.val[j]
 			}
 		}
 		for ci := range centroids {
 			if ns[ci] == 0 {
 				continue
 			}
-			for pc := range sums[ci] {
-				sums[ci][pc] /= float64(ns[ci])
+			inv := 1 / float64(ns[ci])
+			for j := range sums[ci] {
+				sums[ci][j] *= inv
 			}
 			centroids[ci] = sums[ci]
+			norms[ci] = norm2(sums[ci])
 		}
 	}
 
@@ -173,15 +237,14 @@ func Pick(intervals []Interval, k int, seed int64) []Point {
 		repIdx[i] = -1
 		repDist[i] = math.Inf(1)
 	}
-	for i, iv := range intervals {
+	for i := range intervals {
 		c := assign[i]
 		counts[c]++
-		if d := dist2(iv.Vector, centroids[c]); d < repDist[c] {
+		if d := distSD(vecs[i], centroids[c], norms[c]); d < repDist[c] {
 			repDist[c] = d
 			repIdx[c] = i
 		}
 	}
-	var points []Point
 	for c := 0; c < k; c++ {
 		if repIdx[c] < 0 {
 			continue
@@ -192,28 +255,44 @@ func Pick(intervals []Interval, k int, seed int64) []Point {
 		})
 	}
 	sort.Slice(points, func(i, j int) bool { return points[i].IntervalIndex < points[j].IntervalIndex })
-	return points
+	return assign, points
 }
 
-func cloneVec(v map[uint64]float64) map[uint64]float64 {
-	out := make(map[uint64]float64, len(v))
-	for k, x := range v {
-		out[k] = x
-	}
-	return out
+// sparseVec is one interval's vector over the Clusters dictionary: parallel
+// index/value arrays sorted by index.
+type sparseVec struct {
+	idx []int32
+	val []float64
 }
 
-// dist2 is squared Euclidean distance between sparse vectors.
-func dist2(a, b map[uint64]float64) float64 {
-	var d float64
-	for k, av := range a {
-		diff := av - b[k]
-		d += diff * diff
+func (s sparseVec) dense(dim int) []float64 {
+	c := make([]float64, dim)
+	for j, ix := range s.idx {
+		c[ix] = s.val[j]
 	}
-	for k, bv := range b {
-		if _, ok := a[k]; !ok {
-			d += bv * bv
-		}
+	return c
+}
+
+func norm2(c []float64) float64 {
+	var n float64
+	for _, x := range c {
+		n += x * x
+	}
+	return n
+}
+
+// distSD is squared Euclidean distance between a sparse vector and a dense
+// centroid with cached squared norm: ‖a−c‖² = ‖c‖² + Σ_{k∈a} a_k(a_k − 2c_k).
+// Rounding can push an exact-match distance a hair below zero; clamping keeps
+// the k-means++ weights non-negative.
+func distSD(s sparseVec, c []float64, cNorm float64) float64 {
+	d := cNorm
+	for j, ix := range s.idx {
+		v := s.val[j]
+		d += v * (v - 2*c[ix])
+	}
+	if d < 0 {
+		d = 0
 	}
 	return d
 }

@@ -2,8 +2,10 @@ package simpoint
 
 import (
 	"math"
+	"strings"
 	"testing"
 
+	"rsr/internal/prog"
 	"rsr/internal/sampling"
 	"rsr/internal/stats"
 	"rsr/internal/warmup"
@@ -12,12 +14,15 @@ import (
 
 func TestProfileBasics(t *testing.T) {
 	w, _ := workload.ByName("parser")
-	ivs, err := Profile(w.Build(), 100_000, 10_000)
+	ivs, covered, err := Profile(w.Build(), 100_000, 10_000)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(ivs) != 10 {
 		t.Fatalf("intervals = %d", len(ivs))
+	}
+	if covered != 100_000 {
+		t.Fatalf("covered = %d, want 100000", covered)
 	}
 	for _, iv := range ivs {
 		var sum float64
@@ -38,21 +43,21 @@ func TestProfileBasics(t *testing.T) {
 
 func TestProfileValidation(t *testing.T) {
 	w, _ := workload.ByName("parser")
-	if _, err := Profile(w.Build(), 1000, 0); err == nil {
+	if _, _, err := Profile(w.Build(), 1000, 0); err == nil {
 		t.Fatal("zero interval must error")
 	}
-	if _, err := Profile(w.Build(), 100, 1000); err == nil {
+	if _, _, err := Profile(w.Build(), 100, 1000); err == nil {
 		t.Fatal("interval larger than total must error")
 	}
 }
 
 func TestProfileDeterministic(t *testing.T) {
 	w, _ := workload.ByName("twolf")
-	a, err := Profile(w.Build(), 50_000, 5_000)
+	a, _, err := Profile(w.Build(), 50_000, 5_000)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, _ := Profile(w.Build(), 50_000, 5_000)
+	b, _, _ := Profile(w.Build(), 50_000, 5_000)
 	for i := range a {
 		if len(a[i].Vector) != len(b[i].Vector) {
 			t.Fatal("profiles differ")
@@ -116,7 +121,7 @@ func TestPickClampsK(t *testing.T) {
 
 func TestPickSortedAndDeterministic(t *testing.T) {
 	w, _ := workload.ByName("gcc")
-	ivs, err := Profile(w.Build(), 200_000, 10_000)
+	ivs, _, err := Profile(w.Build(), 200_000, 10_000)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -192,5 +197,103 @@ func TestEstimateWarmupVariantsDiffer(t *testing.T) {
 	t.Logf("plain RE %.3f, warmed RE %.3f", rePlain, reWarm)
 	if reWarm > rePlain+0.05 {
 		t.Fatalf("warm-up made small-interval SimPoint much worse: %.3f vs %.3f", reWarm, rePlain)
+	}
+}
+
+func TestProfileDropsTrailingPartialInterval(t *testing.T) {
+	// 25K instructions at 10K granularity: two whole intervals profile, the
+	// trailing 5K are never executed, and the covered count says so.
+	w, _ := workload.ByName("parser")
+	ivs, covered, err := Profile(w.Build(), 25_000, 10_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ivs) != 2 {
+		t.Fatalf("intervals = %d, want 2", len(ivs))
+	}
+	if covered != 20_000 {
+		t.Fatalf("covered = %d, want 20000 (trailing partial interval dropped)", covered)
+	}
+}
+
+func TestSimulatePointsRejectsOverlap(t *testing.T) {
+	// Out-of-order points would make skip := start - pos wrap around a
+	// uint64 and fast-forward for exabytes; they must error instead.
+	w, _ := workload.ByName("parser")
+	_, err := SimulatePoints(w.Build(), sampling.DefaultMachine(), Config{IntervalSize: 10_000},
+		[]Point{{IntervalIndex: 2, Weight: 0.5}, {IntervalIndex: 1, Weight: 0.5}})
+	if err == nil {
+		t.Fatal("overlapping points must error")
+	}
+	if !strings.Contains(err.Error(), "behind the simulated position") {
+		t.Fatalf("unhelpful overlap error: %v", err)
+	}
+}
+
+// haltingProgram executes exactly n dynamic instructions (the last a halt).
+func haltingProgram(n int) *prog.Program {
+	b := prog.NewBuilder("halting")
+	for i := 0; i < n-1; i++ {
+		b.Nop()
+	}
+	b.Halt()
+	return b.MustBuild()
+}
+
+func TestSimulatePointsZeroRetirementSafe(t *testing.T) {
+	// The workload halts exactly at the end of interval 0, so interval 1
+	// retires nothing. Its weight must drop out of the estimate instead of
+	// dragging the weighted IPC toward zero.
+	const interval = 1000
+	p := haltingProgram(interval)
+	m := sampling.DefaultMachine()
+	cfg := Config{IntervalSize: interval}
+
+	only, err := SimulatePoints(haltingProgram(interval), m, cfg,
+		[]Point{{IntervalIndex: 0, Weight: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	both, err := SimulatePoints(p, m, cfg,
+		[]Point{{IntervalIndex: 0, Weight: 0.5}, {IntervalIndex: 1, Weight: 0.5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if only.IPC <= 0 {
+		t.Fatalf("reference IPC = %f", only.IPC)
+	}
+	if both.IPC != only.IPC {
+		t.Fatalf("zero-retirement interval poisoned the estimate: %f, want %f", both.IPC, only.IPC)
+	}
+	if both.HotInstructions != interval {
+		t.Fatalf("hot instructions = %d, want %d", both.HotInstructions, interval)
+	}
+}
+
+func TestClustersMatchesPick(t *testing.T) {
+	w, _ := workload.ByName("gcc")
+	ivs, _, err := Profile(w.Build(), 200_000, 10_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assign, pts := Clusters(ivs, 5, 9)
+	if len(assign) != len(ivs) {
+		t.Fatalf("assignments = %d, want %d", len(assign), len(ivs))
+	}
+	direct := Pick(ivs, 5, 9)
+	if len(pts) != len(direct) {
+		t.Fatalf("points diverge from Pick: %d vs %d", len(pts), len(direct))
+	}
+	for i := range pts {
+		if pts[i] != direct[i] {
+			t.Fatalf("point %d diverges from Pick: %+v vs %+v", i, pts[i], direct[i])
+		}
+	}
+	// Every representative must be assigned to the cluster it represents,
+	// and every assignment must be a valid cluster id.
+	for i, a := range assign {
+		if a < 0 || a >= 5 {
+			t.Fatalf("interval %d assigned to %d", i, a)
+		}
 	}
 }

@@ -1,0 +1,138 @@
+package stats
+
+import "math"
+
+// WeightedMean returns sum(w_i * x_i) / sum(w_i), skipping entries whose
+// weight is zero or negative. It returns 0 when no weight remains.
+func WeightedMean(xs, ws []float64) float64 {
+	var num, den float64
+	for i, x := range xs {
+		if i >= len(ws) || ws[i] <= 0 {
+			continue
+		}
+		num += ws[i] * x
+		den += ws[i]
+	}
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}
+
+// ProportionalAllocation splits n samples across strata proportionally to
+// the given non-negative scores (Neyman allocation when score_h = W_h*S_h),
+// using the largest-remainder method so the result is deterministic, sums
+// exactly to n, and gives every positive-score stratum at least one sample
+// when n >= the number of positive-score strata. Zero-score strata get zero.
+func ProportionalAllocation(n int, scores []float64) []int {
+	out := make([]int, len(scores))
+	if n <= 0 {
+		return out
+	}
+	var total float64
+	positive := 0
+	for _, s := range scores {
+		if s > 0 {
+			total += s
+			positive++
+		}
+	}
+	if positive == 0 {
+		// Degenerate pilot (all strata report zero variance): spread evenly,
+		// front-loaded, so the caller still gets n samples.
+		for i := 0; n > 0; i = (i + 1) % len(out) {
+			out[i]++
+			n--
+		}
+		return out
+	}
+
+	type frac struct {
+		idx int
+		f   float64
+	}
+	fracs := make([]frac, 0, len(scores))
+	assigned := 0
+	for i, s := range scores {
+		if s <= 0 {
+			continue
+		}
+		q := float64(n) * s / total
+		w := int(math.Floor(q))
+		out[i] = w
+		assigned += w
+		fracs = append(fracs, frac{i, q - float64(w)})
+	}
+	// Hand the leftover samples to the largest fractional parts; ties break
+	// by stratum index for determinism.
+	for left := n - assigned; left > 0; left-- {
+		best := -1
+		for j, fr := range fracs {
+			if best < 0 || fr.f > fracs[best].f {
+				best = j
+			}
+		}
+		out[fracs[best].idx]++
+		fracs[best].f = -1
+	}
+	// Starvation fixup: when n affords it, every positive-score stratum
+	// keeps at least one sample (a pilot needs a draw per stratum to
+	// observe variance at all), funded by the largest allocations.
+	if n >= positive {
+		for i, s := range scores {
+			if s <= 0 || out[i] > 0 {
+				continue
+			}
+			donor := -1
+			for j := range out {
+				if out[j] > 1 && (donor < 0 || out[j] > out[donor]) {
+					donor = j
+				}
+			}
+			if donor < 0 {
+				break
+			}
+			out[donor]--
+			out[i]++
+		}
+	}
+	return out
+}
+
+// Stratum is one stratum's sample summary for a stratified estimator.
+type Stratum struct {
+	// Weight is the stratum's share of the population, W_h (fractions
+	// should sum to 1 across strata).
+	Weight float64
+	// Samples are the per-sample measurements drawn from the stratum.
+	Samples []float64
+}
+
+// StratifiedMean returns the stratified estimator sum(W_h * mean_h) with a
+// 95% confidence interval from the stratified variance
+// sum(W_h^2 * S_h^2 / n_h). Strata with no samples contribute nothing to
+// either term (their weight is dropped and the remaining weights
+// renormalized), so a stratum the workload never reached cannot zero the
+// estimate.
+func StratifiedMean(strata []Stratum) Interval {
+	var mean, variance, wsum float64
+	for _, st := range strata {
+		if len(st.Samples) == 0 || st.Weight <= 0 {
+			continue
+		}
+		wsum += st.Weight
+	}
+	if wsum == 0 {
+		return Interval{}
+	}
+	for _, st := range strata {
+		if len(st.Samples) == 0 || st.Weight <= 0 {
+			continue
+		}
+		w := st.Weight / wsum
+		mean += w * Mean(st.Samples)
+		sd := StdDev(st.Samples)
+		variance += w * w * sd * sd / float64(len(st.Samples))
+	}
+	return Interval{Mean: mean, Err: Z95 * math.Sqrt(variance)}
+}

@@ -1,0 +1,130 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestWeightedMean(t *testing.T) {
+	if got := WeightedMean([]float64{1, 3}, []float64{1, 1}); got != 2 {
+		t.Fatalf("got %f", got)
+	}
+	if got := WeightedMean([]float64{1, 3}, []float64{3, 1}); got != 1.5 {
+		t.Fatalf("got %f", got)
+	}
+	// Zero and negative weights drop out.
+	if got := WeightedMean([]float64{1, 99, 3}, []float64{1, 0, 1}); got != 2 {
+		t.Fatalf("got %f", got)
+	}
+	if got := WeightedMean([]float64{5}, []float64{0}); got != 0 {
+		t.Fatalf("empty weight: got %f", got)
+	}
+	// Mismatched lengths ignore the tail rather than panicking.
+	if got := WeightedMean([]float64{1, 3}, []float64{1}); got != 1 {
+		t.Fatalf("short weights: got %f", got)
+	}
+}
+
+func TestProportionalAllocationSumsAndOrder(t *testing.T) {
+	scores := []float64{4, 1, 1, 2}
+	got := ProportionalAllocation(8, scores)
+	var sum int
+	for _, n := range got {
+		sum += n
+	}
+	if sum != 8 {
+		t.Fatalf("allocation %v sums to %d, want 8", got, sum)
+	}
+	if got[0] != 4 || got[3] != 2 {
+		t.Fatalf("allocation %v not proportional", got)
+	}
+	// Deterministic across calls.
+	again := ProportionalAllocation(8, scores)
+	for i := range got {
+		if got[i] != again[i] {
+			t.Fatalf("non-deterministic allocation: %v vs %v", got, again)
+		}
+	}
+}
+
+func TestProportionalAllocationFloorsAndZeros(t *testing.T) {
+	// Every positive-score stratum gets at least one sample when n allows,
+	// even when its quota rounds to zero.
+	got := ProportionalAllocation(5, []float64{1000, 1, 0, 1})
+	if got[1] == 0 || got[3] == 0 {
+		t.Fatalf("tiny strata starved: %v", got)
+	}
+	if got[2] != 0 {
+		t.Fatalf("zero-score stratum allocated: %v", got)
+	}
+	var sum int
+	for _, n := range got {
+		sum += n
+	}
+	if sum != 5 {
+		t.Fatalf("allocation %v sums to %d, want 5", got, sum)
+	}
+}
+
+func TestProportionalAllocationDegenerate(t *testing.T) {
+	// All-zero scores still hand out exactly n samples.
+	got := ProportionalAllocation(4, []float64{0, 0, 0})
+	var sum int
+	for _, n := range got {
+		sum += n
+	}
+	if sum != 4 {
+		t.Fatalf("degenerate allocation %v sums to %d", got, sum)
+	}
+	if n := ProportionalAllocation(0, []float64{1, 2}); n[0] != 0 || n[1] != 0 {
+		t.Fatalf("n=0 allocated %v", n)
+	}
+	// Fewer samples than strata: no forced floor, result still sums to n.
+	got = ProportionalAllocation(2, []float64{1, 1, 1, 1})
+	sum = 0
+	for _, n := range got {
+		sum += n
+	}
+	if sum != 2 {
+		t.Fatalf("n<strata allocation %v sums to %d", got, sum)
+	}
+}
+
+func TestStratifiedMean(t *testing.T) {
+	iv := StratifiedMean([]Stratum{
+		{Weight: 0.5, Samples: []float64{1, 1, 1}},
+		{Weight: 0.5, Samples: []float64{3, 3, 3}},
+	})
+	if iv.Mean != 2 {
+		t.Fatalf("mean = %f, want 2", iv.Mean)
+	}
+	if iv.Err != 0 {
+		t.Fatalf("zero-variance strata should give zero error, got %f", iv.Err)
+	}
+
+	// An empty stratum renormalizes away instead of zeroing its share.
+	iv = StratifiedMean([]Stratum{
+		{Weight: 0.5, Samples: []float64{2, 2}},
+		{Weight: 0.5, Samples: nil},
+	})
+	if iv.Mean != 2 {
+		t.Fatalf("empty stratum dragged mean to %f", iv.Mean)
+	}
+
+	// Variance matches the closed form W^2 S^2 / n summed over strata.
+	a := []float64{1, 2, 3}
+	b := []float64{10, 14}
+	iv = StratifiedMean([]Stratum{{Weight: 0.75, Samples: a}, {Weight: 0.25, Samples: b}})
+	wantVar := 0.75*0.75*StdDev(a)*StdDev(a)/3 + 0.25*0.25*StdDev(b)*StdDev(b)/2
+	if got := iv.Err / Z95; math.Abs(got-math.Sqrt(wantVar)) > 1e-12 {
+		t.Fatalf("stderr = %f, want %f", got, math.Sqrt(wantVar))
+	}
+	wantMean := 0.75*Mean(a) + 0.25*Mean(b)
+	if math.Abs(iv.Mean-wantMean) > 1e-12 {
+		t.Fatalf("mean = %f, want %f", iv.Mean, wantMean)
+	}
+
+	if iv := StratifiedMean(nil); iv.Mean != 0 || iv.Err != 0 {
+		t.Fatalf("nil strata: %+v", iv)
+	}
+}

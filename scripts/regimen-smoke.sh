@@ -1,0 +1,54 @@
+#!/usr/bin/env sh
+# Sampling-regimen smoke test, run by `make regimen-smoke` and CI.
+#
+# Builds a race-enabled rsr and proves two things end to end with the real
+# CLI:
+#
+#   1. Byte-identity: `rsr -regimen stratified-uniform run` re-expresses the
+#      legacy engine path through the Strategy seam, so its output must be
+#      byte-for-byte identical to plain `rsr run` once the wall-clock `time`
+#      line is filtered out. Every other line — estimate, rel error,
+#      confidence, work counters — is deterministic, so `diff` is the oracle.
+#
+#   2. Every registered strategy runs end to end: each name printed by
+#      `rsr regimens` must complete a run and report a sane estimate line.
+#
+# All flags are global and precede the subcommand (a flag after `run` is a
+# positional argument and silently ignored) — same convention as the other
+# smoke scripts.
+set -eu
+
+WORKDIR="$(mktemp -d)"
+trap 'rm -rf "$WORKDIR"' EXIT
+
+GO="${GO:-go}"
+
+"$GO" build -race -o "$WORKDIR/rsr" ./cmd/rsr
+
+RSR="$WORKDIR/rsr -scale 0.05 -workloads twolf -workload twolf -parallel 1"
+
+# --- 1. Legacy path vs the strategy seam, byte for byte. -------------------
+$RSR run | grep -v '^time' >"$WORKDIR/legacy.txt"
+$RSR -regimen stratified-uniform run | grep -v '^time' >"$WORKDIR/seam.txt"
+if ! diff -u "$WORKDIR/legacy.txt" "$WORKDIR/seam.txt"; then
+    echo "regimen-smoke: stratified-uniform diverged from the legacy run path" >&2
+    exit 1
+fi
+
+# --- 2. Every registered strategy completes a run. -------------------------
+NAMES="$($RSR regimens | awk 'NR > 1 { print $1 }')"
+if [ "$(printf '%s\n' "$NAMES" | wc -l)" -lt 5 ]; then
+    echo "regimen-smoke: expected at least 5 registered strategies, got:" >&2
+    printf '%s\n' "$NAMES" >&2
+    exit 1
+fi
+for NAME in $NAMES; do
+    $RSR -regimen "$NAME" run >"$WORKDIR/$NAME.txt"
+    if ! grep -q '^estimate' "$WORKDIR/$NAME.txt"; then
+        echo "regimen-smoke: strategy $NAME produced no estimate:" >&2
+        cat "$WORKDIR/$NAME.txt" >&2
+        exit 1
+    fi
+done
+
+echo "regimen-smoke: ok (legacy path byte-identical through the seam; $(printf '%s\n' "$NAMES" | wc -l | tr -d ' ') strategies ran end to end)"
